@@ -1,0 +1,39 @@
+//! E5 — ablation of the borrow automation of §4.2: LinkedList verification
+//! with the automatic borrow opening / heuristic unfolding on (the paper's
+//! configuration) versus off. With the automation disabled the proofs fail,
+//! so the measured quantity is time-to-failure; the number of automatic
+//! borrow openings/closings is reported by the engine statistics.
+
+use case_studies::{even_int, linked_list, SpecMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gillian_rust::types::TypeRegistry;
+use gillian_rust::verifier::{Verifier, VerifierOptions};
+use rust_ir::LayoutOracle;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_borrows");
+    group.sample_size(10);
+    group.bench_function("LinkedList(new)/auto_borrows_on", |b| {
+        b.iter(|| linked_list::verify_all(SpecMode::FunctionalCorrectness))
+    });
+    group.bench_function("EvenInt/auto_borrows_on", |b| {
+        b.iter(|| even_int::verify_all(SpecMode::FunctionalCorrectness))
+    });
+    group.bench_function("LinkedList(new)/auto_borrows_off", |b| {
+        b.iter(|| {
+            let types = TypeRegistry::new(linked_list::program(), LayoutOracle::default());
+            let g = linked_list::gilsonite(&types, SpecMode::FunctionalCorrectness);
+            let v = Verifier::new(
+                types,
+                g,
+                VerifierOptions::functional_correctness().baseline(),
+            )
+            .unwrap();
+            v.verify_all(linked_list::FUNCTIONS)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

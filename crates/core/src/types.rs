@@ -1,0 +1,306 @@
+//! Type registry and the symbolic encoding of addresses.
+//!
+//! Addresses are layout-independent (§3.1): a pointer value is a pair of an
+//! object location and a *projection* — a sequence of projection elements
+//! (`.T i` field selections and `+T e` array offsets). The registry interns
+//! `rust-ir` types so that they can be mentioned inside expressions as plain
+//! integers, and answers size queries (symbolically for generic types).
+
+use gillian_solver::Expr;
+use rust_ir::{AdtKind, LayoutOracle, Program, Ty};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// An interned type identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TyId(pub u32);
+
+impl TyId {
+    /// The identifier as an expression (how types are mentioned in GIL).
+    pub fn to_expr(self) -> Expr {
+        Expr::Int(self.0 as i128)
+    }
+}
+
+/// The type registry shared by the heap, the compiler and the Gilsonite layer.
+#[derive(Debug)]
+pub struct TypeRegistry {
+    pub program: Program,
+    pub layout: LayoutOracle,
+    types: RefCell<Vec<Ty>>,
+    map: RefCell<HashMap<Ty, TyId>>,
+}
+
+/// A shared handle to the registry.
+pub type Types = Rc<TypeRegistry>;
+
+impl TypeRegistry {
+    /// Creates a registry for a program.
+    pub fn new(program: Program, layout: LayoutOracle) -> Types {
+        Rc::new(TypeRegistry {
+            program,
+            layout,
+            types: RefCell::new(Vec::new()),
+            map: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// Interns a type.
+    pub fn intern(&self, ty: &Ty) -> TyId {
+        if let Some(id) = self.map.borrow().get(ty) {
+            return *id;
+        }
+        let mut types = self.types.borrow_mut();
+        let id = TyId(types.len() as u32);
+        types.push(ty.clone());
+        self.map.borrow_mut().insert(ty.clone(), id);
+        id
+    }
+
+    /// Recovers a type from its identifier.
+    pub fn resolve(&self, id: TyId) -> Ty {
+        self.types.borrow()[id.0 as usize].clone()
+    }
+
+    /// Recovers a type from an expression produced by [`TyId::to_expr`].
+    pub fn resolve_expr(&self, e: &Expr) -> Option<Ty> {
+        match e {
+            Expr::Int(i) if *i >= 0 && (*i as usize) < self.types.borrow().len() => {
+                Some(self.resolve(TyId(*i as u32)))
+            }
+            _ => None,
+        }
+    }
+
+    /// The size of a type as an expression: a literal when statically known,
+    /// a symbolic `size_of(ty)` application otherwise (generic types).
+    pub fn size_expr(&self, ty: &Ty) -> Expr {
+        match self.layout.size_of(ty, &self.program) {
+            Some(s) => Expr::Int(s as i128),
+            None => Expr::app("size_of", vec![self.intern(ty).to_expr()]),
+        }
+    }
+
+    /// Number of fields of a struct type (used for destructuring symbolic
+    /// struct values in the heap), together with its constructor tag.
+    pub fn struct_info(&self, ty: &Ty) -> Option<(String, Vec<Ty>)> {
+        match ty {
+            Ty::Adt(name, args) => {
+                let def = self.program.adt(name)?;
+                match &def.kind {
+                    AdtKind::Struct { fields } => {
+                        let tys = (0..fields.len())
+                            .map(|i| def.field_ty(i, args).unwrap())
+                            .collect();
+                        Some((name.clone(), tys))
+                    }
+                    AdtKind::Enum { .. } => None,
+                }
+            }
+            Ty::Tuple(items) => Some(("tuple".to_owned(), items.clone())),
+            _ => None,
+        }
+    }
+
+    /// The constructor tag used for values of a struct type.
+    pub fn ctor_tag(&self, ty: &Ty) -> Option<String> {
+        self.struct_info(ty).map(|(tag, _)| format!("struct::{tag}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pointer encoding
+// ---------------------------------------------------------------------------
+
+/// Constructor tag for pointer values: `ptr(loc, projections)`.
+pub const PTR_TAG: &str = "ptr";
+/// Constructor tag for a field projection element: `proj_field(ty, idx)`.
+pub const PROJ_FIELD: &str = "proj_field";
+/// Constructor tag for an index projection element: `proj_index(ty, offset)`.
+pub const PROJ_INDEX: &str = "proj_index";
+/// Wrapper for not-yet-resolved pointer arithmetic: `ptr_offset(p, ty, n)`.
+pub const PTR_OFFSET: &str = "ptr_offset";
+/// Wrapper for not-yet-resolved field addressing: `ptr_field(p, ty, idx)`.
+pub const PTR_FIELD: &str = "ptr_field";
+
+/// A projection element.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProjElem {
+    /// The `i`-th field of a struct of type `ty`.
+    Field(TyId, usize),
+    /// An offset of `e` elements of type `ty`.
+    Index(TyId, Expr),
+}
+
+impl ProjElem {
+    pub fn to_expr(&self) -> Expr {
+        match self {
+            ProjElem::Field(ty, idx) => {
+                Expr::ctor(PROJ_FIELD, vec![ty.to_expr(), Expr::Int(*idx as i128)])
+            }
+            ProjElem::Index(ty, e) => Expr::ctor(PROJ_INDEX, vec![ty.to_expr(), e.clone()]),
+        }
+    }
+
+    pub fn from_expr(e: &Expr) -> Option<ProjElem> {
+        match e {
+            Expr::Ctor(tag, args) if tag.as_str() == PROJ_FIELD && args.len() == 2 => {
+                let ty = TyId(args[0].as_int()? as u32);
+                let idx = args[1].as_int()? as usize;
+                Some(ProjElem::Field(ty, idx))
+            }
+            Expr::Ctor(tag, args) if tag.as_str() == PROJ_INDEX && args.len() == 2 => {
+                let ty = TyId(args[0].as_int()? as u32);
+                Some(ProjElem::Index(ty, args[1].clone()))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A resolved address: an object location plus a projection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Address {
+    /// The object location (always a concrete `Expr::Loc` once resolved).
+    pub loc: u64,
+    /// The projection from the base of the object.
+    pub proj: Vec<ProjElem>,
+}
+
+impl Address {
+    /// Builds the canonical pointer expression for this address.
+    pub fn to_expr(&self) -> Expr {
+        Expr::ctor(
+            PTR_TAG,
+            vec![
+                Expr::Loc(self.loc),
+                Expr::SeqLit(self.proj.iter().map(|p| p.to_expr()).collect()),
+            ],
+        )
+    }
+
+    /// Parses a canonical pointer expression.
+    pub fn from_expr(e: &Expr) -> Option<Address> {
+        match e {
+            Expr::Ctor(tag, args) if tag.as_str() == PTR_TAG && args.len() == 2 => {
+                let loc = match &args[0] {
+                    Expr::Loc(l) => *l,
+                    _ => return None,
+                };
+                let proj = match &args[1] {
+                    Expr::SeqLit(items) => items
+                        .iter()
+                        .map(ProjElem::from_expr)
+                        .collect::<Option<Vec<_>>>()?,
+                    _ => return None,
+                };
+                Some(Address { loc, proj })
+            }
+            _ => None,
+        }
+    }
+
+    /// A fresh base address for a new allocation.
+    pub fn base(loc: u64) -> Address {
+        Address { loc, proj: vec![] }
+    }
+
+    /// Extends the address with a field projection.
+    pub fn with_field(mut self, ty: TyId, idx: usize) -> Address {
+        self.proj.push(ProjElem::Field(ty, idx));
+        self
+    }
+
+    /// Extends the address with an index projection.
+    pub fn with_index(mut self, ty: TyId, offset: Expr) -> Address {
+        self.proj.push(ProjElem::Index(ty, offset));
+        self
+    }
+}
+
+/// Builds a `ptr_field` wrapper (resolved lazily by the heap).
+pub fn ptr_field(base: Expr, ty: TyId, idx: usize) -> Expr {
+    Expr::ctor(
+        PTR_FIELD,
+        vec![base, ty.to_expr(), Expr::Int(idx as i128)],
+    )
+}
+
+/// Builds a `ptr_offset` wrapper (resolved lazily by the heap).
+pub fn ptr_offset(base: Expr, ty: TyId, count: Expr) -> Expr {
+    Expr::ctor(PTR_OFFSET, vec![base, ty.to_expr(), count])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rust_ir::{AdtDef, LayoutOracle, Program};
+
+    fn registry() -> Types {
+        let mut p = Program::new("t");
+        p.add_adt(AdtDef::strukt(
+            "Node",
+            &["T"],
+            vec![
+                ("element", Ty::param("T")),
+                (
+                    "next",
+                    Ty::option(Ty::non_null(Ty::adt("Node", vec![Ty::param("T")]))),
+                ),
+                (
+                    "prev",
+                    Ty::option(Ty::non_null(Ty::adt("Node", vec![Ty::param("T")]))),
+                ),
+            ],
+        ));
+        TypeRegistry::new(p, LayoutOracle::default())
+    }
+
+    #[test]
+    fn interning_round_trips() {
+        let reg = registry();
+        let id = reg.intern(&Ty::usize());
+        assert_eq!(reg.resolve(id), Ty::usize());
+        assert_eq!(reg.intern(&Ty::usize()), id);
+        assert_eq!(reg.resolve_expr(&id.to_expr()), Some(Ty::usize()));
+    }
+
+    #[test]
+    fn size_expr_is_literal_for_concrete_types() {
+        let reg = registry();
+        assert_eq!(reg.size_expr(&Ty::usize()), Expr::Int(8));
+    }
+
+    #[test]
+    fn size_expr_is_symbolic_for_generics() {
+        let reg = registry();
+        let e = reg.size_expr(&Ty::param("T"));
+        assert!(matches!(e, Expr::App(..)));
+    }
+
+    #[test]
+    fn address_round_trip() {
+        let reg = registry();
+        let node_ty = reg.intern(&Ty::adt("Node", vec![Ty::param("T")]));
+        let addr = Address::base(3).with_field(node_ty, 1);
+        let e = addr.to_expr();
+        assert_eq!(Address::from_expr(&e), Some(addr));
+    }
+
+    #[test]
+    fn struct_info_substitutes_generics() {
+        let reg = registry();
+        let (tag, fields) = reg
+            .struct_info(&Ty::adt("Node", vec![Ty::i32()]))
+            .unwrap();
+        assert_eq!(tag, "Node");
+        assert_eq!(fields[0], Ty::i32());
+        assert_eq!(fields.len(), 3);
+    }
+
+    #[test]
+    fn non_pointer_expr_is_not_an_address() {
+        assert_eq!(Address::from_expr(&Expr::Int(3)), None);
+    }
+}

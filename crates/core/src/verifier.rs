@@ -1,0 +1,250 @@
+//! The top-level verification driver.
+//!
+//! Builds a Gillian engine from a mini-MIR program plus a Gilsonite context
+//! (predicates, specifications, lemmas), registers the semi-automatic
+//! tactics, and runs per-function verification producing the timing reports
+//! from which Table 1 is regenerated.
+
+use crate::compile::{CompileError, Compiler};
+use crate::gilsonite::{GilsoniteCtx, SpecMode};
+use crate::state::GRState;
+use crate::tactics;
+use crate::types::Types;
+use gillian_engine::{Engine, EngineOptions, EngineStats};
+use std::time::Duration;
+
+/// Options for building a [`Verifier`].
+#[derive(Clone, Debug)]
+pub struct VerifierOptions {
+    /// Verified property (TS or FC).
+    pub mode: SpecMode,
+    /// Engine tuning; [`EngineOptions::baseline`] disables the paper's
+    /// automations and is used as the comparison baseline in the benches.
+    pub engine: EngineOptions,
+}
+
+impl Default for VerifierOptions {
+    fn default() -> Self {
+        VerifierOptions {
+            mode: SpecMode::FunctionalCorrectness,
+            engine: EngineOptions::default(),
+        }
+    }
+}
+
+impl VerifierOptions {
+    pub fn type_safety() -> Self {
+        let mut engine = EngineOptions::default();
+        engine.panics_are_safe = true;
+        VerifierOptions {
+            mode: SpecMode::TypeSafety,
+            engine,
+        }
+    }
+
+    pub fn functional_correctness() -> Self {
+        VerifierOptions::default()
+    }
+
+    pub fn baseline(mut self) -> Self {
+        self.engine = EngineOptions::baseline();
+        self
+    }
+}
+
+/// The result of verifying one function or lemma.
+#[derive(Clone, Debug)]
+pub struct CaseReport {
+    pub name: String,
+    pub verified: bool,
+    pub elapsed: Duration,
+    pub error: Option<String>,
+}
+
+impl CaseReport {
+    /// Panics with the error message if verification failed (used in tests).
+    pub fn expect_verified(&self) -> &Self {
+        assert!(
+            self.verified,
+            "verification of {} failed: {}",
+            self.name,
+            self.error.as_deref().unwrap_or("unknown error")
+        );
+        self
+    }
+}
+
+/// The Gillian-Rust verifier for one program.
+pub struct Verifier {
+    pub engine: Engine<GRState>,
+    pub types: Types,
+    pub mode: SpecMode,
+}
+
+impl Verifier {
+    /// Builds a verifier: compiles every function of the program registered
+    /// in the type registry and installs the Gilsonite predicates, specs and
+    /// lemmas.
+    pub fn new(
+        types: Types,
+        gilsonite: GilsoniteCtx,
+        opts: VerifierOptions,
+    ) -> Result<Verifier, CompileError> {
+        let mut prog = gilsonite.prog;
+        {
+            let mut compiler = Compiler::new(&types);
+            let functions: Vec<_> = types.program.functions().cloned().collect();
+            for f in &functions {
+                if f.body.is_some() {
+                    prog.add_proc(compiler.compile_fn(f)?);
+                }
+            }
+        }
+        let mut engine = Engine::with_options(prog, opts.engine);
+        engine.register_tactic(
+            crate::compile::GHOST_MUTREF_AUTO_RESOLVE,
+            tactics::mutref_auto_resolve,
+        );
+        engine.register_tactic(
+            crate::compile::GHOST_PROPHECY_AUTO_UPDATE,
+            tactics::prophecy_auto_update,
+        );
+        Ok(Verifier {
+            engine,
+            types,
+            mode: opts.mode,
+        })
+    }
+
+    fn initial_state(&self) -> GRState {
+        GRState::with_types(self.types.clone())
+    }
+
+    /// Verifies one function against its registered specification.
+    pub fn verify_fn(&self, name: &str) -> CaseReport {
+        let report = self.engine.verify_proc_from(name, self.initial_state());
+        CaseReport {
+            name: name.to_owned(),
+            verified: report.verified,
+            elapsed: report.elapsed,
+            error: report.error,
+        }
+    }
+
+    /// Verifies a lemma from its proof script.
+    pub fn verify_lemma(&self, name: &str) -> CaseReport {
+        let report = self.engine.verify_lemma_from(name, self.initial_state());
+        CaseReport {
+            name: name.to_owned(),
+            verified: report.verified,
+            elapsed: report.elapsed,
+            error: report.error,
+        }
+    }
+
+    /// Verifies several functions, returning one report per function.
+    pub fn verify_all(&self, names: &[&str]) -> Vec<CaseReport> {
+        names.iter().map(|n| self.verify_fn(n)).collect()
+    }
+
+    /// Total verification time of a batch (the "Time" column of Table 1).
+    pub fn total_time(reports: &[CaseReport]) -> Duration {
+        reports.iter().map(|r| r.elapsed).sum()
+    }
+
+    /// Engine statistics (used by the ablation benches).
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gilsonite::lv;
+    use crate::types::TypeRegistry;
+    use gillian_solver::Expr;
+    use rust_ir::{builder::BodyBuilder, BinOp, LayoutOracle, Operand, Place, Program, Ty};
+
+    /// A tiny end-to-end check: a function that adds 1 to a `usize` behind a
+    /// `&mut usize`, specified with prophecies, verifies with a single
+    /// `mutref_auto_resolve` annotation.
+    #[test]
+    fn increment_through_mut_ref_verifies() {
+        let mut program = Program::new("demo");
+        let mut b = BodyBuilder::new(
+            "inc",
+            vec![("x", Ty::mut_ref("'a", Ty::usize()))],
+            Ty::Unit,
+        );
+        let tmp = b.local("tmp", Ty::usize());
+        b.assign_use(tmp.clone(), Operand::copy(Place::local("x").deref()));
+        let tmp2 = b.local("tmp2", Ty::usize());
+        b.assign_binop(tmp2.clone(), BinOp::Add, Operand::copy(tmp), Operand::usize(1));
+        b.assign_use(Place::local("x").deref(), Operand::copy(tmp2));
+        let cont = b.new_block();
+        b.call(
+            crate::compile::GHOST_MUTREF_AUTO_RESOLVE,
+            vec![],
+            vec![Operand::local("x")],
+            Place::local("_ret"),
+            cont,
+        );
+        b.switch_to(cont);
+        b.ret_val(Operand::unit());
+        let f = b.finish();
+        program.add_fn(f.clone());
+
+        let types = TypeRegistry::new(program, LayoutOracle::default());
+        let mut gils = GilsoniteCtx::new(types.clone(), SpecMode::FunctionalCorrectness);
+        let spec = gils.fn_spec(
+            &f,
+            vec![Expr::lt(lv("x_cur"), Expr::Int(1000))],
+            vec![Expr::eq(lv("x_fin"), Expr::add(lv("x_cur"), Expr::Int(1)))],
+        );
+        gils.add_spec(spec);
+        let verifier = Verifier::new(types, gils, VerifierOptions::default()).unwrap();
+        verifier.verify_fn("inc").expect_verified();
+    }
+
+    /// The same function fails to verify if the postcondition is wrong —
+    /// guarding against a vacuously-passing pipeline.
+    #[test]
+    fn wrong_postcondition_is_rejected() {
+        let mut program = Program::new("demo");
+        let mut b = BodyBuilder::new(
+            "inc",
+            vec![("x", Ty::mut_ref("'a", Ty::usize()))],
+            Ty::Unit,
+        );
+        let tmp = b.local("tmp", Ty::usize());
+        b.assign_use(tmp.clone(), Operand::copy(Place::local("x").deref()));
+        let tmp2 = b.local("tmp2", Ty::usize());
+        b.assign_binop(tmp2.clone(), BinOp::Add, Operand::copy(tmp), Operand::usize(1));
+        b.assign_use(Place::local("x").deref(), Operand::copy(tmp2));
+        let cont = b.new_block();
+        b.call(
+            crate::compile::GHOST_MUTREF_AUTO_RESOLVE,
+            vec![],
+            vec![Operand::local("x")],
+            Place::local("_ret"),
+            cont,
+        );
+        b.switch_to(cont);
+        b.ret_val(Operand::unit());
+        let f = b.finish();
+        program.add_fn(f.clone());
+
+        let types = TypeRegistry::new(program, LayoutOracle::default());
+        let mut gils = GilsoniteCtx::new(types.clone(), SpecMode::FunctionalCorrectness);
+        let spec = gils.fn_spec(
+            &f,
+            vec![Expr::lt(lv("x_cur"), Expr::Int(1000))],
+            vec![Expr::eq(lv("x_fin"), Expr::add(lv("x_cur"), Expr::Int(2)))],
+        );
+        gils.add_spec(spec);
+        let verifier = Verifier::new(types, gils, VerifierOptions::default()).unwrap();
+        let report = verifier.verify_fn("inc");
+        assert!(!report.verified);
+    }
+}

@@ -1,0 +1,127 @@
+//! The Pearlite → Gilsonite elaboration (§6).
+//!
+//! The schema interprets every Rust value through its representation: an
+//! owned parameter `x` becomes the logical variable `#x_repr`, a mutable
+//! reference `x: &mut T` becomes the pair (`#x_cur`, `#x_fin`) — its current
+//! and final representations — and `result` becomes `#ret_repr`. Pure
+//! connectives map to the corresponding solver operators, and
+//! `permutation_of` is encoded through multisets.
+
+use crate::pearlite::Term;
+use gillian_solver::Expr;
+use rust_ir::IntTy;
+
+/// Elaborates a Pearlite term into a pure expression over the Gilsonite
+/// representation variables.
+pub fn elaborate(t: &Term) -> Expr {
+    match t {
+        Term::Var(name) => {
+            // A bare variable in spec position denotes its representation.
+            Expr::lvar(&format!("{}_repr", rename(name)))
+        }
+        Term::Int(i) => Expr::Int(*i),
+        Term::Bool(b) => Expr::Bool(*b),
+        Term::EmptySeq => Expr::empty_seq(),
+        Term::UsizeMax => Expr::Int(IntTy::Usize.max()),
+        Term::Model(inner) => match inner.as_ref() {
+            Term::Var(name) => Expr::lvar(&format!("{}_repr", rename(name))),
+            Term::Cur(x) => Expr::lvar(&format!("{}_cur", var_name(x))),
+            Term::Fin(x) => Expr::lvar(&format!("{}_fin", var_name(x))),
+            other => elaborate(other),
+        },
+        Term::Cur(x) => Expr::lvar(&format!("{}_cur", var_name(x))),
+        Term::Fin(x) => Expr::lvar(&format!("{}_fin", var_name(x))),
+        Term::Some(inner) => Expr::some(elaborate(inner)),
+        Term::None_ => Expr::none(),
+        Term::Add(a, b) => Expr::add(elaborate(a), elaborate(b)),
+        Term::Sub(a, b) => Expr::sub(elaborate(a), elaborate(b)),
+        Term::Eq(a, b) => Expr::eq(elaborate(a), elaborate(b)),
+        Term::Lt(a, b) => Expr::lt(elaborate(a), elaborate(b)),
+        Term::Le(a, b) => Expr::le(elaborate(a), elaborate(b)),
+        Term::And(a, b) => Expr::and(elaborate(a), elaborate(b)),
+        Term::Or(a, b) => Expr::or(elaborate(a), elaborate(b)),
+        Term::Implies(a, b) => Expr::implies(elaborate(a), elaborate(b)),
+        Term::Not(a) => Expr::not(elaborate(a)),
+        Term::SeqLen(a) => Expr::seq_len(elaborate(a)),
+        Term::SeqConcat(a, b) => Expr::seq_concat(elaborate(a), elaborate(b)),
+        Term::SeqSingleton(a) => Expr::seq(vec![elaborate(a)]),
+        Term::SeqPush(a, b) => Expr::seq_snoc(elaborate(a), elaborate(b)),
+        Term::SeqIndex(a, b) => Expr::seq_at(elaborate(a), elaborate(b)),
+        Term::SeqSub(a, lo, hi) => Expr::seq_sub(elaborate(a), elaborate(lo), elaborate(hi)),
+        Term::PermutationOf(a, b) => Expr::eq(
+            Expr::bag_of(elaborate(a)),
+            Expr::bag_of(elaborate(b)),
+        ),
+    }
+}
+
+fn rename(name: &str) -> String {
+    if name == "result" {
+        "ret".to_owned()
+    } else {
+        name.to_owned()
+    }
+}
+
+fn var_name(t: &Term) -> String {
+    match t {
+        Term::Var(name) => rename(name),
+        _ => "unknown".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillian_solver::Expr;
+
+    #[test]
+    fn push_front_postcondition_elaborates_to_fig7_shape() {
+        // Seq::singleton(e).concat((*self)@) == (^self)@
+        let t = Term::eq(
+            Term::concat(Term::singleton(Term::model("e")), Term::cur_model("self")),
+            Term::fin_model("self"),
+        );
+        let e = elaborate(&t);
+        assert_eq!(
+            e,
+            Expr::eq(
+                Expr::seq_concat(Expr::seq(vec![Expr::lvar("e_repr")]), Expr::lvar("self_cur")),
+                Expr::lvar("self_fin"),
+            )
+        );
+    }
+
+    #[test]
+    fn result_maps_to_ret_repr() {
+        let t = Term::eq(Term::model("result"), Term::None_);
+        assert_eq!(
+            elaborate(&t),
+            Expr::eq(Expr::lvar("ret_repr"), Expr::none())
+        );
+    }
+
+    #[test]
+    fn permutation_uses_bags() {
+        let t = Term::permutation_of(Term::cur_model("l"), Term::fin_model("l"));
+        assert_eq!(
+            elaborate(&t),
+            Expr::eq(
+                Expr::bag_of(Expr::lvar("l_cur")),
+                Expr::bag_of(Expr::lvar("l_fin"))
+            )
+        );
+    }
+
+    #[test]
+    fn requires_of_push_front_elaborates() {
+        let t = Term::lt(Term::len(Term::cur_model("self")), Term::UsizeMax);
+        assert_eq!(
+            elaborate(&t),
+            Expr::lt(
+                Expr::seq_len(Expr::lvar("self_cur")),
+                Expr::Int(rust_ir::IntTy::Usize.max())
+            )
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! The registry of hybrid (extern) specifications.
+//!
+//! This is the reproduction of Fig. 7: the `LinkedList` library is specified
+//! once, in Pearlite, with `hybrid::requires`/`hybrid::ensures` attributes.
+//! The same registry is consumed by the Gillian-Rust verifier (which must
+//! *prove* the specifications against the unsafe bodies) and by safe clients
+//! (which *assume* them), demonstrating the bridge role the paper describes.
+
+use crate::pearlite::Term;
+use std::collections::BTreeMap;
+
+/// A hybrid specification of one function.
+#[derive(Clone, Debug, Default)]
+pub struct HybridSpec {
+    pub requires: Vec<Term>,
+    pub ensures: Vec<Term>,
+}
+
+/// A registry of hybrid specifications keyed by function name.
+#[derive(Clone, Debug, Default)]
+pub struct ExternSpecs {
+    specs: BTreeMap<String, HybridSpec>,
+}
+
+impl ExternSpecs {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a specification.
+    pub fn insert(&mut self, name: &str, spec: HybridSpec) -> &mut Self {
+        self.specs.insert(name.to_owned(), spec);
+        self
+    }
+
+    /// Looks a specification up.
+    pub fn get(&self, name: &str) -> Option<&HybridSpec> {
+        self.specs.get(name)
+    }
+
+    /// Number of registered specifications.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The hybrid specification of the paper's `LinkedList` library (Fig. 7).
+    pub fn linked_list() -> ExternSpecs {
+        let mut reg = ExternSpecs::new();
+        reg.insert(
+            "new",
+            HybridSpec {
+                requires: vec![],
+                ensures: vec![Term::eq(Term::model("result"), Term::EmptySeq)],
+            },
+        );
+        reg.insert(
+            "push_front",
+            HybridSpec {
+                requires: vec![Term::lt(Term::len(Term::cur_model("self")), Term::UsizeMax)],
+                ensures: vec![Term::eq(
+                    Term::concat(Term::singleton(Term::model("elt")), Term::cur_model("self")),
+                    Term::fin_model("self"),
+                )],
+            },
+        );
+        reg.insert(
+            "pop_front",
+            HybridSpec {
+                requires: vec![],
+                ensures: vec![
+                    Term::Implies(
+                        Box::new(Term::eq(Term::model("result"), Term::None_)),
+                        Box::new(Term::And(
+                            Box::new(Term::eq(Term::fin_model("self"), Term::cur_model("self"))),
+                            Box::new(Term::eq(Term::len(Term::cur_model("self")), Term::Int(0))),
+                        )),
+                    ),
+                ],
+            },
+        );
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linked_list_registry_is_complete() {
+        let reg = ExternSpecs::linked_list();
+        assert!(reg.get("new").is_some());
+        assert!(reg.get("push_front").is_some());
+        assert!(reg.get("pop_front").is_some());
+        assert_eq!(reg.len(), 3);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn push_front_spec_has_one_requires() {
+        let reg = ExternSpecs::linked_list();
+        assert_eq!(reg.get("push_front").unwrap().requires.len(), 1);
+    }
+}

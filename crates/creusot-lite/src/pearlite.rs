@@ -1,0 +1,122 @@
+//! Pearlite terms.
+//!
+//! Pearlite is Creusot's first-order assertion language. The fragment below
+//! covers everything the paper's specifications use: boolean and integer
+//! connectives, the representation operator `@`, the dereference `*` and
+//! prophecy `^` operators on mutable references, sequence operations
+//! (`len`, `concat`, `singleton`, `push`, `subsequence`, indexing) and
+//! `permutation_of`.
+
+/// A Pearlite term.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Term {
+    /// A program variable (a function parameter or `result`).
+    Var(String),
+    /// Integer literal.
+    Int(i128),
+    /// Boolean literal.
+    Bool(bool),
+    /// The empty sequence `Seq::EMPTY`.
+    EmptySeq,
+    /// `t@` — the representation (shallow model) of a value.
+    Model(Box<Term>),
+    /// `*t` — the current value of a mutable reference.
+    Cur(Box<Term>),
+    /// `^t` — the final (prophesied) value of a mutable reference.
+    Fin(Box<Term>),
+    /// `Some(t)` / `None` at the representation level.
+    Some(Box<Term>),
+    None_,
+    /// Arithmetic and comparisons.
+    Add(Box<Term>, Box<Term>),
+    Sub(Box<Term>, Box<Term>),
+    Eq(Box<Term>, Box<Term>),
+    Lt(Box<Term>, Box<Term>),
+    Le(Box<Term>, Box<Term>),
+    And(Box<Term>, Box<Term>),
+    Or(Box<Term>, Box<Term>),
+    Implies(Box<Term>, Box<Term>),
+    Not(Box<Term>),
+    /// `s.len()`.
+    SeqLen(Box<Term>),
+    /// `s.concat(t)`.
+    SeqConcat(Box<Term>, Box<Term>),
+    /// `Seq::singleton(t)`.
+    SeqSingleton(Box<Term>),
+    /// `s.push(t)` (append at the back).
+    SeqPush(Box<Term>, Box<Term>),
+    /// `s[i]`.
+    SeqIndex(Box<Term>, Box<Term>),
+    /// `s.subsequence(lo, hi)`.
+    SeqSub(Box<Term>, Box<Term>, Box<Term>),
+    /// `s.permutation_of(t)`.
+    PermutationOf(Box<Term>, Box<Term>),
+    /// The maximum value of `usize`.
+    UsizeMax,
+}
+
+impl Term {
+    pub fn var(name: &str) -> Term {
+        Term::Var(name.to_owned())
+    }
+
+    /// `(*x)@` — the usual way Pearlite specs refer to the current model of a
+    /// mutable reference.
+    pub fn cur_model(name: &str) -> Term {
+        Term::Model(Box::new(Term::Cur(Box::new(Term::var(name)))))
+    }
+
+    /// `(^x)@`.
+    pub fn fin_model(name: &str) -> Term {
+        Term::Model(Box::new(Term::Fin(Box::new(Term::var(name)))))
+    }
+
+    /// `x@`.
+    pub fn model(name: &str) -> Term {
+        Term::Model(Box::new(Term::var(name)))
+    }
+
+    pub fn eq(a: Term, b: Term) -> Term {
+        Term::Eq(Box::new(a), Box::new(b))
+    }
+
+    pub fn lt(a: Term, b: Term) -> Term {
+        Term::Lt(Box::new(a), Box::new(b))
+    }
+
+    pub fn concat(a: Term, b: Term) -> Term {
+        Term::SeqConcat(Box::new(a), Box::new(b))
+    }
+
+    pub fn singleton(a: Term) -> Term {
+        Term::SeqSingleton(Box::new(a))
+    }
+
+    pub fn len(a: Term) -> Term {
+        Term::SeqLen(Box::new(a))
+    }
+
+    pub fn permutation_of(a: Term, b: Term) -> Term {
+        Term::PermutationOf(Box::new(a), Box::new(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let t = Term::eq(
+            Term::concat(Term::singleton(Term::model("e")), Term::cur_model("self")),
+            Term::fin_model("self"),
+        );
+        match t {
+            Term::Eq(lhs, rhs) => {
+                assert!(matches!(*lhs, Term::SeqConcat(..)));
+                assert!(matches!(*rhs, Term::Model(_)));
+            }
+            _ => panic!("unexpected shape"),
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! The assertion language, user predicates, specifications and lemmas.
+//!
+//! Assertions are parametric on *core predicates* (§2.3 of the paper): the
+//! engine does not know what `points_to` or a lifetime token means — it simply
+//! dispatches their consumption and production to the state model. User
+//! predicates (e.g. `dll_seg`) are defined by one or more definitions
+//! (disjuncts) over assertions and are folded/unfolded by the engine.
+
+use gillian_solver::{Expr, Symbol};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A separation-logic assertion.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Asrt {
+    /// The empty heap.
+    Emp,
+    /// Separating conjunction (implemented as a list for convenience).
+    Star(Vec<Asrt>),
+    /// A pure (first-order) assertion.
+    Pure(Expr),
+    /// A core predicate, with *in* and *out* parameters. Its semantics is
+    /// given by the state model's consumer/producer pair.
+    Core {
+        name: Symbol,
+        ins: Vec<Expr>,
+        outs: Vec<Expr>,
+    },
+    /// A user (or abstract) predicate application.
+    Pred { name: Symbol, args: Vec<Expr> },
+    /// A full borrow of a user predicate guarded by a lifetime (§4.2): the
+    /// predicate `name(args)` is borrowed for lifetime `lft`. Producing this
+    /// assertion registers a guarded predicate; consuming it removes one.
+    Guarded {
+        name: Symbol,
+        lft: Expr,
+        args: Vec<Expr>,
+    },
+    /// An observation ⟨ψ⟩ over prophecy and symbolic variables (§5.1).
+    Observation(Expr),
+}
+
+impl Asrt {
+    /// The trivially-true assertion.
+    pub fn emp() -> Asrt {
+        Asrt::Emp
+    }
+
+    /// A pure assertion.
+    pub fn pure(e: Expr) -> Asrt {
+        Asrt::Pure(e)
+    }
+
+    /// A core-predicate assertion.
+    pub fn core(name: &str, ins: Vec<Expr>, outs: Vec<Expr>) -> Asrt {
+        Asrt::Core {
+            name: Symbol::new(name),
+            ins,
+            outs,
+        }
+    }
+
+    /// A user-predicate assertion.
+    pub fn pred(name: &str, args: Vec<Expr>) -> Asrt {
+        Asrt::Pred {
+            name: Symbol::new(name),
+            args,
+        }
+    }
+
+    /// A guarded (borrowed) predicate assertion.
+    pub fn guarded(name: &str, lft: Expr, args: Vec<Expr>) -> Asrt {
+        Asrt::Guarded {
+            name: Symbol::new(name),
+            lft,
+            args,
+        }
+    }
+
+    /// An observation assertion.
+    pub fn observation(e: Expr) -> Asrt {
+        Asrt::Observation(e)
+    }
+
+    /// Separating conjunction of several assertions.
+    pub fn star(items: Vec<Asrt>) -> Asrt {
+        let mut flat = Vec::new();
+        for item in items {
+            match item {
+                Asrt::Emp => {}
+                Asrt::Star(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Asrt::Emp,
+            1 => flat.into_iter().next().unwrap(),
+            _ => Asrt::Star(flat),
+        }
+    }
+
+    /// Flattens the assertion into a list of atomic assertions.
+    pub fn atoms(&self) -> Vec<Asrt> {
+        match self {
+            Asrt::Emp => vec![],
+            Asrt::Star(items) => items.iter().flat_map(|a| a.atoms()).collect(),
+            other => vec![other.clone()],
+        }
+    }
+
+    /// Applies a transformation to every expression in the assertion.
+    pub fn map_exprs(&self, f: &impl Fn(&Expr) -> Expr) -> Asrt {
+        match self {
+            Asrt::Emp => Asrt::Emp,
+            Asrt::Star(items) => Asrt::Star(items.iter().map(|a| a.map_exprs(f)).collect()),
+            Asrt::Pure(e) => Asrt::Pure(f(e)),
+            Asrt::Core { name, ins, outs } => Asrt::Core {
+                name: *name,
+                ins: ins.iter().map(f).collect(),
+                outs: outs.iter().map(f).collect(),
+            },
+            Asrt::Pred { name, args } => Asrt::Pred {
+                name: *name,
+                args: args.iter().map(f).collect(),
+            },
+            Asrt::Guarded { name, lft, args } => Asrt::Guarded {
+                name: *name,
+                lft: f(lft),
+                args: args.iter().map(f).collect(),
+            },
+            Asrt::Observation(e) => Asrt::Observation(f(e)),
+        }
+    }
+
+    /// Substitutes logical variables.
+    pub fn subst_lvars(&self, subst: &impl Fn(Symbol) -> Option<Expr>) -> Asrt {
+        self.map_exprs(&|e| e.subst_lvars(subst))
+    }
+
+    /// Substitutes program variables.
+    pub fn subst_pvars(&self, subst: &impl Fn(Symbol) -> Option<Expr>) -> Asrt {
+        self.map_exprs(&|e| e.subst_pvars(subst))
+    }
+
+    /// All logical variables mentioned in the assertion.
+    pub fn lvars(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.visit_exprs(&mut |e| {
+            out.extend(e.lvars());
+        });
+        out
+    }
+
+    /// All program variables mentioned in the assertion.
+    pub fn pvars(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.visit_exprs(&mut |e| {
+            out.extend(e.pvars());
+        });
+        out
+    }
+
+    /// Visits every expression in the assertion.
+    pub fn visit_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        match self {
+            Asrt::Emp => {}
+            Asrt::Star(items) => {
+                for a in items {
+                    a.visit_exprs(f);
+                }
+            }
+            Asrt::Pure(e) | Asrt::Observation(e) => f(e),
+            Asrt::Core { ins, outs, .. } => {
+                for e in ins.iter().chain(outs) {
+                    f(e);
+                }
+            }
+            Asrt::Pred { args, .. } => {
+                for e in args {
+                    f(e);
+                }
+            }
+            Asrt::Guarded { lft, args, .. } => {
+                f(lft);
+                for e in args {
+                    f(e);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Asrt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Asrt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn exprs(f: &mut fmt::Formatter<'_>, items: &[Expr]) -> fmt::Result {
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{item}")?;
+            }
+            Ok(())
+        }
+        match self {
+            Asrt::Emp => write!(f, "emp"),
+            Asrt::Star(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " * ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                Ok(())
+            }
+            Asrt::Pure(e) => write!(f, "({e})"),
+            Asrt::Core { name, ins, outs } => {
+                write!(f, "<{name}>(")?;
+                exprs(f, ins)?;
+                write!(f, "; ")?;
+                exprs(f, outs)?;
+                write!(f, ")")
+            }
+            Asrt::Pred { name, args } => {
+                write!(f, "{name}(")?;
+                exprs(f, args)?;
+                write!(f, ")")
+            }
+            Asrt::Guarded { name, lft, args } => {
+                write!(f, "&{{{lft}}} {name}(")?;
+                exprs(f, args)?;
+                write!(f, ")")
+            }
+            Asrt::Observation(e) => write!(f, "<<{e}>>"),
+        }
+    }
+}
+
+/// A user predicate definition.
+#[derive(Clone, Debug)]
+pub struct Pred {
+    /// Predicate name.
+    pub name: Symbol,
+    /// Parameter names (logical variables in the definitions).
+    pub params: Vec<Symbol>,
+    /// How many of the leading parameters are *ins* (used for matching a
+    /// folded instance and for directing folds); the rest are *outs*.
+    pub num_ins: usize,
+    /// The disjuncts of the predicate definition.
+    pub definitions: Vec<Asrt>,
+    /// Abstract predicates cannot be folded or unfolded (used for ownership
+    /// predicates of generic type parameters, §4.2).
+    pub is_abstract: bool,
+    /// Should the engine eagerly unfold a folded instance of this predicate
+    /// when the program branches on one of its in-parameters?
+    pub unfold_on_branch: bool,
+}
+
+impl Pred {
+    /// Creates a new concrete predicate.
+    pub fn new(name: &str, params: &[&str], num_ins: usize, definitions: Vec<Asrt>) -> Pred {
+        Pred {
+            name: Symbol::new(name),
+            params: params.iter().map(|p| Symbol::new(p)).collect(),
+            num_ins,
+            definitions,
+            is_abstract: false,
+            unfold_on_branch: true,
+        }
+    }
+
+    /// Creates an abstract predicate (no definitions, never unfolded).
+    pub fn abstract_pred(name: &str, params: &[&str], num_ins: usize) -> Pred {
+        Pred {
+            name: Symbol::new(name),
+            params: params.iter().map(|p| Symbol::new(p)).collect(),
+            num_ins,
+            definitions: vec![],
+            is_abstract: true,
+            unfold_on_branch: false,
+        }
+    }
+
+    /// The in-parameters.
+    pub fn ins(&self) -> &[Symbol] {
+        &self.params[..self.num_ins]
+    }
+
+    /// The out-parameters.
+    pub fn outs(&self) -> &[Symbol] {
+        &self.params[self.num_ins..]
+    }
+
+    /// Instantiates a definition with the given arguments; other logical
+    /// variables of the definition are left untouched (they are existential).
+    pub fn instantiate(&self, def_idx: usize, args: &[Expr]) -> Asrt {
+        let def = &self.definitions[def_idx];
+        let map: std::collections::HashMap<Symbol, Expr> = self
+            .params
+            .iter()
+            .copied()
+            .zip(args.iter().cloned())
+            .collect();
+        def.subst_lvars(&|s| map.get(&s).cloned())
+    }
+}
+
+/// A function specification.
+#[derive(Clone, Debug)]
+pub struct Spec {
+    /// Name of the specified procedure.
+    pub name: Symbol,
+    /// Precondition.
+    pub pre: Asrt,
+    /// Postconditions (disjuncts — every execution path must satisfy one).
+    pub posts: Vec<Asrt>,
+    /// Trusted specs are used at call sites without being verified.
+    pub trusted: bool,
+}
+
+impl Spec {
+    pub fn new(name: &str, pre: Asrt, post: Asrt) -> Spec {
+        Spec {
+            name: Symbol::new(name),
+            pre,
+            posts: vec![post],
+            trusted: false,
+        }
+    }
+
+    pub fn with_posts(name: &str, pre: Asrt, posts: Vec<Asrt>) -> Spec {
+        Spec {
+            name: Symbol::new(name),
+            pre,
+            posts,
+            trusted: false,
+        }
+    }
+
+    pub fn trusted(mut self) -> Spec {
+        self.trusted = true;
+        self
+    }
+}
+
+/// A lemma: an implication between assertions that can be `apply`-ed during
+/// symbolic execution (used for the `dll_seg` direction-change lemmas, the
+/// freeze lemmas of App. A and the borrow-extraction lemmas of App. B).
+#[derive(Clone, Debug)]
+pub struct Lemma {
+    pub name: Symbol,
+    /// Parameter names (logical variables usable in hypothesis/conclusion).
+    pub params: Vec<Symbol>,
+    /// The hypothesis (consumed when the lemma is applied).
+    pub hyp: Asrt,
+    /// The conclusions (produced after consumption; one branch per entry).
+    pub concls: Vec<Asrt>,
+    /// Optional proof script; lemmas without one must be `trusted`.
+    pub proof: Option<Vec<crate::gil::LogicCmd>>,
+    /// Trusted lemmas are applied without their proof being checked.
+    pub trusted: bool,
+}
+
+impl Lemma {
+    pub fn new(name: &str, params: &[&str], hyp: Asrt, concl: Asrt) -> Lemma {
+        Lemma {
+            name: Symbol::new(name),
+            params: params.iter().map(|p| Symbol::new(p)).collect(),
+            hyp,
+            concls: vec![concl],
+            proof: None,
+            trusted: false,
+        }
+    }
+
+    pub fn trusted(mut self) -> Lemma {
+        self.trusted = true;
+        self
+    }
+
+    pub fn with_proof(mut self, proof: Vec<crate::gil::LogicCmd>) -> Lemma {
+        self.proof = Some(proof);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillian_solver::Expr;
+
+    #[test]
+    fn star_flattens_and_drops_emp() {
+        let a = Asrt::pure(Expr::Bool(true));
+        let b = Asrt::pred("p", vec![Expr::Int(1)]);
+        let star = Asrt::star(vec![Asrt::Emp, a.clone(), Asrt::star(vec![b.clone()])]);
+        assert_eq!(star.atoms(), vec![a, b]);
+    }
+
+    #[test]
+    fn star_of_nothing_is_emp() {
+        assert_eq!(Asrt::star(vec![]), Asrt::Emp);
+    }
+
+    #[test]
+    fn subst_lvars_in_assertion() {
+        let a = Asrt::pred("p", vec![Expr::lvar("x")]);
+        let out = a.subst_lvars(&|s| {
+            if s == Symbol::new("x") {
+                Some(Expr::Int(3))
+            } else {
+                None
+            }
+        });
+        assert_eq!(out, Asrt::pred("p", vec![Expr::Int(3)]));
+    }
+
+    #[test]
+    fn lvars_collects_from_all_atoms() {
+        let a = Asrt::star(vec![
+            Asrt::pure(Expr::eq(Expr::lvar("x"), Expr::Int(1))),
+            Asrt::core("pt", vec![Expr::lvar("y")], vec![Expr::lvar("z")]),
+        ]);
+        let vars = a.lvars();
+        assert!(vars.contains(&Symbol::new("x")));
+        assert!(vars.contains(&Symbol::new("y")));
+        assert!(vars.contains(&Symbol::new("z")));
+    }
+
+    #[test]
+    fn pred_instantiation_substitutes_params() {
+        let p = Pred::new(
+            "pair",
+            &["a", "b"],
+            1,
+            vec![Asrt::pure(Expr::eq(Expr::lvar("a"), Expr::lvar("b")))],
+        );
+        let inst = p.instantiate(0, &[Expr::Int(1), Expr::Int(2)]);
+        assert_eq!(inst, Asrt::pure(Expr::eq(Expr::Int(1), Expr::Int(2))));
+    }
+
+    #[test]
+    fn abstract_pred_has_no_definitions() {
+        let p = Pred::abstract_pred("T_own", &["v", "r"], 1);
+        assert!(p.is_abstract);
+        assert!(p.definitions.is_empty());
+        assert_eq!(p.ins(), &[Symbol::new("v")]);
+        assert_eq!(p.outs(), &[Symbol::new("r")]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = Asrt::star(vec![
+            Asrt::core("pt", vec![Expr::lvar("x")], vec![Expr::Int(1)]),
+            Asrt::observation(Expr::Bool(true)),
+        ]);
+        let s = format!("{a}");
+        assert!(s.contains("<pt>"));
+        assert!(s.contains("<<true>>"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Symbolic execution configurations.
+//!
+//! A [`Config`] is one branch of the symbolic execution: the state-model
+//! state, the variable store, the path condition, the folded user predicates
+//! and the guarded predicates (full borrows) together with their closing
+//! tokens. Engine operations clone configurations freely at branch points.
+
+use crate::state::{PureCtx, StateModel};
+use gillian_solver::{simplify, Expr, Solver, Symbol, VarGen};
+use std::collections::HashMap;
+
+/// A folded user-predicate instance held in the symbolic state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FoldedPred {
+    pub name: Symbol,
+    pub args: Vec<Expr>,
+}
+
+/// A guarded predicate (a full borrow, §4.2): `name(args)` is borrowed for
+/// lifetime `lft`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GuardedPred {
+    pub name: Symbol,
+    pub lft: Expr,
+    pub args: Vec<Expr>,
+}
+
+/// A closing token `C_δ(κ, q, args)` (§4.2): produced when a guarded
+/// predicate is opened, consumed when it is closed again.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClosingToken {
+    pub pred: Symbol,
+    pub lft: Expr,
+    pub frac: Expr,
+    pub args: Vec<Expr>,
+}
+
+/// Bindings of logical variables established during assertion matching.
+pub type Bindings = HashMap<Symbol, Expr>;
+
+/// One branch of the symbolic execution.
+#[derive(Clone, Debug)]
+pub struct Config<S> {
+    /// The state-model state (σ without the engine-level components).
+    pub state: S,
+    /// The variable store (program variables to symbolic expressions).
+    pub store: HashMap<Symbol, Expr>,
+    /// The path condition π.
+    pub path: Vec<Expr>,
+    /// Fresh-variable generator.
+    pub vars: VarGen,
+    /// Folded user predicates.
+    pub folded: Vec<FoldedPred>,
+    /// Guarded predicates (closed full borrows).
+    pub guarded: Vec<GuardedPred>,
+    /// Closing tokens of currently-open full borrows.
+    pub closing: Vec<ClosingToken>,
+    /// Human-readable trace of notable proof steps (unfolds, borrow
+    /// openings, recoveries); useful for debugging failed verifications.
+    pub trace: Vec<String>,
+}
+
+impl<S: StateModel> Config<S> {
+    /// A fresh configuration with an empty state.
+    pub fn new() -> Self {
+        Config {
+            state: S::empty(),
+            store: HashMap::new(),
+            path: Vec::new(),
+            vars: VarGen::new(),
+            folded: Vec::new(),
+            guarded: Vec::new(),
+            closing: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Returns a fresh symbolic variable expression.
+    pub fn fresh(&mut self) -> Expr {
+        self.vars.fresh_expr()
+    }
+
+    /// Looks a program variable up in the store.
+    pub fn lookup(&self, x: Symbol) -> Option<&Expr> {
+        self.store.get(&x)
+    }
+
+    /// Assigns a program variable.
+    pub fn assign(&mut self, x: Symbol, v: Expr) {
+        self.store.insert(x, v);
+    }
+
+    /// Evaluates a GIL expression against the store (program variables are
+    /// replaced by their current values) and simplifies the result.
+    pub fn eval(&self, e: &Expr) -> Expr {
+        let store = &self.store;
+        simplify(&e.subst_pvars(&|s| store.get(&s).cloned()))
+    }
+
+    /// Adds a fact to the path condition; returns `false` when the path has
+    /// become definitely infeasible.
+    pub fn assume(&mut self, solver: &Solver, fact: Expr) -> bool {
+        let fact = simplify(&fact);
+        match fact.as_bool() {
+            Some(true) => true,
+            Some(false) => {
+                self.path.push(Expr::Bool(false));
+                false
+            }
+            None => {
+                self.path.push(fact);
+                !solver.check_unsat(&self.all_facts())
+            }
+        }
+    }
+
+    /// All pure facts: the path condition plus the state model's extra
+    /// assumptions (e.g. the observation context of Gillian-Rust).
+    pub fn all_facts(&self) -> Vec<Expr> {
+        let mut facts = self.path.clone();
+        facts.extend(self.state.assumptions());
+        facts
+    }
+
+    /// Is the path condition still possibly satisfiable?
+    pub fn feasible(&self, solver: &Solver) -> bool {
+        !solver.check_unsat(&self.all_facts())
+    }
+
+    /// Does the path condition entail a fact?
+    pub fn entails(&self, solver: &Solver, fact: &Expr) -> bool {
+        solver.entails(&self.all_facts(), fact)
+    }
+
+    /// Must two expressions be equal under the path condition?
+    pub fn must_equal(&self, solver: &Solver, a: &Expr, b: &Expr) -> bool {
+        if simplify(a) == simplify(b) {
+            return true;
+        }
+        solver.must_equal(&self.all_facts(), a, b)
+    }
+
+    /// Records a trace message.
+    pub fn note(&mut self, msg: impl Into<String>) {
+        self.trace.push(msg.into());
+    }
+
+    /// Runs a closure with a [`PureCtx`] borrowing the pure components and the
+    /// state immutably; used to call into the state model.
+    pub fn with_ctx<R>(
+        &mut self,
+        solver: &Solver,
+        f: impl FnOnce(&S, &mut PureCtx<'_>) -> R,
+    ) -> R {
+        let mut ctx = PureCtx {
+            solver,
+            path: &mut self.path,
+            vars: &mut self.vars,
+        };
+        f(&self.state, &mut ctx)
+    }
+
+    /// Finds the index of a folded predicate whose name matches and whose
+    /// leading `num_ins` arguments are provably equal to `ins`.
+    pub fn find_folded(
+        &self,
+        solver: &Solver,
+        name: Symbol,
+        ins: &[Expr],
+        num_ins: usize,
+    ) -> Option<usize> {
+        let facts = self.all_facts();
+        self.folded.iter().position(|fp| {
+            if fp.name != name || fp.args.len() < num_ins || ins.len() < num_ins {
+                return false;
+            }
+            fp.args[..num_ins].iter().zip(ins[..num_ins].iter()).all(|(a, b)| {
+                simplify(a) == simplify(b) || solver.must_equal(&facts, a, b)
+            })
+        })
+    }
+
+    /// Finds a guarded predicate by name and in-arguments.
+    pub fn find_guarded(
+        &self,
+        solver: &Solver,
+        name: Symbol,
+        ins: &[Expr],
+        num_ins: usize,
+    ) -> Option<usize> {
+        let facts = self.all_facts();
+        self.guarded.iter().position(|gp| {
+            if gp.name != name || gp.args.len() < num_ins || ins.len() < num_ins {
+                return false;
+            }
+            gp.args[..num_ins].iter().zip(ins[..num_ins].iter()).all(|(a, b)| {
+                simplify(a) == simplify(b) || solver.must_equal(&facts, a, b)
+            })
+        })
+    }
+}
+
+impl<S: StateModel> Default for Config<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::EmptyState;
+    use gillian_solver::Solver;
+
+    #[test]
+    fn store_assign_and_eval() {
+        let mut cfg: Config<EmptyState> = Config::new();
+        let x = Symbol::new("x");
+        cfg.assign(x, Expr::Int(4));
+        let e = Expr::add(Expr::pvar("x"), Expr::Int(1));
+        assert_eq!(cfg.eval(&e), Expr::Int(5));
+    }
+
+    #[test]
+    fn assume_detects_contradiction() {
+        let solver = Solver::new();
+        let mut cfg: Config<EmptyState> = Config::new();
+        let v = cfg.fresh();
+        assert!(cfg.assume(&solver, Expr::eq(v.clone(), Expr::Int(1))));
+        assert!(!cfg.assume(&solver, Expr::eq(v, Expr::Int(2))));
+        assert!(!cfg.feasible(&solver));
+    }
+
+    #[test]
+    fn find_folded_matches_modulo_path() {
+        let solver = Solver::new();
+        let mut cfg: Config<EmptyState> = Config::new();
+        let a = cfg.fresh();
+        let b = cfg.fresh();
+        assert!(cfg.assume(&solver, Expr::eq(a.clone(), b.clone())));
+        cfg.folded.push(FoldedPred {
+            name: Symbol::new("p"),
+            args: vec![a, Expr::Int(1)],
+        });
+        let idx = cfg.find_folded(&solver, Symbol::new("p"), &[b], 1);
+        assert_eq!(idx, Some(0));
+    }
+
+    #[test]
+    fn find_folded_rejects_wrong_ins() {
+        let solver = Solver::new();
+        let mut cfg: Config<EmptyState> = Config::new();
+        let a = cfg.fresh();
+        let b = cfg.fresh();
+        cfg.folded.push(FoldedPred {
+            name: Symbol::new("p"),
+            args: vec![a],
+        });
+        assert_eq!(cfg.find_folded(&solver, Symbol::new("p"), &[b], 1), None);
+    }
+
+    #[test]
+    fn trace_notes_accumulate() {
+        let mut cfg: Config<EmptyState> = Config::new();
+        cfg.note("unfolded dll_seg");
+        cfg.note("opened borrow");
+        assert_eq!(cfg.trace.len(), 2);
+    }
+}

@@ -1,0 +1,1716 @@
+//! The compositional symbolic-execution engine.
+//!
+//! The engine is parametric on a [`StateModel`]. It provides:
+//!
+//! * production and consumption of assertions (the matching mechanism that
+//!   powers compositional reasoning, predicate folding and spec reuse);
+//! * automatic folding and heuristic unfolding of user predicates;
+//! * guarded predicates (full borrows) with automatic opening (`gunfold`) and
+//!   closing (`gfold`), following §4.2 of the paper;
+//! * automatic *recovery*: when a memory action or a consumption is missing a
+//!   resource, the engine tries to unfold a related predicate or open a
+//!   related borrow and retries — this is what makes proofs about
+//!   `LinkedList::push_front` fully automatic;
+//! * verification of procedures against their specifications and of lemmas
+//!   against their proof scripts.
+
+use crate::asrt::{Asrt, Pred, Spec};
+use crate::config::{Bindings, ClosingToken, Config, FoldedPred, GuardedPred};
+use crate::gil::{Cmd, LogicCmd, Proc, Prog};
+use crate::state::{ActionResult, ConsumeResult, StateModel};
+use gillian_solver::{simplify, Expr, Solver, Symbol};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Core-predicate name for lifetime tokens `[κ]_q` (ins: `[κ]`, outs: `[q]`).
+pub const LFT_TOKEN: &str = "lft_tok";
+/// Reserved program-variable name bound to the return value in postconditions.
+pub const RET_VAR: &str = "ret";
+
+/// A verification error on some execution path.
+#[derive(Clone, Debug)]
+pub struct VerError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Expressions whose resource was missing (used for recovery).
+    pub hint: Vec<Expr>,
+}
+
+impl VerError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        VerError {
+            msg: msg.into(),
+            hint: vec![],
+        }
+    }
+
+    pub fn with_hint(msg: impl Into<String>, hint: Vec<Expr>) -> Self {
+        VerError {
+            msg: msg.into(),
+            hint,
+        }
+    }
+}
+
+impl std::fmt::Display for VerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for VerError {}
+
+/// Tuning options for the engine.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Automatically unfold folded predicates related to a branch guard.
+    pub auto_unfold_on_branch: bool,
+    /// Automatically recover from missing resources by unfolding predicates
+    /// and opening/closing borrows.
+    pub auto_recover: bool,
+    /// Maximum chained recovery steps for a single operation.
+    pub max_recovery_steps: usize,
+    /// Maximum depth of procedure inlining.
+    pub max_inline_depth: usize,
+    /// Maximum number of interpreted commands per procedure verification.
+    pub max_steps: usize,
+    /// Maximum depth of auto-unfolding at a branch.
+    pub max_branch_unfolds: usize,
+    /// Treat reachable panics as safe path termination rather than
+    /// verification failures (used for type-safety-only verification, where
+    /// panicking is well-defined behaviour).
+    pub panics_are_safe: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            auto_unfold_on_branch: true,
+            auto_recover: true,
+            max_recovery_steps: 8,
+            max_inline_depth: 16,
+            max_steps: 200_000,
+            max_branch_unfolds: 3,
+            panics_are_safe: false,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// A configuration with all automation disabled — used as the
+    /// "RefinedRust-style" baseline in the evaluation benches (every fold,
+    /// unfold and borrow manipulation must be spelled out, and the engine
+    /// falls back to exhaustive search where it can).
+    pub fn baseline() -> Self {
+        EngineOptions {
+            auto_unfold_on_branch: false,
+            auto_recover: false,
+            ..EngineOptions::default()
+        }
+    }
+}
+
+/// Statistics about a verification run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    pub actions: u64,
+    pub consumer_calls: u64,
+    pub producer_calls: u64,
+    pub folds: u64,
+    pub unfolds: u64,
+    pub borrow_opens: u64,
+    pub borrow_closes: u64,
+    pub recoveries: u64,
+    pub branches: u64,
+    pub paths_completed: u64,
+    pub commands_executed: u64,
+}
+
+/// A semi-automatic tactic registered with the engine.
+pub type TacticFn<S> =
+    fn(&Engine<S>, Config<S>, &[Expr]) -> Result<Vec<Config<S>>, VerError>;
+
+/// Report for the verification of one procedure or lemma.
+#[derive(Clone, Debug)]
+pub struct ProcReport {
+    pub name: Symbol,
+    pub verified: bool,
+    pub paths: u64,
+    pub error: Option<String>,
+    pub elapsed: Duration,
+}
+
+/// The symbolic-execution engine.
+pub struct Engine<S: StateModel> {
+    pub prog: Prog,
+    pub solver: Solver,
+    pub opts: EngineOptions,
+    pub tactics: HashMap<Symbol, TacticFn<S>>,
+    stats: RefCell<EngineStats>,
+}
+
+static FRESH_LVAR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Returns a globally-unique logical-variable name with the given prefix.
+pub fn fresh_lvar_name(prefix: &str) -> Symbol {
+    let n = FRESH_LVAR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    Symbol::new(&format!("{prefix}%{n}"))
+}
+
+/// Renames every logical variable in the assertion to a globally-fresh name,
+/// avoiding capture when predicate definitions are instantiated.
+pub fn freshen_lvars(asrt: &Asrt) -> Asrt {
+    let lvars = asrt.lvars();
+    let mut map: HashMap<Symbol, Expr> = HashMap::new();
+    for lv in lvars {
+        map.insert(lv, Expr::LVar(fresh_lvar_name(lv.as_str())));
+    }
+    asrt.subst_lvars(&|s| map.get(&s).cloned())
+}
+
+/// Does `haystack` contain `needle` as a sub-expression?
+pub fn contains_expr(haystack: &Expr, needle: &Expr) -> bool {
+    let mut found = false;
+    haystack.visit(&mut |e| {
+        if e == needle {
+            found = true;
+        }
+    });
+    found
+}
+
+impl<S: StateModel> Engine<S> {
+    /// Creates an engine for a program with default options.
+    pub fn new(prog: Prog) -> Self {
+        Engine {
+            prog,
+            solver: Solver::new(),
+            opts: EngineOptions::default(),
+            tactics: HashMap::new(),
+            stats: RefCell::new(EngineStats::default()),
+        }
+    }
+
+    /// Creates an engine with explicit options.
+    pub fn with_options(prog: Prog, opts: EngineOptions) -> Self {
+        Engine {
+            prog,
+            solver: Solver::new(),
+            opts,
+            tactics: HashMap::new(),
+            stats: RefCell::new(EngineStats::default()),
+        }
+    }
+
+    /// Registers a semi-automatic tactic.
+    pub fn register_tactic(&mut self, name: &str, f: TacticFn<S>) {
+        self.tactics.insert(Symbol::new(name), f);
+    }
+
+    /// Returns the statistics collected so far.
+    pub fn stats(&self) -> EngineStats {
+        *self.stats.borrow()
+    }
+
+    /// Resets the statistics.
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = EngineStats::default();
+        self.solver.reset_stats();
+    }
+
+    fn bump(&self, f: impl Fn(&mut EngineStats)) {
+        f(&mut self.stats.borrow_mut());
+    }
+
+    // =====================================================================
+    // Production
+    // =====================================================================
+
+    /// Produces an assertion into a configuration. Unbound logical variables
+    /// become fresh symbolic variables (existentials). Returns the surviving
+    /// branches (an empty vector means the production vanished).
+    pub fn produce(
+        &self,
+        mut cfg: Config<S>,
+        asrt: &Asrt,
+        bindings: &mut Bindings,
+    ) -> Vec<Config<S>> {
+        for lv in asrt.lvars() {
+            bindings.entry(lv).or_insert_with(|| cfg.fresh());
+        }
+        let atoms = asrt.atoms();
+        let mut configs = vec![cfg];
+        for atom in &atoms {
+            let mut next = Vec::new();
+            for c in configs {
+                next.extend(self.produce_atom(c, atom, bindings));
+            }
+            configs = next;
+            if configs.is_empty() {
+                break;
+            }
+        }
+        configs
+    }
+
+    fn produce_atom(&self, mut cfg: Config<S>, atom: &Asrt, bindings: &Bindings) -> Vec<Config<S>> {
+        self.bump(|s| s.producer_calls += 1);
+        let subst = |e: &Expr| -> Expr { simplify(&e.subst_lvars(&|s| bindings.get(&s).cloned())) };
+        match atom {
+            Asrt::Emp | Asrt::Star(_) => vec![cfg],
+            Asrt::Pure(e) => {
+                let e = subst(e);
+                if cfg.assume(&self.solver, e) {
+                    vec![cfg]
+                } else {
+                    vec![]
+                }
+            }
+            Asrt::Observation(e) => {
+                let e = subst(e);
+                self.produce_core(cfg, Symbol::new("observation"), &[e], &[])
+            }
+            Asrt::Core { name, ins, outs } => {
+                let ins: Vec<Expr> = ins.iter().map(subst).collect();
+                let outs: Vec<Expr> = outs.iter().map(subst).collect();
+                self.produce_core(cfg, *name, &ins, &outs)
+            }
+            Asrt::Pred { name, args } => {
+                let args: Vec<Expr> = args.iter().map(subst).collect();
+                cfg.folded.push(FoldedPred { name: *name, args });
+                vec![cfg]
+            }
+            Asrt::Guarded { name, lft, args } => {
+                let args: Vec<Expr> = args.iter().map(subst).collect();
+                cfg.guarded.push(GuardedPred {
+                    name: *name,
+                    lft: subst(lft),
+                    args,
+                });
+                vec![cfg]
+            }
+        }
+    }
+
+    /// Produces a single core predicate.
+    pub fn produce_core(
+        &self,
+        mut cfg: Config<S>,
+        name: Symbol,
+        ins: &[Expr],
+        outs: &[Expr],
+    ) -> Vec<Config<S>> {
+        let outcomes =
+            cfg.with_ctx(&self.solver, |state, ctx| state.produce_core(name, ins, outs, ctx));
+        let mut result = Vec::new();
+        for ok in outcomes {
+            let mut c = cfg.clone();
+            c.state = ok.state;
+            let mut feasible = true;
+            for f in ok.facts {
+                if !c.assume(&self.solver, f) {
+                    feasible = false;
+                    break;
+                }
+            }
+            if feasible && c.feasible(&self.solver) {
+                result.push(c);
+            }
+        }
+        result
+    }
+
+    // =====================================================================
+    // Consumption (matching)
+    // =====================================================================
+
+    /// Consumes an assertion from a configuration, learning bindings for its
+    /// logical variables. Returns the successful branches.
+    pub fn consume(
+        &self,
+        cfg: Config<S>,
+        bindings: Bindings,
+        asrt: &Asrt,
+    ) -> Result<Vec<(Config<S>, Bindings)>, VerError> {
+        let atoms = asrt.atoms();
+        let mut branches = vec![(cfg, bindings)];
+        for atom in &atoms {
+            let mut next = Vec::new();
+            let mut last_err: Option<VerError> = None;
+            for (c, b) in branches {
+                match self.consume_atom(c, b, atom, self.opts.max_recovery_steps) {
+                    Ok(v) => next.extend(v),
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if next.is_empty() {
+                let err = last_err
+                    .unwrap_or_else(|| VerError::new(format!("failed to consume {atom}")));
+                if std::env::var("GILLIAN_DEBUG").is_ok() {
+                    eprintln!("[consume] failed on atom {atom}: {}", err.msg);
+                }
+                return Err(err);
+            }
+            branches = next;
+        }
+        Ok(branches)
+    }
+
+    fn consume_atom(
+        &self,
+        cfg: Config<S>,
+        bindings: Bindings,
+        atom: &Asrt,
+        recovery_budget: usize,
+    ) -> Result<Vec<(Config<S>, Bindings)>, VerError> {
+        self.bump(|s| s.consumer_calls += 1);
+        match atom {
+            Asrt::Emp | Asrt::Star(_) => Ok(vec![(cfg, bindings)]),
+            Asrt::Pure(e) => self.consume_pure(cfg, bindings, e),
+            Asrt::Observation(e) => self.consume_observation(cfg, bindings, e, recovery_budget),
+            Asrt::Core { name, ins, outs } => {
+                self.consume_core_atom(cfg, bindings, *name, ins, outs, recovery_budget)
+            }
+            Asrt::Pred { name, args } => {
+                self.consume_user_pred(cfg, bindings, *name, args, recovery_budget)
+            }
+            Asrt::Guarded { name, lft, args } => {
+                self.consume_guarded(cfg, bindings, *name, lft, args, recovery_budget)
+            }
+        }
+    }
+
+    fn consume_pure(
+        &self,
+        cfg: Config<S>,
+        mut bindings: Bindings,
+        e: &Expr,
+    ) -> Result<Vec<(Config<S>, Bindings)>, VerError> {
+        let e = simplify(&e.subst_lvars(&|s| bindings.get(&s).cloned()));
+        // Conjunctions (e.g. decomposed constructor equalities) are consumed
+        // conjunct by conjunct so that each equation can bind its variables.
+        if let Expr::BinOp(gillian_solver::BinOp::And, a, b) = &e {
+            let mut branches = self.consume_pure(cfg, bindings, a)?;
+            let mut out = Vec::new();
+            for (c, bnd) in branches.drain(..) {
+                out.extend(self.consume_pure(c, bnd, b)?);
+            }
+            return Ok(out);
+        }
+        let unbound: Vec<Symbol> = e.lvars().into_iter().collect();
+        if unbound.is_empty() {
+            if cfg.entails(&self.solver, &e) {
+                return Ok(vec![(cfg, bindings)]);
+            }
+            return Err(VerError::new(format!("pure assertion not entailed: {e}")));
+        }
+        // Try to solve an equality with unbound variables on one side.
+        if let Expr::BinOp(gillian_solver::BinOp::Eq, a, b) = &e {
+            let a_unbound = !a.lvars().is_empty();
+            let b_unbound = !b.lvars().is_empty();
+            let (pattern, value) = if a_unbound && !b_unbound {
+                (a.as_ref(), b.as_ref())
+            } else if b_unbound && !a_unbound {
+                (b.as_ref(), a.as_ref())
+            } else {
+                return Err(VerError::new(format!(
+                    "cannot determine logical variables {unbound:?} in {e}"
+                )));
+            };
+            if self.unify(&cfg, &mut bindings, pattern, value) {
+                return Ok(vec![(cfg, bindings)]);
+            }
+            return Err(VerError::new(format!("cannot unify {pattern} with {value}")));
+        }
+        Err(VerError::new(format!(
+            "unresolved logical variables {unbound:?} in pure assertion {e}"
+        )))
+    }
+
+    fn consume_observation(
+        &self,
+        cfg: Config<S>,
+        bindings: Bindings,
+        e: &Expr,
+        recovery_budget: usize,
+    ) -> Result<Vec<(Config<S>, Bindings)>, VerError> {
+        let e = simplify(&e.subst_lvars(&|s| bindings.get(&s).cloned()));
+        if !e.lvars().is_empty() {
+            return Err(VerError::new(format!(
+                "observation with unresolved logical variables: {e}"
+            )));
+        }
+        self.consume_core_resolved(cfg, bindings, Symbol::new("observation"), &[e], &[], recovery_budget)
+    }
+
+    fn consume_core_atom(
+        &self,
+        cfg: Config<S>,
+        bindings: Bindings,
+        name: Symbol,
+        ins: &[Expr],
+        outs: &[Expr],
+        recovery_budget: usize,
+    ) -> Result<Vec<(Config<S>, Bindings)>, VerError> {
+        let ins_sub: Vec<Expr> = ins
+            .iter()
+            .map(|e| simplify(&e.subst_lvars(&|s| bindings.get(&s).cloned())))
+            .collect();
+        for i in &ins_sub {
+            if !i.lvars().is_empty() {
+                return Err(VerError::new(format!(
+                    "core predicate {name}: in-parameter {i} is not determined"
+                )));
+            }
+        }
+        let outs_sub: Vec<Expr> = outs
+            .iter()
+            .map(|e| e.subst_lvars(&|s| bindings.get(&s).cloned()))
+            .collect();
+        self.consume_core_resolved(cfg, bindings, name, &ins_sub, &outs_sub, recovery_budget)
+    }
+
+    fn consume_core_resolved(
+        &self,
+        mut cfg: Config<S>,
+        bindings: Bindings,
+        name: Symbol,
+        ins: &[Expr],
+        out_patterns: &[Expr],
+        recovery_budget: usize,
+    ) -> Result<Vec<(Config<S>, Bindings)>, VerError> {
+        let result = cfg.with_ctx(&self.solver, |state, ctx| state.consume_core(name, ins, ctx));
+        match result {
+            ConsumeResult::Ok(outcomes) => {
+                let mut branches = Vec::new();
+                for ok in outcomes {
+                    let mut c = cfg.clone();
+                    c.state = ok.state;
+                    let mut b = bindings.clone();
+                    let mut feasible = true;
+                    for f in ok.facts {
+                        if !c.assume(&self.solver, f) {
+                            feasible = false;
+                            break;
+                        }
+                    }
+                    if !feasible {
+                        continue;
+                    }
+                    if out_patterns.len() != ok.outs.len() {
+                        continue;
+                    }
+                    let mut matched = true;
+                    for (pat, actual) in out_patterns.iter().zip(ok.outs.iter()) {
+                        if !self.unify(&c, &mut b, pat, actual) {
+                            matched = false;
+                            break;
+                        }
+                    }
+                    if matched {
+                        branches.push((c, b));
+                    }
+                }
+                if branches.is_empty() {
+                    Err(VerError::new(format!(
+                        "consuming core predicate {name}({ins:?}) produced no usable outcome"
+                    )))
+                } else {
+                    Ok(branches)
+                }
+            }
+            ConsumeResult::Missing { msg, hint } => {
+                if recovery_budget > 0 && self.opts.auto_recover {
+                    let recovered = self.try_recover(&cfg, &hint);
+                    let mut out = Vec::new();
+                    for rc in recovered {
+                        if let Ok(v) = self.consume_core_resolved(
+                            rc,
+                            bindings.clone(),
+                            name,
+                            ins,
+                            out_patterns,
+                            recovery_budget - 1,
+                        ) {
+                            out.extend(v);
+                        }
+                    }
+                    if !out.is_empty() {
+                        return Ok(out);
+                    }
+                }
+                Err(VerError::with_hint(
+                    format!("missing resource for core predicate {name}: {msg}"),
+                    hint,
+                ))
+            }
+            ConsumeResult::Error(msg) => Err(VerError::new(format!(
+                "error consuming core predicate {name}: {msg}"
+            ))),
+        }
+    }
+
+    fn consume_user_pred(
+        &self,
+        cfg: Config<S>,
+        bindings: Bindings,
+        name: Symbol,
+        args: &[Expr],
+        recovery_budget: usize,
+    ) -> Result<Vec<(Config<S>, Bindings)>, VerError> {
+        let pred = self
+            .prog
+            .pred(name)
+            .ok_or_else(|| VerError::new(format!("unknown predicate {name}")))?
+            .clone();
+        let num_ins = pred.num_ins.min(args.len());
+        let ins_sub: Vec<Expr> = args[..num_ins]
+            .iter()
+            .map(|e| simplify(&e.subst_lvars(&|s| bindings.get(&s).cloned())))
+            .collect();
+        for i in &ins_sub {
+            if !i.lvars().is_empty() {
+                return Err(VerError::new(format!(
+                    "predicate {name}: in-parameter {i} is not determined"
+                )));
+            }
+        }
+        let out_patterns: Vec<Expr> = args[num_ins..]
+            .iter()
+            .map(|e| e.subst_lvars(&|s| bindings.get(&s).cloned()))
+            .collect();
+
+        // 1. A folded instance with matching ins.
+        if let Some(idx) = cfg.find_folded(&self.solver, name, &ins_sub, num_ins) {
+            let mut c = cfg.clone();
+            let inst = c.folded.remove(idx);
+            let mut b = bindings.clone();
+            let mut matched = true;
+            for (pat, actual) in out_patterns.iter().zip(inst.args[num_ins..].iter()) {
+                if !self.unify(&c, &mut b, pat, actual) {
+                    matched = false;
+                    break;
+                }
+            }
+            if matched {
+                return Ok(vec![(c, b)]);
+            }
+        }
+
+        // 2. Abstract predicates can only be matched against folded instances.
+        if pred.is_abstract {
+            if recovery_budget > 0 && self.opts.auto_recover {
+                let recovered = self.try_recover(&cfg, &ins_sub);
+                let mut out = Vec::new();
+                for rc in recovered {
+                    if let Ok(v) = self.consume_user_pred(
+                        rc,
+                        bindings.clone(),
+                        name,
+                        args,
+                        recovery_budget - 1,
+                    ) {
+                        out.extend(v);
+                    }
+                }
+                if !out.is_empty() {
+                    return Ok(out);
+                }
+            }
+            return Err(VerError::with_hint(
+                format!("abstract predicate {name}({ins_sub:?}) not found in state"),
+                ins_sub,
+            ));
+        }
+
+        // 3. Fold from the definition (automatic folding).
+        self.bump(|s| s.folds += 1);
+        let mut branches = Vec::new();
+        let mut last_err: Option<VerError> = None;
+        for def_idx in 0..pred.definitions.len() {
+            let (def, fold_outs) = self.instantiate_for_fold(&pred, def_idx, &ins_sub);
+            match self.consume(cfg.clone(), bindings.clone(), &def) {
+                Ok(sub_branches) => {
+                    for (c, mut b) in sub_branches {
+                        // The out parameters must now be determined.
+                        let mut ok = true;
+                        let mut out_values = Vec::new();
+                        for fo in &fold_outs {
+                            match b.get(fo) {
+                                Some(v) => out_values.push(v.clone()),
+                                None => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if !ok {
+                            continue;
+                        }
+                        let mut matched = true;
+                        for (pat, actual) in out_patterns.iter().zip(out_values.iter()) {
+                            if !self.unify(&c, &mut b, pat, actual) {
+                                matched = false;
+                                break;
+                            }
+                        }
+                        if matched {
+                            branches.push((c, b));
+                        }
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if !branches.is_empty() {
+            return Ok(branches);
+        }
+
+        // 4. Recovery: unfold or open something related and retry.
+        if recovery_budget > 0 && self.opts.auto_recover {
+            let recovered = self.try_recover(&cfg, &ins_sub);
+            let mut out = Vec::new();
+            for rc in recovered {
+                if let Ok(v) =
+                    self.consume_user_pred(rc, bindings.clone(), name, args, recovery_budget - 1)
+                {
+                    out.extend(v);
+                }
+            }
+            if !out.is_empty() {
+                return Ok(out);
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            VerError::with_hint(
+                format!("could not fold predicate {name}({ins_sub:?})"),
+                ins_sub,
+            )
+        }))
+    }
+
+    /// Instantiates a predicate definition for folding: in-parameters are
+    /// bound to the given expressions, out-parameters become fresh logical
+    /// variables (returned so that the caller can read the learned values),
+    /// and all other logical variables are freshened.
+    fn instantiate_for_fold(
+        &self,
+        pred: &Pred,
+        def_idx: usize,
+        ins: &[Expr],
+    ) -> (Asrt, Vec<Symbol>) {
+        let mut args: Vec<Expr> = ins.to_vec();
+        let mut fold_outs = Vec::new();
+        for out_param in pred.outs() {
+            let fresh = fresh_lvar_name(&format!("{}_{}", pred.name, out_param));
+            fold_outs.push(fresh);
+            args.push(Expr::LVar(fresh));
+        }
+        let inst = pred.instantiate(def_idx, &args);
+        // Freshen the remaining (existential) lvars of the definition, taking
+        // care not to rename the fold-out variables we just introduced.
+        let keep: std::collections::BTreeSet<Symbol> = fold_outs.iter().copied().collect();
+        let lvars = inst.lvars();
+        let mut map: HashMap<Symbol, Expr> = HashMap::new();
+        for lv in lvars {
+            if !keep.contains(&lv) {
+                map.insert(lv, Expr::LVar(fresh_lvar_name(lv.as_str())));
+            }
+        }
+        (inst.subst_lvars(&|s| map.get(&s).cloned()), fold_outs)
+    }
+
+    fn consume_guarded(
+        &self,
+        cfg: Config<S>,
+        bindings: Bindings,
+        name: Symbol,
+        lft: &Expr,
+        args: &[Expr],
+        recovery_budget: usize,
+    ) -> Result<Vec<(Config<S>, Bindings)>, VerError> {
+        let pred = self
+            .prog
+            .pred(name)
+            .ok_or_else(|| VerError::new(format!("unknown predicate {name}")))?
+            .clone();
+        let num_ins = pred.num_ins.min(args.len());
+        let ins_sub: Vec<Expr> = args[..num_ins]
+            .iter()
+            .map(|e| simplify(&e.subst_lvars(&|s| bindings.get(&s).cloned())))
+            .collect();
+        let lft_sub = lft.subst_lvars(&|s| bindings.get(&s).cloned());
+        if let Some(idx) = cfg.find_guarded(&self.solver, name, &ins_sub, num_ins) {
+            let mut c = cfg.clone();
+            let inst = c.guarded.remove(idx);
+            let mut b = bindings.clone();
+            // Unify the lifetime and the out arguments.
+            if !self.unify(&c, &mut b, &lft_sub, &inst.lft) {
+                return Err(VerError::new(format!(
+                    "guarded predicate {name}: lifetime mismatch"
+                )));
+            }
+            let out_patterns: Vec<Expr> = args[num_ins..]
+                .iter()
+                .map(|e| e.subst_lvars(&|s| b.get(&s).cloned()))
+                .collect();
+            let mut matched = true;
+            for (pat, actual) in out_patterns.iter().zip(inst.args[num_ins..].iter()) {
+                if !self.unify(&c, &mut b, pat, actual) {
+                    matched = false;
+                    break;
+                }
+            }
+            if matched {
+                return Ok(vec![(c, b)]);
+            }
+            return Err(VerError::new(format!(
+                "guarded predicate {name}: out-parameter mismatch"
+            )));
+        }
+        // Maybe the borrow is currently open: close it and retry.
+        if recovery_budget > 0 && self.opts.auto_recover {
+            if let Some(tok_idx) = cfg
+                .closing
+                .iter()
+                .position(|ct| ct.pred == name && self.args_match(&cfg, &ct.args, &ins_sub))
+            {
+                if let Ok(closed_cfgs) = self.gfold(cfg.clone(), tok_idx) {
+                    let mut out = Vec::new();
+                    for c in closed_cfgs {
+                        if let Ok(v) = self.consume_guarded(
+                            c,
+                            bindings.clone(),
+                            name,
+                            lft,
+                            args,
+                            recovery_budget - 1,
+                        ) {
+                            out.extend(v);
+                        }
+                    }
+                    if !out.is_empty() {
+                        return Ok(out);
+                    }
+                }
+            }
+        }
+        Err(VerError::with_hint(
+            format!("guarded predicate {name}({ins_sub:?}) not found"),
+            ins_sub,
+        ))
+    }
+
+    fn args_match(&self, cfg: &Config<S>, a: &[Expr], b: &[Expr]) -> bool {
+        if b.len() > a.len() {
+            return false;
+        }
+        a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| cfg.must_equal(&self.solver, x, y))
+    }
+
+    /// Structural unification used when matching out-parameters: binds unbound
+    /// logical variables in `pattern` to the corresponding parts of `actual`
+    /// and checks equality for already-determined parts.
+    pub fn unify(
+        &self,
+        cfg: &Config<S>,
+        bindings: &mut Bindings,
+        pattern: &Expr,
+        actual: &Expr,
+    ) -> bool {
+        let pattern = pattern.subst_lvars(&|s| bindings.get(&s).cloned());
+        match (&pattern, actual) {
+            (Expr::LVar(s), _) => {
+                bindings.insert(*s, actual.clone());
+                true
+            }
+            (Expr::Ctor(t1, args1), Expr::Ctor(t2, args2))
+                if t1 == t2 && args1.len() == args2.len() =>
+            {
+                args1
+                    .iter()
+                    .zip(args2.iter())
+                    .all(|(p, a)| self.unify(cfg, bindings, p, a))
+            }
+            (Expr::Tuple(args1), Expr::Tuple(args2)) if args1.len() == args2.len() => args1
+                .iter()
+                .zip(args2.iter())
+                .all(|(p, a)| self.unify(cfg, bindings, p, a)),
+            (Expr::SeqLit(args1), Expr::SeqLit(args2)) if args1.len() == args2.len() => args1
+                .iter()
+                .zip(args2.iter())
+                .all(|(p, a)| self.unify(cfg, bindings, p, a)),
+            _ => {
+                if pattern.lvars().is_empty() {
+                    return cfg.must_equal(&self.solver, &pattern, actual);
+                }
+                // The pattern still has unknowns but the actual value is
+                // opaque: look through the path condition for a constructor
+                // form of the actual value (e.g. `v == Some(w)` learned by an
+                // `unwrap_option`) and retry against it.
+                if matches!(pattern, Expr::Ctor(..) | Expr::Tuple(_) | Expr::SeqLit(_)) {
+                    for fact in cfg.path.clone() {
+                        if let Expr::BinOp(gillian_solver::BinOp::Eq, a, b) = &fact {
+                            let rewritten = if a.as_ref() == actual
+                                && matches!(
+                                    b.as_ref(),
+                                    Expr::Ctor(..) | Expr::Tuple(_) | Expr::SeqLit(_)
+                                ) {
+                                Some((**b).clone())
+                            } else if b.as_ref() == actual
+                                && matches!(
+                                    a.as_ref(),
+                                    Expr::Ctor(..) | Expr::Tuple(_) | Expr::SeqLit(_)
+                                ) {
+                                Some((**a).clone())
+                            } else {
+                                None
+                            };
+                            if let Some(form) = rewritten {
+                                let mut trial = bindings.clone();
+                                if self.unify(cfg, &mut trial, &pattern, &form) {
+                                    *bindings = trial;
+                                    return true;
+                                }
+                            }
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    // =====================================================================
+    // Fold / unfold / borrows / recovery
+    // =====================================================================
+
+    /// Unfolds a folded predicate instance (by index), producing its
+    /// definition. Branches over the definition disjuncts; infeasible
+    /// disjuncts vanish.
+    pub fn unfold_folded(&self, cfg: Config<S>, idx: usize) -> Result<Vec<Config<S>>, VerError> {
+        let inst = cfg.folded[idx].clone();
+        let pred = self
+            .prog
+            .pred(inst.name)
+            .ok_or_else(|| VerError::new(format!("unknown predicate {}", inst.name)))?
+            .clone();
+        if pred.is_abstract {
+            return Err(VerError::new(format!(
+                "cannot unfold abstract predicate {}",
+                inst.name
+            )));
+        }
+        self.bump(|s| s.unfolds += 1);
+        let mut base = cfg;
+        base.folded.remove(idx);
+        base.note(format!("unfold {}({:?})", inst.name, inst.args));
+        let mut out = Vec::new();
+        for def_idx in 0..pred.definitions.len() {
+            let def = freshen_lvars(&pred.instantiate(def_idx, &inst.args));
+            let mut bindings = Bindings::new();
+            out.extend(self.produce(base.clone(), &def, &mut bindings));
+        }
+        Ok(out)
+    }
+
+    /// Opens a guarded predicate (a full borrow): consumes the lifetime token,
+    /// produces the predicate definition and a closing token (Unfold-Guarded).
+    pub fn gunfold(&self, cfg: Config<S>, idx: usize) -> Result<Vec<Config<S>>, VerError> {
+        let gp = cfg.guarded[idx].clone();
+        let pred = self
+            .prog
+            .pred(gp.name)
+            .ok_or_else(|| VerError::new(format!("unknown predicate {}", gp.name)))?
+            .clone();
+        self.bump(|s| s.borrow_opens += 1);
+        let mut base = cfg;
+        base.guarded.remove(idx);
+        base.note(format!("open borrow {}({:?})", gp.name, gp.args));
+        // Consume the lifetime token [κ]_q.
+        let token = Asrt::Core {
+            name: Symbol::new(LFT_TOKEN),
+            ins: vec![gp.lft.clone()],
+            outs: vec![Expr::LVar(fresh_lvar_name("q"))],
+        };
+        let frac_lvar = match &token {
+            Asrt::Core { outs, .. } => match &outs[0] {
+                Expr::LVar(s) => *s,
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        };
+        let branches = self.consume(base, Bindings::new(), &token)?;
+        let mut out = Vec::new();
+        for (mut c, b) in branches {
+            let frac = b
+                .get(&frac_lvar)
+                .cloned()
+                .unwrap_or_else(|| Expr::Int(1));
+            c.closing.push(ClosingToken {
+                pred: gp.name,
+                lft: gp.lft.clone(),
+                frac,
+                args: gp.args.clone(),
+            });
+            for def_idx in 0..pred.definitions.len() {
+                let def = freshen_lvars(&pred.instantiate(def_idx, &gp.args));
+                let mut bindings = Bindings::new();
+                out.extend(self.produce(c.clone(), &def, &mut bindings));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Closes an open borrow: consumes the borrowed predicate's definition
+    /// (re-folding it) and the closing token, restores the guarded predicate
+    /// and recovers the lifetime token.
+    pub fn gfold(&self, cfg: Config<S>, token_idx: usize) -> Result<Vec<Config<S>>, VerError> {
+        let ct = cfg.closing[token_idx].clone();
+        self.bump(|s| s.borrow_closes += 1);
+        let mut base = cfg;
+        base.closing.remove(token_idx);
+        base.note(format!("close borrow {}({:?})", ct.pred, ct.args));
+        // Consume the predicate (this re-establishes the invariant).
+        let pred_asrt = Asrt::Pred {
+            name: ct.pred,
+            args: ct.args.clone(),
+        };
+        let branches = self.consume(base, Bindings::new(), &pred_asrt)?;
+        let mut out = Vec::new();
+        for (mut c, _b) in branches {
+            c.guarded.push(GuardedPred {
+                name: ct.pred,
+                lft: ct.lft.clone(),
+                args: ct.args.clone(),
+            });
+            // Recover the lifetime token.
+            out.extend(self.produce_core(
+                c,
+                Symbol::new(LFT_TOKEN),
+                &[ct.lft.clone()],
+                &[ct.frac.clone()],
+            ));
+        }
+        if out.is_empty() {
+            Err(VerError::new(format!(
+                "could not close borrow {}({:?})",
+                ct.pred, ct.args
+            )))
+        } else {
+            Ok(out)
+        }
+    }
+
+    /// Attempts one automatic recovery step for a missing resource related to
+    /// the hint expressions: unfold a related folded predicate, open a related
+    /// borrow, or close an open borrow when a lifetime token is needed.
+    pub fn try_recover(&self, cfg: &Config<S>, hint: &[Expr]) -> Vec<Config<S>> {
+        if !self.opts.auto_recover || hint.is_empty() {
+            return vec![];
+        }
+        self.bump(|s| s.recoveries += 1);
+        // 1. Unfold a related folded predicate.
+        for (idx, fp) in cfg.folded.iter().enumerate() {
+            let pred = match self.prog.pred(fp.name) {
+                Some(p) if !p.is_abstract => p,
+                _ => continue,
+            };
+            let _ = pred;
+            if self.related(cfg, &fp.args, hint) {
+                if let Ok(v) = self.unfold_folded(cfg.clone(), idx) {
+                    if !v.is_empty() {
+                        return v;
+                    }
+                }
+            }
+        }
+        // 2. Open a related borrow.
+        for (idx, gp) in cfg.guarded.iter().enumerate() {
+            if self.related(cfg, &gp.args, hint) {
+                if let Ok(v) = self.gunfold(cfg.clone(), idx) {
+                    if !v.is_empty() {
+                        return v;
+                    }
+                }
+            }
+        }
+        // 3. Close an open borrow whose lifetime is the missing resource.
+        for (idx, ct) in cfg.closing.iter().enumerate() {
+            let lft_needed = hint
+                .iter()
+                .any(|h| cfg.must_equal(&self.solver, h, &ct.lft));
+            if lft_needed {
+                if let Ok(v) = self.gfold(cfg.clone(), idx) {
+                    if !v.is_empty() {
+                        return v;
+                    }
+                }
+            }
+        }
+        vec![]
+    }
+
+    /// Heuristic relatedness between a predicate's arguments and a hint: they
+    /// are related if any pair is provably equal, one contains the other
+    /// syntactically, or some path-condition fact mentions both.
+    fn related(&self, cfg: &Config<S>, args: &[Expr], hint: &[Expr]) -> bool {
+        for a in args {
+            if a.is_literal() {
+                continue;
+            }
+            for h in hint {
+                if contains_expr(a, h) || contains_expr(h, a) {
+                    return true;
+                }
+                if cfg.must_equal(&self.solver, a, h) {
+                    return true;
+                }
+                for fact in &cfg.path {
+                    if contains_expr(fact, a) && contains_expr(fact, h) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Auto-unfolds folded predicates related to a branch guard (the
+    /// heuristic unfolding of §2.3 / §6).
+    fn auto_unfold_for_branch(&self, cfg: Config<S>, guard: &Expr) -> Vec<Config<S>> {
+        if !self.opts.auto_unfold_on_branch {
+            return vec![cfg];
+        }
+        let mut atoms: Vec<Expr> = Vec::new();
+        guard.visit(&mut |e| {
+            if !e.is_literal() {
+                atoms.push(e.clone());
+            }
+        });
+        let mut configs = vec![cfg];
+        for _ in 0..self.opts.max_branch_unfolds {
+            let mut changed = false;
+            let mut next = Vec::new();
+            for c in configs {
+                let target = c.folded.iter().enumerate().find_map(|(idx, fp)| {
+                    let pred = self.prog.pred(fp.name)?;
+                    if pred.is_abstract || !pred.unfold_on_branch {
+                        return None;
+                    }
+                    let ins = &fp.args[..pred.num_ins.min(fp.args.len())];
+                    if self.related(&c, ins, &atoms) {
+                        Some(idx)
+                    } else {
+                        None
+                    }
+                });
+                match target {
+                    Some(idx) => match self.unfold_folded(c.clone(), idx) {
+                        Ok(v) if !v.is_empty() => {
+                            changed = true;
+                            next.extend(v);
+                        }
+                        _ => next.push(c),
+                    },
+                    None => next.push(c),
+                }
+            }
+            configs = next;
+            if !changed {
+                break;
+            }
+        }
+        configs
+    }
+
+    // =====================================================================
+    // Command execution
+    // =====================================================================
+
+    fn exec_action_cmd(
+        &self,
+        mut cfg: Config<S>,
+        name: Symbol,
+        args: &[Expr],
+        budget: usize,
+    ) -> Result<Vec<(Config<S>, Expr)>, VerError> {
+        self.bump(|s| s.actions += 1);
+        let result =
+            cfg.with_ctx(&self.solver, |state, ctx| state.exec_action(name, args, ctx));
+        match result {
+            ActionResult::Ok(outcomes) => {
+                let mut out = Vec::new();
+                for ok in outcomes {
+                    let mut c = cfg.clone();
+                    c.state = ok.state;
+                    let mut feasible = true;
+                    for f in ok.facts {
+                        if !c.assume(&self.solver, f) {
+                            feasible = false;
+                            break;
+                        }
+                    }
+                    if feasible {
+                        out.push((c, ok.value));
+                    }
+                }
+                Ok(out)
+            }
+            ActionResult::Missing { msg, hint } => {
+                if budget > 0 && self.opts.auto_recover {
+                    let recovered = self.try_recover(&cfg, &hint);
+                    let mut out = Vec::new();
+                    for rc in recovered {
+                        if let Ok(v) = self.exec_action_cmd(rc, name, args, budget - 1) {
+                            out.extend(v);
+                        }
+                    }
+                    if !out.is_empty() {
+                        return Ok(out);
+                    }
+                }
+                Err(VerError::with_hint(
+                    format!("action {name} missing resource: {msg}"),
+                    hint,
+                ))
+            }
+            ActionResult::Error(msg) => {
+                Err(VerError::new(format!("action {name} failed: {msg}")))
+            }
+        }
+    }
+
+    /// Executes a logic (ghost) command.
+    pub fn exec_logic(
+        &self,
+        cfg: Config<S>,
+        cmd: &LogicCmd,
+    ) -> Result<Vec<Config<S>>, VerError> {
+        let eval_args = |cfg: &Config<S>, args: &[Expr]| -> Vec<Expr> {
+            args.iter().map(|a| cfg.eval(a)).collect()
+        };
+        match cmd {
+            LogicCmd::Fold(name, args) => {
+                let args_e = eval_args(&cfg, args);
+                let pred = self
+                    .prog
+                    .pred(*name)
+                    .ok_or_else(|| VerError::new(format!("unknown predicate {name}")))?
+                    .clone();
+                let num_ins = pred.num_ins.min(args_e.len());
+                let branches = self.consume_user_pred(
+                    cfg,
+                    Bindings::new(),
+                    *name,
+                    &args_e,
+                    self.opts.max_recovery_steps,
+                )?;
+                let mut out = Vec::new();
+                for (mut c, b) in branches {
+                    // Rebuild the argument list with learned outs.
+                    let mut final_args = args_e[..num_ins].to_vec();
+                    for pat in &args_e[num_ins..] {
+                        final_args.push(simplify(&pat.subst_lvars(&|s| b.get(&s).cloned())));
+                    }
+                    c.folded.push(FoldedPred {
+                        name: *name,
+                        args: final_args,
+                    });
+                    out.push(c);
+                }
+                Ok(out)
+            }
+            LogicCmd::Unfold(name, args) => {
+                let args_e = eval_args(&cfg, args);
+                let pred = self
+                    .prog
+                    .pred(*name)
+                    .ok_or_else(|| VerError::new(format!("unknown predicate {name}")))?;
+                let idx = cfg
+                    .find_folded(&self.solver, *name, &args_e, pred.num_ins.min(args_e.len()))
+                    .ok_or_else(|| {
+                        VerError::new(format!("no folded instance of {name} to unfold"))
+                    })?;
+                self.unfold_folded(cfg, idx)
+            }
+            LogicCmd::UnfoldGuarded(name, args) => {
+                let args_e = eval_args(&cfg, args);
+                let pred = self
+                    .prog
+                    .pred(*name)
+                    .ok_or_else(|| VerError::new(format!("unknown predicate {name}")))?;
+                let idx = cfg
+                    .find_guarded(&self.solver, *name, &args_e, pred.num_ins.min(args_e.len()))
+                    .ok_or_else(|| {
+                        VerError::new(format!("no guarded instance of {name} to open"))
+                    })?;
+                self.gunfold(cfg, idx)
+            }
+            LogicCmd::FoldGuarded(name, args) => {
+                let args_e = eval_args(&cfg, args);
+                let idx = cfg
+                    .closing
+                    .iter()
+                    .position(|ct| ct.pred == *name && self.args_match(&cfg, &ct.args, &args_e))
+                    .ok_or_else(|| {
+                        VerError::new(format!("no open borrow of {name} to close"))
+                    })?;
+                self.gfold(cfg, idx)
+            }
+            LogicCmd::ApplyLemma(name, args) => {
+                let args_e = eval_args(&cfg, args);
+                self.apply_lemma(cfg, *name, &args_e)
+            }
+            LogicCmd::Assert(asrt) => {
+                let asrt = asrt.map_exprs(&|e| cfg.eval(e));
+                let branches = self.consume(cfg, Bindings::new(), &asrt)?;
+                let mut out = Vec::new();
+                for (c, mut b) in branches {
+                    out.extend(self.produce(c, &asrt, &mut b));
+                }
+                Ok(out)
+            }
+            LogicCmd::Assume(e) => {
+                let mut c = cfg;
+                let e = c.eval(e);
+                if c.assume(&self.solver, e) {
+                    Ok(vec![c])
+                } else {
+                    Ok(vec![])
+                }
+            }
+            LogicCmd::Produce(asrt) => {
+                let asrt = asrt.map_exprs(&|e| cfg.eval(e));
+                let mut bindings = Bindings::new();
+                Ok(self.produce(cfg, &asrt, &mut bindings))
+            }
+            LogicCmd::Consume(asrt) => {
+                let asrt = asrt.map_exprs(&|e| cfg.eval(e));
+                let branches = self.consume(cfg, Bindings::new(), &asrt)?;
+                Ok(branches.into_iter().map(|(c, _)| c).collect())
+            }
+            LogicCmd::Tactic(name, args) => {
+                let args_e = eval_args(&cfg, args);
+                let tactic = self
+                    .tactics
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| VerError::new(format!("unknown tactic {name}")))?;
+                tactic(self, cfg, &args_e)
+            }
+        }
+    }
+
+    /// Applies a lemma: consumes its hypothesis and produces its conclusions.
+    pub fn apply_lemma(
+        &self,
+        cfg: Config<S>,
+        name: Symbol,
+        args: &[Expr],
+    ) -> Result<Vec<Config<S>>, VerError> {
+        let lemma = self
+            .prog
+            .lemma(name)
+            .ok_or_else(|| VerError::new(format!("unknown lemma {name}")))?
+            .clone();
+        let mut bindings = Bindings::new();
+        for (param, arg) in lemma.params.iter().zip(args.iter()) {
+            bindings.insert(*param, arg.clone());
+        }
+        let branches = self.consume(cfg, bindings, &lemma.hyp)?;
+        let mut out = Vec::new();
+        for (c, mut b) in branches {
+            for concl in &lemma.concls {
+                out.extend(self.produce(c.clone(), concl, &mut b));
+            }
+        }
+        if out.is_empty() {
+            Err(VerError::new(format!(
+                "applying lemma {name} produced no feasible state"
+            )))
+        } else {
+            Ok(out)
+        }
+    }
+
+    /// Executes a procedure body from the beginning, returning the final
+    /// configuration and return value of every path.
+    pub fn exec_proc(
+        &self,
+        cfg: Config<S>,
+        proc: &Proc,
+        depth: usize,
+    ) -> Result<Vec<(Config<S>, Expr)>, VerError> {
+        if depth > self.opts.max_inline_depth {
+            return Err(VerError::new(format!(
+                "maximum inlining depth exceeded while executing {}",
+                proc.name
+            )));
+        }
+        let mut work: Vec<(Config<S>, usize)> = vec![(cfg, 0)];
+        let mut finished: Vec<(Config<S>, Expr)> = Vec::new();
+        let mut steps = 0usize;
+        while let Some((cfg, pc)) = work.pop() {
+            steps += 1;
+            if steps > self.opts.max_steps {
+                return Err(VerError::new(format!(
+                    "step budget exhausted while executing {}",
+                    proc.name
+                )));
+            }
+            self.bump(|s| s.commands_executed += 1);
+            if pc >= proc.body.len() {
+                finished.push((cfg, Expr::Unit));
+                continue;
+            }
+            match &proc.body[pc] {
+                Cmd::Skip => work.push((cfg, pc + 1)),
+                Cmd::Assign(x, e) => {
+                    let mut c = cfg;
+                    let v = c.eval(e);
+                    c.assign(*x, v);
+                    work.push((c, pc + 1));
+                }
+                Cmd::Action { lhs, name, args } => {
+                    let args_e: Vec<Expr> = args.iter().map(|a| cfg.eval(a)).collect();
+                    let results =
+                        self.exec_action_cmd(cfg, *name, &args_e, self.opts.max_recovery_steps)?;
+                    for (mut c, v) in results {
+                        c.assign(*lhs, v);
+                        work.push((c, pc + 1));
+                    }
+                }
+                Cmd::Goto(t) => work.push((cfg, *t)),
+                Cmd::GotoIf {
+                    guard,
+                    then_target,
+                    else_target,
+                } => {
+                    let g = cfg.eval(guard);
+                    match g.as_bool() {
+                        Some(true) => work.push((cfg, *then_target)),
+                        Some(false) => work.push((cfg, *else_target)),
+                        None => {
+                            let configs = self.auto_unfold_for_branch(cfg, &g);
+                            for c in configs {
+                                self.bump(|s| s.branches += 1);
+                                let mut then_c = c.clone();
+                                if then_c.assume(&self.solver, g.clone()) {
+                                    work.push((then_c, *then_target));
+                                }
+                                let mut else_c = c;
+                                if else_c.assume(&self.solver, Expr::not(g.clone())) {
+                                    work.push((else_c, *else_target));
+                                }
+                            }
+                        }
+                    }
+                }
+                Cmd::Call { lhs, proc: callee, args } => {
+                    let args_e: Vec<Expr> = args.iter().map(|a| cfg.eval(a)).collect();
+                    let results = self.exec_call(cfg, *callee, &args_e, depth)?;
+                    for (mut c, v) in results {
+                        c.assign(*lhs, v);
+                        work.push((c, pc + 1));
+                    }
+                }
+                Cmd::Logic(l) => {
+                    let configs = self.exec_logic(cfg, l)?;
+                    for c in configs {
+                        work.push((c, pc + 1));
+                    }
+                }
+                Cmd::Return(e) => {
+                    let v = cfg.eval(e);
+                    self.bump(|s| s.paths_completed += 1);
+                    finished.push((cfg, v));
+                }
+                Cmd::Fail(msg) => {
+                    if self.opts.panics_are_safe {
+                        // Type-safety mode: a panic is safe behaviour, the
+                        // path simply terminates without returning.
+                        continue;
+                    }
+                    if cfg.feasible(&self.solver) {
+                        if std::env::var("GILLIAN_DEBUG").is_ok() {
+                            eprintln!("--- reachable failure in {}: {msg}", proc.name);
+                            eprintln!("path ({}):", cfg.path.len());
+                            for f in &cfg.path { eprintln!("  {f}"); }
+                            eprintln!("assumptions:");
+                            for f in cfg.state.assumptions() { eprintln!("  {f}"); }
+                            eprintln!("folded: {:?}", cfg.folded.iter().map(|f| f.name).collect::<Vec<_>>());
+                            eprintln!("trace: {:?}", cfg.trace);
+                        }
+                        return Err(VerError::new(format!(
+                            "reachable failure in {}: {msg}",
+                            proc.name
+                        )));
+                    }
+                    // Path pruned: the failure is unreachable (e.g. an
+                    // overflow contradicted by an observation).
+                }
+            }
+        }
+        Ok(finished)
+    }
+
+    /// Calls a procedure: by specification if one exists, otherwise by
+    /// inlining its body (symbolically executing it like any other code).
+    pub fn exec_call(
+        &self,
+        cfg: Config<S>,
+        callee: Symbol,
+        args: &[Expr],
+        depth: usize,
+    ) -> Result<Vec<(Config<S>, Expr)>, VerError> {
+        if let Some(spec) = self.prog.spec(callee).cloned() {
+            return self.call_with_spec(cfg, &spec, args);
+        }
+        let proc = self
+            .prog
+            .proc(callee)
+            .ok_or_else(|| VerError::new(format!("unknown procedure {callee}")))?
+            .clone();
+        // Inline: swap the store for the callee frame.
+        let mut callee_cfg = cfg;
+        let saved_store = callee_cfg.store.clone();
+        callee_cfg.store = proc
+            .params
+            .iter()
+            .copied()
+            .zip(args.iter().cloned())
+            .collect();
+        let results = self.exec_proc(callee_cfg, &proc, depth + 1)?;
+        Ok(results
+            .into_iter()
+            .map(|(mut c, v)| {
+                c.store = saved_store.clone();
+                (c, v)
+            })
+            .collect())
+    }
+
+    /// Uses a specification at a call site: consume the precondition, produce
+    /// one of the postconditions, return the (fresh) return value.
+    pub fn call_with_spec(
+        &self,
+        cfg: Config<S>,
+        spec: &Spec,
+        args: &[Expr],
+    ) -> Result<Vec<(Config<S>, Expr)>, VerError> {
+        let proc_params: Vec<Symbol> = match self.prog.proc(spec.name) {
+            Some(p) => p.params.clone(),
+            None => (0..args.len())
+                .map(|i| Symbol::new(&format!("arg{i}")))
+                .collect(),
+        };
+        let param_map: HashMap<Symbol, Expr> = proc_params
+            .iter()
+            .copied()
+            .zip(args.iter().cloned())
+            .collect();
+        let pre = spec.pre.subst_pvars(&|s| param_map.get(&s).cloned());
+        let branches = self.consume(cfg, Bindings::new(), &pre)?;
+        let ret_sym = Symbol::new(RET_VAR);
+        let mut out = Vec::new();
+        for (mut c, b) in branches {
+            let ret_val = c.fresh();
+            let mut post_map = param_map.clone();
+            post_map.insert(ret_sym, ret_val.clone());
+            for post in &spec.posts {
+                let post = post.subst_pvars(&|s| post_map.get(&s).cloned());
+                let mut bindings = b.clone();
+                for produced in self.produce(c.clone(), &post, &mut bindings) {
+                    out.push((produced, ret_val.clone()));
+                }
+            }
+        }
+        if out.is_empty() {
+            Err(VerError::new(format!(
+                "no feasible postcondition when calling {} by spec",
+                spec.name
+            )))
+        } else {
+            Ok(out)
+        }
+    }
+
+    // =====================================================================
+    // Verification drivers
+    // =====================================================================
+
+    /// Verifies a procedure against its specification, starting from an empty
+    /// state.
+    pub fn verify_proc(&self, name: &str) -> ProcReport {
+        self.verify_proc_from(name, S::empty())
+    }
+
+    /// Verifies a procedure against its specification, starting from the
+    /// given initial state (used by state models that carry static context
+    /// such as a type registry).
+    pub fn verify_proc_from(&self, name: &str, initial: S) -> ProcReport {
+        let start = Instant::now();
+        let name_sym = Symbol::new(name);
+        let result = self.verify_proc_inner(name_sym, initial);
+        let stats = self.stats();
+        ProcReport {
+            name: name_sym,
+            verified: result.is_ok(),
+            paths: stats.paths_completed,
+            error: result.err().map(|e| e.msg),
+            elapsed: start.elapsed(),
+        }
+    }
+
+    fn verify_proc_inner(&self, name: Symbol, initial: S) -> Result<(), VerError> {
+        let spec = self
+            .prog
+            .spec(name)
+            .ok_or_else(|| VerError::new(format!("no specification for {name}")))?
+            .clone();
+        if spec.trusted {
+            return Ok(());
+        }
+        let proc = self
+            .prog
+            .proc(name)
+            .ok_or_else(|| VerError::new(format!("no procedure named {name}")))?
+            .clone();
+        let mut cfg: Config<S> = Config::new();
+        cfg.state = initial;
+        let mut param_map: HashMap<Symbol, Expr> = HashMap::new();
+        for p in &proc.params {
+            let v = cfg.fresh();
+            cfg.assign(*p, v.clone());
+            param_map.insert(*p, v);
+        }
+        let pre = spec.pre.subst_pvars(&|s| param_map.get(&s).cloned());
+        let mut bindings = Bindings::new();
+        let produced = self.produce(cfg, &pre, &mut bindings);
+        if produced.is_empty() {
+            return Err(VerError::new(format!(
+                "precondition of {name} is inconsistent"
+            )));
+        }
+        let ret_sym = Symbol::new(RET_VAR);
+        for start_cfg in produced {
+            let paths = self.exec_proc(start_cfg, &proc, 0)?;
+            for (cfg, ret_val) in paths {
+                let mut post_map = param_map.clone();
+                post_map.insert(ret_sym, ret_val.clone());
+                let mut matched = false;
+                let mut last_err = None;
+                for post in &spec.posts {
+                    let post = post.subst_pvars(&|s| post_map.get(&s).cloned());
+                    match self.consume(cfg.clone(), bindings.clone(), &post) {
+                        Ok(branches) if !branches.is_empty() => {
+                            matched = true;
+                            break;
+                        }
+                        Ok(_) => {}
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                if !matched {
+                    let base = format!("postcondition of {name} not satisfied on some path");
+                    return Err(match last_err {
+                        Some(e) => VerError::new(format!("{base}: {}", e.msg)),
+                        None => VerError::new(base),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies a lemma using its proof script (trusted lemmas are skipped).
+    pub fn verify_lemma(&self, name: &str) -> ProcReport {
+        self.verify_lemma_from(name, S::empty())
+    }
+
+    /// Verifies a lemma starting from the given initial state.
+    pub fn verify_lemma_from(&self, name: &str, initial: S) -> ProcReport {
+        let start = Instant::now();
+        let name_sym = Symbol::new(name);
+        let result = self.verify_lemma_inner(name_sym, initial);
+        ProcReport {
+            name: name_sym,
+            verified: result.is_ok(),
+            paths: self.stats().paths_completed,
+            error: result.err().map(|e| e.msg),
+            elapsed: start.elapsed(),
+        }
+    }
+
+    fn verify_lemma_inner(&self, name: Symbol, initial: S) -> Result<(), VerError> {
+        let lemma = self
+            .prog
+            .lemma(name)
+            .ok_or_else(|| VerError::new(format!("no lemma named {name}")))?
+            .clone();
+        if lemma.trusted {
+            return Ok(());
+        }
+        let proof = lemma
+            .proof
+            .clone()
+            .ok_or_else(|| VerError::new(format!("lemma {name} has no proof script")))?;
+        let mut cfg: Config<S> = Config::new();
+        cfg.state = initial;
+        let mut bindings = Bindings::new();
+        for p in &lemma.params {
+            bindings.insert(*p, cfg.fresh());
+        }
+        let produced = self.produce(cfg, &lemma.hyp, &mut bindings);
+        let mut configs = produced;
+        for step in &proof {
+            // Logic commands in lemma proofs refer to the lemma parameters as
+            // logical variables; substitute them first.
+            let step = subst_logic_cmd(step, &bindings);
+            let mut next = Vec::new();
+            for c in configs {
+                next.extend(self.exec_logic(c, &step)?);
+            }
+            configs = next;
+        }
+        for c in configs {
+            let mut matched = false;
+            for concl in &lemma.concls {
+                if let Ok(branches) = self.consume(c.clone(), bindings.clone(), concl) {
+                    if !branches.is_empty() {
+                        matched = true;
+                        break;
+                    }
+                }
+            }
+            if !matched {
+                return Err(VerError::new(format!(
+                    "conclusion of lemma {name} not satisfied on some path"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn subst_logic_cmd(cmd: &LogicCmd, bindings: &Bindings) -> LogicCmd {
+    let s = |e: &Expr| e.subst_lvars(&|x| bindings.get(&x).cloned());
+    let sv = |es: &[Expr]| es.iter().map(s).collect::<Vec<_>>();
+    match cmd {
+        LogicCmd::Fold(n, a) => LogicCmd::Fold(*n, sv(a)),
+        LogicCmd::Unfold(n, a) => LogicCmd::Unfold(*n, sv(a)),
+        LogicCmd::UnfoldGuarded(n, a) => LogicCmd::UnfoldGuarded(*n, sv(a)),
+        LogicCmd::FoldGuarded(n, a) => LogicCmd::FoldGuarded(*n, sv(a)),
+        LogicCmd::ApplyLemma(n, a) => LogicCmd::ApplyLemma(*n, sv(a)),
+        LogicCmd::Assert(a) => LogicCmd::Assert(a.subst_lvars(&|x| bindings.get(&x).cloned())),
+        LogicCmd::Assume(e) => LogicCmd::Assume(s(e)),
+        LogicCmd::Produce(a) => LogicCmd::Produce(a.subst_lvars(&|x| bindings.get(&x).cloned())),
+        LogicCmd::Consume(a) => LogicCmd::Consume(a.subst_lvars(&|x| bindings.get(&x).cloned())),
+        LogicCmd::Tactic(n, a) => LogicCmd::Tactic(*n, sv(a)),
+    }
+}

@@ -1,0 +1,237 @@
+//! GIL: the goto-based intermediate language of the Gillian platform.
+//!
+//! GIL is intentionally tiny (§2.3 of the paper): assignments of pure
+//! expressions, *actions* (the primitive state-model operations), calls,
+//! conditional gotos and logic (ghost) commands. The Gillian-Rust compiler
+//! translates mini-MIR bodies into GIL procedures.
+
+use crate::asrt::{Asrt, Lemma, Pred, Spec};
+use gillian_solver::{Expr, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A ghost (logic) command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogicCmd {
+    /// Fold a user predicate with the given arguments (arguments may contain
+    /// logical variables, which are then learned by the fold).
+    Fold(Symbol, Vec<Expr>),
+    /// Unfold a folded user predicate instance.
+    Unfold(Symbol, Vec<Expr>),
+    /// Open a guarded predicate (full borrow): consumes the guarding lifetime
+    /// token, produces the predicate definition and a closing token (§4.2).
+    UnfoldGuarded(Symbol, Vec<Expr>),
+    /// Close a guarded predicate: consumes its definition and the closing
+    /// token, recovers the lifetime token.
+    FoldGuarded(Symbol, Vec<Expr>),
+    /// Apply a lemma with explicit arguments.
+    ApplyLemma(Symbol, Vec<Expr>),
+    /// Assert that an assertion is satisfied by (a sub-heap of) the current
+    /// state, learning bindings for its logical variables; the consumed
+    /// resource is immediately produced back.
+    Assert(Asrt),
+    /// Assume a pure fact (prunes the path if it becomes inconsistent).
+    Assume(Expr),
+    /// Produce an assertion out of thin air — only allowed inside trusted
+    /// lemma proofs and the verification harness.
+    Produce(Asrt),
+    /// Consume an assertion (dual of `Produce`).
+    Consume(Asrt),
+    /// Invoke a registered semi-automatic tactic (e.g. `mutref_auto_resolve`,
+    /// `prophecy_auto_update`) with the given arguments.
+    Tactic(Symbol, Vec<Expr>),
+}
+
+/// A GIL command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cmd {
+    /// `x := e` — pure assignment into the variable store.
+    Assign(Symbol, Expr),
+    /// `x := action(args)` — execute a state-model action.
+    Action {
+        lhs: Symbol,
+        name: Symbol,
+        args: Vec<Expr>,
+    },
+    /// Unconditional jump to a command index.
+    Goto(usize),
+    /// Conditional jump: if the guard holds go to `then_target`, otherwise to
+    /// `else_target`. Symbolic guards branch the execution.
+    GotoIf {
+        guard: Expr,
+        then_target: usize,
+        else_target: usize,
+    },
+    /// `x := f(args)` — procedure call (by spec if one exists, otherwise by
+    /// inlining the callee's body).
+    Call {
+        lhs: Symbol,
+        proc: Symbol,
+        args: Vec<Expr>,
+    },
+    /// A ghost command.
+    Logic(LogicCmd),
+    /// Return a value and stop executing the procedure.
+    Return(Expr),
+    /// Signal a runtime failure (e.g. a panic); verification fails if the
+    /// path is reachable.
+    Fail(String),
+    /// Do nothing.
+    Skip,
+}
+
+impl fmt::Display for Cmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cmd::Assign(x, e) => write!(f, "{x} := {e}"),
+            Cmd::Action { lhs, name, args } => {
+                write!(f, "{lhs} := [{name}](")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Cmd::Goto(t) => write!(f, "goto {t}"),
+            Cmd::GotoIf {
+                guard,
+                then_target,
+                else_target,
+            } => write!(f, "goto [{guard}] {then_target} {else_target}"),
+            Cmd::Call { lhs, proc, args } => {
+                write!(f, "{lhs} := {proc}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Cmd::Logic(l) => write!(f, "logic {l:?}"),
+            Cmd::Return(e) => write!(f, "return {e}"),
+            Cmd::Fail(msg) => write!(f, "fail \"{msg}\""),
+            Cmd::Skip => write!(f, "skip"),
+        }
+    }
+}
+
+/// A GIL procedure.
+#[derive(Clone, Debug)]
+pub struct Proc {
+    /// Procedure name.
+    pub name: Symbol,
+    /// Parameter names.
+    pub params: Vec<Symbol>,
+    /// Body: a sequence of commands addressed by index.
+    pub body: Vec<Cmd>,
+    /// Number of executable source lines this procedure was compiled from
+    /// (used for the eLoC column of Table 1).
+    pub source_lines: usize,
+}
+
+impl Proc {
+    pub fn new(name: &str, params: &[&str], body: Vec<Cmd>) -> Proc {
+        Proc {
+            name: Symbol::new(name),
+            params: params.iter().map(|p| Symbol::new(p)).collect(),
+            body,
+            source_lines: 0,
+        }
+    }
+
+    pub fn with_source_lines(mut self, lines: usize) -> Proc {
+        self.source_lines = lines;
+        self
+    }
+}
+
+/// A complete GIL program: procedures, predicates, specifications, lemmas.
+#[derive(Clone, Debug, Default)]
+pub struct Prog {
+    pub procs: HashMap<Symbol, Proc>,
+    pub preds: HashMap<Symbol, Pred>,
+    pub specs: HashMap<Symbol, Spec>,
+    pub lemmas: HashMap<Symbol, Lemma>,
+}
+
+impl Prog {
+    pub fn new() -> Prog {
+        Prog::default()
+    }
+
+    pub fn add_proc(&mut self, proc: Proc) -> &mut Self {
+        self.procs.insert(proc.name, proc);
+        self
+    }
+
+    pub fn add_pred(&mut self, pred: Pred) -> &mut Self {
+        self.preds.insert(pred.name, pred);
+        self
+    }
+
+    pub fn add_spec(&mut self, spec: Spec) -> &mut Self {
+        self.specs.insert(spec.name, spec);
+        self
+    }
+
+    pub fn add_lemma(&mut self, lemma: Lemma) -> &mut Self {
+        self.lemmas.insert(lemma.name, lemma);
+        self
+    }
+
+    pub fn proc(&self, name: Symbol) -> Option<&Proc> {
+        self.procs.get(&name)
+    }
+
+    pub fn pred(&self, name: Symbol) -> Option<&Pred> {
+        self.preds.get(&name)
+    }
+
+    pub fn spec(&self, name: Symbol) -> Option<&Spec> {
+        self.specs.get(&name)
+    }
+
+    pub fn lemma(&self, name: Symbol) -> Option<&Lemma> {
+        self.lemmas.get(&name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_a_small_program() {
+        let mut prog = Prog::new();
+        prog.add_proc(Proc::new(
+            "id",
+            &["x"],
+            vec![Cmd::Return(Expr::pvar("x"))],
+        ));
+        let name = Symbol::new("id");
+        assert!(prog.proc(name).is_some());
+        assert_eq!(prog.proc(name).unwrap().params.len(), 1);
+    }
+
+    #[test]
+    fn display_of_commands() {
+        let c = Cmd::Action {
+            lhs: Symbol::new("v"),
+            name: Symbol::new("load"),
+            args: vec![Expr::pvar("p")],
+        };
+        assert_eq!(format!("{c}"), "v := [load](p)");
+    }
+
+    #[test]
+    fn registries_are_independent() {
+        let mut prog = Prog::new();
+        prog.add_pred(Pred::abstract_pred("t", &["x"], 1));
+        assert!(prog.pred(Symbol::new("t")).is_some());
+        assert!(prog.spec(Symbol::new("t")).is_none());
+        assert!(prog.lemma(Symbol::new("t")).is_none());
+    }
+}

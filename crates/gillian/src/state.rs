@@ -1,0 +1,275 @@
+//! The state-model interface.
+//!
+//! To instantiate Gillian for a target language one provides (§2.3):
+//! a symbolic state type, *actions* (primitive state operations used by
+//! compiled code), and *core predicates* with a consumer/producer pair each.
+//! The engine is otherwise completely generic.
+
+use gillian_solver::{simplify, Expr, Solver, Symbol, VarGen};
+
+/// Pure reasoning context handed to the state model: the path condition, the
+/// fresh-variable generator and the solver.
+pub struct PureCtx<'a> {
+    pub solver: &'a Solver,
+    pub path: &'a mut Vec<Expr>,
+    pub vars: &'a mut VarGen,
+}
+
+impl<'a> PureCtx<'a> {
+    /// Returns a fresh symbolic variable as an expression.
+    pub fn fresh(&mut self) -> Expr {
+        self.vars.fresh_expr()
+    }
+
+    /// Adds a fact to the path condition. Returns `false` if the path has
+    /// become definitely infeasible (the caller should prune/vanish).
+    pub fn assume(&mut self, fact: Expr) -> bool {
+        let fact = simplify(&fact);
+        match fact.as_bool() {
+            Some(true) => true,
+            Some(false) => {
+                self.path.push(Expr::Bool(false));
+                false
+            }
+            None => {
+                self.path.push(fact);
+                !self.solver.check_unsat(self.path)
+            }
+        }
+    }
+
+    /// Is the current path condition still possibly satisfiable?
+    pub fn feasible(&self) -> bool {
+        !self.solver.check_unsat(self.path)
+    }
+
+    /// Does the path condition entail the fact?
+    pub fn entails(&self, fact: &Expr) -> bool {
+        self.solver.entails(self.path, fact)
+    }
+
+    /// Are the two expressions necessarily equal under the path condition?
+    pub fn must_equal(&self, a: &Expr, b: &Expr) -> bool {
+        self.solver.must_equal(self.path, a, b)
+    }
+
+    /// Are the two expressions necessarily different under the path condition?
+    pub fn must_differ(&self, a: &Expr, b: &Expr) -> bool {
+        self.solver.must_differ(self.path, a, b)
+    }
+
+    /// Can the fact hold on some extension of the path condition?
+    pub fn possibly(&self, fact: &Expr) -> bool {
+        let mut extended = self.path.clone();
+        extended.push(simplify(fact));
+        !self.solver.check_unsat(&extended)
+    }
+
+    /// Simplifies an expression (syntactic only).
+    pub fn simplify(&self, e: &Expr) -> Expr {
+        simplify(e)
+    }
+}
+
+/// One successful outcome of executing an action. Actions may branch, so
+/// executing one returns a vector of outcomes; an empty vector means every
+/// branch vanished (the path is pruned).
+#[derive(Clone, Debug)]
+pub struct ActionOk<S> {
+    /// The updated state.
+    pub state: S,
+    /// The returned value.
+    pub value: Expr,
+    /// New pure facts learned by this outcome (added to the path condition).
+    pub facts: Vec<Expr>,
+}
+
+/// The result of executing an action.
+#[derive(Clone, Debug)]
+pub enum ActionResult<S> {
+    /// Zero or more successful branches.
+    Ok(Vec<ActionOk<S>>),
+    /// The action could not execute because a resource is missing; the
+    /// `hint` points at the expressions (typically an address) whose
+    /// resource is needed, so that the engine can attempt automatic
+    /// recovery (unfolding a predicate or opening a borrow).
+    Missing { msg: String, hint: Vec<Expr> },
+    /// The action is a genuine error (e.g. use-after-free, invalid value).
+    Error(String),
+}
+
+/// One successful outcome of consuming a core predicate.
+#[derive(Clone, Debug)]
+pub struct ConsumeOk<S> {
+    /// State with the resource removed.
+    pub state: S,
+    /// The out-parameters of the consumed predicate.
+    pub outs: Vec<Expr>,
+    /// New pure facts learned by the consumption.
+    pub facts: Vec<Expr>,
+}
+
+/// The result of consuming a core predicate.
+#[derive(Clone, Debug)]
+pub enum ConsumeResult<S> {
+    Ok(Vec<ConsumeOk<S>>),
+    /// The resource is not present. The hint is used for automatic recovery.
+    Missing { msg: String, hint: Vec<Expr> },
+    Error(String),
+}
+
+/// The result of producing a core predicate: zero or more branches (an empty
+/// vector means the production *vanished*, i.e. it is inconsistent — for
+/// example producing an alive lifetime token for an expired lifetime).
+#[derive(Clone, Debug)]
+pub struct ProduceOk<S> {
+    pub state: S,
+    pub facts: Vec<Expr>,
+}
+
+/// A state model: the symbolic memory (and any other components) of the
+/// target language.
+pub trait StateModel: Clone + std::fmt::Debug {
+    /// An empty state.
+    fn empty() -> Self;
+
+    /// Executes a primitive action.
+    fn exec_action(&self, name: Symbol, args: &[Expr], ctx: &mut PureCtx<'_>)
+        -> ActionResult<Self>;
+
+    /// Consumes a core predicate given its in-parameters, returning its outs.
+    fn consume_core(
+        &self,
+        name: Symbol,
+        ins: &[Expr],
+        ctx: &mut PureCtx<'_>,
+    ) -> ConsumeResult<Self>;
+
+    /// Produces a core predicate given both ins and outs.
+    fn produce_core(
+        &self,
+        name: Symbol,
+        ins: &[Expr],
+        outs: &[Expr],
+        ctx: &mut PureCtx<'_>,
+    ) -> Vec<ProduceOk<Self>>;
+
+    /// Splits the arguments of a core predicate (as written in an assertion,
+    /// ins followed by outs) into ins and outs.
+    fn core_arity(&self, name: Symbol) -> Option<(usize, usize)>;
+
+    /// Extra pure assumptions carried by the state and valid on every path
+    /// (e.g. the observation context φ of Gillian-Rust, which acts as a
+    /// secondary path condition — §5.2). Used for feasibility checks and
+    /// entailments, never mutated by the engine.
+    fn assumptions(&self) -> Vec<Expr> {
+        vec![]
+    }
+
+    /// Is the state observably empty (no remaining spatial resource)? Used to
+    /// report leaks at the end of verification (informative only).
+    fn is_empty_heap(&self) -> bool;
+}
+
+/// A trivial state model with no memory at all. Useful for engine tests and
+/// for pure-logic verification (creusot-lite's WP checker does not need a
+/// heap).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EmptyState;
+
+impl StateModel for EmptyState {
+    fn empty() -> Self {
+        EmptyState
+    }
+
+    fn exec_action(
+        &self,
+        name: Symbol,
+        _args: &[Expr],
+        _ctx: &mut PureCtx<'_>,
+    ) -> ActionResult<Self> {
+        ActionResult::Error(format!("EmptyState has no action named {name}"))
+    }
+
+    fn consume_core(
+        &self,
+        name: Symbol,
+        _ins: &[Expr],
+        _ctx: &mut PureCtx<'_>,
+    ) -> ConsumeResult<Self> {
+        ConsumeResult::Error(format!("EmptyState has no core predicate named {name}"))
+    }
+
+    fn produce_core(
+        &self,
+        _name: Symbol,
+        _ins: &[Expr],
+        _outs: &[Expr],
+        _ctx: &mut PureCtx<'_>,
+    ) -> Vec<ProduceOk<Self>> {
+        vec![]
+    }
+
+    fn core_arity(&self, _name: Symbol) -> Option<(usize, usize)> {
+        None
+    }
+
+    fn is_empty_heap(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_ctx_assume_and_entail() {
+        let solver = Solver::new();
+        let mut path = Vec::new();
+        let mut vars = VarGen::new();
+        let mut ctx = PureCtx {
+            solver: &solver,
+            path: &mut path,
+            vars: &mut vars,
+        };
+        let x = ctx.fresh();
+        assert!(ctx.assume(Expr::eq(x.clone(), Expr::Int(3))));
+        assert!(ctx.entails(&Expr::lt(x.clone(), Expr::Int(10))));
+        assert!(!ctx.assume(Expr::eq(x, Expr::Int(4))));
+    }
+
+    #[test]
+    fn pure_ctx_possibly() {
+        let solver = Solver::new();
+        let mut path = Vec::new();
+        let mut vars = VarGen::new();
+        let mut ctx = PureCtx {
+            solver: &solver,
+            path: &mut path,
+            vars: &mut vars,
+        };
+        let x = ctx.fresh();
+        assert!(ctx.possibly(&Expr::eq(x.clone(), Expr::Int(1))));
+        assert!(ctx.assume(Expr::ne(x.clone(), Expr::Int(1))));
+        assert!(!ctx.possibly(&Expr::eq(x, Expr::Int(1))));
+    }
+
+    #[test]
+    fn empty_state_refuses_everything() {
+        let solver = Solver::new();
+        let mut path = Vec::new();
+        let mut vars = VarGen::new();
+        let mut ctx = PureCtx {
+            solver: &solver,
+            path: &mut path,
+            vars: &mut vars,
+        };
+        let s = EmptyState;
+        match s.exec_action(Symbol::new("load"), &[], &mut ctx) {
+            ActionResult::Error(_) => {}
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert!(s.is_empty_heap());
+    }
+}

@@ -1,0 +1,336 @@
+//! Function bodies: a MIR-like control-flow-graph representation.
+//!
+//! Bodies consist of basic blocks of statements ended by a terminator.
+//! Places, operands and rvalues follow MIR closely enough that the
+//! Gillian-Rust compiler (`gillian-rust::compile`) is a faithful stand-in for
+//! the real MIR→GIL translation, while staying small enough to construct by
+//! hand in the case studies.
+
+use crate::ty::{Name, Ty};
+use std::fmt;
+
+/// Identifier of a basic block within a body.
+pub type BlockId = usize;
+
+/// A place: a local variable with a sequence of projections.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Place {
+    pub local: Name,
+    pub proj: Vec<PlaceElem>,
+}
+
+impl Place {
+    /// A bare local.
+    pub fn local(name: &str) -> Place {
+        Place {
+            local: name.to_owned(),
+            proj: vec![],
+        }
+    }
+
+    /// Adds a dereference projection.
+    pub fn deref(mut self) -> Place {
+        self.proj.push(PlaceElem::Deref);
+        self
+    }
+
+    /// Adds a field projection (by index).
+    pub fn field(mut self, idx: usize) -> Place {
+        self.proj.push(PlaceElem::Field(idx));
+        self
+    }
+
+    /// Adds an index projection (pointer arithmetic on arrays/slices).
+    pub fn index(mut self, op: Operand) -> Place {
+        self.proj.push(PlaceElem::Index(op));
+        self
+    }
+}
+
+/// One projection element of a place.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlaceElem {
+    /// Dereference a pointer/reference/box.
+    Deref,
+    /// Select the n-th field of a struct.
+    Field(usize),
+    /// Index into an array-like region (in elements of the pointee type).
+    Index(Operand),
+}
+
+/// A constant value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConstVal {
+    Unit,
+    Bool(bool),
+    Int(i128, crate::ty::IntTy),
+    /// `Option::None` of the given payload type.
+    NoneOf(Ty),
+    /// The maximum value of an integer type (e.g. `usize::MAX`).
+    IntMax(crate::ty::IntTy),
+}
+
+/// An operand: the argument of an rvalue or call.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operand {
+    /// Copy the value of a place.
+    Copy(Place),
+    /// Move the value out of a place (deinitialises the place).
+    Move(Place),
+    /// A constant.
+    Const(ConstVal),
+}
+
+impl Operand {
+    pub fn copy(place: Place) -> Operand {
+        Operand::Copy(place)
+    }
+
+    pub fn local(name: &str) -> Operand {
+        Operand::Copy(Place::local(name))
+    }
+
+    pub fn mv(place: Place) -> Operand {
+        Operand::Move(place)
+    }
+
+    pub fn usize(v: u64) -> Operand {
+        Operand::Const(ConstVal::Int(v as i128, crate::ty::IntTy::Usize))
+    }
+
+    pub fn i32(v: i32) -> Operand {
+        Operand::Const(ConstVal::Int(v as i128, crate::ty::IntTy::I32))
+    }
+
+    pub fn bool(v: bool) -> Operand {
+        Operand::Const(ConstVal::Bool(v))
+    }
+
+    pub fn unit() -> Operand {
+        Operand::Const(ConstVal::Unit)
+    }
+
+    pub fn none(ty: Ty) -> Operand {
+        Operand::Const(ConstVal::NoneOf(ty))
+    }
+}
+
+/// Binary operators available in bodies. Arithmetic on machine integers is
+/// checked: the compiler emits an overflow assertion matching Rust semantics
+/// for `+`, `-` and `*` in debug mode (and the standard library's explicit
+/// checks elsewhere).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    Not,
+    Neg,
+}
+
+/// The kind of an aggregate rvalue.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AggregateKind {
+    /// A struct value of the given ADT (with generic arguments).
+    Struct(Name, Vec<Ty>),
+    /// An enum variant of the given ADT.
+    EnumVariant(Name, Vec<Ty>, usize),
+    /// `Option::Some` of the given payload type.
+    Some(Ty),
+    /// A tuple.
+    Tuple,
+}
+
+/// Right-hand sides of assignments.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Rvalue {
+    /// Use an operand as-is.
+    Use(Operand),
+    /// Take a mutable reference to a place.
+    MutRef(Place),
+    /// Take the raw address of a place (`&raw mut`).
+    AddrOf(Place),
+    /// Binary operation.
+    BinaryOp(BinOp, Operand, Operand),
+    /// Unary operation.
+    UnaryOp(UnOp, Operand),
+    /// Build an aggregate value.
+    Aggregate(AggregateKind, Vec<Operand>),
+    /// Cast a pointer operand to another pointer type (layout-preserving).
+    PtrCast(Operand, Ty),
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `place = rvalue`.
+    Assign(Place, Rvalue),
+    /// A no-op (used to keep source-line accounting stable).
+    Nop,
+}
+
+/// A block terminator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Goto(BlockId),
+    /// Branch on a boolean operand.
+    If {
+        cond: Operand,
+        then_blk: BlockId,
+        else_blk: BlockId,
+    },
+    /// Match on an `Option` operand; in the `Some` branch the payload is
+    /// bound to `bind`.
+    MatchOption {
+        scrutinee: Operand,
+        none_blk: BlockId,
+        some_blk: BlockId,
+        bind: Name,
+    },
+    /// Call a function. `generics` records the type arguments (used by the
+    /// compiler for monomorphisation-time predicate selection).
+    Call {
+        func: Name,
+        generics: Vec<Ty>,
+        args: Vec<Operand>,
+        dest: Place,
+        target: BlockId,
+    },
+    /// Return the value of the distinguished local `_ret`.
+    Return,
+    /// A panic (e.g. an explicit `panic!` or an arithmetic overflow check).
+    Panic(String),
+}
+
+/// A basic block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BasicBlock {
+    pub stmts: Vec<Statement>,
+    pub term: Terminator,
+}
+
+/// A function body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Body {
+    /// Local variables (excluding parameters) with their types.
+    pub locals: Vec<(Name, Ty)>,
+    /// Basic blocks; execution starts at block 0.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Body {
+    /// Number of executable "lines": statements plus terminators. Used for
+    /// the eLoC column of Table 1.
+    pub fn executable_lines(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| b.stmts.len() + 1)
+            .sum::<usize>()
+    }
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FnDef {
+    pub name: Name,
+    /// Generic type parameters.
+    pub generics: Vec<Name>,
+    /// Parameters (name, type).
+    pub params: Vec<(Name, Ty)>,
+    /// Return type.
+    pub ret_ty: Ty,
+    /// The body; `None` for extern/axiomatised functions.
+    pub body: Option<Body>,
+    /// Is the function (or its body) `unsafe`?
+    pub is_unsafe: bool,
+}
+
+impl FnDef {
+    /// Executable lines of code of this function (0 when body-less).
+    pub fn executable_lines(&self) -> usize {
+        self.body.as_ref().map_or(0, |b| b.executable_lines())
+    }
+}
+
+impl fmt::Display for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.local)?;
+        for p in &self.proj {
+            match p {
+                PlaceElem::Deref => write!(f, ".*")?,
+                PlaceElem::Field(i) => write!(f, ".{i}")?,
+                PlaceElem::Index(op) => write!(f, "[{op:?}]")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::IntTy;
+
+    #[test]
+    fn place_projection_builders() {
+        let p = Place::local("self").deref().field(0);
+        assert_eq!(p.proj.len(), 2);
+        assert_eq!(format!("{p}"), "self.*.0");
+    }
+
+    #[test]
+    fn executable_lines_counts_statements_and_terminators() {
+        let body = Body {
+            locals: vec![],
+            blocks: vec![
+                BasicBlock {
+                    stmts: vec![Statement::Nop, Statement::Nop],
+                    term: Terminator::Goto(1),
+                },
+                BasicBlock {
+                    stmts: vec![],
+                    term: Terminator::Return,
+                },
+            ],
+        };
+        assert_eq!(body.executable_lines(), 4);
+    }
+
+    #[test]
+    fn operand_constructors() {
+        assert_eq!(
+            Operand::usize(3),
+            Operand::Const(ConstVal::Int(3, IntTy::Usize))
+        );
+        assert_eq!(Operand::bool(true), Operand::Const(ConstVal::Bool(true)));
+    }
+
+    #[test]
+    fn fn_def_without_body_has_no_lines() {
+        let f = FnDef {
+            name: "extern_fn".into(),
+            generics: vec![],
+            params: vec![],
+            ret_ty: Ty::Unit,
+            body: None,
+            is_unsafe: false,
+        };
+        assert_eq!(f.executable_lines(), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! A fluent builder for function bodies.
+//!
+//! Case studies construct mini-MIR programmatically; this builder keeps those
+//! constructions readable and close to the shape of the original Rust source
+//! (one builder call per source statement).
+
+use crate::body::{
+    AggregateKind, BasicBlock, BinOp, Body, ConstVal, FnDef, Operand, Place, Rvalue, Statement,
+    Terminator, UnOp,
+};
+use crate::ty::{Name, Ty};
+
+/// Builder for a single function body.
+#[derive(Debug)]
+pub struct BodyBuilder {
+    name: Name,
+    generics: Vec<Name>,
+    params: Vec<(Name, Ty)>,
+    ret_ty: Ty,
+    is_unsafe: bool,
+    locals: Vec<(Name, Ty)>,
+    blocks: Vec<Option<BasicBlock>>,
+    current: usize,
+    current_stmts: Vec<Statement>,
+}
+
+impl BodyBuilder {
+    /// Starts building a function.
+    pub fn new(name: &str, params: Vec<(&str, Ty)>, ret_ty: Ty) -> Self {
+        let mut b = BodyBuilder {
+            name: name.to_owned(),
+            generics: vec![],
+            params: params
+                .into_iter()
+                .map(|(n, t)| (n.to_owned(), t))
+                .collect(),
+            ret_ty,
+            is_unsafe: false,
+            locals: vec![],
+            blocks: vec![None],
+            current: 0,
+            current_stmts: vec![],
+        };
+        b.locals.push(("_ret".to_owned(), b.ret_ty.clone()));
+        b
+    }
+
+    /// Declares the function as generic over the given type parameters.
+    pub fn generics(mut self, generics: &[&str]) -> Self {
+        self.generics = generics.iter().map(|g| (*g).to_owned()).collect();
+        self
+    }
+
+    /// Marks the function as unsafe (or as containing unsafe blocks).
+    pub fn unsafe_fn(mut self) -> Self {
+        self.is_unsafe = true;
+        self
+    }
+
+    /// Declares a local variable.
+    pub fn local(&mut self, name: &str, ty: Ty) -> Place {
+        self.locals.push((name.to_owned(), ty));
+        Place::local(name)
+    }
+
+    /// Reserves a new basic block and returns its id.
+    pub fn new_block(&mut self) -> usize {
+        self.blocks.push(None);
+        self.blocks.len() - 1
+    }
+
+    /// Switches to filling the given (previously reserved) block.
+    ///
+    /// # Panics
+    /// Panics if the current block has pending statements but no terminator.
+    pub fn switch_to(&mut self, blk: usize) {
+        assert!(
+            self.current_stmts.is_empty(),
+            "block {} was left without a terminator",
+            self.current
+        );
+        self.current = blk;
+    }
+
+    /// Appends a statement to the current block.
+    pub fn stmt(&mut self, stmt: Statement) -> &mut Self {
+        self.current_stmts.push(stmt);
+        self
+    }
+
+    /// `place = rvalue`.
+    pub fn assign(&mut self, place: Place, rvalue: Rvalue) -> &mut Self {
+        self.stmt(Statement::Assign(place, rvalue))
+    }
+
+    /// `place = operand`.
+    pub fn assign_use(&mut self, place: Place, op: Operand) -> &mut Self {
+        self.assign(place, Rvalue::Use(op))
+    }
+
+    /// `place = a <op> b`.
+    pub fn assign_binop(&mut self, place: Place, op: BinOp, a: Operand, b: Operand) -> &mut Self {
+        self.assign(place, Rvalue::BinaryOp(op, a, b))
+    }
+
+    /// `place = !a` / `-a`.
+    pub fn assign_unop(&mut self, place: Place, op: UnOp, a: Operand) -> &mut Self {
+        self.assign(place, Rvalue::UnaryOp(op, a))
+    }
+
+    /// `place = Aggregate(..)`.
+    pub fn assign_aggregate(
+        &mut self,
+        place: Place,
+        kind: AggregateKind,
+        ops: Vec<Operand>,
+    ) -> &mut Self {
+        self.assign(place, Rvalue::Aggregate(kind, ops))
+    }
+
+    /// Ends the current block with the given terminator.
+    pub fn terminate(&mut self, term: Terminator) {
+        let stmts = std::mem::take(&mut self.current_stmts);
+        self.blocks[self.current] = Some(BasicBlock { stmts, term });
+    }
+
+    /// Ends the current block with a `Goto`.
+    pub fn goto(&mut self, blk: usize) {
+        self.terminate(Terminator::Goto(blk));
+    }
+
+    /// Ends the current block with a `Return`.
+    pub fn ret(&mut self) {
+        self.terminate(Terminator::Return);
+    }
+
+    /// Ends the current block with `_ret = op; return`.
+    pub fn ret_val(&mut self, op: Operand) {
+        self.assign_use(Place::local("_ret"), op);
+        self.terminate(Terminator::Return);
+    }
+
+    /// Ends the current block with a conditional branch.
+    pub fn branch_if(&mut self, cond: Operand, then_blk: usize, else_blk: usize) {
+        self.terminate(Terminator::If {
+            cond,
+            then_blk,
+            else_blk,
+        });
+    }
+
+    /// Ends the current block with an `Option` match.
+    pub fn match_option(
+        &mut self,
+        scrutinee: Operand,
+        none_blk: usize,
+        some_blk: usize,
+        bind: &str,
+    ) {
+        self.terminate(Terminator::MatchOption {
+            scrutinee,
+            none_blk,
+            some_blk,
+            bind: bind.to_owned(),
+        });
+    }
+
+    /// Ends the current block with a call.
+    pub fn call(
+        &mut self,
+        func: &str,
+        generics: Vec<Ty>,
+        args: Vec<Operand>,
+        dest: Place,
+        target: usize,
+    ) {
+        self.terminate(Terminator::Call {
+            func: func.to_owned(),
+            generics,
+            args,
+            dest,
+            target,
+        });
+    }
+
+    /// Ends the current block with a panic.
+    pub fn panic(&mut self, msg: &str) {
+        self.terminate(Terminator::Panic(msg.to_owned()));
+    }
+
+    /// Finishes the function.
+    ///
+    /// # Panics
+    /// Panics if any reserved block was never filled.
+    pub fn finish(self) -> FnDef {
+        assert!(
+            self.current_stmts.is_empty(),
+            "the current block was left without a terminator"
+        );
+        let blocks: Vec<BasicBlock> = self
+            .blocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| b.unwrap_or_else(|| panic!("block {i} was never terminated")))
+            .collect();
+        FnDef {
+            name: self.name,
+            generics: self.generics,
+            params: self.params,
+            ret_ty: self.ret_ty,
+            body: Some(Body {
+                locals: self.locals,
+                blocks,
+            }),
+            is_unsafe: self.is_unsafe,
+        }
+    }
+}
+
+/// Convenience constructors for constants.
+pub fn const_usize(v: u64) -> Operand {
+    Operand::Const(ConstVal::Int(v as i128, crate::ty::IntTy::Usize))
+}
+
+/// The `usize::MAX` constant.
+pub fn const_usize_max() -> Operand {
+    Operand::Const(ConstVal::IntMax(crate::ty::IntTy::Usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::Ty;
+
+    #[test]
+    fn build_straight_line_function() {
+        let mut b = BodyBuilder::new("add_one", vec![("x", Ty::usize())], Ty::usize());
+        let tmp = b.local("tmp", Ty::usize());
+        b.assign_binop(
+            tmp.clone(),
+            BinOp::Add,
+            Operand::local("x"),
+            const_usize(1),
+        );
+        b.ret_val(Operand::copy(tmp));
+        let f = b.finish();
+        assert_eq!(f.name, "add_one");
+        assert_eq!(f.body.as_ref().unwrap().blocks.len(), 1);
+        assert!(f.executable_lines() >= 2);
+    }
+
+    #[test]
+    fn build_branching_function() {
+        let mut b = BodyBuilder::new("abs_sign", vec![("x", Ty::i32())], Ty::Bool);
+        let pos = b.new_block();
+        let neg = b.new_block();
+        b.branch_if(Operand::local("x"), pos, neg);
+        b.switch_to(pos);
+        b.ret_val(Operand::bool(true));
+        b.switch_to(neg);
+        b.ret_val(Operand::bool(false));
+        let f = b.finish();
+        assert_eq!(f.body.unwrap().blocks.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "never terminated")]
+    fn unterminated_block_panics() {
+        let mut b = BodyBuilder::new("bad", vec![], Ty::Unit);
+        let _ = b.new_block();
+        b.ret();
+        let _ = b.finish();
+    }
+}

@@ -1,0 +1,264 @@
+//! Layout oracle.
+//!
+//! Gillian-Rust's memory model is layout-independent: structural nodes never
+//! consult field offsets (§3.1–3.2). The layout oracle exists for two
+//! purposes only:
+//!
+//! * sizes of *sized, non-generic* types, used by laid-out nodes (arrays and
+//!   byte allocations) for indexing arithmetic; and
+//! * testing: the oracle can be instantiated with different field orderings
+//!   (`LayoutChoice`) so the test suite can check that verification results
+//!   do not depend on the compiler's layout decisions.
+
+use crate::program::Program;
+use crate::ty::{AdtKind, IntTy, Ty};
+
+/// A layout policy for struct fields — the compiler is free to reorder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayoutChoice {
+    /// Fields in declaration order.
+    DeclarationOrder,
+    /// Fields from largest to smallest (what rustc usually does).
+    LargestFirst,
+    /// Fields from smallest to largest.
+    SmallestFirst,
+}
+
+/// The layout oracle.
+#[derive(Clone, Debug)]
+pub struct LayoutOracle {
+    pub choice: LayoutChoice,
+    /// Pointer size in bytes.
+    pub pointer_size: u64,
+}
+
+impl Default for LayoutOracle {
+    fn default() -> Self {
+        LayoutOracle {
+            choice: LayoutChoice::LargestFirst,
+            pointer_size: 8,
+        }
+    }
+}
+
+impl LayoutOracle {
+    pub fn new(choice: LayoutChoice) -> Self {
+        LayoutOracle {
+            choice,
+            ..Default::default()
+        }
+    }
+
+    /// The size in bytes of a type, if it is statically known and the type is
+    /// not generic. Generic and unsized types return `None` — callers must
+    /// treat their sizes symbolically.
+    pub fn size_of(&self, ty: &Ty, prog: &Program) -> Option<u64> {
+        match ty {
+            Ty::Unit => Some(0),
+            Ty::Bool => Some(1),
+            Ty::Int(i) => Some(i.size()),
+            Ty::RawPtr(_) | Ty::Ref(..) | Ty::NonNull(_) | Ty::Boxed(_) => {
+                Some(self.pointer_size)
+            }
+            // Option<ptr-like> enjoys the niche optimisation; other Options
+            // need a discriminant byte plus alignment.
+            Ty::Option(inner) => {
+                let inner_size = self.size_of(inner, prog)?;
+                if inner.is_pointer_like() {
+                    Some(inner_size)
+                } else {
+                    Some(inner_size + self.align_of(inner, prog)?)
+                }
+            }
+            Ty::Tuple(items) => {
+                let mut total = 0;
+                for t in items {
+                    total += self.size_of(t, prog)?;
+                }
+                Some(total)
+            }
+            Ty::Adt(name, args) => {
+                if args.iter().any(|a| a.mentions_param()) {
+                    return None;
+                }
+                let def = prog.adt(name)?;
+                match &def.kind {
+                    AdtKind::Struct { fields } => {
+                        let mut total = 0u64;
+                        let mut max_align = 1u64;
+                        for (_, fty) in fields {
+                            let fty = fty.subst(&|p| {
+                                def.generics
+                                    .iter()
+                                    .position(|g| g == p)
+                                    .and_then(|i| args.get(i).cloned())
+                            });
+                            let sz = self.size_of(&fty, prog)?;
+                            let al = self.align_of(&fty, prog)?;
+                            max_align = max_align.max(al);
+                            // Pad to alignment.
+                            if al > 0 && total % al != 0 {
+                                total += al - total % al;
+                            }
+                            total += sz;
+                        }
+                        if max_align > 0 && total % max_align != 0 {
+                            total += max_align - total % max_align;
+                        }
+                        Some(total)
+                    }
+                    AdtKind::Enum { variants } => {
+                        let mut max = 0u64;
+                        for (_, tys) in variants {
+                            let mut v = 0;
+                            for t in tys {
+                                v += self.size_of(t, prog)?;
+                            }
+                            max = max.max(v);
+                        }
+                        Some(max + 8)
+                    }
+                }
+            }
+            Ty::Param(_) => None,
+        }
+    }
+
+    /// Alignment of a type in bytes (approximate, adequate for the tests).
+    pub fn align_of(&self, ty: &Ty, prog: &Program) -> Option<u64> {
+        match ty {
+            Ty::Unit => Some(1),
+            Ty::Bool => Some(1),
+            Ty::Int(i) => Some(i.size()),
+            Ty::RawPtr(_) | Ty::Ref(..) | Ty::NonNull(_) | Ty::Boxed(_) => {
+                Some(self.pointer_size)
+            }
+            Ty::Option(inner) => self.align_of(inner, prog),
+            Ty::Tuple(items) => {
+                let mut max = 1;
+                for t in items {
+                    max = std::cmp::max(max, self.align_of(t, prog)?);
+                }
+                Some(max)
+            }
+            Ty::Adt(name, args) => {
+                if args.iter().any(|a| a.mentions_param()) {
+                    return None;
+                }
+                let def = prog.adt(name)?;
+                match &def.kind {
+                    AdtKind::Struct { fields } => {
+                        let mut max = 1;
+                        for (_, fty) in fields {
+                            let fty = fty.subst(&|p| {
+                                def.generics
+                                    .iter()
+                                    .position(|g| g == p)
+                                    .and_then(|i| args.get(i).cloned())
+                            });
+                            max = std::cmp::max(max, self.align_of(&fty, prog)?);
+                        }
+                        Some(max)
+                    }
+                    AdtKind::Enum { .. } => Some(8),
+                }
+            }
+            Ty::Param(_) => None,
+        }
+    }
+
+    /// The field ordering chosen for a struct: a permutation of field indices.
+    /// The verifier never uses this — it exists so that tests can check
+    /// layout-independence of verification results.
+    pub fn field_order(&self, name: &str, prog: &Program) -> Option<Vec<usize>> {
+        let def = prog.adt(name)?;
+        let AdtKind::Struct { fields } = &def.kind else {
+            return None;
+        };
+        let mut idx: Vec<usize> = (0..fields.len()).collect();
+        match self.choice {
+            LayoutChoice::DeclarationOrder => {}
+            LayoutChoice::LargestFirst => {
+                idx.sort_by_key(|&i| {
+                    std::cmp::Reverse(self.size_of(&fields[i].1, prog).unwrap_or(u64::MAX))
+                });
+            }
+            LayoutChoice::SmallestFirst => {
+                idx.sort_by_key(|&i| self.size_of(&fields[i].1, prog).unwrap_or(u64::MAX));
+            }
+        }
+        Some(idx)
+    }
+
+    /// The size of the integer type used in the paper's examples
+    /// (`usize::MAX` on a 64-bit target).
+    pub fn usize_max(&self) -> i128 {
+        IntTy::Usize.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use crate::ty::AdtDef;
+
+    fn prog_with_s() -> Program {
+        let mut p = Program::new("test");
+        p.add_adt(AdtDef::strukt(
+            "S",
+            &[],
+            vec![("x", Ty::Int(IntTy::U32)), ("y", Ty::Int(IntTy::U64))],
+        ));
+        p
+    }
+
+    #[test]
+    fn primitive_sizes() {
+        let p = Program::new("t");
+        let o = LayoutOracle::default();
+        assert_eq!(o.size_of(&Ty::Bool, &p), Some(1));
+        assert_eq!(o.size_of(&Ty::Int(IntTy::U32), &p), Some(4));
+        assert_eq!(o.size_of(&Ty::raw_ptr(Ty::u8()), &p), Some(8));
+    }
+
+    #[test]
+    fn niche_optimisation_for_option_of_pointer() {
+        let p = Program::new("t");
+        let o = LayoutOracle::default();
+        let ty = Ty::option(Ty::non_null(Ty::u8()));
+        assert_eq!(o.size_of(&ty, &p), Some(8));
+    }
+
+    #[test]
+    fn generic_types_have_symbolic_size() {
+        let p = Program::new("t");
+        let o = LayoutOracle::default();
+        assert_eq!(o.size_of(&Ty::param("T"), &p), None);
+        assert_eq!(o.size_of(&Ty::adt("Node", vec![Ty::param("T")]), &p), None);
+    }
+
+    #[test]
+    fn struct_size_is_the_paper_example() {
+        // struct S { x: u32, y: u64 } occupies 16 bytes regardless of field
+        // ordering (Fig. in §3.2).
+        let p = prog_with_s();
+        for choice in [
+            LayoutChoice::DeclarationOrder,
+            LayoutChoice::LargestFirst,
+            LayoutChoice::SmallestFirst,
+        ] {
+            let o = LayoutOracle::new(choice);
+            assert_eq!(o.size_of(&Ty::adt("S", vec![]), &p), Some(16));
+        }
+    }
+
+    #[test]
+    fn field_order_depends_on_choice() {
+        let p = prog_with_s();
+        let largest = LayoutOracle::new(LayoutChoice::LargestFirst);
+        let smallest = LayoutOracle::new(LayoutChoice::SmallestFirst);
+        assert_eq!(largest.field_order("S", &p), Some(vec![1, 0]));
+        assert_eq!(smallest.field_order("S", &p), Some(vec![0, 1]));
+    }
+}

@@ -1,0 +1,39 @@
+//! # rust-ir
+//!
+//! A MIR-like intermediate representation ("mini-MIR") of Rust programs.
+//!
+//! The original Gillian-Rust is a `rustc` driver that consumes the compiler's
+//! MIR. This reproduction cannot link against `rustc` (see DESIGN.md), so the
+//! case studies are expressed in this crate's IR instead: types with generics
+//! and lifetimes, ADTs, control-flow-graph bodies with places/rvalues/
+//! terminators, and a layout oracle that can vary field orderings — which the
+//! verifier never relies on, mirroring the layout-independence requirement of
+//! §3 of the paper.
+//!
+//! ```
+//! use rust_ir::builder::BodyBuilder;
+//! use rust_ir::body::Operand;
+//! use rust_ir::program::Program;
+//! use rust_ir::ty::Ty;
+//!
+//! let mut program = Program::new("demo");
+//! let mut f = BodyBuilder::new("answer", vec![], Ty::usize());
+//! f.ret_val(Operand::usize(42));
+//! program.add_fn(f.finish());
+//! assert_eq!(program.executable_lines(), 2);
+//! ```
+
+pub mod body;
+pub mod builder;
+pub mod layout;
+pub mod program;
+pub mod ty;
+
+pub use body::{
+    AggregateKind, BasicBlock, BinOp, BlockId, Body, ConstVal, FnDef, Operand, Place, PlaceElem,
+    Rvalue, Statement, Terminator, UnOp,
+};
+pub use builder::BodyBuilder;
+pub use layout::{LayoutChoice, LayoutOracle};
+pub use program::Program;
+pub use ty::{AdtDef, AdtKind, IntTy, Lifetime, Mutability, Name, Ty};

@@ -1,0 +1,104 @@
+//! A program: a collection of ADT definitions and functions.
+
+use crate::body::FnDef;
+use crate::ty::{AdtDef, Name, Ty};
+use std::collections::BTreeMap;
+
+/// A mini-MIR program (one "crate" being verified).
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Crate name (used in reports).
+    pub name: Name,
+    adts: BTreeMap<Name, AdtDef>,
+    fns: BTreeMap<Name, FnDef>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: &str) -> Program {
+        Program {
+            name: name.to_owned(),
+            adts: BTreeMap::new(),
+            fns: BTreeMap::new(),
+        }
+    }
+
+    /// Registers an ADT definition.
+    pub fn add_adt(&mut self, adt: AdtDef) -> &mut Self {
+        self.adts.insert(adt.name.clone(), adt);
+        self
+    }
+
+    /// Registers a function.
+    pub fn add_fn(&mut self, f: FnDef) -> &mut Self {
+        self.fns.insert(f.name.clone(), f);
+        self
+    }
+
+    /// Looks up an ADT by name.
+    pub fn adt(&self, name: &str) -> Option<&AdtDef> {
+        self.adts.get(name)
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&FnDef> {
+        self.fns.get(name)
+    }
+
+    /// Iterates over all functions.
+    pub fn functions(&self) -> impl Iterator<Item = &FnDef> {
+        self.fns.values()
+    }
+
+    /// Iterates over all ADTs.
+    pub fn adts(&self) -> impl Iterator<Item = &AdtDef> {
+        self.adts.values()
+    }
+
+    /// Total executable lines of code across all functions (eLoC).
+    pub fn executable_lines(&self) -> usize {
+        self.fns.values().map(|f| f.executable_lines()).sum()
+    }
+
+    /// Resolves the struct field type for a place projection: given the ADT
+    /// name, its generic arguments and a field index.
+    pub fn field_ty(&self, adt: &str, args: &[Ty], idx: usize) -> Option<Ty> {
+        self.adt(adt).and_then(|def| def.field_ty(idx, args))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BodyBuilder;
+    use crate::ty::AdtDef;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut p = Program::new("demo");
+        p.add_adt(AdtDef::strukt("Pair", &[], vec![("a", Ty::i32()), ("b", Ty::i32())]));
+        let mut b = BodyBuilder::new("noop", vec![], Ty::Unit);
+        b.ret();
+        p.add_fn(b.finish());
+        assert!(p.adt("Pair").is_some());
+        assert!(p.function("noop").is_some());
+        assert!(p.function("missing").is_none());
+        assert_eq!(p.functions().count(), 1);
+    }
+
+    #[test]
+    fn executable_lines_sum() {
+        let mut p = Program::new("demo");
+        let mut b = BodyBuilder::new("noop", vec![], Ty::Unit);
+        b.ret();
+        p.add_fn(b.finish());
+        assert_eq!(p.executable_lines(), 1);
+    }
+
+    #[test]
+    fn field_ty_resolves_generics() {
+        let mut p = Program::new("demo");
+        p.add_adt(AdtDef::strukt("Wrap", &["T"], vec![("inner", Ty::param("T"))]));
+        assert_eq!(p.field_ty("Wrap", &[Ty::i32()], 0), Some(Ty::i32()));
+    }
+}

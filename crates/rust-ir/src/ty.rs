@@ -1,0 +1,400 @@
+//! Rust types and algebraic data types, as seen by the verifier.
+//!
+//! This mirrors the part of `rustc`'s type system that Gillian-Rust needs:
+//! machine integers of every width, booleans, raw pointers, references with
+//! lifetimes, `Box`, `NonNull`, `Option`, user ADTs with generic parameters,
+//! and generic type parameters themselves. Layout questions (sizes, field
+//! orderings) are delegated to [`crate::layout`], and are *never* answered for
+//! generic types — the verifier must stay layout-independent (§3.1).
+
+use std::fmt;
+
+/// Interned name type re-used from the solver crate would create a dependency
+/// cycle concern for a pure-IR crate, so plain `String`-backed names are used
+/// here; they are interned again at compilation time.
+pub type Name = String;
+
+/// Machine integer types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IntTy {
+    I8,
+    I16,
+    I32,
+    I64,
+    I128,
+    Isize,
+    U8,
+    U16,
+    U32,
+    U64,
+    U128,
+    Usize,
+}
+
+impl IntTy {
+    /// Is this an unsigned type?
+    pub fn is_unsigned(self) -> bool {
+        matches!(
+            self,
+            IntTy::U8 | IntTy::U16 | IntTy::U32 | IntTy::U64 | IntTy::U128 | IntTy::Usize
+        )
+    }
+
+    /// Size in bytes (pointer-sized types use the common 64-bit target).
+    pub fn size(self) -> u64 {
+        match self {
+            IntTy::I8 | IntTy::U8 => 1,
+            IntTy::I16 | IntTy::U16 => 2,
+            IntTy::I32 | IntTy::U32 => 4,
+            IntTy::I64 | IntTy::U64 | IntTy::Isize | IntTy::Usize => 8,
+            IntTy::I128 | IntTy::U128 => 16,
+        }
+    }
+
+    /// The smallest representable value.
+    pub fn min(self) -> i128 {
+        if self.is_unsigned() {
+            0
+        } else {
+            match self.size() {
+                1 => i8::MIN as i128,
+                2 => i16::MIN as i128,
+                4 => i32::MIN as i128,
+                8 => i64::MIN as i128,
+                _ => i128::MIN,
+            }
+        }
+    }
+
+    /// The largest representable value.
+    pub fn max(self) -> i128 {
+        match (self.is_unsigned(), self.size()) {
+            (true, 1) => u8::MAX as i128,
+            (true, 2) => u16::MAX as i128,
+            (true, 4) => u32::MAX as i128,
+            (true, 8) => u64::MAX as i128,
+            (true, _) => i128::MAX, // u128::MAX clipped to i128 range
+            (false, 1) => i8::MAX as i128,
+            (false, 2) => i16::MAX as i128,
+            (false, 4) => i32::MAX as i128,
+            (false, 8) => i64::MAX as i128,
+            (false, _) => i128::MAX,
+        }
+    }
+}
+
+impl fmt::Display for IntTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IntTy::I8 => "i8",
+            IntTy::I16 => "i16",
+            IntTy::I32 => "i32",
+            IntTy::I64 => "i64",
+            IntTy::I128 => "i128",
+            IntTy::Isize => "isize",
+            IntTy::U8 => "u8",
+            IntTy::U16 => "u16",
+            IntTy::U32 => "u32",
+            IntTy::U64 => "u64",
+            IntTy::U128 => "u128",
+            IntTy::Usize => "usize",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Mutability of references and raw pointers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mutability {
+    Not,
+    Mut,
+}
+
+/// A named lifetime (e.g. `'a`); the verifier reasons about at most one
+/// specification-level lifetime (§8), but bodies may use several.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Lifetime(pub Name);
+
+impl Lifetime {
+    pub fn new(name: &str) -> Self {
+        Lifetime(name.to_owned())
+    }
+}
+
+/// A Rust type.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Ty {
+    Unit,
+    Bool,
+    Int(IntTy),
+    /// `*mut T` / `*const T` (mutability does not affect the memory model).
+    RawPtr(Box<Ty>),
+    /// `&'a T` / `&'a mut T`.
+    Ref(Lifetime, Mutability, Box<Ty>),
+    /// `core::ptr::NonNull<T>`.
+    NonNull(Box<Ty>),
+    /// `Box<T>` (an owned pointer).
+    Boxed(Box<Ty>),
+    /// `Option<T>`.
+    Option(Box<Ty>),
+    /// A tuple type.
+    Tuple(Vec<Ty>),
+    /// A user ADT (struct or enum) with generic arguments.
+    Adt(Name, Vec<Ty>),
+    /// A generic type parameter.
+    Param(Name),
+}
+
+impl Ty {
+    pub fn raw_ptr(inner: Ty) -> Ty {
+        Ty::RawPtr(Box::new(inner))
+    }
+
+    pub fn non_null(inner: Ty) -> Ty {
+        Ty::NonNull(Box::new(inner))
+    }
+
+    pub fn boxed(inner: Ty) -> Ty {
+        Ty::Boxed(Box::new(inner))
+    }
+
+    pub fn option(inner: Ty) -> Ty {
+        Ty::Option(Box::new(inner))
+    }
+
+    pub fn mut_ref(lft: &str, inner: Ty) -> Ty {
+        Ty::Ref(Lifetime::new(lft), Mutability::Mut, Box::new(inner))
+    }
+
+    pub fn shr_ref(lft: &str, inner: Ty) -> Ty {
+        Ty::Ref(Lifetime::new(lft), Mutability::Not, Box::new(inner))
+    }
+
+    pub fn adt(name: &str, args: Vec<Ty>) -> Ty {
+        Ty::Adt(name.to_owned(), args)
+    }
+
+    pub fn param(name: &str) -> Ty {
+        Ty::Param(name.to_owned())
+    }
+
+    pub fn usize() -> Ty {
+        Ty::Int(IntTy::Usize)
+    }
+
+    pub fn i32() -> Ty {
+        Ty::Int(IntTy::I32)
+    }
+
+    pub fn u8() -> Ty {
+        Ty::Int(IntTy::U8)
+    }
+
+    /// Is this type a pointer-like type (its runtime value is an address)?
+    pub fn is_pointer_like(&self) -> bool {
+        matches!(
+            self,
+            Ty::RawPtr(_) | Ty::Ref(..) | Ty::NonNull(_) | Ty::Boxed(_)
+        )
+    }
+
+    /// Does this type mention a generic parameter?
+    pub fn mentions_param(&self) -> bool {
+        match self {
+            Ty::Param(_) => true,
+            Ty::Unit | Ty::Bool | Ty::Int(_) => false,
+            Ty::RawPtr(t) | Ty::NonNull(t) | Ty::Boxed(t) | Ty::Option(t) => t.mentions_param(),
+            Ty::Ref(_, _, t) => t.mentions_param(),
+            Ty::Tuple(ts) => ts.iter().any(|t| t.mentions_param()),
+            Ty::Adt(_, args) => args.iter().any(|t| t.mentions_param()),
+        }
+    }
+
+    /// Substitutes generic parameters.
+    pub fn subst(&self, map: &impl Fn(&str) -> Option<Ty>) -> Ty {
+        match self {
+            Ty::Param(n) => map(n).unwrap_or_else(|| self.clone()),
+            Ty::Unit | Ty::Bool | Ty::Int(_) => self.clone(),
+            Ty::RawPtr(t) => Ty::RawPtr(Box::new(t.subst(map))),
+            Ty::NonNull(t) => Ty::NonNull(Box::new(t.subst(map))),
+            Ty::Boxed(t) => Ty::Boxed(Box::new(t.subst(map))),
+            Ty::Option(t) => Ty::Option(Box::new(t.subst(map))),
+            Ty::Ref(l, m, t) => Ty::Ref(l.clone(), *m, Box::new(t.subst(map))),
+            Ty::Tuple(ts) => Ty::Tuple(ts.iter().map(|t| t.subst(map)).collect()),
+            Ty::Adt(n, args) => Ty::Adt(n.clone(), args.iter().map(|t| t.subst(map)).collect()),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Unit => write!(f, "()"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Int(i) => write!(f, "{i}"),
+            Ty::RawPtr(t) => write!(f, "*mut {t}"),
+            Ty::Ref(l, Mutability::Mut, t) => write!(f, "&{} mut {t}", l.0),
+            Ty::Ref(l, Mutability::Not, t) => write!(f, "&{} {t}", l.0),
+            Ty::NonNull(t) => write!(f, "NonNull<{t}>"),
+            Ty::Boxed(t) => write!(f, "Box<{t}>"),
+            Ty::Option(t) => write!(f, "Option<{t}>"),
+            Ty::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Ty::Adt(n, args) if args.is_empty() => write!(f, "{n}"),
+            Ty::Adt(n, args) => {
+                write!(f, "{n}<")?;
+                for (i, t) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ">")
+            }
+            Ty::Param(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// The kind of an ADT.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdtKind {
+    /// A struct with named fields.
+    Struct { fields: Vec<(Name, Ty)> },
+    /// An enum with variants, each carrying a list of field types.
+    Enum { variants: Vec<(Name, Vec<Ty>)> },
+}
+
+/// An ADT definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdtDef {
+    pub name: Name,
+    /// Generic type parameters.
+    pub generics: Vec<Name>,
+    pub kind: AdtKind,
+}
+
+impl AdtDef {
+    /// Creates a struct definition.
+    pub fn strukt(name: &str, generics: &[&str], fields: Vec<(&str, Ty)>) -> AdtDef {
+        AdtDef {
+            name: name.to_owned(),
+            generics: generics.iter().map(|g| (*g).to_owned()).collect(),
+            kind: AdtKind::Struct {
+                fields: fields
+                    .into_iter()
+                    .map(|(n, t)| (n.to_owned(), t))
+                    .collect(),
+            },
+        }
+    }
+
+    /// Creates an enum definition.
+    pub fn enumeration(name: &str, generics: &[&str], variants: Vec<(&str, Vec<Ty>)>) -> AdtDef {
+        AdtDef {
+            name: name.to_owned(),
+            generics: generics.iter().map(|g| (*g).to_owned()).collect(),
+            kind: AdtKind::Enum {
+                variants: variants
+                    .into_iter()
+                    .map(|(n, ts)| (n.to_owned(), ts))
+                    .collect(),
+            },
+        }
+    }
+
+    /// Number of fields (structs) or variants (enums).
+    pub fn arity(&self) -> usize {
+        match &self.kind {
+            AdtKind::Struct { fields } => fields.len(),
+            AdtKind::Enum { variants } => variants.len(),
+        }
+    }
+
+    /// Field index by name (structs only).
+    pub fn field_index(&self, field: &str) -> Option<usize> {
+        match &self.kind {
+            AdtKind::Struct { fields } => fields.iter().position(|(n, _)| n == field),
+            AdtKind::Enum { .. } => None,
+        }
+    }
+
+    /// Field type by index, with the given generic arguments substituted.
+    pub fn field_ty(&self, idx: usize, args: &[Ty]) -> Option<Ty> {
+        let subst = |t: &Ty| {
+            t.subst(&|p| {
+                self.generics
+                    .iter()
+                    .position(|g| g == p)
+                    .and_then(|i| args.get(i).cloned())
+            })
+        };
+        match &self.kind {
+            AdtKind::Struct { fields } => fields.get(idx).map(|(_, t)| subst(t)),
+            AdtKind::Enum { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_sizes_and_bounds() {
+        assert_eq!(IntTy::U8.size(), 1);
+        assert_eq!(IntTy::Usize.size(), 8);
+        assert_eq!(IntTy::U8.max(), 255);
+        assert_eq!(IntTy::I8.min(), -128);
+        assert!(IntTy::Usize.is_unsigned());
+        assert!(!IntTy::I32.is_unsigned());
+    }
+
+    #[test]
+    fn type_constructors_display() {
+        let t = Ty::option(Ty::non_null(Ty::adt("Node", vec![Ty::param("T")])));
+        assert_eq!(format!("{t}"), "Option<NonNull<Node<T>>>");
+    }
+
+    #[test]
+    fn subst_replaces_params() {
+        let t = Ty::adt("Node", vec![Ty::param("T")]);
+        let out = t.subst(&|p| if p == "T" { Some(Ty::i32()) } else { None });
+        assert_eq!(out, Ty::adt("Node", vec![Ty::i32()]));
+    }
+
+    #[test]
+    fn mentions_param_descends() {
+        let t = Ty::boxed(Ty::adt("Node", vec![Ty::param("T")]));
+        assert!(t.mentions_param());
+        assert!(!Ty::i32().mentions_param());
+    }
+
+    #[test]
+    fn adt_field_lookup_with_substitution() {
+        let node = AdtDef::strukt(
+            "Node",
+            &["T"],
+            vec![
+                ("element", Ty::param("T")),
+                ("next", Ty::option(Ty::non_null(Ty::adt("Node", vec![Ty::param("T")])))),
+            ],
+        );
+        assert_eq!(node.field_index("next"), Some(1));
+        assert_eq!(node.field_ty(0, &[Ty::i32()]), Some(Ty::i32()));
+    }
+
+    #[test]
+    fn enum_arity_counts_variants() {
+        let e = AdtDef::enumeration("E", &[], vec![("A", vec![]), ("B", vec![Ty::Bool])]);
+        assert_eq!(e.arity(), 2);
+    }
+}

@@ -1,0 +1,410 @@
+//! Congruence closure over uninterpreted terms.
+//!
+//! Every expression is interned into a term graph; equalities asserted by the
+//! path condition are propagated by congruence (if `f(a) ~ f(b)` whenever
+//! `a ~ b`). Constructor semantics are layered on top: two terms in the same
+//! class whose head constructors are distinct literals or distinct datatype
+//! tags witness a contradiction, and equated constructor applications with the
+//! same tag propagate equalities between their fields (injectivity).
+
+use crate::expr::{BinOp, Expr, NOp, SVar, UnOp};
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+
+/// Identifier of an interned term.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// The head of an interned term (its children are stored separately).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TermHead {
+    Var(SVar),
+    LVar(Symbol),
+    PVar(Symbol),
+    Int(i128),
+    Bool(bool),
+    Loc(u64),
+    Unit,
+    Ctor(Symbol),
+    Tuple,
+    SeqLit,
+    UnOp(UnOp),
+    BinOp(BinOp),
+    NOp(NOp),
+    Ite,
+    App(Symbol),
+}
+
+impl TermHead {
+    /// Is this head a "constructor" in the sense that two different heads can
+    /// never denote the same value?
+    fn is_value_head(&self) -> bool {
+        matches!(
+            self,
+            TermHead::Int(_)
+                | TermHead::Bool(_)
+                | TermHead::Loc(_)
+                | TermHead::Unit
+                | TermHead::Ctor(_)
+        )
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Term {
+    head: TermHead,
+    children: Vec<TermId>,
+}
+
+/// A congruence-closure engine.
+#[derive(Clone, Debug, Default)]
+pub struct Congruence {
+    terms: Vec<Term>,
+    intern: HashMap<(TermHead, Vec<TermId>), TermId>,
+    parent: Vec<u32>,
+    /// Set to `true` when a contradiction has been found.
+    contradiction: bool,
+    /// Pending equalities discovered by injectivity, to be merged.
+    pending: Vec<(TermId, TermId)>,
+}
+
+impl Congruence {
+    /// Creates an empty congruence-closure context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if a contradiction (distinct values equated) was found.
+    pub fn contradictory(&self) -> bool {
+        self.contradiction
+    }
+
+    /// Interns an expression and returns its term id.
+    pub fn intern(&mut self, e: &Expr) -> TermId {
+        let (head, child_exprs): (TermHead, Vec<&Expr>) = match e {
+            Expr::Var(v) => (TermHead::Var(*v), vec![]),
+            Expr::LVar(s) => (TermHead::LVar(*s), vec![]),
+            Expr::PVar(s) => (TermHead::PVar(*s), vec![]),
+            Expr::Int(i) => (TermHead::Int(*i), vec![]),
+            Expr::Bool(b) => (TermHead::Bool(*b), vec![]),
+            Expr::Loc(l) => (TermHead::Loc(*l), vec![]),
+            Expr::Unit => (TermHead::Unit, vec![]),
+            Expr::Ctor(tag, args) => (TermHead::Ctor(*tag), args.iter().collect()),
+            Expr::Tuple(args) => (TermHead::Tuple, args.iter().collect()),
+            Expr::SeqLit(args) => (TermHead::SeqLit, args.iter().collect()),
+            Expr::UnOp(op, a) => (TermHead::UnOp(*op), vec![a.as_ref()]),
+            Expr::BinOp(op, a, b) => (TermHead::BinOp(*op), vec![a.as_ref(), b.as_ref()]),
+            Expr::NOp(op, args) => (TermHead::NOp(*op), args.iter().collect()),
+            Expr::Ite(c, t, els) => (TermHead::Ite, vec![c.as_ref(), t.as_ref(), els.as_ref()]),
+            Expr::App(name, args) => (TermHead::App(*name), args.iter().collect()),
+        };
+        let children: Vec<TermId> = child_exprs.into_iter().map(|c| self.intern(c)).collect();
+        self.intern_node(head, children)
+    }
+
+    fn intern_node(&mut self, head: TermHead, children: Vec<TermId>) -> TermId {
+        if let Some(&id) = self.intern.get(&(head.clone(), children.clone())) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(Term {
+            head: head.clone(),
+            children: children.clone(),
+        });
+        self.parent.push(id.0);
+        self.intern.insert((head, children), id);
+        id
+    }
+
+    /// Union-find: find with path compression.
+    pub fn find(&mut self, id: TermId) -> TermId {
+        let mut root = id.0;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // path compression
+        let mut cur = id.0;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        TermId(root)
+    }
+
+    /// Asserts an equality between two expressions.
+    pub fn assert_eq_exprs(&mut self, a: &Expr, b: &Expr) {
+        let ta = self.intern(a);
+        let tb = self.intern(b);
+        self.merge(ta, tb);
+        self.rebuild();
+    }
+
+    /// Asserts equality between two already-interned terms.
+    pub fn merge(&mut self, a: TermId, b: TermId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        // Injectivity / conflict detection between value heads.
+        let ha = self.terms[ra.0 as usize].head.clone();
+        let hb = self.terms[rb.0 as usize].head.clone();
+        if ha.is_value_head() && hb.is_value_head() {
+            if ha != hb {
+                self.contradiction = true;
+            } else if let (TermHead::Ctor(_), TermHead::Ctor(_)) = (&ha, &hb) {
+                let ca = self.terms[ra.0 as usize].children.clone();
+                let cb = self.terms[rb.0 as usize].children.clone();
+                if ca.len() == cb.len() {
+                    for (x, y) in ca.into_iter().zip(cb) {
+                        self.pending.push((x, y));
+                    }
+                }
+            }
+        }
+        // SeqLit injectivity (same length literal sequences).
+        if let (TermHead::SeqLit, TermHead::SeqLit) = (&ha, &hb) {
+            let ca = self.terms[ra.0 as usize].children.clone();
+            let cb = self.terms[rb.0 as usize].children.clone();
+            if ca.len() != cb.len() {
+                self.contradiction = true;
+            } else {
+                for (x, y) in ca.into_iter().zip(cb) {
+                    self.pending.push((x, y));
+                }
+            }
+        }
+        // Tuple injectivity.
+        if let (TermHead::Tuple, TermHead::Tuple) = (&ha, &hb) {
+            let ca = self.terms[ra.0 as usize].children.clone();
+            let cb = self.terms[rb.0 as usize].children.clone();
+            if ca.len() == cb.len() {
+                for (x, y) in ca.into_iter().zip(cb) {
+                    self.pending.push((x, y));
+                }
+            }
+        }
+        // Prefer keeping a value head as the representative so that
+        // `rep_is_value` queries work.
+        let (keep, absorb) = if hb.is_value_head() && !ha.is_value_head() {
+            (rb, ra)
+        } else {
+            (ra, rb)
+        };
+        self.parent[absorb.0 as usize] = keep.0;
+    }
+
+    /// Propagates congruence and pending injectivity equalities to fixpoint.
+    pub fn rebuild(&mut self) {
+        loop {
+            // Merge pending injectivity-derived equalities.
+            let pending = std::mem::take(&mut self.pending);
+            let had_pending = !pending.is_empty();
+            for (a, b) in pending {
+                self.merge(a, b);
+            }
+            // Congruence pass: O(n^2) signature matching (fine at our scale).
+            let n = self.terms.len();
+            let mut sig: HashMap<(TermHead, Vec<TermId>), TermId> = HashMap::new();
+            let mut merged = false;
+            for i in 0..n {
+                let head = self.terms[i].head.clone();
+                if head.is_value_head() && self.terms[i].children.is_empty() {
+                    continue;
+                }
+                let children: Vec<TermId> = self.terms[i]
+                    .children
+                    .clone()
+                    .into_iter()
+                    .map(|c| self.find(c))
+                    .collect();
+                let rep = self.find(TermId(i as u32));
+                match sig.get(&(head.clone(), children.clone())) {
+                    Some(&other) => {
+                        let other_rep = self.find(other);
+                        if other_rep != rep {
+                            self.merge(other_rep, rep);
+                            merged = true;
+                        }
+                    }
+                    None => {
+                        sig.insert((head, children), rep);
+                    }
+                }
+            }
+            if !merged && !had_pending && self.pending.is_empty() {
+                break;
+            }
+            if self.contradiction {
+                break;
+            }
+        }
+    }
+
+    /// Are the two expressions known to be equal?
+    pub fn are_equal(&mut self, a: &Expr, b: &Expr) -> bool {
+        let ta = self.intern(a);
+        let tb = self.intern(b);
+        self.rebuild();
+        self.find(ta) == self.find(tb)
+    }
+
+    /// Are the two expressions known to be distinct (different value heads in
+    /// merged classes)?
+    pub fn are_distinct(&mut self, a: &Expr, b: &Expr) -> bool {
+        let ta = self.intern(a);
+        let tb = self.intern(b);
+        self.rebuild();
+        let ra = self.find(ta);
+        let rb = self.find(tb);
+        if ra == rb {
+            return false;
+        }
+        let ha = self.terms[ra.0 as usize].head.clone();
+        let hb = self.terms[rb.0 as usize].head.clone();
+        if ha.is_value_head() && hb.is_value_head() {
+            match (&ha, &hb) {
+                (TermHead::Ctor(t1), TermHead::Ctor(t2)) if t1 == t2 => {
+                    // Same tag: distinct only if some child pair is distinct.
+                    false
+                }
+                _ => ha != hb,
+            }
+        } else {
+            false
+        }
+    }
+
+    /// Returns the representative expression head of the class of `e`, if the
+    /// class contains a value (literal or constructor).
+    pub fn value_head_of(&mut self, e: &Expr) -> Option<TermHead> {
+        let t = self.intern(e);
+        self.rebuild();
+        let r = self.find(t);
+        let h = self.terms[r.0 as usize].head.clone();
+        if h.is_value_head() {
+            Some(h)
+        } else {
+            None
+        }
+    }
+
+    /// The representative term id of an expression (after rebuild).
+    pub fn rep_of(&mut self, e: &Expr) -> TermId {
+        let t = self.intern(e);
+        self.rebuild();
+        self.find(t)
+    }
+
+    /// Number of interned terms (for tests/diagnostics).
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::VarGen;
+
+    #[test]
+    fn transitivity() {
+        let mut g = VarGen::new();
+        let (a, b, c) = (g.fresh_expr(), g.fresh_expr(), g.fresh_expr());
+        let mut cc = Congruence::new();
+        cc.assert_eq_exprs(&a, &b);
+        cc.assert_eq_exprs(&b, &c);
+        assert!(cc.are_equal(&a, &c));
+    }
+
+    #[test]
+    fn congruence_over_function_symbols() {
+        let mut g = VarGen::new();
+        let (a, b) = (g.fresh_expr(), g.fresh_expr());
+        let mut cc = Congruence::new();
+        cc.assert_eq_exprs(&a, &b);
+        let fa = Expr::app("f", vec![a]);
+        let fb = Expr::app("f", vec![b]);
+        assert!(cc.are_equal(&fa, &fb));
+    }
+
+    #[test]
+    fn congruence_over_seq_concat() {
+        let mut g = VarGen::new();
+        let (s, t, x) = (g.fresh_expr(), g.fresh_expr(), g.fresh_expr());
+        let mut cc = Congruence::new();
+        cc.assert_eq_exprs(&s, &t);
+        let c1 = Expr::seq_concat(Expr::seq(vec![x.clone()]), s);
+        let c2 = Expr::seq_concat(Expr::seq(vec![x]), t);
+        assert!(cc.are_equal(&c1, &c2));
+    }
+
+    #[test]
+    fn distinct_int_literals_conflict() {
+        let mut cc = Congruence::new();
+        cc.assert_eq_exprs(&Expr::Int(1), &Expr::Int(2));
+        assert!(cc.contradictory());
+    }
+
+    #[test]
+    fn distinct_ctor_tags_conflict() {
+        let mut g = VarGen::new();
+        let x = g.fresh_expr();
+        let mut cc = Congruence::new();
+        cc.assert_eq_exprs(&Expr::none(), &Expr::some(x));
+        assert!(cc.contradictory());
+    }
+
+    #[test]
+    fn ctor_injectivity_propagates() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh_expr(), g.fresh_expr());
+        let mut cc = Congruence::new();
+        cc.assert_eq_exprs(&Expr::some(x.clone()), &Expr::some(y.clone()));
+        assert!(cc.are_equal(&x, &y));
+    }
+
+    #[test]
+    fn injectivity_derives_conflict() {
+        let mut cc = Congruence::new();
+        cc.assert_eq_exprs(&Expr::some(Expr::Int(1)), &Expr::some(Expr::Int(2)));
+        assert!(cc.contradictory());
+    }
+
+    #[test]
+    fn are_distinct_for_different_values() {
+        let mut cc = Congruence::new();
+        assert!(cc.are_distinct(&Expr::Int(1), &Expr::Int(2)));
+        assert!(!cc.are_distinct(&Expr::Int(1), &Expr::Int(1)));
+    }
+
+    #[test]
+    fn value_head_found_through_equality() {
+        let mut g = VarGen::new();
+        let x = g.fresh_expr();
+        let mut cc = Congruence::new();
+        cc.assert_eq_exprs(&x, &Expr::none());
+        assert_eq!(
+            cc.value_head_of(&x),
+            Some(TermHead::Ctor(Symbol::new("Option::None")))
+        );
+    }
+
+    #[test]
+    fn seq_literal_length_mismatch_conflicts() {
+        let mut g = VarGen::new();
+        let x = g.fresh_expr();
+        let mut cc = Congruence::new();
+        cc.assert_eq_exprs(
+            &Expr::seq(vec![x.clone()]),
+            &Expr::seq(vec![x.clone(), x]),
+        );
+        assert!(cc.contradictory());
+    }
+}

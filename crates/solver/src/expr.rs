@@ -1,0 +1,611 @@
+//! Symbolic expressions.
+//!
+//! A single expression type is shared by the whole pipeline: GIL program
+//! expressions, Gilsonite/Pearlite pure assertions, path conditions and the
+//! solver all manipulate [`Expr`]. Program variables ([`Expr::PVar`]) are
+//! resolved by the symbolic-execution store and logical variables
+//! ([`Expr::LVar`]) by assertion matching, so the solver normally only ever
+//! sees symbolic variables ([`Expr::Var`]), literals and operators — any
+//! remaining named variable is treated as an opaque constant.
+
+use crate::symbol::Symbol;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A symbolic variable, identified by a unique index.
+///
+/// Prophecy variables (§5 of the paper) are ordinary symbolic variables — the
+/// key insight of the paper is that parametric prophecies behave exactly like
+/// symbolic-execution variables.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SVar(pub u64);
+
+impl fmt::Debug for SVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_${}", self.0)
+    }
+}
+
+impl fmt::Display for SVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_${}", self.0)
+    }
+}
+
+/// Generator of fresh symbolic variables.
+#[derive(Debug, Default, Clone)]
+pub struct VarGen {
+    next: u64,
+}
+
+impl VarGen {
+    /// Creates a generator starting at 0.
+    pub fn new() -> Self {
+        VarGen { next: 0 }
+    }
+
+    /// Returns a fresh symbolic variable.
+    pub fn fresh(&mut self) -> SVar {
+        let v = SVar(self.next);
+        self.next += 1;
+        v
+    }
+
+    /// Returns a fresh variable wrapped as an expression.
+    pub fn fresh_expr(&mut self) -> Expr {
+        Expr::Var(self.fresh())
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Boolean negation.
+    Not,
+    /// Integer negation.
+    Neg,
+    /// Length of a sequence.
+    SeqLen,
+    /// Multiset ("bag") of the elements of a sequence — used to decide
+    /// `permutation_of`.
+    BagOf,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    Implies,
+    /// `SeqAt(s, i)` — the `i`-th element of `s` (0-based).
+    SeqAt,
+    /// Concatenation of two sequences.
+    SeqConcat,
+    /// `SeqRepeat(v, n)` — the sequence of `n` copies of `v`.
+    SeqRepeat,
+    /// Multiset union.
+    BagUnion,
+}
+
+/// N-ary operators that do not fit the unary/binary mould.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NOp {
+    /// `SeqSub(s, from, to)` — the subsequence `s[from..to]` (half-open).
+    SeqSub,
+    /// `SeqUpdate(s, i, v)` — `s` with index `i` replaced by `v`.
+    SeqUpdate,
+}
+
+/// A symbolic expression.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A symbolic variable.
+    Var(SVar),
+    /// A named logical variable (assertion-level; instantiated by matching).
+    LVar(Symbol),
+    /// A program variable (GIL-level; resolved against the variable store).
+    PVar(Symbol),
+    /// Integer literal (mathematical integer; machine-integer bounds are
+    /// expressed as explicit constraints by the memory model).
+    Int(i128),
+    /// Boolean literal.
+    Bool(bool),
+    /// A concrete allocation identifier (object location).
+    Loc(u64),
+    /// The unit value.
+    Unit,
+    /// Datatype constructor application. Constructors with different tags are
+    /// distinct and each constructor is injective.
+    Ctor(Symbol, Vec<Expr>),
+    /// Tuple value (an anonymous constructor, injective but with no
+    /// distinctness against other tuples of different arity).
+    Tuple(Vec<Expr>),
+    /// Literal sequence.
+    SeqLit(Vec<Expr>),
+    /// Unary operator application.
+    UnOp(UnOp, Box<Expr>),
+    /// Binary operator application.
+    BinOp(BinOp, Box<Expr>, Box<Expr>),
+    /// N-ary operator application.
+    NOp(NOp, Vec<Expr>),
+    /// If-then-else.
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Uninterpreted function application (e.g. `size_of(T)`).
+    App(Symbol, Vec<Expr>),
+}
+
+impl Expr {
+    // ---- constructors -------------------------------------------------
+
+    pub fn int(i: impl Into<i128>) -> Expr {
+        Expr::Int(i.into())
+    }
+
+    pub fn var(v: SVar) -> Expr {
+        Expr::Var(v)
+    }
+
+    pub fn lvar(name: &str) -> Expr {
+        Expr::LVar(Symbol::new(name))
+    }
+
+    pub fn pvar(name: &str) -> Expr {
+        Expr::PVar(Symbol::new(name))
+    }
+
+    pub fn ctor(tag: &str, args: Vec<Expr>) -> Expr {
+        Expr::Ctor(Symbol::new(tag), args)
+    }
+
+    pub fn app(name: &str, args: Vec<Expr>) -> Expr {
+        Expr::App(Symbol::new(name), args)
+    }
+
+    pub fn tuple(args: Vec<Expr>) -> Expr {
+        Expr::Tuple(args)
+    }
+
+    pub fn seq(items: Vec<Expr>) -> Expr {
+        Expr::SeqLit(items)
+    }
+
+    pub fn empty_seq() -> Expr {
+        Expr::SeqLit(vec![])
+    }
+
+    pub fn not(e: Expr) -> Expr {
+        Expr::UnOp(UnOp::Not, Box::new(e))
+    }
+
+    pub fn neg(e: Expr) -> Expr {
+        Expr::UnOp(UnOp::Neg, Box::new(e))
+    }
+
+    pub fn seq_len(e: Expr) -> Expr {
+        Expr::UnOp(UnOp::SeqLen, Box::new(e))
+    }
+
+    pub fn bag_of(e: Expr) -> Expr {
+        Expr::UnOp(UnOp::BagOf, Box::new(e))
+    }
+
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::BinOp(op, Box::new(a), Box::new(b))
+    }
+
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Add, a, b)
+    }
+
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, a, b)
+    }
+
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, a, b)
+    }
+
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, a, b)
+    }
+
+    pub fn le(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Le, a, b)
+    }
+
+    pub fn gt(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, a, b)
+    }
+
+    pub fn ge(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Ge, a, b)
+    }
+
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, a, b)
+    }
+
+    pub fn ne(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Ne, a, b)
+    }
+
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::And, a, b)
+    }
+
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Or, a, b)
+    }
+
+    pub fn implies(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Implies, a, b)
+    }
+
+    pub fn seq_at(s: Expr, i: Expr) -> Expr {
+        Expr::bin(BinOp::SeqAt, s, i)
+    }
+
+    pub fn seq_concat(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::SeqConcat, a, b)
+    }
+
+    pub fn seq_prepend(x: Expr, s: Expr) -> Expr {
+        Expr::seq_concat(Expr::seq(vec![x]), s)
+    }
+
+    pub fn seq_snoc(s: Expr, x: Expr) -> Expr {
+        Expr::seq_concat(s, Expr::seq(vec![x]))
+    }
+
+    pub fn seq_repeat(v: Expr, n: Expr) -> Expr {
+        Expr::bin(BinOp::SeqRepeat, v, n)
+    }
+
+    pub fn seq_sub(s: Expr, from: Expr, to: Expr) -> Expr {
+        Expr::NOp(NOp::SeqSub, vec![s, from, to])
+    }
+
+    pub fn seq_update(s: Expr, i: Expr, v: Expr) -> Expr {
+        Expr::NOp(NOp::SeqUpdate, vec![s, i, v])
+    }
+
+    pub fn ite(c: Expr, t: Expr, e: Expr) -> Expr {
+        Expr::Ite(Box::new(c), Box::new(t), Box::new(e))
+    }
+
+    /// Conjunction of an arbitrary number of expressions (`true` when empty).
+    pub fn conj(items: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut acc: Option<Expr> = None;
+        for item in items {
+            acc = Some(match acc {
+                None => item,
+                Some(prev) => Expr::and(prev, item),
+            });
+        }
+        acc.unwrap_or(Expr::Bool(true))
+    }
+
+    // ---- common datatype encodings -------------------------------------
+
+    /// `Option::None`.
+    pub fn none() -> Expr {
+        Expr::ctor("Option::None", vec![])
+    }
+
+    /// `Option::Some(e)`.
+    pub fn some(e: Expr) -> Expr {
+        Expr::ctor("Option::Some", vec![e])
+    }
+
+    // ---- queries -------------------------------------------------------
+
+    /// Is this a literal (fully concrete leaf) expression?
+    pub fn is_literal(&self) -> bool {
+        matches!(
+            self,
+            Expr::Int(_) | Expr::Bool(_) | Expr::Loc(_) | Expr::Unit
+        )
+    }
+
+    /// Returns the boolean literal value, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Expr::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer literal value, if this is one.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Expr::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Collects the free symbolic variables of the expression.
+    pub fn svars(&self) -> BTreeSet<SVar> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |e| {
+            if let Expr::Var(v) = e {
+                out.insert(*v);
+            }
+        });
+        out
+    }
+
+    /// Collects the logical variables of the expression.
+    pub fn lvars(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |e| {
+            if let Expr::LVar(s) = e {
+                out.insert(*s);
+            }
+        });
+        out
+    }
+
+    /// Collects the program variables of the expression.
+    pub fn pvars(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |e| {
+            if let Expr::PVar(s) = e {
+                out.insert(*s);
+            }
+        });
+        out
+    }
+
+    /// Visits every sub-expression (pre-order).
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Var(_)
+            | Expr::LVar(_)
+            | Expr::PVar(_)
+            | Expr::Int(_)
+            | Expr::Bool(_)
+            | Expr::Loc(_)
+            | Expr::Unit => {}
+            Expr::Ctor(_, args) | Expr::Tuple(args) | Expr::SeqLit(args) | Expr::App(_, args) => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::UnOp(_, a) => a.visit(f),
+            Expr::BinOp(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::NOp(_, args) => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::Ite(c, t, e) => {
+                c.visit(f);
+                t.visit(f);
+                e.visit(f);
+            }
+        }
+    }
+
+    /// Rebuilds the expression bottom-up, applying `f` to every node after
+    /// its children have been transformed.
+    pub fn map(&self, f: &impl Fn(Expr) -> Expr) -> Expr {
+        let rebuilt = match self {
+            Expr::Var(_)
+            | Expr::LVar(_)
+            | Expr::PVar(_)
+            | Expr::Int(_)
+            | Expr::Bool(_)
+            | Expr::Loc(_)
+            | Expr::Unit => self.clone(),
+            Expr::Ctor(tag, args) => Expr::Ctor(*tag, args.iter().map(|a| a.map(f)).collect()),
+            Expr::Tuple(args) => Expr::Tuple(args.iter().map(|a| a.map(f)).collect()),
+            Expr::SeqLit(args) => Expr::SeqLit(args.iter().map(|a| a.map(f)).collect()),
+            Expr::App(name, args) => Expr::App(*name, args.iter().map(|a| a.map(f)).collect()),
+            Expr::UnOp(op, a) => Expr::UnOp(*op, Box::new(a.map(f))),
+            Expr::BinOp(op, a, b) => Expr::BinOp(*op, Box::new(a.map(f)), Box::new(b.map(f))),
+            Expr::NOp(op, args) => Expr::NOp(*op, args.iter().map(|a| a.map(f)).collect()),
+            Expr::Ite(c, t, e) => {
+                Expr::Ite(Box::new(c.map(f)), Box::new(t.map(f)), Box::new(e.map(f)))
+            }
+        };
+        f(rebuilt)
+    }
+
+    /// Substitutes symbolic variables according to `subst`.
+    pub fn subst_svars(&self, subst: &impl Fn(SVar) -> Option<Expr>) -> Expr {
+        self.map(&|e| match &e {
+            Expr::Var(v) => subst(*v).unwrap_or(e),
+            _ => e,
+        })
+    }
+
+    /// Substitutes logical variables according to `subst`.
+    pub fn subst_lvars(&self, subst: &impl Fn(Symbol) -> Option<Expr>) -> Expr {
+        self.map(&|e| match &e {
+            Expr::LVar(s) => subst(*s).unwrap_or(e),
+            _ => e,
+        })
+    }
+
+    /// Substitutes program variables according to `subst`.
+    pub fn subst_pvars(&self, subst: &impl Fn(Symbol) -> Option<Expr>) -> Expr {
+        self.map(&|e| match &e {
+            Expr::PVar(s) => subst(*s).unwrap_or(e),
+            _ => e,
+        })
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn list(f: &mut fmt::Formatter<'_>, items: &[Expr]) -> fmt::Result {
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{item}")?;
+            }
+            Ok(())
+        }
+        match self {
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::LVar(s) => write!(f, "#{s}"),
+            Expr::PVar(s) => write!(f, "{s}"),
+            Expr::Int(i) => write!(f, "{i}"),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Loc(l) => write!(f, "$l{l}"),
+            Expr::Unit => write!(f, "()"),
+            Expr::Ctor(tag, args) => {
+                write!(f, "{tag}(")?;
+                list(f, args)?;
+                write!(f, ")")
+            }
+            Expr::Tuple(args) => {
+                write!(f, "(")?;
+                list(f, args)?;
+                write!(f, ")")
+            }
+            Expr::SeqLit(args) => {
+                write!(f, "[")?;
+                list(f, args)?;
+                write!(f, "]")
+            }
+            Expr::App(name, args) => {
+                write!(f, "{name}(")?;
+                list(f, args)?;
+                write!(f, ")")
+            }
+            Expr::UnOp(op, a) => match op {
+                UnOp::Not => write!(f, "!({a})"),
+                UnOp::Neg => write!(f, "-({a})"),
+                UnOp::SeqLen => write!(f, "len({a})"),
+                UnOp::BagOf => write!(f, "bag({a})"),
+            },
+            Expr::BinOp(op, a, b) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Rem => "%",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::And => "&&",
+                    BinOp::Or => "||",
+                    BinOp::Implies => "==>",
+                    BinOp::SeqAt => return write!(f, "{a}[{b}]"),
+                    BinOp::SeqConcat => "++",
+                    BinOp::SeqRepeat => return write!(f, "repeat({a}, {b})"),
+                    BinOp::BagUnion => "⊎",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+            Expr::NOp(op, args) => match op {
+                NOp::SeqSub => write!(f, "{}[{}..{}]", args[0], args[1], args[2]),
+                NOp::SeqUpdate => write!(f, "{}[{} := {}]", args[0], args[1], args[2]),
+            },
+            Expr::Ite(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        let mut g = VarGen::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn conj_of_nothing_is_true() {
+        assert_eq!(Expr::conj(vec![]), Expr::Bool(true));
+    }
+
+    #[test]
+    fn conj_folds_left() {
+        let e = Expr::conj(vec![Expr::Bool(true), Expr::Bool(false)]);
+        assert_eq!(e, Expr::and(Expr::Bool(true), Expr::Bool(false)));
+    }
+
+    #[test]
+    fn svars_collects_all_variables() {
+        let mut g = VarGen::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        let e = Expr::add(Expr::Var(a), Expr::mul(Expr::Var(b), Expr::Var(a)));
+        let vars = e.svars();
+        assert!(vars.contains(&a));
+        assert!(vars.contains(&b));
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn subst_replaces_svars() {
+        let mut g = VarGen::new();
+        let a = g.fresh();
+        let e = Expr::add(Expr::Var(a), Expr::Int(1));
+        let out = e.subst_svars(&|v| if v == a { Some(Expr::Int(41)) } else { None });
+        assert_eq!(out, Expr::add(Expr::Int(41), Expr::Int(1)));
+    }
+
+    #[test]
+    fn subst_lvars_replaces_named_vars() {
+        let e = Expr::eq(Expr::lvar("x"), Expr::Int(3));
+        let out = e.subst_lvars(&|s| {
+            if s == Symbol::new("x") {
+                Some(Expr::Int(3))
+            } else {
+                None
+            }
+        });
+        assert_eq!(out, Expr::eq(Expr::Int(3), Expr::Int(3)));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::seq_concat(Expr::seq(vec![Expr::Int(1)]), Expr::lvar("rest"));
+        assert_eq!(format!("{e}"), "([1] ++ #rest)");
+    }
+
+    #[test]
+    fn option_encoding_round_trip() {
+        let some = Expr::some(Expr::Int(5));
+        match some {
+            Expr::Ctor(tag, args) => {
+                assert_eq!(tag.as_str(), "Option::Some");
+                assert_eq!(args, vec![Expr::Int(5)]);
+            }
+            _ => panic!("expected ctor"),
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # gillian-solver
+//!
+//! The pure first-order reasoning layer used by the Gillian engine and by
+//! creusot-lite. It plays the role that an off-the-shelf SMT solver (Z3) plays
+//! for the original Gillian platform and that Why3 plays for Creusot, scoped
+//! to the theories the case studies of the paper need:
+//!
+//! * equality and uninterpreted functions (congruence closure),
+//! * algebraic datatype constructors (injectivity + distinctness),
+//! * linear integer arithmetic,
+//! * sequences (length, concatenation, indexing, sub-sequences, update),
+//! * multisets ("bags"), used to discharge `permutation_of` obligations.
+//!
+//! The solver is *sound for refutation*: `check_unsat` only answers `true`
+//! when the facts are genuinely unsatisfiable, and `entails` only answers
+//! `true` when the goal genuinely follows. Incompleteness can make
+//! verification fail, never succeed wrongly.
+//!
+//! ```
+//! use gillian_solver::{Expr, Solver, VarGen};
+//!
+//! let mut vars = VarGen::new();
+//! let x = vars.fresh_expr();
+//! let solver = Solver::new();
+//! let facts = vec![Expr::eq(x.clone(), Expr::Int(5))];
+//! assert!(solver.entails(&facts, &Expr::lt(Expr::Int(0), x)));
+//! ```
+
+pub mod bags;
+pub mod congruence;
+pub mod expr;
+pub mod interp;
+pub mod linear;
+pub mod simplify;
+pub mod solver;
+pub mod symbol;
+
+pub use expr::{BinOp, Expr, NOp, SVar, UnOp, VarGen};
+pub use interp::{eval, Env, Value};
+pub use simplify::simplify;
+pub use solver::{SatResult, Solver, SolverStats};
+pub use symbol::Symbol;

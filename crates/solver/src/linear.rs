@@ -1,0 +1,373 @@
+//! Linear integer arithmetic reasoning.
+//!
+//! Integer-sorted facts from the path condition are converted into linear
+//! constraints over *atoms* (maximal non-arithmetic sub-terms, keyed by their
+//! congruence-closure representative so that equalities discovered elsewhere
+//! are taken into account). Infeasibility is detected by a combination of
+//! bound propagation and a bounded Fourier–Motzkin-style elimination pass.
+//! The procedure is sound for unsatisfiability: it only ever answers
+//! "definitely contradictory" when the constraints have no integer solution.
+
+use crate::congruence::{Congruence, TermId};
+use crate::expr::{BinOp, Expr, UnOp};
+use std::collections::BTreeMap;
+
+/// A linear polynomial: constant + sum of coefficient * atom.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Poly {
+    /// Constant term.
+    pub constant: i128,
+    /// Coefficients keyed by atom (congruence representative).
+    pub coeffs: BTreeMap<TermId, i128>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: i128) -> Poly {
+        Poly {
+            constant: c,
+            coeffs: BTreeMap::new(),
+        }
+    }
+
+    /// A single atom with coefficient 1.
+    pub fn atom(t: TermId) -> Poly {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(t, 1);
+        Poly {
+            constant: 0,
+            coeffs,
+        }
+    }
+
+    /// Polynomial addition.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        out.constant += other.constant;
+        for (k, v) in &other.coeffs {
+            *out.coeffs.entry(*k).or_insert(0) += v;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Polynomial subtraction.
+    pub fn sub(&self, other: &Poly) -> Poly {
+        self.add(&other.scale(-1))
+    }
+
+    /// Multiplication by a constant.
+    pub fn scale(&self, c: i128) -> Poly {
+        let mut out = Poly {
+            constant: self.constant * c,
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(k, v)| (*k, v * c))
+                .collect(),
+        };
+        out.normalize();
+        out
+    }
+
+    fn normalize(&mut self) {
+        self.coeffs.retain(|_, v| *v != 0);
+    }
+
+    /// Is this polynomial a constant?
+    pub fn as_constant(&self) -> Option<i128> {
+        if self.coeffs.is_empty() {
+            Some(self.constant)
+        } else {
+            None
+        }
+    }
+}
+
+/// A constraint `poly <= 0` (non-strict; strict inequalities over integers are
+/// converted with `a < b  ==>  a - b + 1 <= 0`).
+#[derive(Clone, Debug)]
+pub struct LeZero(pub Poly);
+
+/// The linear-arithmetic context built from a set of literals.
+#[derive(Clone, Debug, Default)]
+pub struct Linear {
+    constraints: Vec<LeZero>,
+    contradiction: bool,
+}
+
+impl Linear {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if the collected constraints are definitely
+    /// unsatisfiable over the integers.
+    pub fn contradictory(&self) -> bool {
+        self.contradiction
+    }
+
+    /// Converts an integer-sorted expression into a polynomial, interning
+    /// non-arithmetic sub-terms as atoms via the congruence closure.
+    pub fn poly_of(&mut self, e: &Expr, cc: &mut Congruence) -> Poly {
+        match e {
+            Expr::Int(i) => Poly::constant(*i),
+            Expr::BinOp(BinOp::Add, a, b) => {
+                let pa = self.poly_of(a, cc);
+                let pb = self.poly_of(b, cc);
+                pa.add(&pb)
+            }
+            Expr::BinOp(BinOp::Sub, a, b) => {
+                let pa = self.poly_of(a, cc);
+                let pb = self.poly_of(b, cc);
+                pa.sub(&pb)
+            }
+            Expr::BinOp(BinOp::Mul, a, b) => {
+                let pa = self.poly_of(a, cc);
+                let pb = self.poly_of(b, cc);
+                match (pa.as_constant(), pb.as_constant()) {
+                    (Some(ca), _) => pb.scale(ca),
+                    (_, Some(cb)) => pa.scale(cb),
+                    // Non-linear: treat the whole product as an atom.
+                    _ => Poly::atom(cc.rep_of(e)),
+                }
+            }
+            Expr::UnOp(UnOp::Neg, a) => self.poly_of(a, cc).scale(-1),
+            _ => {
+                let atom = Poly::atom(cc.rep_of(e));
+                // Sequence lengths are always non-negative; record that fact
+                // whenever a length term becomes an atom.
+                if matches!(e, Expr::UnOp(UnOp::SeqLen, _)) {
+                    self.constraints.push(LeZero(atom.scale(-1)));
+                }
+                atom
+            }
+        }
+    }
+
+    /// Adds the fact `lhs <= rhs`.
+    pub fn add_le(&mut self, lhs: &Expr, rhs: &Expr, cc: &mut Congruence) {
+        let pl = self.poly_of(lhs, cc);
+        let pr = self.poly_of(rhs, cc);
+        self.push(LeZero(pl.sub(&pr)));
+    }
+
+    /// Adds the fact `lhs < rhs`.
+    pub fn add_lt(&mut self, lhs: &Expr, rhs: &Expr, cc: &mut Congruence) {
+        let pl = self.poly_of(lhs, cc);
+        let pr = self.poly_of(rhs, cc);
+        self.push(LeZero(pl.sub(&pr).add(&Poly::constant(1))));
+    }
+
+    /// Adds the fact `lhs == rhs` (as two inequalities).
+    pub fn add_eq(&mut self, lhs: &Expr, rhs: &Expr, cc: &mut Congruence) {
+        let pl = self.poly_of(lhs, cc);
+        let pr = self.poly_of(rhs, cc);
+        let d = pl.sub(&pr);
+        self.push(LeZero(d.clone()));
+        self.push(LeZero(d.scale(-1)));
+    }
+
+    /// Adds the fact that `e >= 0` (e.g. sequence lengths, sizes).
+    pub fn add_nonneg(&mut self, e: &Expr, cc: &mut Congruence) {
+        let p = self.poly_of(e, cc);
+        self.push(LeZero(p.scale(-1)));
+    }
+
+    fn push(&mut self, c: LeZero) {
+        if let Some(k) = c.0.as_constant() {
+            if k > 0 {
+                self.contradiction = true;
+            }
+            return;
+        }
+        self.constraints.push(c);
+    }
+
+    /// Runs the decision procedure: bound propagation plus a bounded number of
+    /// Fourier–Motzkin elimination rounds.
+    pub fn solve(&mut self) {
+        if self.contradiction {
+            return;
+        }
+        // Bounded elimination: repeatedly combine pairs of constraints where an
+        // atom occurs with opposite signs, deriving new constraints without
+        // that atom. To stay cheap we only derive combinations whose resulting
+        // polynomial has at most 4 atoms, and we cap the total number of
+        // constraints.
+        const MAX_CONSTRAINTS: usize = 4096;
+        const MAX_ROUNDS: usize = 4;
+        for _ in 0..MAX_ROUNDS {
+            if self.contradiction {
+                return;
+            }
+            let mut new_constraints: Vec<LeZero> = Vec::new();
+            let n = self.constraints.len();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let a = &self.constraints[i].0;
+                    let b = &self.constraints[j].0;
+                    // Find an atom with opposite signs.
+                    let mut candidate = None;
+                    for (atom, ca) in &a.coeffs {
+                        if let Some(cb) = b.coeffs.get(atom) {
+                            if ca.signum() != cb.signum() {
+                                candidate = Some((*atom, *ca, *cb));
+                                break;
+                            }
+                        }
+                    }
+                    let Some((_atom, ca, cb)) = candidate else {
+                        continue;
+                    };
+                    // Combine: |cb| * a + |ca| * b eliminates the atom.
+                    let combined = a.scale(cb.abs()).add(&b.scale(ca.abs()));
+                    if let Some(k) = combined.as_constant() {
+                        if k > 0 {
+                            self.contradiction = true;
+                            return;
+                        }
+                        continue;
+                    }
+                    if combined.coeffs.len() <= 4 {
+                        new_constraints.push(LeZero(combined));
+                    }
+                }
+            }
+            if new_constraints.is_empty() {
+                return;
+            }
+            // Deduplicate against existing constraints.
+            for c in new_constraints {
+                if self.constraints.len() >= MAX_CONSTRAINTS {
+                    return;
+                }
+                if !self.constraints.iter().any(|e| e.0 == c.0) {
+                    self.constraints.push(c);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::VarGen;
+
+    fn setup() -> (Congruence, Linear, VarGen) {
+        (Congruence::new(), Linear::new(), VarGen::new())
+    }
+
+    #[test]
+    fn simple_bound_conflict() {
+        let (mut cc, mut lin, mut g) = setup();
+        let x = g.fresh_expr();
+        lin.add_lt(&x, &Expr::Int(3), &mut cc); // x < 3
+        lin.add_le(&Expr::Int(5), &x, &mut cc); // 5 <= x
+        lin.solve();
+        assert!(lin.contradictory());
+    }
+
+    #[test]
+    fn consistent_bounds_do_not_conflict() {
+        let (mut cc, mut lin, mut g) = setup();
+        let x = g.fresh_expr();
+        lin.add_lt(&x, &Expr::Int(3), &mut cc);
+        lin.add_le(&Expr::Int(0), &x, &mut cc);
+        lin.solve();
+        assert!(!lin.contradictory());
+    }
+
+    #[test]
+    fn transitive_chain_conflict() {
+        let (mut cc, mut lin, mut g) = setup();
+        let x = g.fresh_expr();
+        let y = g.fresh_expr();
+        lin.add_lt(&x, &y, &mut cc); // x < y
+        lin.add_le(&y, &x, &mut cc); // y <= x
+        lin.solve();
+        assert!(lin.contradictory());
+    }
+
+    #[test]
+    fn equality_plus_strict_conflict() {
+        let (mut cc, mut lin, mut g) = setup();
+        let x = g.fresh_expr();
+        let y = g.fresh_expr();
+        lin.add_eq(&x, &y, &mut cc);
+        lin.add_lt(&x, &y, &mut cc);
+        lin.solve();
+        assert!(lin.contradictory());
+    }
+
+    #[test]
+    fn addition_reasoning() {
+        let (mut cc, mut lin, mut g) = setup();
+        let x = g.fresh_expr();
+        // x + 1 <= 0 and x >= 0 is contradictory.
+        lin.add_le(&Expr::add(x.clone(), Expr::Int(1)), &Expr::Int(0), &mut cc);
+        lin.add_le(&Expr::Int(0), &x, &mut cc);
+        lin.solve();
+        assert!(lin.contradictory());
+    }
+
+    #[test]
+    fn atoms_share_congruence_representative() {
+        let (mut cc, mut lin, mut g) = setup();
+        let x = g.fresh_expr();
+        let y = g.fresh_expr();
+        // If x == y is known by congruence, then x < 3 and y >= 5 conflict.
+        cc.assert_eq_exprs(&x, &y);
+        lin.add_lt(&x, &Expr::Int(3), &mut cc);
+        lin.add_le(&Expr::Int(5), &y, &mut cc);
+        lin.solve();
+        assert!(lin.contradictory());
+    }
+
+    #[test]
+    fn nonlinear_products_are_opaque_atoms() {
+        let (mut cc, mut lin, mut g) = setup();
+        let x = g.fresh_expr();
+        let y = g.fresh_expr();
+        let prod = Expr::mul(x.clone(), y.clone());
+        lin.add_le(&prod, &Expr::Int(10), &mut cc);
+        lin.add_le(&Expr::Int(20), &prod, &mut cc);
+        lin.solve();
+        assert!(lin.contradictory());
+    }
+
+    #[test]
+    fn uninterpreted_terms_as_atoms() {
+        let (mut cc, mut lin, mut g) = setup();
+        let s = g.fresh_expr();
+        let len = Expr::seq_len(s);
+        // len(s) < 5 and len(s) > 5 conflict.
+        lin.add_lt(&len, &Expr::Int(5), &mut cc);
+        lin.add_lt(&Expr::Int(5), &len, &mut cc);
+        lin.solve();
+        assert!(lin.contradictory());
+    }
+
+    #[test]
+    fn constant_only_conflict_detected_on_push() {
+        let (mut cc, mut lin, _g) = setup();
+        lin.add_lt(&Expr::Int(5), &Expr::Int(3), &mut cc);
+        assert!(lin.contradictory());
+    }
+
+    #[test]
+    fn scale_and_add_polys() {
+        let (mut cc, mut lin, mut g) = setup();
+        let x = g.fresh_expr();
+        let p = lin.poly_of(&Expr::mul(Expr::Int(3), x.clone()), &mut cc);
+        let q = lin.poly_of(&x, &mut cc);
+        let sum = p.add(&q.scale(-3));
+        assert_eq!(sum.as_constant(), Some(0));
+    }
+}

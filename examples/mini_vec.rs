@@ -1,0 +1,17 @@
+//! Verifies the MiniVec case study (§7): laid-out nodes, symbolic pointer
+//! arithmetic and growth by reallocation.
+
+use case_studies::{mini_vec, SpecMode};
+
+fn main() {
+    println!("== MiniVec (FC) ==");
+    for report in mini_vec::verify_all(SpecMode::FunctionalCorrectness) {
+        println!(
+            "  {:<14} verified={} time={:.3}s {}",
+            report.name,
+            report.verified,
+            report.elapsed.as_secs_f64(),
+            report.error.as_deref().unwrap_or("")
+        );
+    }
+}

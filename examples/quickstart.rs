@@ -1,0 +1,17 @@
+//! Quickstart: verify functional correctness of `LinkedList::push_front`
+//! (the running example of the paper, §2.2 and Fig. 8).
+
+use case_studies::{linked_list, SpecMode};
+
+fn main() {
+    let verifier = linked_list::verifier(SpecMode::FunctionalCorrectness);
+    let report = verifier.verify_fn("push_front");
+    println!(
+        "push_front: verified = {} in {:.3}s",
+        report.verified,
+        report.elapsed.as_secs_f64()
+    );
+    if let Some(err) = report.error {
+        println!("error: {err}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 1 of the paper (§7) as a markdown table.
+
+use case_studies::table1::{render, table1};
+
+fn main() {
+    let rows = table1();
+    println!("{}", render(&rows));
+}

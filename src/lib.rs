@@ -1,0 +1,12 @@
+//! # hybrid-verify
+//!
+//! Umbrella crate of the reproduction of "A Hybrid Approach to Semi-automated
+//! Rust Verification" (PLDI 2025). It re-exports the individual crates; see
+//! the README for an overview and `examples/` for runnable entry points.
+
+pub use case_studies;
+pub use creusot_lite;
+pub use gillian_engine;
+pub use gillian_rust;
+pub use gillian_solver;
+pub use rust_ir;
