@@ -5,10 +5,8 @@
 //! borrow openings/closings is reported by the engine statistics.
 
 use case_studies::{even_int, linked_list, SpecMode};
-use criterion::{criterion_group, criterion_main, Criterion};
-use gillian_rust::types::TypeRegistry;
-use gillian_rust::verifier::{Verifier, VerifierOptions};
-use rust_ir::LayoutOracle;
+use driver::HybridSession;
+use hybrid_bench::Criterion;
 
 fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_borrows");
@@ -21,19 +19,23 @@ fn bench_ablation(c: &mut Criterion) {
     });
     group.bench_function("LinkedList(new)/auto_borrows_off", |b| {
         b.iter(|| {
-            let types = TypeRegistry::new(linked_list::program(), LayoutOracle::default());
-            let g = linked_list::gilsonite(&types, SpecMode::FunctionalCorrectness);
-            let v = Verifier::new(
-                types,
-                g,
-                VerifierOptions::functional_correctness().baseline(),
-            )
-            .unwrap();
-            v.verify_all(linked_list::FUNCTIONS)
+            HybridSession::builder()
+                .name("LinkedList (ablation)")
+                .program(linked_list::program())
+                .mode(SpecMode::FunctionalCorrectness)
+                .specs(linked_list::gilsonite)
+                .baseline()
+                .verify_fns(linked_list::FUNCTIONS.iter().copied())
+                .workers(1)
+                .build()
+                .unwrap()
+                .verify_all()
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_env();
+    bench_ablation(&mut c);
+}

@@ -1,15 +1,13 @@
 //! E3 — comparison against the RefinedRust-style baseline: the same
 //! verification obligations with the paper's automations disabled
-//! (`EngineOptions::baseline`). The paper reports orders-of-magnitude gaps
+//! (`SessionBuilder::baseline`). The paper reports orders-of-magnitude gaps
 //! (EvenInt: 0.04 s vs 4 m 36 s; MiniVec: 1.35 s vs 30 m 40 s); here the
 //! baseline mode fails to discharge the obligations automatically at all,
 //! which we report as the time it takes to exhaust its search.
 
 use case_studies::{even_int, SpecMode};
-use criterion::{criterion_group, criterion_main, Criterion};
-use gillian_rust::verifier::{Verifier, VerifierOptions};
-use gillian_rust::types::TypeRegistry;
-use rust_ir::LayoutOracle;
+use driver::HybridSession;
+use hybrid_bench::Criterion;
 
 fn bench_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline_comparison");
@@ -19,15 +17,23 @@ fn bench_baseline(c: &mut Criterion) {
     });
     group.bench_function("EvenInt/baseline(no automation)", |b| {
         b.iter(|| {
-            let types = TypeRegistry::new(even_int::program(), LayoutOracle::default());
-            let g = even_int::gilsonite(&types, SpecMode::FunctionalCorrectness);
-            let v = Verifier::new(types, g, VerifierOptions::functional_correctness().baseline())
-                .unwrap();
-            v.verify_all(even_int::FUNCTIONS)
+            HybridSession::builder()
+                .name("EvenInt (baseline)")
+                .program(even_int::program())
+                .mode(SpecMode::FunctionalCorrectness)
+                .specs(even_int::gilsonite)
+                .baseline()
+                .verify_fns(even_int::FUNCTIONS.iter().copied())
+                .workers(1)
+                .build()
+                .unwrap()
+                .verify_all()
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_baseline);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_env();
+    bench_baseline(&mut c);
+}

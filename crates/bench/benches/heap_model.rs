@@ -2,11 +2,11 @@
 //! single element at a symbolic offset of an array-like region, and the
 //! byte-allocation re-typing path used by the standard-library `Vec`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gillian_engine::PureCtx;
 use gillian_rust::heap::Heap;
 use gillian_rust::types::TypeRegistry;
 use gillian_solver::{Expr, Solver, VarGen};
+use hybrid_bench::Criterion;
 use rust_ir::{LayoutOracle, Program, Ty};
 
 fn bench_heap(c: &mut Criterion) {
@@ -31,11 +31,14 @@ fn bench_heap(c: &mut Criterion) {
                 path: &mut path,
                 vars: &mut vars,
             };
-            heap.take_uninit_slice(&addr, &elem, &k, &types, &mut ctx).unwrap();
-            heap.give_slice(&addr, &elem, &k, vs, &types, &mut ctx).unwrap();
+            heap.take_uninit_slice(&addr, &elem, &k, &types, &mut ctx)
+                .unwrap();
+            heap.give_slice(&addr, &elem, &k, vs, &types, &mut ctx)
+                .unwrap();
             let elem_id = types.intern(&elem);
             let at_k = addr.clone().with_index(elem_id, k.clone());
-            heap.store(&at_k, &elem, Expr::Int(7), &types, &mut ctx).unwrap();
+            heap.store(&at_k, &elem, Expr::Int(7), &types, &mut ctx)
+                .unwrap();
             heap.load(&at_k, &elem, &types, &mut ctx).unwrap()
         })
     });
@@ -47,7 +50,8 @@ fn bench_heap(c: &mut Criterion) {
             let mut path = Vec::new();
             let mut heap = Heap::new();
             let addr = heap.alloc_array(Ty::u8(), Expr::Int(64));
-            heap.retype_array(&addr, Ty::usize(), Expr::Int(8), addr.to_expr()).unwrap();
+            heap.retype_array(&addr, Ty::usize(), Expr::Int(8), addr.to_expr())
+                .unwrap();
             let mut ctx = PureCtx {
                 solver: &solver,
                 path: &mut path,
@@ -55,12 +59,15 @@ fn bench_heap(c: &mut Criterion) {
             };
             let id = types.intern(&Ty::usize());
             let at0 = addr.clone().with_index(id, Expr::Int(0));
-            heap.store(&at0, &Ty::usize(), Expr::Int(1), &types, &mut ctx).unwrap();
+            heap.store(&at0, &Ty::usize(), Expr::Int(1), &types, &mut ctx)
+                .unwrap();
             heap.load(&at0, &Ty::usize(), &types, &mut ctx).unwrap()
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_heap);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_env();
+    bench_heap(&mut c);
+}

@@ -4,9 +4,8 @@
 //! loop-free equivalents exercising the same specification reuse (see
 //! EXPERIMENTS.md).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use creusot_lite::ExternSpecs;
-use creusot_lite::elaborate;
+use creusot_lite::{elaborate, ExternSpecs};
+use hybrid_bench::Criterion;
 
 fn bench_hybrid(c: &mut Criterion) {
     let mut group = c.benchmark_group("hybrid_clients");
@@ -16,8 +15,7 @@ fn bench_hybrid(c: &mut Criterion) {
         b.iter(|| {
             let reg = ExternSpecs::linked_list();
             let mut out = Vec::new();
-            for name in ["new", "push_front", "pop_front"] {
-                let spec = reg.get(name).unwrap();
+            for (_, spec) in reg.iter() {
                 for t in spec.requires.iter().chain(spec.ensures.iter()) {
                     out.push(elaborate(t));
                 }
@@ -25,23 +23,34 @@ fn bench_hybrid(c: &mut Criterion) {
             out
         })
     });
-    // A safe client that uses the API by specification only.
-    group.bench_function("client_push_pop", |b| {
-        b.iter(hybrid_client_push_pop)
-    });
+    // The whole hybrid loop inside the session builder: program + ownership
+    // predicates + extern specs, then verification by spec reuse.
+    group.bench_function("client_push_pop", |b| b.iter(hybrid_client_push_pop));
     group.finish();
 }
 
 /// Verifies a straight-line safe client against the LinkedList specs.
 fn hybrid_client_push_pop() -> bool {
-    use case_studies::linked_list;
-    use case_studies::SpecMode;
+    use case_studies::{linked_list, SpecMode};
+    use driver::HybridSession;
     // The client is checked by the engine using only the specifications of
     // push_front / pop_front (call-by-spec), which is exactly the division of
     // labour of the hybrid approach.
-    let v = linked_list::verifier(SpecMode::FunctionalCorrectness);
-    v.verify_fn("new").verified
+    HybridSession::builder()
+        .name("LinkedList (hybrid client)")
+        .program(linked_list::program())
+        .mode(SpecMode::FunctionalCorrectness)
+        .specs(linked_list::gilsonite)
+        .extern_specs(ExternSpecs::linked_list())
+        .verify_fn("new")
+        .workers(1)
+        .build()
+        .unwrap()
+        .verify_all()
+        .all_verified()
 }
 
-criterion_group!(benches, bench_hybrid);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_env();
+    bench_hybrid(&mut c);
+}

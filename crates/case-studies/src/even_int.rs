@@ -3,15 +3,14 @@
 //! the value to be even. `add` (unsafe) temporarily breaks the invariant;
 //! `add_two` restores it and is specified functionally.
 
+use driver::HybridSession;
 use gillian_engine::{Asrt, Pred};
 use gillian_rust::compile::GHOST_MUTREF_AUTO_RESOLVE;
 use gillian_rust::gilsonite::{lv, GilsoniteCtx, SpecMode};
-use gillian_rust::types::{TypeRegistry, Types};
-use gillian_rust::verifier::{CaseReport, Verifier, VerifierOptions};
+use gillian_rust::types::Types;
+use gillian_rust::verifier::{CaseReport, Verifier};
 use gillian_solver::Expr;
-use rust_ir::{
-    AdtDef, AggregateKind, BinOp, BodyBuilder, IntTy, LayoutOracle, Operand, Place, Program, Ty,
-};
+use rust_ir::{AdtDef, AggregateKind, BinOp, BodyBuilder, IntTy, Operand, Place, Program, Ty};
 
 /// Functions verified in this case study.
 pub const FUNCTIONS: &[&str] = &["new_2", "new_3", "add_two"];
@@ -48,8 +47,18 @@ pub fn program() -> Program {
     let add_blk = new2.new_block();
     let sub_blk = new2.new_block();
     let mk_adj = new2.new_block();
-    new2.assign_binop(rem.clone(), BinOp::Rem, Operand::local("x"), Operand::i32(2));
-    new2.assign_binop(is_even.clone(), BinOp::Eq, Operand::copy(rem), Operand::i32(0));
+    new2.assign_binop(
+        rem.clone(),
+        BinOp::Rem,
+        Operand::local("x"),
+        Operand::i32(2),
+    );
+    new2.assign_binop(
+        is_even.clone(),
+        BinOp::Eq,
+        Operand::copy(rem),
+        Operand::i32(0),
+    );
     new2.branch_if(Operand::copy(is_even), even_blk, odd_blk);
     new2.switch_to(even_blk);
     new2.assign_aggregate(
@@ -59,13 +68,28 @@ pub fn program() -> Program {
     );
     new2.ret();
     new2.switch_to(odd_blk);
-    new2.assign_binop(small.clone(), BinOp::Lt, Operand::local("x"), Operand::i32(1000));
+    new2.assign_binop(
+        small.clone(),
+        BinOp::Lt,
+        Operand::local("x"),
+        Operand::i32(1000),
+    );
     new2.branch_if(Operand::copy(small), add_blk, sub_blk);
     new2.switch_to(add_blk);
-    new2.assign_binop(adj.clone(), BinOp::Add, Operand::local("x"), Operand::i32(1));
+    new2.assign_binop(
+        adj.clone(),
+        BinOp::Add,
+        Operand::local("x"),
+        Operand::i32(1),
+    );
     new2.goto(mk_adj);
     new2.switch_to(sub_blk);
-    new2.assign_binop(adj.clone(), BinOp::Sub, Operand::local("x"), Operand::i32(1));
+    new2.assign_binop(
+        adj.clone(),
+        BinOp::Sub,
+        Operand::local("x"),
+        Operand::i32(1),
+    );
     new2.goto(mk_adj);
     new2.switch_to(mk_adj);
     new2.assign_aggregate(
@@ -84,8 +108,18 @@ pub fn program() -> Program {
     let some_blk = new3.new_block();
     let none_blk = new3.new_block();
     let wrap = new3.new_block();
-    new3.assign_binop(rem3.clone(), BinOp::Rem, Operand::local("x"), Operand::i32(2));
-    new3.assign_binop(is_even3.clone(), BinOp::Eq, Operand::copy(rem3), Operand::i32(0));
+    new3.assign_binop(
+        rem3.clone(),
+        BinOp::Rem,
+        Operand::local("x"),
+        Operand::i32(2),
+    );
+    new3.assign_binop(
+        is_even3.clone(),
+        BinOp::Eq,
+        Operand::copy(rem3),
+        Operand::i32(0),
+    );
     new3.branch_if(Operand::copy(is_even3), some_blk, none_blk);
     new3.switch_to(some_blk);
     new3.call("new", vec![], vec![Operand::local("x")], y.clone(), wrap);
@@ -102,10 +136,17 @@ pub fn program() -> Program {
     p.add_fn(new3.finish());
 
     // unsafe fn add(self: &mut EvenInt)  (breaks the invariant)
-    let mut add = BodyBuilder::new("add", vec![("self", Ty::mut_ref("'a", even_ty()))], Ty::Unit);
+    let mut add = BodyBuilder::new(
+        "add",
+        vec![("self", Ty::mut_ref("'a", even_ty()))],
+        Ty::Unit,
+    );
     let n = add.local("n", Ty::i32());
     let n2 = add.local("n2", Ty::i32());
-    add.assign_use(n.clone(), Operand::copy(Place::local("self").deref().field(0)));
+    add.assign_use(
+        n.clone(),
+        Operand::copy(Place::local("self").deref().field(0)),
+    );
     add.assign_binop(n2.clone(), BinOp::Add, Operand::copy(n), Operand::i32(1));
     add.assign_use(Place::local("self").deref().field(0), Operand::copy(n2));
     add.ret_val(Operand::unit());
@@ -171,10 +212,7 @@ pub fn gilsonite(types: &Types, mode: SpecMode) -> GilsoniteCtx {
     // add_two: requires *self@ <= i32::MAX - 2, ensures ^self@ == *self@ + 2.
     let spec_add2 = g.fn_spec(
         &program.function("add_two").unwrap().clone(),
-        vec![Expr::le(
-            lv("self_cur"),
-            Expr::Int(IntTy::I32.max() as i128 - 2),
-        )],
+        vec![Expr::le(lv("self_cur"), Expr::Int(IntTy::I32.max() - 2))],
         vec![Expr::eq(
             lv("self_fin"),
             Expr::add(lv("self_cur"), Expr::Int(2)),
@@ -184,20 +222,33 @@ pub fn gilsonite(types: &Types, mode: SpecMode) -> GilsoniteCtx {
     g
 }
 
-/// Builds a verifier for this case study.
+/// Builds a [`HybridSession`] for this case study over the default function
+/// set, in the requested mode.
+pub fn session(mode: SpecMode) -> HybridSession {
+    session_for(mode, FUNCTIONS)
+}
+
+/// Builds a [`HybridSession`] over an explicit function list.
+pub fn session_for(mode: SpecMode, functions: &[&str]) -> HybridSession {
+    HybridSession::builder()
+        .name("EvenInt")
+        .program(program())
+        .mode(mode)
+        .specs(gilsonite)
+        .verify_fns(functions.iter().copied())
+        .build()
+        .expect("EvenInt case study compiles")
+}
+
+/// Builds a bare verifier for this case study (thin wrapper over
+/// [`session`] for callers that drive obligations one by one).
 pub fn verifier(mode: SpecMode) -> Verifier {
-    let types = TypeRegistry::new(program(), LayoutOracle::default());
-    let g = gilsonite(&types, mode);
-    let opts = match mode {
-        SpecMode::TypeSafety => VerifierOptions::type_safety(),
-        SpecMode::FunctionalCorrectness => VerifierOptions::functional_correctness(),
-    };
-    Verifier::new(types, g, opts).expect("EvenInt case study compiles")
+    session(mode).into_verifier()
 }
 
 /// Verifies every function of the case study.
 pub fn verify_all(mode: SpecMode) -> Vec<CaseReport> {
-    verifier(mode).verify_all(FUNCTIONS)
+    session(mode).verify_all().into_case_reports()
 }
 
 /// Executable lines of code of the module.

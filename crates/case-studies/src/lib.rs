@@ -17,5 +17,6 @@ pub mod linked_pair;
 pub mod mini_vec;
 pub mod table1;
 
+pub use driver::{HybridSession, SessionBuilder, VerificationReport};
 pub use gillian_rust::gilsonite::SpecMode;
-pub use table1::{table1, Table1Row};
+pub use table1::{table1, table1_cases, table1_with_workers, Table1Case, Table1Row};

@@ -6,16 +6,15 @@
 //! ownership predicate is the `dll_seg`-based invariant of §3.3 and the
 //! specifications are the hybrid (Pearlite-equivalent) ones of Fig. 7.
 
+use driver::HybridSession;
 use gillian_engine::{Asrt, Pred};
 use gillian_rust::compile::GHOST_MUTREF_AUTO_RESOLVE;
 use gillian_rust::gilsonite::{lv, GilsoniteCtx, SpecMode};
 use gillian_rust::state::POINTS_TO;
-use gillian_rust::types::{TypeRegistry, Types};
-use gillian_rust::verifier::{CaseReport, Verifier, VerifierOptions};
+use gillian_rust::types::Types;
+use gillian_rust::verifier::{CaseReport, Verifier};
 use gillian_solver::{Expr, Symbol};
-use rust_ir::{
-    AdtDef, AggregateKind, BodyBuilder, LayoutOracle, Operand, Place, Program, Ty,
-};
+use rust_ir::{AdtDef, AggregateKind, BodyBuilder, Operand, Place, Program, Ty};
 
 /// Functions verified by the quick (default) harness. `push_front` and
 /// `pop_front` are part of [`FUNCTIONS_FULL`]: their automated proofs
@@ -144,10 +143,7 @@ pub fn program() -> Program {
         Operand::copy(len),
         Operand::usize(1),
     );
-    pfn.assign_use(
-        Place::local("self").deref().field(2),
-        Operand::copy(len2),
-    );
+    pfn.assign_use(Place::local("self").deref().field(2), Operand::copy(len2));
     pfn.ret_val(Operand::unit());
     p.add_fn(pfn.generics(&["T"]).unsafe_fn().finish());
 
@@ -175,7 +171,13 @@ pub fn program() -> Program {
             Operand::none(Ty::non_null(node_ty())),
         ],
     );
-    pf.call("box_new", vec![node_ty()], vec![Operand::copy(nv)], node_box.clone(), b1);
+    pf.call(
+        "box_new",
+        vec![node_ty()],
+        vec![Operand::copy(nv)],
+        node_box.clone(),
+        b1,
+    );
     pf.switch_to(b1);
     pf.call(
         "push_front_node",
@@ -281,10 +283,7 @@ pub fn program() -> Program {
         Operand::copy(lenp),
         Operand::usize(1),
     );
-    pop.assign_use(
-        Place::local("self").deref().field(2),
-        Operand::copy(lenp2),
-    );
+    pop.assign_use(Place::local("self").deref().field(2), Operand::copy(lenp2));
     pop.assign_aggregate(
         Place::local("_ret"),
         AggregateKind::Some(Ty::param("T")),
@@ -323,16 +322,16 @@ pub fn gilsonite(types: &Types, mode: SpecMode) -> GilsoniteCtx {
         Asrt::Core {
             name: Symbol::new(POINTS_TO),
             ins: vec![lv("hp"), node_id.to_expr()],
-            outs: vec![Expr::ctor(
-                "struct::Node",
-                vec![lv("v"), lv("z"), lv("p")],
-            )],
+            outs: vec![Expr::ctor("struct::Node", vec![lv("v"), lv("z"), lv("p")])],
         },
         Asrt::Pred {
             name: own_t,
             args: vec![lv("v"), lv("rv")],
         },
-        Asrt::pred("dll_seg", vec![lv("z"), lv("n"), lv("t"), lv("h"), lv("rq")]),
+        Asrt::pred(
+            "dll_seg",
+            vec![lv("z"), lv("n"), lv("t"), lv("h"), lv("rq")],
+        ),
         Asrt::pure(Expr::eq(
             lv("r"),
             Expr::seq_concat(Expr::seq(vec![lv("rv")]), lv("rq")),
@@ -419,20 +418,33 @@ pub fn gilsonite(types: &Types, mode: SpecMode) -> GilsoniteCtx {
     g
 }
 
-/// Builds a verifier for this case study.
+/// Builds a [`HybridSession`] for this case study over the default function
+/// set, in the requested mode.
+pub fn session(mode: SpecMode) -> HybridSession {
+    session_for(mode, FUNCTIONS)
+}
+
+/// Builds a [`HybridSession`] over an explicit function list.
+pub fn session_for(mode: SpecMode, functions: &[&str]) -> HybridSession {
+    HybridSession::builder()
+        .name("LinkedList")
+        .program(program())
+        .mode(mode)
+        .specs(gilsonite)
+        .verify_fns(functions.iter().copied())
+        .build()
+        .expect("LinkedList case study compiles")
+}
+
+/// Builds a bare verifier for this case study (thin wrapper over
+/// [`session`] for callers that drive obligations one by one).
 pub fn verifier(mode: SpecMode) -> Verifier {
-    let types = TypeRegistry::new(program(), LayoutOracle::default());
-    let g = gilsonite(&types, mode);
-    let opts = match mode {
-        SpecMode::TypeSafety => VerifierOptions::type_safety(),
-        SpecMode::FunctionalCorrectness => VerifierOptions::functional_correctness(),
-    };
-    Verifier::new(types, g, opts).expect("LinkedList case study compiles")
+    session(mode).into_verifier()
 }
 
 /// Verifies every function of the case study.
 pub fn verify_all(mode: SpecMode) -> Vec<CaseReport> {
-    verifier(mode).verify_all(FUNCTIONS)
+    session(mode).verify_all().into_case_reports()
 }
 
 /// Executable lines of code of the module (eLoC column).

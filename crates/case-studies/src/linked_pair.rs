@@ -2,16 +2,15 @@
 //! heap cells through raw pointers — the smallest example that requires
 //! separation-logic reasoning about raw pointers.
 
+use driver::HybridSession;
 use gillian_engine::{Asrt, Pred};
 use gillian_rust::compile::GHOST_MUTREF_AUTO_RESOLVE;
 use gillian_rust::gilsonite::{lv, GilsoniteCtx, SpecMode};
 use gillian_rust::state::POINTS_TO;
-use gillian_rust::types::{TypeRegistry, Types};
-use gillian_rust::verifier::{CaseReport, Verifier, VerifierOptions};
+use gillian_rust::types::Types;
+use gillian_rust::verifier::{CaseReport, Verifier};
 use gillian_solver::{Expr, Symbol};
-use rust_ir::{
-    AdtDef, AggregateKind, BodyBuilder, LayoutOracle, Operand, Place, Program, Ty,
-};
+use rust_ir::{AdtDef, AggregateKind, BodyBuilder, Operand, Place, Program, Ty};
 
 /// Functions verified in this case study.
 pub const FUNCTIONS: &[&str] = &["new", "set_both"];
@@ -35,18 +34,26 @@ pub fn program() -> Program {
     ));
 
     // fn new(a: usize, b: usize) -> LinkedPair
-    let mut new = BodyBuilder::new(
-        "new",
-        vec![("a", Ty::usize()), ("b", Ty::usize())],
-        lp_ty(),
-    );
+    let mut new = BodyBuilder::new("new", vec![("a", Ty::usize()), ("b", Ty::usize())], lp_ty());
     let pa = new.local("pa", Ty::raw_ptr(Ty::usize()));
     let pb = new.local("pb", Ty::raw_ptr(Ty::usize()));
     let b1 = new.new_block();
     let b2 = new.new_block();
-    new.call("box_new", vec![Ty::usize()], vec![Operand::local("a")], pa.clone(), b1);
+    new.call(
+        "box_new",
+        vec![Ty::usize()],
+        vec![Operand::local("a")],
+        pa.clone(),
+        b1,
+    );
     new.switch_to(b1);
-    new.call("box_new", vec![Ty::usize()], vec![Operand::local("b")], pb.clone(), b2);
+    new.call(
+        "box_new",
+        vec![Ty::usize()],
+        vec![Operand::local("b")],
+        pb.clone(),
+        b2,
+    );
     new.switch_to(b2);
     new.assign_aggregate(
         Place::local("_ret"),
@@ -70,8 +77,14 @@ pub fn program() -> Program {
     let pb = set.local("pb", Ty::raw_ptr(Ty::usize()));
     let u = set.local("_u", Ty::Unit);
     let done = set.new_block();
-    set.assign_use(pa.clone(), Operand::copy(Place::local("self").deref().field(0)));
-    set.assign_use(pb.clone(), Operand::copy(Place::local("self").deref().field(1)));
+    set.assign_use(
+        pa.clone(),
+        Operand::copy(Place::local("self").deref().field(0)),
+    );
+    set.assign_use(
+        pb.clone(),
+        Operand::copy(Place::local("self").deref().field(1)),
+    );
     set.assign_use(Place::local("pa").deref(), Operand::local("a"));
     set.assign_use(Place::local("pb").deref(), Operand::local("b"));
     set.call(
@@ -137,20 +150,33 @@ pub fn gilsonite(types: &Types, mode: SpecMode) -> GilsoniteCtx {
     g
 }
 
-/// Builds a verifier for this case study.
+/// Builds a [`HybridSession`] for this case study over the default function
+/// set, in the requested mode.
+pub fn session(mode: SpecMode) -> HybridSession {
+    session_for(mode, FUNCTIONS)
+}
+
+/// Builds a [`HybridSession`] over an explicit function list.
+pub fn session_for(mode: SpecMode, functions: &[&str]) -> HybridSession {
+    HybridSession::builder()
+        .name("LinkedPair")
+        .program(program())
+        .mode(mode)
+        .specs(gilsonite)
+        .verify_fns(functions.iter().copied())
+        .build()
+        .expect("LinkedPair case study compiles")
+}
+
+/// Builds a bare verifier for this case study (thin wrapper over
+/// [`session`] for callers that drive obligations one by one).
 pub fn verifier(mode: SpecMode) -> Verifier {
-    let types = TypeRegistry::new(program(), LayoutOracle::default());
-    let g = gilsonite(&types, mode);
-    let opts = match mode {
-        SpecMode::TypeSafety => VerifierOptions::type_safety(),
-        SpecMode::FunctionalCorrectness => VerifierOptions::functional_correctness(),
-    };
-    Verifier::new(types, g, opts).expect("LinkedPair case study compiles")
+    session(mode).into_verifier()
 }
 
 /// Verifies every function of the case study.
 pub fn verify_all(mode: SpecMode) -> Vec<CaseReport> {
-    verifier(mode).verify_all(FUNCTIONS)
+    session(mode).verify_all().into_case_reports()
 }
 
 /// Executable lines of code of the module.
@@ -173,7 +199,7 @@ mod tests {
             eprintln!(
                 "LinkedPair::{f} (FC): verified={} ({})",
                 report.verified,
-                report.error.as_deref().unwrap_or("ok")
+                report.error_message().unwrap_or_else(|| "ok".into())
             );
         }
     }

@@ -4,16 +4,16 @@
 //! an element is the element itself); the generic structure of the proof is
 //! otherwise identical to the paper's.
 
+use driver::HybridSession;
 use gillian_engine::{Asrt, Pred};
 use gillian_rust::compile::GHOST_MUTREF_AUTO_RESOLVE;
 use gillian_rust::gilsonite::{lv, GilsoniteCtx, SpecMode};
 use gillian_rust::state::{POINTS_TO_SLICE, UNINIT_SLICE};
-use gillian_rust::types::{ptr_offset, TypeRegistry, Types};
-use gillian_rust::verifier::{CaseReport, Verifier, VerifierOptions};
+use gillian_rust::types::{ptr_offset, Types};
+use gillian_rust::verifier::{CaseReport, Verifier};
 use gillian_solver::{Expr, Symbol};
 use rust_ir::{
-    AdtDef, AggregateKind, BinOp, BodyBuilder, IntTy, LayoutOracle, Operand, Place, PlaceElem,
-    Program, Ty,
+    AdtDef, AggregateKind, BinOp, BodyBuilder, IntTy, Operand, Place, PlaceElem, Program, Ty,
 };
 
 /// Functions verified by the quick (default) harness; `push`/`pop` are in
@@ -49,7 +49,13 @@ pub fn program() -> Program {
     let mut new = BodyBuilder::new("new", vec![], vec_ty());
     let buf = new.local("buf", Ty::raw_ptr(elem_ty()));
     let b1 = new.new_block();
-    new.call("alloc_array", vec![elem_ty()], vec![Operand::usize(0)], buf.clone(), b1);
+    new.call(
+        "alloc_array",
+        vec![elem_ty()],
+        vec![Operand::usize(0)],
+        buf.clone(),
+        b1,
+    );
     new.switch_to(b1);
     new.assign_aggregate(
         Place::local("_ret"),
@@ -102,22 +108,46 @@ pub fn program() -> Program {
     let after_free = push.new_block();
     let write = push.new_block();
     let resolved = push.new_block();
-    push.assign_use(len.clone(), Operand::copy(Place::local("self").deref().field(2)));
-    push.assign_use(cap.clone(), Operand::copy(Place::local("self").deref().field(1)));
-    push.assign_binop(full.clone(), BinOp::Eq, Operand::copy(len.clone()), Operand::copy(cap.clone()));
+    push.assign_use(
+        len.clone(),
+        Operand::copy(Place::local("self").deref().field(2)),
+    );
+    push.assign_use(
+        cap.clone(),
+        Operand::copy(Place::local("self").deref().field(1)),
+    );
+    push.assign_binop(
+        full.clone(),
+        BinOp::Eq,
+        Operand::copy(len.clone()),
+        Operand::copy(cap.clone()),
+    );
     push.branch_if(Operand::copy(full), grow, write);
     // Growing path: new_cap = if cap == 0 { 4 } else { cap * 2 }.
     push.switch_to(grow);
-    push.assign_binop(is_zero.clone(), BinOp::Eq, Operand::copy(cap.clone()), Operand::usize(0));
+    push.assign_binop(
+        is_zero.clone(),
+        BinOp::Eq,
+        Operand::copy(cap.clone()),
+        Operand::usize(0),
+    );
     push.branch_if(Operand::copy(is_zero), zero_cap, double_cap);
     push.switch_to(zero_cap);
     push.assign_use(new_cap.clone(), Operand::usize(4));
     push.goto(do_grow);
     push.switch_to(double_cap);
-    push.assign_binop(new_cap.clone(), BinOp::Mul, Operand::copy(cap.clone()), Operand::usize(2));
+    push.assign_binop(
+        new_cap.clone(),
+        BinOp::Mul,
+        Operand::copy(cap.clone()),
+        Operand::usize(2),
+    );
     push.goto(do_grow);
     push.switch_to(do_grow);
-    push.assign_use(ptr.clone(), Operand::copy(Place::local("self").deref().field(0)));
+    push.assign_use(
+        ptr.clone(),
+        Operand::copy(Place::local("self").deref().field(0)),
+    );
     push.call(
         "alloc_array",
         vec![elem_ty()],
@@ -138,20 +168,37 @@ pub fn program() -> Program {
         after_free,
     );
     push.switch_to(after_free);
-    push.assign_use(Place::local("self").deref().field(0), Operand::copy(new_ptr));
-    push.assign_use(Place::local("self").deref().field(1), Operand::copy(new_cap));
+    push.assign_use(
+        Place::local("self").deref().field(0),
+        Operand::copy(new_ptr),
+    );
+    push.assign_use(
+        Place::local("self").deref().field(1),
+        Operand::copy(new_cap),
+    );
     push.goto(write);
     // Write the element at offset len and bump the length.
     push.switch_to(write);
-    push.assign_use(ptr.clone(), Operand::copy(Place::local("self").deref().field(0)));
+    push.assign_use(
+        ptr.clone(),
+        Operand::copy(Place::local("self").deref().field(0)),
+    );
     push.assign_use(
         Place {
             local: "ptr".into(),
-            proj: vec![PlaceElem::Deref, PlaceElem::Index(Operand::copy(len.clone()))],
+            proj: vec![
+                PlaceElem::Deref,
+                PlaceElem::Index(Operand::copy(len.clone())),
+            ],
         },
         Operand::local("x"),
     );
-    push.assign_binop(len2.clone(), BinOp::Add, Operand::copy(len), Operand::usize(1));
+    push.assign_binop(
+        len2.clone(),
+        BinOp::Add,
+        Operand::copy(len),
+        Operand::usize(1),
+    );
     push.assign_use(Place::local("self").deref().field(2), Operand::copy(len2));
     push.call(
         GHOST_MUTREF_AUTO_RESOLVE,
@@ -180,8 +227,16 @@ pub fn program() -> Program {
     let none_ret = pop.new_block();
     let some_blk = pop.new_block();
     let resolved = pop.new_block();
-    pop.assign_use(lenp.clone(), Operand::copy(Place::local("self").deref().field(2)));
-    pop.assign_binop(empty.clone(), BinOp::Eq, Operand::copy(lenp.clone()), Operand::usize(0));
+    pop.assign_use(
+        lenp.clone(),
+        Operand::copy(Place::local("self").deref().field(2)),
+    );
+    pop.assign_binop(
+        empty.clone(),
+        BinOp::Eq,
+        Operand::copy(lenp.clone()),
+        Operand::usize(0),
+    );
     pop.branch_if(Operand::copy(empty), none_blk, some_blk);
     pop.switch_to(none_blk);
     pop.assign_use(Place::local("_ret"), Operand::none(elem_ty()));
@@ -195,13 +250,24 @@ pub fn program() -> Program {
     pop.switch_to(none_ret);
     pop.ret();
     pop.switch_to(some_blk);
-    pop.assign_binop(lenp2.clone(), BinOp::Sub, Operand::copy(lenp), Operand::usize(1));
-    pop.assign_use(ptrp.clone(), Operand::copy(Place::local("self").deref().field(0)));
+    pop.assign_binop(
+        lenp2.clone(),
+        BinOp::Sub,
+        Operand::copy(lenp),
+        Operand::usize(1),
+    );
+    pop.assign_use(
+        ptrp.clone(),
+        Operand::copy(Place::local("self").deref().field(0)),
+    );
     pop.assign_use(
         v.clone(),
         Operand::mv(Place {
             local: "ptr".into(),
-            proj: vec![PlaceElem::Deref, PlaceElem::Index(Operand::copy(lenp2.clone()))],
+            proj: vec![
+                PlaceElem::Deref,
+                PlaceElem::Index(Operand::copy(lenp2.clone())),
+            ],
         }),
     );
     pop.assign_use(Place::local("self").deref().field(2), Operand::copy(lenp2));
@@ -274,12 +340,10 @@ pub fn gilsonite(types: &Types, mode: SpecMode) -> GilsoniteCtx {
     // overflow in this model), ensures (^self)@ == (*self)@.push(x).
     let spec_push = g.fn_spec(
         &program.function("push").unwrap().clone(),
-        vec![
-            Expr::lt(
-                Expr::seq_len(lv("self_cur")),
-                Expr::Int(IntTy::Usize.max() / 4),
-            ),
-        ],
+        vec![Expr::lt(
+            Expr::seq_len(lv("self_cur")),
+            Expr::Int(IntTy::Usize.max() / 4),
+        )],
         vec![Expr::eq(
             lv("self_fin"),
             Expr::seq_snoc(lv("self_cur"), lv("x_repr")),
@@ -325,20 +389,33 @@ pub fn gilsonite(types: &Types, mode: SpecMode) -> GilsoniteCtx {
     g
 }
 
-/// Builds a verifier for this case study.
+/// Builds a [`HybridSession`] for this case study over the default function
+/// set, in the requested mode.
+pub fn session(mode: SpecMode) -> HybridSession {
+    session_for(mode, FUNCTIONS)
+}
+
+/// Builds a [`HybridSession`] over an explicit function list.
+pub fn session_for(mode: SpecMode, functions: &[&str]) -> HybridSession {
+    HybridSession::builder()
+        .name("MiniVec")
+        .program(program())
+        .mode(mode)
+        .specs(gilsonite)
+        .verify_fns(functions.iter().copied())
+        .build()
+        .expect("MiniVec case study compiles")
+}
+
+/// Builds a bare verifier for this case study (thin wrapper over
+/// [`session`] for callers that drive obligations one by one).
 pub fn verifier(mode: SpecMode) -> Verifier {
-    let types = TypeRegistry::new(program(), LayoutOracle::default());
-    let g = gilsonite(&types, mode);
-    let opts = match mode {
-        SpecMode::TypeSafety => VerifierOptions::type_safety(),
-        SpecMode::FunctionalCorrectness => VerifierOptions::functional_correctness(),
-    };
-    Verifier::new(types, g, opts).expect("MiniVec case study compiles")
+    session(mode).into_verifier()
 }
 
 /// Verifies every function of the case study.
 pub fn verify_all(mode: SpecMode) -> Vec<CaseReport> {
-    verifier(mode).verify_all(FUNCTIONS)
+    session(mode).verify_all().into_case_reports()
 }
 
 /// Executable lines of code of the module.
@@ -368,7 +445,7 @@ mod tests {
             eprintln!(
                 "MiniVec::{f}: verified={} ({})",
                 report.verified,
-                report.error.as_deref().unwrap_or("ok")
+                report.error_message().unwrap_or_else(|| "ok".into())
             );
         }
     }

@@ -596,13 +596,15 @@ impl<'a> Compiler<'a> {
                 let e = ptr_offset(arg_exprs[0].clone(), elem_id, arg_exprs[1].clone());
                 self.store_to_place(dest, e, local_tys, cmds)
             }
-            "box_leak" | "box_into_raw" | "box_from_raw" | "nonnull_new_unchecked"
-            | "nonnull_as_ptr" | "into_nonnull" | "ptr_cast" => self.store_to_place(
-                dest,
-                arg_exprs.into_iter().next().unwrap(),
-                local_tys,
-                cmds,
-            ),
+            "box_leak"
+            | "box_into_raw"
+            | "box_from_raw"
+            | "nonnull_new_unchecked"
+            | "nonnull_as_ptr"
+            | "into_nonnull"
+            | "ptr_cast" => {
+                self.store_to_place(dest, arg_exprs.into_iter().next().unwrap(), local_tys, cmds)
+            }
             "option_some" => self.store_to_place(
                 dest,
                 Expr::some(arg_exprs.into_iter().next().unwrap()),

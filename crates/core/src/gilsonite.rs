@@ -16,9 +16,7 @@
 //!   `&mut` parameter (`(*p)@` and `(^p)@` in Pearlite);
 //! * `#ret_repr`, `#ret_cur`, `#ret_fin` — the same for the return value.
 
-use crate::state::{
-    LFT_TOKEN, POINTS_TO, PROPH_CONTROLLER, VALUE_OBSERVER,
-};
+use crate::state::{LFT_TOKEN, POINTS_TO, PROPH_CONTROLLER, VALUE_OBSERVER};
 use crate::types::Types;
 use gillian_engine::{Asrt, Lemma, Pred, Prog, Spec};
 use gillian_solver::{Expr, Symbol};
@@ -289,7 +287,8 @@ impl GilsoniteCtx {
         requires: Vec<Expr>,
         cases: Vec<(Vec<Expr>, Vec<Expr>)>,
     ) -> Spec {
-        let mut spec = self.fn_spec_cases(f, requires, cases.iter().map(|(_, e)| e.clone()).collect());
+        let mut spec =
+            self.fn_spec_cases(f, requires, cases.iter().map(|(_, e)| e.clone()).collect());
         // Interleave the binder equalities right after the ownership atoms of
         // each postcondition (before its observations).
         let mut new_posts = Vec::new();
@@ -348,8 +347,7 @@ impl GilsoniteCtx {
                     panic!("shared references are not supported (see §8 of the paper)")
                 }
                 _ => {
-                    let own =
-                        self.own_asrt(pty, Expr::pvar(pname), lv(&format!("{pname}_repr")));
+                    let own = self.own_asrt(pty, Expr::pvar(pname), lv(&format!("{pname}_repr")));
                     pre_atoms.push(own);
                 }
             }
@@ -384,11 +382,8 @@ impl GilsoniteCtx {
                     post_atoms.extend(atoms);
                 }
                 other => {
-                    let own = self.own_asrt(
-                        other,
-                        Expr::pvar(gillian_engine::RET_VAR),
-                        lv("ret_repr"),
-                    );
+                    let own =
+                        self.own_asrt(other, Expr::pvar(gillian_engine::RET_VAR), lv("ret_repr"));
                     post_atoms.push(own);
                 }
             }
@@ -569,11 +564,7 @@ mod tests {
     #[test]
     fn fn_spec_for_mutref_param_has_token_and_observer() {
         let mut g = ctx(SpecMode::FunctionalCorrectness);
-        let mut b = BodyBuilder::new(
-            "inc",
-            vec![("x", Ty::mut_ref("'a", Ty::i32()))],
-            Ty::Unit,
-        );
+        let mut b = BodyBuilder::new("inc", vec![("x", Ty::mut_ref("'a", Ty::i32()))], Ty::Unit);
         b.ret_val(Operand::unit());
         let f = b.finish();
         let spec = g.fn_spec(

@@ -120,6 +120,7 @@ impl Heap {
         self.resolve_ptr_depth(e, ctx, types, 8)
     }
 
+    #[allow(clippy::only_used_in_recursion)]
     fn resolve_ptr_depth(
         &self,
         e: &Expr,
@@ -150,9 +151,7 @@ impl Heap {
                 if let Some(ProjElem::Index(t, off)) = addr.proj.last().cloned() {
                     if t == ty {
                         addr.proj.pop();
-                        return Some(
-                            addr.with_index(ty, simplify(&Expr::add(off, count))),
-                        );
+                        return Some(addr.with_index(ty, simplify(&Expr::add(off, count))));
                     }
                 }
                 return Some(addr.with_index(ty, count));
@@ -272,9 +271,7 @@ impl Heap {
     /// parts) — reading out whatever value is there is not required.
     pub fn free(&mut self, addr: &Address, hint: Expr) -> HeapResult<()> {
         if !addr.proj.is_empty() {
-            return Err(HeapError::Error(
-                "free of an interior pointer".to_owned(),
-            ));
+            return Err(HeapError::Error("free of an interior pointer".to_owned()));
         }
         match self.objects.remove(&addr.loc) {
             Some(obj) => {
@@ -293,15 +290,19 @@ impl Heap {
     /// Re-types an array allocation (e.g. a `u8` byte allocation being used
     /// to store values of type `T`, as the standard-library `Vec` does). Only
     /// allowed while the allocation is entirely uninitialised.
-    pub fn retype_array(&mut self, addr: &Address, new_elem: Ty, new_count: Expr, hint: Expr) -> HeapResult<()> {
+    pub fn retype_array(
+        &mut self,
+        addr: &Address,
+        new_elem: Ty,
+        new_count: Expr,
+        hint: Expr,
+    ) -> HeapResult<()> {
         let obj = self
             .objects
             .get_mut(&addr.loc)
             .ok_or_else(|| HeapError::missing("retype of unknown object", hint.clone()))?;
         match &obj.node {
-            HeapNode::Array { segs, .. }
-                if segs.iter().all(|s| s.data == SegData::Uninit) =>
-            {
+            HeapNode::Array { segs, .. } if segs.iter().all(|s| s.data == SegData::Uninit) => {
                 obj.ty = new_elem.clone();
                 obj.node = HeapNode::Array {
                     elem: new_elem,
@@ -337,7 +338,14 @@ impl Heap {
             .objects
             .get_mut(&addr.loc)
             .ok_or_else(|| HeapError::missing("no object at location", base_hint(addr)))?;
-        let node = navigate(&mut obj.node, &obj.ty.clone(), &addr.proj, types, ctx, &hint)?;
+        let node = navigate(
+            &mut obj.node,
+            &obj.ty.clone(),
+            &addr.proj,
+            types,
+            ctx,
+            &hint,
+        )?;
         match node {
             NodeRef::Struct(n) => read_node(n, ty, types, ctx, &hint),
             NodeRef::ArrayRange {
@@ -367,7 +375,14 @@ impl Heap {
             .objects
             .get_mut(&addr.loc)
             .ok_or_else(|| HeapError::missing("no object at location", base_hint(addr)))?;
-        let node = navigate(&mut obj.node, &obj.ty.clone(), &addr.proj, types, ctx, &hint)?;
+        let node = navigate(
+            &mut obj.node,
+            &obj.ty.clone(),
+            &addr.proj,
+            types,
+            ctx,
+            &hint,
+        )?;
         match node {
             NodeRef::Struct(n) => {
                 let v = read_node(n, ty, types, ctx, &hint)?;
@@ -408,7 +423,14 @@ impl Heap {
             .objects
             .get_mut(&addr.loc)
             .ok_or_else(|| HeapError::missing("no object at location", base_hint(addr)))?;
-        let node = navigate(&mut obj.node, &obj.ty.clone(), &addr.proj, types, ctx, &hint)?;
+        let node = navigate(
+            &mut obj.node,
+            &obj.ty.clone(),
+            &addr.proj,
+            types,
+            ctx,
+            &hint,
+        )?;
         match node {
             NodeRef::Struct(n) => {
                 if matches!(n, HeapNode::Missing) {
@@ -452,7 +474,14 @@ impl Heap {
             .objects
             .get_mut(&addr.loc)
             .ok_or_else(|| HeapError::missing("no object at location", base_hint(addr)))?;
-        let node = navigate(&mut obj.node, &obj.ty.clone(), &addr.proj, types, ctx, &hint)?;
+        let node = navigate(
+            &mut obj.node,
+            &obj.ty.clone(),
+            &addr.proj,
+            types,
+            ctx,
+            &hint,
+        )?;
         match node {
             NodeRef::Struct(n) => {
                 let v = read_node(n, ty, types, ctx, &hint)?;
@@ -482,8 +511,18 @@ impl Heap {
     ) -> HeapResult<()> {
         let hint = addr.to_expr();
         self.ensure_object(addr, ty, types);
-        let obj = self.objects.get_mut(&addr.loc).expect("object just ensured");
-        let node = navigate(&mut obj.node, &obj.ty.clone(), &addr.proj, types, ctx, &hint)?;
+        let obj = self
+            .objects
+            .get_mut(&addr.loc)
+            .expect("object just ensured");
+        let node = navigate(
+            &mut obj.node,
+            &obj.ty.clone(),
+            &addr.proj,
+            types,
+            ctx,
+            &hint,
+        )?;
         match node {
             NodeRef::Struct(n) => match n {
                 HeapNode::Missing | HeapNode::Uninit => {
@@ -520,7 +559,14 @@ impl Heap {
             .objects
             .get_mut(&addr.loc)
             .ok_or_else(|| HeapError::missing("no object at location", base_hint(addr)))?;
-        let node = navigate(&mut obj.node, &obj.ty.clone(), &addr.proj, types, ctx, &hint)?;
+        let node = navigate(
+            &mut obj.node,
+            &obj.ty.clone(),
+            &addr.proj,
+            types,
+            ctx,
+            &hint,
+        )?;
         match node {
             NodeRef::Struct(n) => match n {
                 HeapNode::Uninit => {
@@ -552,8 +598,18 @@ impl Heap {
     ) -> HeapResult<()> {
         let hint = addr.to_expr();
         self.ensure_object(addr, ty, types);
-        let obj = self.objects.get_mut(&addr.loc).expect("object just ensured");
-        let node = navigate(&mut obj.node, &obj.ty.clone(), &addr.proj, types, ctx, &hint)?;
+        let obj = self
+            .objects
+            .get_mut(&addr.loc)
+            .expect("object just ensured");
+        let node = navigate(
+            &mut obj.node,
+            &obj.ty.clone(),
+            &addr.proj,
+            types,
+            ctx,
+            &hint,
+        )?;
         match node {
             NodeRef::Struct(n) => match n {
                 HeapNode::Missing => {
@@ -756,13 +812,7 @@ impl Heap {
             Some(ProjElem::Index(elem_ty, _)) => types.resolve(*elem_ty),
             None => ty.clone(),
         };
-        self.objects.insert(
-            addr.loc,
-            Object {
-                ty: root_ty,
-                node,
-            },
-        );
+        self.objects.insert(addr.loc, Object { ty: root_ty, node });
     }
 
     fn ensure_array_object(&mut self, addr: &Address, elem: &Ty) {
@@ -788,9 +838,7 @@ impl Heap {
 fn ensure_index_proj(addr: &Address, elem: &Ty, types: &Types) -> Address {
     match addr.proj.last() {
         Some(ProjElem::Index(_, _)) => addr.clone(),
-        _ => addr
-            .clone()
-            .with_index(types.intern(elem), Expr::Int(0)),
+        _ => addr.clone().with_index(types.intern(elem), Expr::Int(0)),
     }
 }
 
@@ -847,7 +895,10 @@ fn navigate<'a>(
                         .ok_or_else(|| HeapError::Error(format!("no field {idx} in {sty}")))?;
                     navigate(child, &field_ty, &proj[1..], types, ctx, hint)
                 }
-                HeapNode::Missing => Err(HeapError::missing("field of framed-off struct", hint.clone())),
+                HeapNode::Missing => Err(HeapError::missing(
+                    "field of framed-off struct",
+                    hint.clone(),
+                )),
                 _ => Err(HeapError::Error(format!(
                     "field projection into a non-struct node of type {node_ty}"
                 ))),
@@ -880,9 +931,10 @@ fn navigate<'a>(
                         count: Expr::Int(1),
                     })
                 }
-                HeapNode::Missing => {
-                    Err(HeapError::missing("index into framed-off memory", hint.clone()))
-                }
+                HeapNode::Missing => Err(HeapError::missing(
+                    "index into framed-off memory",
+                    hint.clone(),
+                )),
                 _ => Err(HeapError::Error(
                     "index projection into a structural node".to_owned(),
                 )),
@@ -917,10 +969,7 @@ fn destructure(
             let ctor = Expr::ctor(&format!("struct::{tag}"), field_vals.clone());
             let fact = Expr::eq(v.clone(), ctor);
             ctx.assume(fact);
-            *node = HeapNode::Struct(
-                tag,
-                field_vals.into_iter().map(HeapNode::Val).collect(),
-            );
+            *node = HeapNode::Struct(tag, field_vals.into_iter().map(HeapNode::Val).collect());
             Ok(())
         }
         HeapNode::Array { .. } => Err(HeapError::Error(
@@ -931,6 +980,7 @@ fn destructure(
 
 /// Reads the value of a structural node (recursively rebuilding struct
 /// values).
+#[allow(clippy::only_used_in_recursion)]
 fn read_node(
     node: &HeapNode,
     ty: &Ty,
@@ -940,10 +990,11 @@ fn read_node(
 ) -> HeapResult<Expr> {
     match node {
         HeapNode::Val(v) => Ok(v.clone()),
-        HeapNode::Uninit => Err(HeapError::Error(
-            "load of uninitialised memory".to_owned(),
+        HeapNode::Uninit => Err(HeapError::Error("load of uninitialised memory".to_owned())),
+        HeapNode::Missing => Err(HeapError::missing(
+            "load of framed-off memory",
+            hint.clone(),
         )),
-        HeapNode::Missing => Err(HeapError::missing("load of framed-off memory", hint.clone())),
         HeapNode::Struct(tag, fields) => {
             let mut vals = Vec::new();
             for f in fields {
@@ -1203,11 +1254,7 @@ mod tests {
         vars: &mut VarGen,
         f: impl FnOnce(&mut PureCtx<'_>) -> R,
     ) -> R {
-        let mut ctx = PureCtx {
-            solver,
-            path,
-            vars,
-        };
+        let mut ctx = PureCtx { solver, path, vars };
         f(&mut ctx)
     }
 
@@ -1311,12 +1358,14 @@ mod tests {
         let elem_id = types.intern(&elem);
         with_ctx(&solver, &mut path, &mut vars, |ctx| {
             // Fill [0, k) with values.
-            heap.take_uninit_slice(&addr, &elem, &k, &types, ctx).unwrap();
+            heap.take_uninit_slice(&addr, &elem, &k, &types, ctx)
+                .unwrap();
             heap.give_slice(&addr, &elem, &k, vs.clone(), &types, ctx)
                 .unwrap();
             // Write a single element at offset k.
             let at_k = addr.clone().with_index(elem_id, k.clone());
-            heap.store(&at_k, &elem, Expr::Int(99), &types, ctx).unwrap();
+            heap.store(&at_k, &elem, Expr::Int(99), &types, ctx)
+                .unwrap();
             let back = heap.load(&at_k, &elem, &types, ctx).unwrap();
             assert_eq!(back, Expr::Int(99));
         });
@@ -1375,8 +1424,7 @@ mod tests {
         let mut vars = VarGen::new();
         let bytes = Expr::Int(32);
         let addr = heap.alloc_array(Ty::u8(), bytes);
-        heap
-            .retype_array(&addr, Ty::usize(), Expr::Int(4), addr.to_expr())
+        heap.retype_array(&addr, Ty::usize(), Expr::Int(4), addr.to_expr())
             .unwrap();
         with_ctx(&solver, &mut path, &mut vars, |ctx| {
             let id = types.intern(&Ty::usize());

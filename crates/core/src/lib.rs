@@ -29,4 +29,4 @@ pub mod verifier;
 pub use gilsonite::{GilsoniteCtx, Ownable, SpecMode};
 pub use state::GRState;
 pub use types::{Address, ProjElem, TyId, TypeRegistry, Types};
-pub use verifier::{CaseReport, Verifier, VerifierOptions};
+pub use verifier::{CaseReport, Verifier, VerifierOptions, VerifyDiagnostic};

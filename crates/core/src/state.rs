@@ -96,11 +96,7 @@ impl GRState {
             .ok_or_else(|| format!("not a type identifier: {e}"))
     }
 
-    fn resolve_addr(
-        &self,
-        e: &Expr,
-        ctx: &PureCtx<'_>,
-    ) -> Result<Address, HeapError> {
+    fn resolve_addr(&self, e: &Expr, ctx: &PureCtx<'_>) -> Result<Address, HeapError> {
         self.heap
             .resolve_ptr(e, ctx, &self.types)
             .ok_or_else(|| HeapError::Missing {
@@ -469,10 +465,9 @@ impl StateModel for GRState {
                                 facts: vec![],
                             }])
                         }
-                        LftEntry::Dead => ConsumeResult::Error(format!(
-                            "lifetime {} has already ended",
-                            ins[0]
-                        )),
+                        LftEntry::Dead => {
+                            ConsumeResult::Error(format!("lifetime {} has already ended", ins[0]))
+                        }
                     },
                     None => ConsumeResult::Missing {
                         msg: format!("no alive token for lifetime {}", ins[0]),
@@ -778,6 +773,7 @@ impl StateModel for GRState {
 }
 
 #[cfg(test)]
+#[allow(clippy::cloned_ref_to_slice_refs)]
 mod tests {
     use super::*;
     use crate::types::TypeRegistry;
@@ -808,7 +804,8 @@ mod tests {
     fn alloc_store_load_via_actions() {
         run(|s, ctx| {
             let usize_ty = s.types.intern(&Ty::usize()).to_expr();
-            let ActionResult::Ok(outs) = s.exec_action(Symbol::new("alloc"), &[usize_ty.clone()], ctx)
+            let ActionResult::Ok(outs) =
+                s.exec_action(Symbol::new("alloc"), &[usize_ty.clone()], ctx)
             else {
                 panic!("alloc failed")
             };
@@ -822,8 +819,7 @@ mod tests {
                 panic!("store failed")
             };
             let s2 = outs[0].state.clone();
-            let ActionResult::Ok(outs) =
-                s2.exec_action(Symbol::new("load"), &[ptr, usize_ty], ctx)
+            let ActionResult::Ok(outs) = s2.exec_action(Symbol::new("load"), &[ptr, usize_ty], ctx)
             else {
                 panic!("load failed")
             };
@@ -933,7 +929,9 @@ mod tests {
                 ActionResult::Ok(outs) => {
                     assert_eq!(outs.len(), 1);
                     let fact = &outs[0].facts[0];
-                    assert!(matches!(fact, Expr::BinOp(gillian_solver::BinOp::Eq, a, _) if a.as_ref() == &v));
+                    assert!(
+                        matches!(fact, Expr::BinOp(gillian_solver::BinOp::Eq, a, _) if a.as_ref() == &v)
+                    );
                 }
                 other => panic!("expected ok, got {other:?}"),
             }

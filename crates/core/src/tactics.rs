@@ -10,9 +10,7 @@
 //! `prophecy_auto_update` applies only the Mut-Auto-Update step.
 
 use crate::state::{GRState, PROPH_CONTROLLER, VALUE_OBSERVER};
-use gillian_engine::{
-    fresh_lvar_name, Asrt, Bindings, Config, Engine, VerError,
-};
+use gillian_engine::{fresh_lvar_name, Asrt, Bindings, Config, Engine, VerError};
 use gillian_solver::{simplify, Expr, Symbol};
 
 /// Finds the guarded predicate or closing token corresponding to the mutable
@@ -81,7 +79,9 @@ fn mut_auto_update(
         eprintln!("[tactic] consuming borrow body: {others_asrt}");
         eprintln!("[tactic] folded: {:?}", cfg.folded);
         eprintln!("[tactic] path:");
-        for f in &cfg.path { eprintln!("    {f}"); }
+        for f in &cfg.path {
+            eprintln!("    {f}");
+        }
     }
     let branches = engine.consume(cfg, Bindings::new(), &others_asrt)?;
     let mut out = Vec::new();
@@ -89,9 +89,7 @@ fn mut_auto_update(
         // The new representation is whatever the prophecy controller atom
         // expects after folding the ownership predicate.
         let a_new = match &pc_atom {
-            Asrt::Core { outs, .. } => {
-                simplify(&outs[0].subst_lvars(&|s| b.get(&s).cloned()))
-            }
+            Asrt::Core { outs, .. } => simplify(&outs[0].subst_lvars(&|s| b.get(&s).cloned())),
             _ => unreachable!(),
         };
         if !a_new.lvars().is_empty() {
@@ -196,9 +194,8 @@ pub fn mutref_auto_resolve(
     let p = args
         .first()
         .ok_or_else(|| VerError::new("mutref_auto_resolve needs the reference as argument"))?;
-    let (pred, bargs, is_open, idx) = find_mutref_borrow(engine, &cfg, p).ok_or_else(|| {
-        VerError::new(format!("no mutable-reference borrow found for {p}"))
-    })?;
+    let (pred, bargs, is_open, idx) = find_mutref_borrow(engine, &cfg, p)
+        .ok_or_else(|| VerError::new(format!("no mutable-reference borrow found for {p}")))?;
     // Type-safety mode: no prophecies — just close the borrow if it is open.
     if pred.as_str().starts_with("mutref_inner_ts") {
         return if is_open {
@@ -219,7 +216,9 @@ pub fn mutref_auto_resolve(
         let tok_idx = c
             .closing
             .iter()
-            .position(|ct| ct.pred == pred && engine.solver.must_equal(&c.all_facts(), &ct.args[0], p))
+            .position(|ct| {
+                ct.pred == pred && engine.solver.must_equal(&c.all_facts(), &ct.args[0], p)
+            })
             .ok_or_else(|| VerError::new("open borrow disappeared during Mut-Auto-Update"))?;
         let closed = engine.gfold(c, tok_idx)?;
         // 3. MutRef-Resolve.
@@ -239,9 +238,8 @@ pub fn prophecy_auto_update(
     let p = args
         .first()
         .ok_or_else(|| VerError::new("prophecy_auto_update needs the reference as argument"))?;
-    let (pred, bargs, is_open, _idx) = find_mutref_borrow(engine, &cfg, p).ok_or_else(|| {
-        VerError::new(format!("no mutable-reference borrow found for {p}"))
-    })?;
+    let (pred, bargs, is_open, _idx) = find_mutref_borrow(engine, &cfg, p)
+        .ok_or_else(|| VerError::new(format!("no mutable-reference borrow found for {p}")))?;
     if !is_open {
         return Ok(vec![cfg]);
     }

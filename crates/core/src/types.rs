@@ -8,9 +8,8 @@
 
 use gillian_solver::Expr;
 use rust_ir::{AdtKind, LayoutOracle, Program, Ty};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 /// An interned type identifier.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -24,49 +23,57 @@ impl TyId {
 }
 
 /// The type registry shared by the heap, the compiler and the Gilsonite layer.
+/// Interning is behind a read-mostly lock so that one registry can be shared
+/// across the worker threads of a parallel verification batch.
 #[derive(Debug)]
 pub struct TypeRegistry {
     pub program: Program,
     pub layout: LayoutOracle,
-    types: RefCell<Vec<Ty>>,
-    map: RefCell<HashMap<Ty, TyId>>,
+    types: RwLock<Vec<Ty>>,
+    map: RwLock<HashMap<Ty, TyId>>,
 }
 
 /// A shared handle to the registry.
-pub type Types = Rc<TypeRegistry>;
+pub type Types = Arc<TypeRegistry>;
 
 impl TypeRegistry {
     /// Creates a registry for a program.
     pub fn new(program: Program, layout: LayoutOracle) -> Types {
-        Rc::new(TypeRegistry {
+        Arc::new(TypeRegistry {
             program,
             layout,
-            types: RefCell::new(Vec::new()),
-            map: RefCell::new(HashMap::new()),
+            types: RwLock::new(Vec::new()),
+            map: RwLock::new(HashMap::new()),
         })
     }
 
     /// Interns a type.
     pub fn intern(&self, ty: &Ty) -> TyId {
-        if let Some(id) = self.map.borrow().get(ty) {
+        if let Some(id) = self.map.read().unwrap().get(ty) {
             return *id;
         }
-        let mut types = self.types.borrow_mut();
+        let mut types = self.types.write().unwrap();
+        let mut map = self.map.write().unwrap();
+        // Another thread may have interned the type between the read probe
+        // and taking the write locks.
+        if let Some(id) = map.get(ty) {
+            return *id;
+        }
         let id = TyId(types.len() as u32);
         types.push(ty.clone());
-        self.map.borrow_mut().insert(ty.clone(), id);
+        map.insert(ty.clone(), id);
         id
     }
 
     /// Recovers a type from its identifier.
     pub fn resolve(&self, id: TyId) -> Ty {
-        self.types.borrow()[id.0 as usize].clone()
+        self.types.read().unwrap()[id.0 as usize].clone()
     }
 
     /// Recovers a type from an expression produced by [`TyId::to_expr`].
     pub fn resolve_expr(&self, e: &Expr) -> Option<Ty> {
         match e {
-            Expr::Int(i) if *i >= 0 && (*i as usize) < self.types.borrow().len() => {
+            Expr::Int(i) if *i >= 0 && (*i as usize) < self.types.read().unwrap().len() => {
                 Some(self.resolve(TyId(*i as u32)))
             }
             _ => None,
@@ -105,7 +112,8 @@ impl TypeRegistry {
 
     /// The constructor tag used for values of a struct type.
     pub fn ctor_tag(&self, ty: &Ty) -> Option<String> {
-        self.struct_info(ty).map(|(tag, _)| format!("struct::{tag}"))
+        self.struct_info(ty)
+            .map(|(tag, _)| format!("struct::{tag}"))
     }
 }
 
@@ -221,10 +229,7 @@ impl Address {
 
 /// Builds a `ptr_field` wrapper (resolved lazily by the heap).
 pub fn ptr_field(base: Expr, ty: TyId, idx: usize) -> Expr {
-    Expr::ctor(
-        PTR_FIELD,
-        vec![base, ty.to_expr(), Expr::Int(idx as i128)],
-    )
+    Expr::ctor(PTR_FIELD, vec![base, ty.to_expr(), Expr::Int(idx as i128)])
 }
 
 /// Builds a `ptr_offset` wrapper (resolved lazily by the heap).
@@ -291,9 +296,7 @@ mod tests {
     #[test]
     fn struct_info_substitutes_generics() {
         let reg = registry();
-        let (tag, fields) = reg
-            .struct_info(&Ty::adt("Node", vec![Ty::i32()]))
-            .unwrap();
+        let (tag, fields) = reg.struct_info(&Ty::adt("Node", vec![Ty::i32()])).unwrap();
         assert_eq!(tag, "Node");
         assert_eq!(fields[0], Ty::i32());
         assert_eq!(fields.len(), 3);

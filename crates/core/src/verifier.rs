@@ -10,7 +10,8 @@ use crate::gilsonite::{GilsoniteCtx, SpecMode};
 use crate::state::GRState;
 use crate::tactics;
 use crate::types::Types;
-use gillian_engine::{Engine, EngineOptions, EngineStats};
+use gillian_engine::{Engine, EngineOptions, EngineStats, VerError, VerErrorKind};
+use gillian_solver::Expr;
 use std::time::Duration;
 
 /// Options for building a [`Verifier`].
@@ -34,11 +35,12 @@ impl Default for VerifierOptions {
 
 impl VerifierOptions {
     pub fn type_safety() -> Self {
-        let mut engine = EngineOptions::default();
-        engine.panics_are_safe = true;
         VerifierOptions {
             mode: SpecMode::TypeSafety,
-            engine,
+            engine: EngineOptions {
+                panics_are_safe: true,
+                ..EngineOptions::default()
+            },
         }
     }
 
@@ -52,23 +54,125 @@ impl VerifierOptions {
     }
 }
 
+/// A structured verification diagnostic: what went wrong, in a form callers
+/// can match on without parsing messages. Replaces the stringly-typed
+/// `error: Option<String>` that reports used to carry.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VerifyDiagnostic {
+    /// The body does not satisfy its specification on some path.
+    SpecMismatch { message: String },
+    /// A resource was missing during consumption; `hints` are the expressions
+    /// whose resource could not be found.
+    ConsumeFailure { message: String, hints: Vec<Expr> },
+    /// The mini-MIR program failed to compile to GIL.
+    CompileError { message: String },
+    /// A search budget (steps, inlining depth, recovery) was exhausted.
+    Timeout { message: String },
+    /// The verification target has no registered specification or proof.
+    MissingSpec { message: String },
+    /// Any other engine-level failure (reachable panic, unknown predicate…).
+    Engine { message: String },
+}
+
+impl VerifyDiagnostic {
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            VerifyDiagnostic::SpecMismatch { message }
+            | VerifyDiagnostic::ConsumeFailure { message, .. }
+            | VerifyDiagnostic::CompileError { message }
+            | VerifyDiagnostic::Timeout { message }
+            | VerifyDiagnostic::MissingSpec { message }
+            | VerifyDiagnostic::Engine { message } => message,
+        }
+    }
+
+    /// A stable machine-readable category label.
+    pub fn category(&self) -> &'static str {
+        match self {
+            VerifyDiagnostic::SpecMismatch { .. } => "spec-mismatch",
+            VerifyDiagnostic::ConsumeFailure { .. } => "consume-failure",
+            VerifyDiagnostic::CompileError { .. } => "compile-error",
+            VerifyDiagnostic::Timeout { .. } => "timeout",
+            VerifyDiagnostic::MissingSpec { .. } => "missing-spec",
+            VerifyDiagnostic::Engine { .. } => "engine",
+        }
+    }
+
+    /// A stable fingerprint of the diagnostic: its category plus the message
+    /// with freshened logical-variable suffixes (`name%42`) normalised away,
+    /// so that two runs of the same obligation — e.g. with different worker
+    /// counts — compare equal.
+    pub fn fingerprint(&self) -> String {
+        let mut msg = String::with_capacity(self.message().len());
+        let mut chars = self.message().chars().peekable();
+        while let Some(c) = chars.next() {
+            if c == '%' && chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                    chars.next();
+                }
+                msg.push_str("%_");
+            } else {
+                msg.push(c);
+            }
+        }
+        format!("{}: {msg}", self.category())
+    }
+}
+
+impl std::fmt::Display for VerifyDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.category(), self.message())
+    }
+}
+
+impl From<VerError> for VerifyDiagnostic {
+    fn from(e: VerError) -> Self {
+        match e.kind {
+            VerErrorKind::SpecMismatch => VerifyDiagnostic::SpecMismatch { message: e.msg },
+            VerErrorKind::ConsumeFailure => VerifyDiagnostic::ConsumeFailure {
+                message: e.msg,
+                hints: e.hint,
+            },
+            VerErrorKind::Timeout => VerifyDiagnostic::Timeout { message: e.msg },
+            VerErrorKind::MissingSpec => VerifyDiagnostic::MissingSpec { message: e.msg },
+            VerErrorKind::Engine => VerifyDiagnostic::Engine { message: e.msg },
+        }
+    }
+}
+
+impl From<CompileError> for VerifyDiagnostic {
+    fn from(e: CompileError) -> Self {
+        VerifyDiagnostic::CompileError {
+            message: e.to_string(),
+        }
+    }
+}
+
 /// The result of verifying one function or lemma.
 #[derive(Clone, Debug)]
 pub struct CaseReport {
     pub name: String,
     pub verified: bool,
     pub elapsed: Duration,
-    pub error: Option<String>,
+    /// Structured failure diagnostic (`None` when verified).
+    pub diagnostic: Option<VerifyDiagnostic>,
 }
 
 impl CaseReport {
-    /// Panics with the error message if verification failed (used in tests).
+    /// The diagnostic message, if any (convenience for display code).
+    pub fn error_message(&self) -> Option<String> {
+        self.diagnostic.as_ref().map(|d| d.to_string())
+    }
+
+    /// Panics with the diagnostic if verification failed (used in tests).
     pub fn expect_verified(&self) -> &Self {
         assert!(
             self.verified,
             "verification of {} failed: {}",
             self.name,
-            self.error.as_deref().unwrap_or("unknown error")
+            self.error_message()
+                .unwrap_or_else(|| "unknown error".into())
         );
         self
     }
@@ -127,7 +231,7 @@ impl Verifier {
             name: name.to_owned(),
             verified: report.verified,
             elapsed: report.elapsed,
-            error: report.error,
+            diagnostic: report.error.map(VerifyDiagnostic::from),
         }
     }
 
@@ -138,7 +242,7 @@ impl Verifier {
             name: name.to_owned(),
             verified: report.verified,
             elapsed: report.elapsed,
-            error: report.error,
+            diagnostic: report.error.map(VerifyDiagnostic::from),
         }
     }
 
@@ -172,15 +276,16 @@ mod tests {
     #[test]
     fn increment_through_mut_ref_verifies() {
         let mut program = Program::new("demo");
-        let mut b = BodyBuilder::new(
-            "inc",
-            vec![("x", Ty::mut_ref("'a", Ty::usize()))],
-            Ty::Unit,
-        );
+        let mut b = BodyBuilder::new("inc", vec![("x", Ty::mut_ref("'a", Ty::usize()))], Ty::Unit);
         let tmp = b.local("tmp", Ty::usize());
         b.assign_use(tmp.clone(), Operand::copy(Place::local("x").deref()));
         let tmp2 = b.local("tmp2", Ty::usize());
-        b.assign_binop(tmp2.clone(), BinOp::Add, Operand::copy(tmp), Operand::usize(1));
+        b.assign_binop(
+            tmp2.clone(),
+            BinOp::Add,
+            Operand::copy(tmp),
+            Operand::usize(1),
+        );
         b.assign_use(Place::local("x").deref(), Operand::copy(tmp2));
         let cont = b.new_block();
         b.call(
@@ -212,15 +317,16 @@ mod tests {
     #[test]
     fn wrong_postcondition_is_rejected() {
         let mut program = Program::new("demo");
-        let mut b = BodyBuilder::new(
-            "inc",
-            vec![("x", Ty::mut_ref("'a", Ty::usize()))],
-            Ty::Unit,
-        );
+        let mut b = BodyBuilder::new("inc", vec![("x", Ty::mut_ref("'a", Ty::usize()))], Ty::Unit);
         let tmp = b.local("tmp", Ty::usize());
         b.assign_use(tmp.clone(), Operand::copy(Place::local("x").deref()));
         let tmp2 = b.local("tmp2", Ty::usize());
-        b.assign_binop(tmp2.clone(), BinOp::Add, Operand::copy(tmp), Operand::usize(1));
+        b.assign_binop(
+            tmp2.clone(),
+            BinOp::Add,
+            Operand::copy(tmp),
+            Operand::usize(1),
+        );
         b.assign_use(Place::local("x").deref(), Operand::copy(tmp2));
         let cont = b.new_block();
         b.call(
@@ -246,5 +352,15 @@ mod tests {
         let verifier = Verifier::new(types, gils, VerifierOptions::default()).unwrap();
         let report = verifier.verify_fn("inc");
         assert!(!report.verified);
+    }
+}
+
+#[cfg(test)]
+mod sync_assertions {
+    use super::*;
+    fn _assert_sync<T: Sync + Send>() {}
+    #[test]
+    fn verifier_is_sync() {
+        _assert_sync::<Verifier>();
     }
 }

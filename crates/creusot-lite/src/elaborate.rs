@@ -48,10 +48,9 @@ pub fn elaborate(t: &Term) -> Expr {
         Term::SeqPush(a, b) => Expr::seq_snoc(elaborate(a), elaborate(b)),
         Term::SeqIndex(a, b) => Expr::seq_at(elaborate(a), elaborate(b)),
         Term::SeqSub(a, lo, hi) => Expr::seq_sub(elaborate(a), elaborate(lo), elaborate(hi)),
-        Term::PermutationOf(a, b) => Expr::eq(
-            Expr::bag_of(elaborate(a)),
-            Expr::bag_of(elaborate(b)),
-        ),
+        Term::PermutationOf(a, b) => {
+            Expr::eq(Expr::bag_of(elaborate(a)), Expr::bag_of(elaborate(b)))
+        }
     }
 }
 
@@ -86,7 +85,10 @@ mod tests {
         assert_eq!(
             e,
             Expr::eq(
-                Expr::seq_concat(Expr::seq(vec![Expr::lvar("e_repr")]), Expr::lvar("self_cur")),
+                Expr::seq_concat(
+                    Expr::seq(vec![Expr::lvar("e_repr")]),
+                    Expr::lvar("self_cur")
+                ),
                 Expr::lvar("self_fin"),
             )
         );

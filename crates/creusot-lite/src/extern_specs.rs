@@ -48,6 +48,16 @@ impl ExternSpecs {
         self.specs.is_empty()
     }
 
+    /// Iterates over the registered specifications in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &HybridSpec)> {
+        self.specs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The registered function names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.specs.keys().map(|k| k.as_str()).collect()
+    }
+
     /// The hybrid specification of the paper's `LinkedList` library (Fig. 7).
     pub fn linked_list() -> ExternSpecs {
         let mut reg = ExternSpecs::new();
@@ -72,15 +82,13 @@ impl ExternSpecs {
             "pop_front",
             HybridSpec {
                 requires: vec![],
-                ensures: vec![
-                    Term::Implies(
-                        Box::new(Term::eq(Term::model("result"), Term::None_)),
-                        Box::new(Term::And(
-                            Box::new(Term::eq(Term::fin_model("self"), Term::cur_model("self"))),
-                            Box::new(Term::eq(Term::len(Term::cur_model("self")), Term::Int(0))),
-                        )),
-                    ),
-                ],
+                ensures: vec![Term::Implies(
+                    Box::new(Term::eq(Term::model("result"), Term::None_)),
+                    Box::new(Term::And(
+                        Box::new(Term::eq(Term::fin_model("self"), Term::cur_model("self"))),
+                        Box::new(Term::eq(Term::len(Term::cur_model("self")), Term::Int(0))),
+                    )),
+                )],
             },
         );
         reg

@@ -1,0 +1,896 @@
+//! # hybrid-driver
+//!
+//! The unified front door of the hybrid verification pipeline: a
+//! [`HybridSession`] bundles a mini-MIR program, its Gilsonite specification
+//! context, optional Pearlite extern-specs (auto-elaborated through
+//! `creusot_lite::elaborate`, closing the §6 hybrid loop inside the API), the
+//! verified property ([`SpecMode`]) and the engine configuration behind one
+//! fluent [`SessionBuilder`].
+//!
+//! Every workload of the reproduction — type safety, functional correctness,
+//! the RefinedRust-style baseline ablation, hybrid spec reuse and the Table 1
+//! regeneration — is a configuration of this one driver:
+//!
+//! ```
+//! use driver::HybridSession;
+//! use gillian_rust::gilsonite::{lv, SpecMode};
+//! use gillian_solver::Expr;
+//! use rust_ir::{BodyBuilder, Operand, Place, Program, Ty};
+//!
+//! let mut program = Program::new("demo");
+//! let mut b = BodyBuilder::new("id", vec![("x", Ty::usize())], Ty::usize());
+//! b.ret_val(Operand::copy(Place::local("x")));
+//! let f = b.finish();
+//! program.add_fn(f.clone());
+//!
+//! let session = HybridSession::builder()
+//!     .name("demo")
+//!     .program(program)
+//!     .mode(SpecMode::FunctionalCorrectness)
+//!     .configure(move |g| {
+//!         let spec = g.fn_spec(&f, vec![], vec![Expr::eq(lv("ret_repr"), lv("x_repr"))]);
+//!         g.add_spec(spec);
+//!     })
+//!     .verify_fn("id")
+//!     .workers(2)
+//!     .build()
+//!     .unwrap();
+//! let report = session.verify_all();
+//! assert!(report.all_verified());
+//! ```
+//!
+//! [`HybridSession::verify_all`] runs every registered target **in parallel**
+//! across a configurable number of worker threads (the [`Verifier`] is
+//! `&self`-based and `Sync`), aggregating per-case outcomes, engine statistics
+//! and wall/CPU time into a [`VerificationReport`] that renders to text or
+//! JSON.
+
+pub use creusot_lite::ExternSpecs;
+pub use gillian_engine::{EngineOptions, EngineStats};
+pub use gillian_rust::verifier::VerifyDiagnostic;
+
+use creusot_lite::elaborate;
+use gillian_rust::compile::CompileError;
+use gillian_rust::gilsonite::{GilsoniteCtx, SpecMode};
+use gillian_rust::types::{TypeRegistry, Types};
+use gillian_rust::verifier::{CaseReport, Verifier, VerifierOptions};
+use gillian_solver::Symbol;
+use rust_ir::{LayoutOracle, Program};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// An error raised while building a [`HybridSession`].
+#[derive(Debug)]
+pub enum SessionError {
+    /// No mini-MIR program was registered with the builder.
+    MissingProgram,
+    /// The session resolved to zero verification targets: nothing would be
+    /// verified and `verify_all` would vacuously report success.
+    NoTargets,
+    /// The program failed to compile to GIL.
+    Compile(CompileError),
+    /// An extern spec names a function absent from the program.
+    UnknownExternSpec { name: String },
+    /// A verification target names neither a function nor a lemma.
+    UnknownTarget { name: String },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::MissingProgram => {
+                write!(
+                    f,
+                    "no program registered: call SessionBuilder::program first"
+                )
+            }
+            SessionError::NoTargets => write!(
+                f,
+                "no verification targets: register specs (or explicit verify_fn/verify_lemma targets) so the session has something to prove"
+            ),
+            SessionError::Compile(e) => write!(f, "{e}"),
+            SessionError::UnknownExternSpec { name } => {
+                write!(f, "extern spec `{name}` names no function of the program")
+            }
+            SessionError::UnknownTarget { name } => {
+                write!(
+                    f,
+                    "verification target `{name}` is neither a function nor a lemma"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<CompileError> for SessionError {
+    fn from(e: CompileError) -> Self {
+        SessionError::Compile(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Targets
+// ---------------------------------------------------------------------------
+
+/// What kind of obligation a verification target is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetKind {
+    Function,
+    Lemma,
+}
+
+impl TargetKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            TargetKind::Function => "fn",
+            TargetKind::Lemma => "lemma",
+        }
+    }
+}
+
+/// One verification target of a session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Target {
+    pub kind: TargetKind,
+    pub name: String,
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// The outcome of one verification target.
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    pub kind: TargetKind,
+    pub report: CaseReport,
+}
+
+impl CaseOutcome {
+    pub fn name(&self) -> &str {
+        &self.report.name
+    }
+
+    pub fn verified(&self) -> bool {
+        self.report.verified
+    }
+
+    pub fn diagnostic(&self) -> Option<&VerifyDiagnostic> {
+        self.report.diagnostic.as_ref()
+    }
+}
+
+/// The aggregated result of a [`HybridSession::verify_all`] batch.
+#[derive(Clone, Debug)]
+pub struct VerificationReport {
+    /// The session name (for rendering).
+    pub session: String,
+    /// The verified property.
+    pub mode: SpecMode,
+    /// Worker threads the batch ran on.
+    pub workers: usize,
+    /// Per-target outcomes, in registration order regardless of worker count.
+    pub cases: Vec<CaseOutcome>,
+    /// End-to-end wall-clock time of the batch.
+    pub wall_time: Duration,
+    /// Engine statistics accumulated over the batch.
+    pub stats: EngineStats,
+}
+
+impl VerificationReport {
+    /// Did every target verify?
+    pub fn all_verified(&self) -> bool {
+        self.cases.iter().all(|c| c.verified())
+    }
+
+    /// Number of verified targets.
+    pub fn verified_count(&self) -> usize {
+        self.cases.iter().filter(|c| c.verified()).count()
+    }
+
+    /// Total CPU time: the sum of per-target verification times (the "Time"
+    /// column of Table 1). Under parallel execution this exceeds
+    /// [`VerificationReport::wall_time`].
+    pub fn cpu_time(&self) -> Duration {
+        self.cases.iter().map(|c| c.report.elapsed).sum()
+    }
+
+    /// Looks up the outcome for a target by name.
+    pub fn case(&self, name: &str) -> Option<&CaseOutcome> {
+        self.cases.iter().find(|c| c.name() == name)
+    }
+
+    /// The plain per-case reports (used by Table 1 projections).
+    pub fn into_case_reports(self) -> Vec<CaseReport> {
+        self.cases.into_iter().map(|c| c.report).collect()
+    }
+
+    /// Renders the report as human-readable text.
+    pub fn render_text(&self) -> String {
+        let mode = match self.mode {
+            SpecMode::TypeSafety => "TS",
+            SpecMode::FunctionalCorrectness => "FC",
+        };
+        let mut out = format!(
+            "== {} ({mode}) — {}/{} verified, wall {:.3}s, cpu {:.3}s, {} worker(s) ==\n",
+            self.session,
+            self.verified_count(),
+            self.cases.len(),
+            self.wall_time.as_secs_f64(),
+            self.cpu_time().as_secs_f64(),
+            self.workers,
+        );
+        for c in &self.cases {
+            out.push_str(&format!(
+                "  {:<5} {:<20} verified={:<5} time={:.3}s",
+                c.kind.label(),
+                c.name(),
+                c.verified(),
+                c.report.elapsed.as_secs_f64(),
+            ));
+            if let Some(d) = c.diagnostic() {
+                out.push_str(&format!(" {d}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the report as JSON (hand-rolled: the reproduction carries no
+    /// external dependencies).
+    pub fn to_json(&self) -> String {
+        let mode = match self.mode {
+            SpecMode::TypeSafety => "type-safety",
+            SpecMode::FunctionalCorrectness => "functional-correctness",
+        };
+        let mut out = String::from("{");
+        out.push_str(&format!("\"session\":{},", json_str(&self.session)));
+        out.push_str(&format!("\"mode\":\"{mode}\","));
+        out.push_str(&format!("\"workers\":{},", self.workers));
+        out.push_str(&format!("\"all_verified\":{},", self.all_verified()));
+        out.push_str(&format!(
+            "\"wall_seconds\":{:.6},",
+            self.wall_time.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "\"cpu_seconds\":{:.6},",
+            self.cpu_time().as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "\"stats\":{{\"commands\":{},\"folds\":{},\"unfolds\":{},\"borrow_opens\":{},\"borrow_closes\":{},\"recoveries\":{}}},",
+            self.stats.commands_executed,
+            self.stats.folds,
+            self.stats.unfolds,
+            self.stats.borrow_opens,
+            self.stats.borrow_closes,
+            self.stats.recoveries,
+        ));
+        out.push_str("\"cases\":[");
+        for (i, c) in self.cases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"kind\":\"{}\",\"name\":{},\"verified\":{},\"seconds\":{:.6}",
+                c.kind.label(),
+                json_str(c.name()),
+                c.verified(),
+                c.report.elapsed.as_secs_f64(),
+            ));
+            if let Some(d) = c.diagnostic() {
+                out.push_str(&format!(
+                    ",\"diagnostic\":{{\"category\":\"{}\",\"message\":{}}}",
+                    d.category(),
+                    json_str(d.message()),
+                ));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+type SpecsFn = Box<dyn FnOnce(&Types, SpecMode) -> GilsoniteCtx>;
+type ConfigureFn = Box<dyn FnOnce(&mut GilsoniteCtx)>;
+
+/// Fluent builder for a [`HybridSession`].
+pub struct SessionBuilder {
+    name: String,
+    program: Option<Program>,
+    layout: LayoutOracle,
+    mode: SpecMode,
+    engine: Option<EngineOptions>,
+    baseline: bool,
+    workers: Option<usize>,
+    specs: Option<SpecsFn>,
+    configures: Vec<ConfigureFn>,
+    extern_specs: Vec<ExternSpecs>,
+    targets: Vec<Target>,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            name: "session".to_owned(),
+            program: None,
+            layout: LayoutOracle::default(),
+            mode: SpecMode::FunctionalCorrectness,
+            engine: None,
+            baseline: false,
+            workers: None,
+            specs: None,
+            configures: Vec::new(),
+            extern_specs: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Names the session (used by report rendering).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Registers the mini-MIR program to verify.
+    pub fn program(mut self, program: Program) -> Self {
+        self.program = Some(program);
+        self
+    }
+
+    /// Selects the layout oracle (§3.1 layout independence).
+    pub fn layout(mut self, layout: LayoutOracle) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Selects the verified property (TS or FC).
+    pub fn mode(mut self, mode: SpecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the engine tuning (defaults are derived from the mode).
+    pub fn engine_options(mut self, opts: EngineOptions) -> Self {
+        self.engine = Some(opts);
+        self
+    }
+
+    /// Disables the paper's automations: the RefinedRust-style comparison
+    /// baseline of the evaluation.
+    pub fn baseline(mut self) -> Self {
+        self.baseline = true;
+        self
+    }
+
+    /// Number of worker threads for [`HybridSession::verify_all`]. Defaults
+    /// to the machine's available parallelism, capped by the target count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Installs the Gilsonite specification context: ownership predicates,
+    /// specifications, lemmas. The closure receives the shared type registry
+    /// and the selected mode — existing per-case-study `gilsonite` functions
+    /// plug in directly (`.specs(linked_list::gilsonite)`).
+    pub fn specs(mut self, f: impl FnOnce(&Types, SpecMode) -> GilsoniteCtx + 'static) -> Self {
+        self.specs = Some(Box::new(f));
+        self
+    }
+
+    /// Runs an extra configuration step on the Gilsonite context after
+    /// [`SessionBuilder::specs`] (e.g. to override one specification in a
+    /// failure-injection experiment).
+    pub fn configure(mut self, f: impl FnOnce(&mut GilsoniteCtx) + 'static) -> Self {
+        self.configures.push(Box::new(f));
+        self
+    }
+
+    /// Registers a Pearlite extern-spec registry (§6): each entry is
+    /// elaborated through `creusot_lite::elaborate` into a Gilsonite
+    /// specification of the named program function — the hybrid bridge,
+    /// closed inside the API.
+    pub fn extern_specs(mut self, registry: ExternSpecs) -> Self {
+        self.extern_specs.push(registry);
+        self
+    }
+
+    /// Adds one function verification target.
+    pub fn verify_fn(mut self, name: impl Into<String>) -> Self {
+        self.targets.push(Target {
+            kind: TargetKind::Function,
+            name: name.into(),
+        });
+        self
+    }
+
+    /// Adds several function verification targets.
+    pub fn verify_fns<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for n in names {
+            self = self.verify_fn(n);
+        }
+        self
+    }
+
+    /// Adds one lemma verification target.
+    pub fn verify_lemma(mut self, name: impl Into<String>) -> Self {
+        self.targets.push(Target {
+            kind: TargetKind::Lemma,
+            name: name.into(),
+        });
+        self
+    }
+
+    /// Builds the session: interns the program, runs the spec closure and the
+    /// extern-spec elaboration, compiles everything to GIL and resolves the
+    /// target list. With no explicit targets, every specified (non-trusted)
+    /// function with a body and every lemma with a proof script becomes a
+    /// target.
+    pub fn build(self) -> Result<HybridSession, SessionError> {
+        let program = self.program.ok_or(SessionError::MissingProgram)?;
+        let types = TypeRegistry::new(program, self.layout);
+        let mode = self.mode;
+
+        let mut gilsonite = match self.specs {
+            Some(f) => f(&types, mode),
+            None => GilsoniteCtx::new(types.clone(), mode),
+        };
+        for f in self.configures {
+            f(&mut gilsonite);
+        }
+        // The hybrid bridge: elaborate each Pearlite extern spec into a
+        // Gilsonite specification of the corresponding program function.
+        for registry in &self.extern_specs {
+            for (fn_name, hspec) in registry.iter() {
+                let fn_def = types
+                    .program
+                    .function(fn_name)
+                    .ok_or_else(|| SessionError::UnknownExternSpec {
+                        name: fn_name.to_owned(),
+                    })?
+                    .clone();
+                let requires: Vec<_> = hspec.requires.iter().map(elaborate).collect();
+                let ensures: Vec<_> = hspec.ensures.iter().map(elaborate).collect();
+                let spec = gilsonite.fn_spec(&fn_def, requires, ensures);
+                gilsonite.add_spec(spec);
+            }
+        }
+
+        let explicit_engine = self.engine.is_some();
+        let mut engine_opts = match (self.engine, self.baseline) {
+            // Explicit options win; `.baseline()` on top overrides only the
+            // automation flags.
+            (Some(mut opts), true) => {
+                let b = EngineOptions::baseline();
+                opts.auto_unfold_on_branch = b.auto_unfold_on_branch;
+                opts.auto_recover = b.auto_recover;
+                opts
+            }
+            (Some(opts), false) => opts,
+            // No explicit options: the canonical baseline definition, so the
+            // RefinedRust-comparison benches track `EngineOptions::baseline`.
+            (None, true) => EngineOptions::baseline(),
+            (None, false) => EngineOptions::default(),
+        };
+        if mode == SpecMode::TypeSafety && !explicit_engine {
+            engine_opts.panics_are_safe = VerifierOptions::type_safety().engine.panics_are_safe;
+        }
+
+        let verifier = Verifier::new(
+            types,
+            gilsonite,
+            VerifierOptions {
+                mode,
+                engine: engine_opts,
+            },
+        )?;
+
+        let mut targets = self.targets;
+        if targets.is_empty() {
+            targets = default_targets(&verifier);
+            if targets.is_empty() {
+                return Err(SessionError::NoTargets);
+            }
+        } else {
+            for t in &targets {
+                let known = match t.kind {
+                    TargetKind::Function => {
+                        let sym = Symbol::new(&t.name);
+                        verifier.engine.prog.proc(sym).is_some()
+                            || verifier.engine.prog.spec(sym).is_some()
+                    }
+                    TargetKind::Lemma => verifier.engine.prog.lemma(Symbol::new(&t.name)).is_some(),
+                };
+                if !known {
+                    return Err(SessionError::UnknownTarget {
+                        name: t.name.clone(),
+                    });
+                }
+            }
+        }
+
+        let workers = self
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1);
+
+        Ok(HybridSession {
+            name: self.name,
+            mode,
+            workers,
+            targets,
+            verifier,
+        })
+    }
+}
+
+/// With no explicit targets: every function of the program that carries a
+/// non-trusted specification and a body, plus every non-trusted lemma with a
+/// proof script — in deterministic order (program order, then sorted lemmas).
+fn default_targets(verifier: &Verifier) -> Vec<Target> {
+    let prog = &verifier.engine.prog;
+    let mut targets = Vec::new();
+    for f in verifier.types.program.functions() {
+        let sym = Symbol::new(&f.name);
+        if let Some(spec) = prog.spec(sym) {
+            if !spec.trusted && prog.proc(sym).is_some() {
+                targets.push(Target {
+                    kind: TargetKind::Function,
+                    name: f.name.clone(),
+                });
+            }
+        }
+    }
+    let mut lemma_names: Vec<String> = prog
+        .lemmas
+        .iter()
+        .filter(|(_, l)| !l.trusted && l.proof.is_some())
+        .map(|(n, _)| n.to_string())
+        .collect();
+    lemma_names.sort();
+    for name in lemma_names {
+        targets.push(Target {
+            kind: TargetKind::Lemma,
+            name,
+        });
+    }
+    targets
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// A fully-built verification session: one program, one specification
+/// context, one engine configuration, many verification targets.
+pub struct HybridSession {
+    name: String,
+    mode: SpecMode,
+    workers: usize,
+    targets: Vec<Target>,
+    verifier: Verifier,
+}
+
+impl HybridSession {
+    /// Starts building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The session name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The verified property.
+    pub fn mode(&self) -> SpecMode {
+        self.mode
+    }
+
+    /// The registered verification targets, in execution order.
+    pub fn targets(&self) -> &[Target] {
+        &self.targets
+    }
+
+    /// The number of worker threads [`HybridSession::verify_all`] uses.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Changes the worker count of an already-built session (avoids
+    /// recompiling the program just to re-run the batch at another width).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Access to the underlying verifier (escape hatch for existing code).
+    pub fn verifier(&self) -> &Verifier {
+        &self.verifier
+    }
+
+    /// Consumes the session, returning the underlying verifier (for callers
+    /// that drive obligations one by one).
+    pub fn into_verifier(self) -> Verifier {
+        self.verifier
+    }
+
+    /// Verifies a single function now, regardless of the target list.
+    pub fn verify_fn(&self, name: &str) -> CaseReport {
+        self.verifier.verify_fn(name)
+    }
+
+    /// Verifies a single lemma now, regardless of the target list.
+    pub fn verify_lemma(&self, name: &str) -> CaseReport {
+        self.verifier.verify_lemma(name)
+    }
+
+    fn run_target(&self, t: &Target) -> CaseOutcome {
+        let report = match t.kind {
+            TargetKind::Function => self.verifier.verify_fn(&t.name),
+            TargetKind::Lemma => self.verifier.verify_lemma(&t.name),
+        };
+        CaseOutcome {
+            kind: t.kind,
+            report,
+        }
+    }
+
+    /// Verifies every registered target and aggregates the outcomes.
+    ///
+    /// With more than one worker the targets are distributed over a pool of
+    /// scoped threads sharing the verifier (`Verifier` is `Sync`; every
+    /// obligation builds its own initial state). Outcomes are reported in
+    /// registration order whatever the worker count, so batch results are
+    /// deterministic modulo timing. The report's statistics cover this batch
+    /// only (the engine's cumulative counters are snapshotted around it).
+    pub fn verify_all(&self) -> VerificationReport {
+        let start = Instant::now();
+        let stats_before = self.verifier.stats();
+        let workers = self.workers.min(self.targets.len()).max(1);
+        let cases = parallel_map(self.targets.iter().collect(), workers, |t| {
+            self.run_target(t)
+        });
+        VerificationReport {
+            session: self.name.clone(),
+            mode: self.mode,
+            workers,
+            cases,
+            wall_time: start.elapsed(),
+            stats: self.verifier.stats().since(stats_before),
+        }
+    }
+}
+
+/// Runs `f` over `items` on up to `workers` scoped threads, preserving item
+/// order in the results. The single shared primitive behind every batch in
+/// the driver and the Table 1 regeneration: an atomic index hands each item
+/// to exactly one worker, and per-slot cells collect the results.
+pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = workers.min(items.len()).max(1);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let todo: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let done: Vec<Mutex<Option<R>>> = todo.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= todo.len() {
+                    break;
+                }
+                let item = todo[idx]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each item runs once");
+                *done[idx].lock().unwrap() = Some(f(item));
+            });
+        }
+    });
+    done.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every slot is filled by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillian_rust::compile::GHOST_MUTREF_AUTO_RESOLVE;
+    use gillian_rust::gilsonite::lv;
+    use gillian_solver::Expr;
+    use rust_ir::{BinOp, BodyBuilder, Operand, Place, Ty};
+
+    /// A two-function program: `inc` adds 1 through a `&mut usize`, `double`
+    /// doubles an owned usize.
+    fn demo_program() -> Program {
+        let mut program = Program::new("demo");
+        let mut b = BodyBuilder::new("inc", vec![("x", Ty::mut_ref("'a", Ty::usize()))], Ty::Unit);
+        let tmp = b.local("tmp", Ty::usize());
+        b.assign_use(tmp.clone(), Operand::copy(Place::local("x").deref()));
+        let tmp2 = b.local("tmp2", Ty::usize());
+        b.assign_binop(
+            tmp2.clone(),
+            BinOp::Add,
+            Operand::copy(tmp),
+            Operand::usize(1),
+        );
+        b.assign_use(Place::local("x").deref(), Operand::copy(tmp2));
+        let cont = b.new_block();
+        b.call(
+            GHOST_MUTREF_AUTO_RESOLVE,
+            vec![],
+            vec![Operand::local("x")],
+            Place::local("_ret"),
+            cont,
+        );
+        b.switch_to(cont);
+        b.ret_val(Operand::unit());
+        program.add_fn(b.finish());
+
+        let mut d = BodyBuilder::new("double", vec![("x", Ty::usize())], Ty::usize());
+        let out = d.local("out", Ty::usize());
+        d.assign_binop(
+            out.clone(),
+            BinOp::Add,
+            Operand::copy(Place::local("x")),
+            Operand::copy(Place::local("x")),
+        );
+        d.ret_val(Operand::copy(out));
+        program.add_fn(d.finish());
+        program
+    }
+
+    fn demo_builder(ok_post: bool) -> SessionBuilder {
+        HybridSession::builder()
+            .name("demo")
+            .program(demo_program())
+            .mode(SpecMode::FunctionalCorrectness)
+            .configure(move |g| {
+                let inc = g.types.program.function("inc").unwrap().clone();
+                let delta = if ok_post { 1 } else { 2 };
+                let spec = g.fn_spec(
+                    &inc,
+                    vec![Expr::lt(lv("x_cur"), Expr::Int(1000))],
+                    vec![Expr::eq(
+                        lv("x_fin"),
+                        Expr::add(lv("x_cur"), Expr::Int(delta)),
+                    )],
+                );
+                g.add_spec(spec);
+                let double = g.types.program.function("double").unwrap().clone();
+                let spec = g.fn_spec(
+                    &double,
+                    vec![Expr::lt(lv("x_repr"), Expr::Int(1000))],
+                    vec![Expr::eq(
+                        lv("ret_repr"),
+                        Expr::add(lv("x_repr"), lv("x_repr")),
+                    )],
+                );
+                g.add_spec(spec);
+            })
+    }
+
+    #[test]
+    fn default_targets_are_discovered_and_verify() {
+        let session = demo_builder(true).workers(1).build().unwrap();
+        assert_eq!(session.targets().len(), 2);
+        let report = session.verify_all();
+        assert!(report.all_verified(), "{}", report.render_text());
+        assert_eq!(report.verified_count(), 2);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let serial = demo_builder(true).workers(1).build().unwrap().verify_all();
+        let parallel = demo_builder(true).workers(4).build().unwrap().verify_all();
+        assert_eq!(serial.cases.len(), parallel.cases.len());
+        for (a, b) in serial.cases.iter().zip(parallel.cases.iter()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.verified(), b.verified());
+        }
+    }
+
+    #[test]
+    fn wrong_postcondition_yields_spec_mismatch_diagnostic() {
+        let session = demo_builder(false).workers(2).build().unwrap();
+        let report = session.verify_all();
+        assert!(!report.all_verified());
+        let inc = report.case("inc").unwrap();
+        let diag = inc.diagnostic().expect("failing case carries a diagnostic");
+        assert!(
+            matches!(diag, VerifyDiagnostic::SpecMismatch { .. }),
+            "expected a spec-mismatch diagnostic, got {diag:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_target_is_rejected_at_build_time() {
+        let err = demo_builder(true)
+            .verify_fn("nonexistent")
+            .build()
+            .err()
+            .unwrap();
+        assert!(matches!(err, SessionError::UnknownTarget { .. }));
+    }
+
+    #[test]
+    fn session_with_no_possible_targets_is_rejected() {
+        // No specs and no explicit targets: verify_all() would vacuously
+        // report success over zero cases, so build() refuses.
+        let err = HybridSession::builder()
+            .program(demo_program())
+            .build()
+            .err()
+            .unwrap();
+        assert!(matches!(err, SessionError::NoTargets));
+    }
+
+    #[test]
+    fn missing_program_is_rejected() {
+        let err = HybridSession::builder().build().err().unwrap();
+        assert!(matches!(err, SessionError::MissingProgram));
+    }
+
+    #[test]
+    fn report_renders_text_and_json() {
+        let report = demo_builder(true).workers(2).build().unwrap().verify_all();
+        let text = report.render_text();
+        assert!(text.contains("demo"));
+        assert!(text.contains("inc"));
+        let json = report.to_json();
+        assert!(json.contains("\"session\":\"demo\""));
+        assert!(json.contains("\"all_verified\":true"));
+    }
+}

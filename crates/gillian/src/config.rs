@@ -147,11 +147,7 @@ impl<S: StateModel> Config<S> {
 
     /// Runs a closure with a [`PureCtx`] borrowing the pure components and the
     /// state immutably; used to call into the state model.
-    pub fn with_ctx<R>(
-        &mut self,
-        solver: &Solver,
-        f: impl FnOnce(&S, &mut PureCtx<'_>) -> R,
-    ) -> R {
+    pub fn with_ctx<R>(&mut self, solver: &Solver, f: impl FnOnce(&S, &mut PureCtx<'_>) -> R) -> R {
         let mut ctx = PureCtx {
             solver,
             path: &mut self.path,
@@ -174,9 +170,10 @@ impl<S: StateModel> Config<S> {
             if fp.name != name || fp.args.len() < num_ins || ins.len() < num_ins {
                 return false;
             }
-            fp.args[..num_ins].iter().zip(ins[..num_ins].iter()).all(|(a, b)| {
-                simplify(a) == simplify(b) || solver.must_equal(&facts, a, b)
-            })
+            fp.args[..num_ins]
+                .iter()
+                .zip(ins[..num_ins].iter())
+                .all(|(a, b)| simplify(a) == simplify(b) || solver.must_equal(&facts, a, b))
         })
     }
 
@@ -193,9 +190,10 @@ impl<S: StateModel> Config<S> {
             if gp.name != name || gp.args.len() < num_ins || ins.len() < num_ins {
                 return false;
             }
-            gp.args[..num_ins].iter().zip(ins[..num_ins].iter()).all(|(a, b)| {
-                simplify(a) == simplify(b) || solver.must_equal(&facts, a, b)
-            })
+            gp.args[..num_ins]
+                .iter()
+                .zip(ins[..num_ins].iter())
+                .all(|(a, b)| simplify(a) == simplify(b) || solver.must_equal(&facts, a, b))
         })
     }
 }

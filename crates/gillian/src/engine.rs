@@ -19,7 +19,6 @@ use crate::config::{Bindings, ClosingToken, Config, FoldedPred, GuardedPred};
 use crate::gil::{Cmd, LogicCmd, Proc, Prog};
 use crate::state::{ActionResult, ConsumeResult, StateModel};
 use gillian_solver::{simplify, Expr, Solver, Symbol};
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -29,9 +28,45 @@ pub const LFT_TOKEN: &str = "lft_tok";
 /// Reserved program-variable name bound to the return value in postconditions.
 pub const RET_VAR: &str = "ret";
 
+/// The structural category of a verification error, preserved from the point
+/// of failure up through [`ProcReport`] so that callers can react to the
+/// *kind* of failure instead of parsing messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VerErrorKind {
+    /// A postcondition or lemma conclusion could not be matched against some
+    /// final state.
+    SpecMismatch,
+    /// A consumption failed because a resource was missing; the `hint`
+    /// expressions name the resources that could not be found.
+    ConsumeFailure,
+    /// A search budget (steps, inlining depth, recovery) was exhausted.
+    Timeout,
+    /// The verification target has no registered specification, proof script
+    /// or body.
+    MissingSpec,
+    /// Any other engine-level failure (reachable panic, unknown predicate,
+    /// unresolved logical variables, …).
+    Engine,
+}
+
+impl VerErrorKind {
+    /// A stable machine-readable label (used by the JSON report rendering).
+    pub fn label(self) -> &'static str {
+        match self {
+            VerErrorKind::SpecMismatch => "spec-mismatch",
+            VerErrorKind::ConsumeFailure => "consume-failure",
+            VerErrorKind::Timeout => "timeout",
+            VerErrorKind::MissingSpec => "missing-spec",
+            VerErrorKind::Engine => "engine",
+        }
+    }
+}
+
 /// A verification error on some execution path.
 #[derive(Clone, Debug)]
 pub struct VerError {
+    /// The structural category of the failure.
+    pub kind: VerErrorKind,
     /// Human-readable description.
     pub msg: String,
     /// Expressions whose resource was missing (used for recovery).
@@ -41,16 +76,36 @@ pub struct VerError {
 impl VerError {
     pub fn new(msg: impl Into<String>) -> Self {
         VerError {
+            kind: VerErrorKind::Engine,
             msg: msg.into(),
             hint: vec![],
         }
     }
 
+    /// A missing-resource error; the hints drive automatic recovery.
     pub fn with_hint(msg: impl Into<String>, hint: Vec<Expr>) -> Self {
         VerError {
+            kind: VerErrorKind::ConsumeFailure,
             msg: msg.into(),
             hint,
         }
+    }
+
+    pub fn spec_mismatch(msg: impl Into<String>) -> Self {
+        VerError::new(msg).with_kind(VerErrorKind::SpecMismatch)
+    }
+
+    pub fn timeout(msg: impl Into<String>) -> Self {
+        VerError::new(msg).with_kind(VerErrorKind::Timeout)
+    }
+
+    pub fn missing_spec(msg: impl Into<String>) -> Self {
+        VerError::new(msg).with_kind(VerErrorKind::MissingSpec)
+    }
+
+    pub fn with_kind(mut self, kind: VerErrorKind) -> Self {
+        self.kind = kind;
+        self
     }
 }
 
@@ -128,27 +183,105 @@ pub struct EngineStats {
     pub commands_executed: u64,
 }
 
+impl EngineStats {
+    /// Field-wise difference (`self - earlier`), used to report the work of
+    /// one batch out of the engine's cumulative counters.
+    pub fn since(self, earlier: EngineStats) -> EngineStats {
+        EngineStats {
+            actions: self.actions.saturating_sub(earlier.actions),
+            consumer_calls: self.consumer_calls.saturating_sub(earlier.consumer_calls),
+            producer_calls: self.producer_calls.saturating_sub(earlier.producer_calls),
+            folds: self.folds.saturating_sub(earlier.folds),
+            unfolds: self.unfolds.saturating_sub(earlier.unfolds),
+            borrow_opens: self.borrow_opens.saturating_sub(earlier.borrow_opens),
+            borrow_closes: self.borrow_closes.saturating_sub(earlier.borrow_closes),
+            recoveries: self.recoveries.saturating_sub(earlier.recoveries),
+            branches: self.branches.saturating_sub(earlier.branches),
+            paths_completed: self.paths_completed.saturating_sub(earlier.paths_completed),
+            commands_executed: self
+                .commands_executed
+                .saturating_sub(earlier.commands_executed),
+        }
+    }
+}
+
+/// Lock-free counters behind the engine's `&self` API: the hot loop bumps
+/// them once per command, so a mutex here would serialise parallel workers.
+#[derive(Debug, Default)]
+struct AtomicEngineStats {
+    actions: AtomicU64,
+    consumer_calls: AtomicU64,
+    producer_calls: AtomicU64,
+    folds: AtomicU64,
+    unfolds: AtomicU64,
+    borrow_opens: AtomicU64,
+    borrow_closes: AtomicU64,
+    recoveries: AtomicU64,
+    branches: AtomicU64,
+    paths_completed: AtomicU64,
+    commands_executed: AtomicU64,
+}
+
+impl AtomicEngineStats {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            actions: self.actions.load(Ordering::Relaxed),
+            consumer_calls: self.consumer_calls.load(Ordering::Relaxed),
+            producer_calls: self.producer_calls.load(Ordering::Relaxed),
+            folds: self.folds.load(Ordering::Relaxed),
+            unfolds: self.unfolds.load(Ordering::Relaxed),
+            borrow_opens: self.borrow_opens.load(Ordering::Relaxed),
+            borrow_closes: self.borrow_closes.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            branches: self.branches.load(Ordering::Relaxed),
+            paths_completed: self.paths_completed.load(Ordering::Relaxed),
+            commands_executed: self.commands_executed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for field in [
+            &self.actions,
+            &self.consumer_calls,
+            &self.producer_calls,
+            &self.folds,
+            &self.unfolds,
+            &self.borrow_opens,
+            &self.borrow_closes,
+            &self.recoveries,
+            &self.branches,
+            &self.paths_completed,
+            &self.commands_executed,
+        ] {
+            field.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
 /// A semi-automatic tactic registered with the engine.
-pub type TacticFn<S> =
-    fn(&Engine<S>, Config<S>, &[Expr]) -> Result<Vec<Config<S>>, VerError>;
+pub type TacticFn<S> = fn(&Engine<S>, Config<S>, &[Expr]) -> Result<Vec<Config<S>>, VerError>;
 
 /// Report for the verification of one procedure or lemma.
 #[derive(Clone, Debug)]
 pub struct ProcReport {
     pub name: Symbol,
     pub verified: bool,
+    /// Execution paths checked against the spec by THIS verification call
+    /// (0 when trusted or failed early).
     pub paths: u64,
-    pub error: Option<String>,
+    pub error: Option<VerError>,
     pub elapsed: Duration,
 }
 
-/// The symbolic-execution engine.
+/// The symbolic-execution engine. The engine is `Sync`: verification entry
+/// points take `&self`, so one engine can drive many proof obligations from
+/// several threads at once (the parallel batch path of `HybridSession`).
 pub struct Engine<S: StateModel> {
     pub prog: Prog,
     pub solver: Solver,
     pub opts: EngineOptions,
     pub tactics: HashMap<Symbol, TacticFn<S>>,
-    stats: RefCell<EngineStats>,
+    stats: AtomicEngineStats,
 }
 
 static FRESH_LVAR_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -189,7 +322,7 @@ impl<S: StateModel> Engine<S> {
             solver: Solver::new(),
             opts: EngineOptions::default(),
             tactics: HashMap::new(),
-            stats: RefCell::new(EngineStats::default()),
+            stats: AtomicEngineStats::default(),
         }
     }
 
@@ -200,7 +333,7 @@ impl<S: StateModel> Engine<S> {
             solver: Solver::new(),
             opts,
             tactics: HashMap::new(),
-            stats: RefCell::new(EngineStats::default()),
+            stats: AtomicEngineStats::default(),
         }
     }
 
@@ -211,17 +344,17 @@ impl<S: StateModel> Engine<S> {
 
     /// Returns the statistics collected so far.
     pub fn stats(&self) -> EngineStats {
-        *self.stats.borrow()
+        self.stats.snapshot()
     }
 
     /// Resets the statistics.
     pub fn reset_stats(&self) {
-        *self.stats.borrow_mut() = EngineStats::default();
+        self.stats.reset();
         self.solver.reset_stats();
     }
 
-    fn bump(&self, f: impl Fn(&mut EngineStats)) {
-        f(&mut self.stats.borrow_mut());
+    fn bump(&self, f: impl Fn(&AtomicEngineStats) -> &AtomicU64) {
+        f(&self.stats).fetch_add(1, Ordering::Relaxed);
     }
 
     // =====================================================================
@@ -256,7 +389,7 @@ impl<S: StateModel> Engine<S> {
     }
 
     fn produce_atom(&self, mut cfg: Config<S>, atom: &Asrt, bindings: &Bindings) -> Vec<Config<S>> {
-        self.bump(|s| s.producer_calls += 1);
+        self.bump(|s| &s.producer_calls);
         let subst = |e: &Expr| -> Expr { simplify(&e.subst_lvars(&|s| bindings.get(&s).cloned())) };
         match atom {
             Asrt::Emp | Asrt::Star(_) => vec![cfg],
@@ -302,8 +435,9 @@ impl<S: StateModel> Engine<S> {
         ins: &[Expr],
         outs: &[Expr],
     ) -> Vec<Config<S>> {
-        let outcomes =
-            cfg.with_ctx(&self.solver, |state, ctx| state.produce_core(name, ins, outs, ctx));
+        let outcomes = cfg.with_ctx(&self.solver, |state, ctx| {
+            state.produce_core(name, ins, outs, ctx)
+        });
         let mut result = Vec::new();
         for ok in outcomes {
             let mut c = cfg.clone();
@@ -346,8 +480,8 @@ impl<S: StateModel> Engine<S> {
                 }
             }
             if next.is_empty() {
-                let err = last_err
-                    .unwrap_or_else(|| VerError::new(format!("failed to consume {atom}")));
+                let err =
+                    last_err.unwrap_or_else(|| VerError::new(format!("failed to consume {atom}")));
                 if std::env::var("GILLIAN_DEBUG").is_ok() {
                     eprintln!("[consume] failed on atom {atom}: {}", err.msg);
                 }
@@ -365,7 +499,7 @@ impl<S: StateModel> Engine<S> {
         atom: &Asrt,
         recovery_budget: usize,
     ) -> Result<Vec<(Config<S>, Bindings)>, VerError> {
-        self.bump(|s| s.consumer_calls += 1);
+        self.bump(|s| &s.consumer_calls);
         match atom {
             Asrt::Emp | Asrt::Star(_) => Ok(vec![(cfg, bindings)]),
             Asrt::Pure(e) => self.consume_pure(cfg, bindings, e),
@@ -422,7 +556,9 @@ impl<S: StateModel> Engine<S> {
             if self.unify(&cfg, &mut bindings, pattern, value) {
                 return Ok(vec![(cfg, bindings)]);
             }
-            return Err(VerError::new(format!("cannot unify {pattern} with {value}")));
+            return Err(VerError::new(format!(
+                "cannot unify {pattern} with {value}"
+            )));
         }
         Err(VerError::new(format!(
             "unresolved logical variables {unbound:?} in pure assertion {e}"
@@ -442,7 +578,14 @@ impl<S: StateModel> Engine<S> {
                 "observation with unresolved logical variables: {e}"
             )));
         }
-        self.consume_core_resolved(cfg, bindings, Symbol::new("observation"), &[e], &[], recovery_budget)
+        self.consume_core_resolved(
+            cfg,
+            bindings,
+            Symbol::new("observation"),
+            &[e],
+            &[],
+            recovery_budget,
+        )
     }
 
     fn consume_core_atom(
@@ -481,7 +624,9 @@ impl<S: StateModel> Engine<S> {
         out_patterns: &[Expr],
         recovery_budget: usize,
     ) -> Result<Vec<(Config<S>, Bindings)>, VerError> {
-        let result = cfg.with_ctx(&self.solver, |state, ctx| state.consume_core(name, ins, ctx));
+        let result = cfg.with_ctx(&self.solver, |state, ctx| {
+            state.consume_core(name, ins, ctx)
+        });
         match result {
             ConsumeResult::Ok(outcomes) => {
                 let mut branches = Vec::new();
@@ -626,7 +771,7 @@ impl<S: StateModel> Engine<S> {
         }
 
         // 3. Fold from the definition (automatic folding).
-        self.bump(|s| s.folds += 1);
+        self.bump(|s| &s.folds);
         let mut branches = Vec::new();
         let mut last_err: Option<VerError> = None;
         for def_idx in 0..pred.definitions.len() {
@@ -865,7 +1010,8 @@ impl<S: StateModel> Engine<S> {
                                 && matches!(
                                     a.as_ref(),
                                     Expr::Ctor(..) | Expr::Tuple(_) | Expr::SeqLit(_)
-                                ) {
+                                )
+                            {
                                 Some((**a).clone())
                             } else {
                                 None
@@ -905,7 +1051,7 @@ impl<S: StateModel> Engine<S> {
                 inst.name
             )));
         }
-        self.bump(|s| s.unfolds += 1);
+        self.bump(|s| &s.unfolds);
         let mut base = cfg;
         base.folded.remove(idx);
         base.note(format!("unfold {}({:?})", inst.name, inst.args));
@@ -927,7 +1073,7 @@ impl<S: StateModel> Engine<S> {
             .pred(gp.name)
             .ok_or_else(|| VerError::new(format!("unknown predicate {}", gp.name)))?
             .clone();
-        self.bump(|s| s.borrow_opens += 1);
+        self.bump(|s| &s.borrow_opens);
         let mut base = cfg;
         base.guarded.remove(idx);
         base.note(format!("open borrow {}({:?})", gp.name, gp.args));
@@ -947,10 +1093,7 @@ impl<S: StateModel> Engine<S> {
         let branches = self.consume(base, Bindings::new(), &token)?;
         let mut out = Vec::new();
         for (mut c, b) in branches {
-            let frac = b
-                .get(&frac_lvar)
-                .cloned()
-                .unwrap_or_else(|| Expr::Int(1));
+            let frac = b.get(&frac_lvar).cloned().unwrap_or(Expr::Int(1));
             c.closing.push(ClosingToken {
                 pred: gp.name,
                 lft: gp.lft.clone(),
@@ -971,7 +1114,7 @@ impl<S: StateModel> Engine<S> {
     /// and recovers the lifetime token.
     pub fn gfold(&self, cfg: Config<S>, token_idx: usize) -> Result<Vec<Config<S>>, VerError> {
         let ct = cfg.closing[token_idx].clone();
-        self.bump(|s| s.borrow_closes += 1);
+        self.bump(|s| &s.borrow_closes);
         let mut base = cfg;
         base.closing.remove(token_idx);
         base.note(format!("close borrow {}({:?})", ct.pred, ct.args));
@@ -992,8 +1135,8 @@ impl<S: StateModel> Engine<S> {
             out.extend(self.produce_core(
                 c,
                 Symbol::new(LFT_TOKEN),
-                &[ct.lft.clone()],
-                &[ct.frac.clone()],
+                std::slice::from_ref(&ct.lft),
+                std::slice::from_ref(&ct.frac),
             ));
         }
         if out.is_empty() {
@@ -1013,7 +1156,7 @@ impl<S: StateModel> Engine<S> {
         if !self.opts.auto_recover || hint.is_empty() {
             return vec![];
         }
-        self.bump(|s| s.recoveries += 1);
+        self.bump(|s| &s.recoveries);
         // 1. Unfold a related folded predicate.
         for (idx, fp) in cfg.folded.iter().enumerate() {
             let pred = match self.prog.pred(fp.name) {
@@ -1139,9 +1282,10 @@ impl<S: StateModel> Engine<S> {
         args: &[Expr],
         budget: usize,
     ) -> Result<Vec<(Config<S>, Expr)>, VerError> {
-        self.bump(|s| s.actions += 1);
-        let result =
-            cfg.with_ctx(&self.solver, |state, ctx| state.exec_action(name, args, ctx));
+        self.bump(|s| &s.actions);
+        let result = cfg.with_ctx(&self.solver, |state, ctx| {
+            state.exec_action(name, args, ctx)
+        });
         match result {
             ActionResult::Ok(outcomes) => {
                 let mut out = Vec::new();
@@ -1179,18 +1323,12 @@ impl<S: StateModel> Engine<S> {
                     hint,
                 ))
             }
-            ActionResult::Error(msg) => {
-                Err(VerError::new(format!("action {name} failed: {msg}")))
-            }
+            ActionResult::Error(msg) => Err(VerError::new(format!("action {name} failed: {msg}"))),
         }
     }
 
     /// Executes a logic (ghost) command.
-    pub fn exec_logic(
-        &self,
-        cfg: Config<S>,
-        cmd: &LogicCmd,
-    ) -> Result<Vec<Config<S>>, VerError> {
+    pub fn exec_logic(&self, cfg: Config<S>, cmd: &LogicCmd) -> Result<Vec<Config<S>>, VerError> {
         let eval_args = |cfg: &Config<S>, args: &[Expr]| -> Vec<Expr> {
             args.iter().map(|a| cfg.eval(a)).collect()
         };
@@ -1257,9 +1395,7 @@ impl<S: StateModel> Engine<S> {
                     .closing
                     .iter()
                     .position(|ct| ct.pred == *name && self.args_match(&cfg, &ct.args, &args_e))
-                    .ok_or_else(|| {
-                        VerError::new(format!("no open borrow of {name} to close"))
-                    })?;
+                    .ok_or_else(|| VerError::new(format!("no open borrow of {name} to close")))?;
                 self.gfold(cfg, idx)
             }
             LogicCmd::ApplyLemma(name, args) => {
@@ -1347,7 +1483,7 @@ impl<S: StateModel> Engine<S> {
         depth: usize,
     ) -> Result<Vec<(Config<S>, Expr)>, VerError> {
         if depth > self.opts.max_inline_depth {
-            return Err(VerError::new(format!(
+            return Err(VerError::timeout(format!(
                 "maximum inlining depth exceeded while executing {}",
                 proc.name
             )));
@@ -1358,12 +1494,12 @@ impl<S: StateModel> Engine<S> {
         while let Some((cfg, pc)) = work.pop() {
             steps += 1;
             if steps > self.opts.max_steps {
-                return Err(VerError::new(format!(
+                return Err(VerError::timeout(format!(
                     "step budget exhausted while executing {}",
                     proc.name
                 )));
             }
-            self.bump(|s| s.commands_executed += 1);
+            self.bump(|s| &s.commands_executed);
             if pc >= proc.body.len() {
                 finished.push((cfg, Expr::Unit));
                 continue;
@@ -1398,7 +1534,7 @@ impl<S: StateModel> Engine<S> {
                         None => {
                             let configs = self.auto_unfold_for_branch(cfg, &g);
                             for c in configs {
-                                self.bump(|s| s.branches += 1);
+                                self.bump(|s| &s.branches);
                                 let mut then_c = c.clone();
                                 if then_c.assume(&self.solver, g.clone()) {
                                     work.push((then_c, *then_target));
@@ -1411,7 +1547,11 @@ impl<S: StateModel> Engine<S> {
                         }
                     }
                 }
-                Cmd::Call { lhs, proc: callee, args } => {
+                Cmd::Call {
+                    lhs,
+                    proc: callee,
+                    args,
+                } => {
                     let args_e: Vec<Expr> = args.iter().map(|a| cfg.eval(a)).collect();
                     let results = self.exec_call(cfg, *callee, &args_e, depth)?;
                     for (mut c, v) in results {
@@ -1427,7 +1567,7 @@ impl<S: StateModel> Engine<S> {
                 }
                 Cmd::Return(e) => {
                     let v = cfg.eval(e);
-                    self.bump(|s| s.paths_completed += 1);
+                    self.bump(|s| &s.paths_completed);
                     finished.push((cfg, v));
                 }
                 Cmd::Fail(msg) => {
@@ -1440,10 +1580,17 @@ impl<S: StateModel> Engine<S> {
                         if std::env::var("GILLIAN_DEBUG").is_ok() {
                             eprintln!("--- reachable failure in {}: {msg}", proc.name);
                             eprintln!("path ({}):", cfg.path.len());
-                            for f in &cfg.path { eprintln!("  {f}"); }
+                            for f in &cfg.path {
+                                eprintln!("  {f}");
+                            }
                             eprintln!("assumptions:");
-                            for f in cfg.state.assumptions() { eprintln!("  {f}"); }
-                            eprintln!("folded: {:?}", cfg.folded.iter().map(|f| f.name).collect::<Vec<_>>());
+                            for f in cfg.state.assumptions() {
+                                eprintln!("  {f}");
+                            }
+                            eprintln!(
+                                "folded: {:?}",
+                                cfg.folded.iter().map(|f| f.name).collect::<Vec<_>>()
+                            );
                             eprintln!("trace: {:?}", cfg.trace);
                         }
                         return Err(VerError::new(format!(
@@ -1557,29 +1704,31 @@ impl<S: StateModel> Engine<S> {
         let start = Instant::now();
         let name_sym = Symbol::new(name);
         let result = self.verify_proc_inner(name_sym, initial);
-        let stats = self.stats();
         ProcReport {
             name: name_sym,
             verified: result.is_ok(),
-            paths: stats.paths_completed,
-            error: result.err().map(|e| e.msg),
+            paths: *result.as_ref().unwrap_or(&0),
+            error: result.err(),
             elapsed: start.elapsed(),
         }
     }
 
-    fn verify_proc_inner(&self, name: Symbol, initial: S) -> Result<(), VerError> {
+    /// Returns the number of execution paths checked against the
+    /// postcondition (counted per call, so the figure is exact even when
+    /// several obligations verify concurrently on the shared engine).
+    fn verify_proc_inner(&self, name: Symbol, initial: S) -> Result<u64, VerError> {
         let spec = self
             .prog
             .spec(name)
-            .ok_or_else(|| VerError::new(format!("no specification for {name}")))?
+            .ok_or_else(|| VerError::missing_spec(format!("no specification for {name}")))?
             .clone();
         if spec.trusted {
-            return Ok(());
+            return Ok(0);
         }
         let proc = self
             .prog
             .proc(name)
-            .ok_or_else(|| VerError::new(format!("no procedure named {name}")))?
+            .ok_or_else(|| VerError::missing_spec(format!("no procedure named {name}")))?
             .clone();
         let mut cfg: Config<S> = Config::new();
         cfg.state = initial;
@@ -1593,14 +1742,16 @@ impl<S: StateModel> Engine<S> {
         let mut bindings = Bindings::new();
         let produced = self.produce(cfg, &pre, &mut bindings);
         if produced.is_empty() {
-            return Err(VerError::new(format!(
+            return Err(VerError::spec_mismatch(format!(
                 "precondition of {name} is inconsistent"
             )));
         }
         let ret_sym = Symbol::new(RET_VAR);
+        let mut checked_paths = 0u64;
         for start_cfg in produced {
             let paths = self.exec_proc(start_cfg, &proc, 0)?;
             for (cfg, ret_val) in paths {
+                checked_paths += 1;
                 let mut post_map = param_map.clone();
                 post_map.insert(ret_sym, ret_val.clone());
                 let mut matched = false;
@@ -1619,13 +1770,17 @@ impl<S: StateModel> Engine<S> {
                 if !matched {
                     let base = format!("postcondition of {name} not satisfied on some path");
                     return Err(match last_err {
-                        Some(e) => VerError::new(format!("{base}: {}", e.msg)),
-                        None => VerError::new(base),
+                        Some(e) => VerError {
+                            kind: VerErrorKind::SpecMismatch,
+                            msg: format!("{base}: {}", e.msg),
+                            hint: e.hint,
+                        },
+                        None => VerError::spec_mismatch(base),
                     });
                 }
             }
         }
-        Ok(())
+        Ok(checked_paths)
     }
 
     /// Verifies a lemma using its proof script (trusted lemmas are skipped).
@@ -1641,25 +1796,26 @@ impl<S: StateModel> Engine<S> {
         ProcReport {
             name: name_sym,
             verified: result.is_ok(),
-            paths: self.stats().paths_completed,
-            error: result.err().map(|e| e.msg),
+            paths: *result.as_ref().unwrap_or(&0),
+            error: result.err(),
             elapsed: start.elapsed(),
         }
     }
 
-    fn verify_lemma_inner(&self, name: Symbol, initial: S) -> Result<(), VerError> {
+    /// Returns the number of proof states checked against the conclusions.
+    fn verify_lemma_inner(&self, name: Symbol, initial: S) -> Result<u64, VerError> {
         let lemma = self
             .prog
             .lemma(name)
-            .ok_or_else(|| VerError::new(format!("no lemma named {name}")))?
+            .ok_or_else(|| VerError::missing_spec(format!("no lemma named {name}")))?
             .clone();
         if lemma.trusted {
-            return Ok(());
+            return Ok(0);
         }
         let proof = lemma
             .proof
             .clone()
-            .ok_or_else(|| VerError::new(format!("lemma {name} has no proof script")))?;
+            .ok_or_else(|| VerError::missing_spec(format!("lemma {name} has no proof script")))?;
         let mut cfg: Config<S> = Config::new();
         cfg.state = initial;
         let mut bindings = Bindings::new();
@@ -1678,7 +1834,9 @@ impl<S: StateModel> Engine<S> {
             }
             configs = next;
         }
+        let mut checked_paths = 0u64;
         for c in configs {
+            checked_paths += 1;
             let mut matched = false;
             for concl in &lemma.concls {
                 if let Ok(branches) = self.consume(c.clone(), bindings.clone(), concl) {
@@ -1689,12 +1847,12 @@ impl<S: StateModel> Engine<S> {
                 }
             }
             if !matched {
-                return Err(VerError::new(format!(
+                return Err(VerError::spec_mismatch(format!(
                     "conclusion of lemma {name} not satisfied on some path"
                 )));
             }
         }
-        Ok(())
+        Ok(checked_paths)
     }
 }
 

@@ -206,11 +206,7 @@ mod tests {
     #[test]
     fn build_a_small_program() {
         let mut prog = Prog::new();
-        prog.add_proc(Proc::new(
-            "id",
-            &["x"],
-            vec![Cmd::Return(Expr::pvar("x"))],
-        ));
+        prog.add_proc(Proc::new("id", &["x"], vec![Cmd::Return(Expr::pvar("x"))]));
         let name = Symbol::new("id");
         assert!(prog.proc(name).is_some());
         assert_eq!(prog.proc(name).unwrap().params.len(), 1);

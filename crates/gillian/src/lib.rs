@@ -43,7 +43,7 @@ pub use asrt::{Asrt, Lemma, Pred, Spec};
 pub use config::{Bindings, ClosingToken, Config, FoldedPred, GuardedPred};
 pub use engine::{
     fresh_lvar_name, Engine, EngineOptions, EngineStats, ProcReport, TacticFn, VerError,
-    LFT_TOKEN, RET_VAR,
+    VerErrorKind, LFT_TOKEN, RET_VAR,
 };
 pub use gil::{Cmd, LogicCmd, Proc, Prog};
 pub use state::{

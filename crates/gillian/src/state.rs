@@ -114,7 +114,10 @@ pub struct ConsumeOk<S> {
 pub enum ConsumeResult<S> {
     Ok(Vec<ConsumeOk<S>>),
     /// The resource is not present. The hint is used for automatic recovery.
-    Missing { msg: String, hint: Vec<Expr> },
+    Missing {
+        msg: String,
+        hint: Vec<Expr>,
+    },
     Error(String),
 }
 

@@ -238,10 +238,7 @@ impl Body {
     /// Number of executable "lines": statements plus terminators. Used for
     /// the eLoC column of Table 1.
     pub fn executable_lines(&self) -> usize {
-        self.blocks
-            .iter()
-            .map(|b| b.stmts.len() + 1)
-            .sum::<usize>()
+        self.blocks.iter().map(|b| b.stmts.len() + 1).sum::<usize>()
     }
 }
 

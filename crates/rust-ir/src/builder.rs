@@ -30,10 +30,7 @@ impl BodyBuilder {
         let mut b = BodyBuilder {
             name: name.to_owned(),
             generics: vec![],
-            params: params
-                .into_iter()
-                .map(|(n, t)| (n.to_owned(), t))
-                .collect(),
+            params: params.into_iter().map(|(n, t)| (n.to_owned(), t)).collect(),
             ret_ty,
             is_unsafe: false,
             locals: vec![],
@@ -236,12 +233,7 @@ mod tests {
     fn build_straight_line_function() {
         let mut b = BodyBuilder::new("add_one", vec![("x", Ty::usize())], Ty::usize());
         let tmp = b.local("tmp", Ty::usize());
-        b.assign_binop(
-            tmp.clone(),
-            BinOp::Add,
-            Operand::local("x"),
-            const_usize(1),
-        );
+        b.assign_binop(tmp.clone(), BinOp::Add, Operand::local("x"), const_usize(1));
         b.ret_val(Operand::copy(tmp));
         let f = b.finish();
         assert_eq!(f.name, "add_one");

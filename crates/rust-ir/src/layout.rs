@@ -57,9 +57,7 @@ impl LayoutOracle {
             Ty::Unit => Some(0),
             Ty::Bool => Some(1),
             Ty::Int(i) => Some(i.size()),
-            Ty::RawPtr(_) | Ty::Ref(..) | Ty::NonNull(_) | Ty::Boxed(_) => {
-                Some(self.pointer_size)
-            }
+            Ty::RawPtr(_) | Ty::Ref(..) | Ty::NonNull(_) | Ty::Boxed(_) => Some(self.pointer_size),
             // Option<ptr-like> enjoys the niche optimisation; other Options
             // need a discriminant byte plus alignment.
             Ty::Option(inner) => {
@@ -97,12 +95,12 @@ impl LayoutOracle {
                             let al = self.align_of(&fty, prog)?;
                             max_align = max_align.max(al);
                             // Pad to alignment.
-                            if al > 0 && total % al != 0 {
+                            if al > 0 && !total.is_multiple_of(al) {
                                 total += al - total % al;
                             }
                             total += sz;
                         }
-                        if max_align > 0 && total % max_align != 0 {
+                        if max_align > 0 && !total.is_multiple_of(max_align) {
                             total += max_align - total % max_align;
                         }
                         Some(total)
@@ -130,9 +128,7 @@ impl LayoutOracle {
             Ty::Unit => Some(1),
             Ty::Bool => Some(1),
             Ty::Int(i) => Some(i.size()),
-            Ty::RawPtr(_) | Ty::Ref(..) | Ty::NonNull(_) | Ty::Boxed(_) => {
-                Some(self.pointer_size)
-            }
+            Ty::RawPtr(_) | Ty::Ref(..) | Ty::NonNull(_) | Ty::Boxed(_) => Some(self.pointer_size),
             Ty::Option(inner) => self.align_of(inner, prog),
             Ty::Tuple(items) => {
                 let mut max = 1;

@@ -76,7 +76,11 @@ mod tests {
     #[test]
     fn register_and_lookup() {
         let mut p = Program::new("demo");
-        p.add_adt(AdtDef::strukt("Pair", &[], vec![("a", Ty::i32()), ("b", Ty::i32())]));
+        p.add_adt(AdtDef::strukt(
+            "Pair",
+            &[],
+            vec![("a", Ty::i32()), ("b", Ty::i32())],
+        ));
         let mut b = BodyBuilder::new("noop", vec![], Ty::Unit);
         b.ret();
         p.add_fn(b.finish());
@@ -98,7 +102,11 @@ mod tests {
     #[test]
     fn field_ty_resolves_generics() {
         let mut p = Program::new("demo");
-        p.add_adt(AdtDef::strukt("Wrap", &["T"], vec![("inner", Ty::param("T"))]));
+        p.add_adt(AdtDef::strukt(
+            "Wrap",
+            &["T"],
+            vec![("inner", Ty::param("T"))],
+        ));
         assert_eq!(p.field_ty("Wrap", &[Ty::i32()], 0), Some(Ty::i32()));
     }
 }

@@ -289,10 +289,7 @@ impl AdtDef {
             name: name.to_owned(),
             generics: generics.iter().map(|g| (*g).to_owned()).collect(),
             kind: AdtKind::Struct {
-                fields: fields
-                    .into_iter()
-                    .map(|(n, t)| (n.to_owned(), t))
-                    .collect(),
+                fields: fields.into_iter().map(|(n, t)| (n.to_owned(), t)).collect(),
             },
         }
     }
@@ -385,7 +382,10 @@ mod tests {
             &["T"],
             vec![
                 ("element", Ty::param("T")),
-                ("next", Ty::option(Ty::non_null(Ty::adt("Node", vec![Ty::param("T")])))),
+                (
+                    "next",
+                    Ty::option(Ty::non_null(Ty::adt("Node", vec![Ty::param("T")]))),
+                ),
             ],
         );
         assert_eq!(node.field_index("next"), Some(1));

@@ -401,10 +401,7 @@ mod tests {
         let mut g = VarGen::new();
         let x = g.fresh_expr();
         let mut cc = Congruence::new();
-        cc.assert_eq_exprs(
-            &Expr::seq(vec![x.clone()]),
-            &Expr::seq(vec![x.clone(), x]),
-        );
+        cc.assert_eq_exprs(&Expr::seq(vec![x.clone()]), &Expr::seq(vec![x.clone(), x]));
         assert!(cc.contradictory());
     }
 }

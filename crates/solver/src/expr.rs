@@ -145,6 +145,10 @@ pub enum Expr {
     App(Symbol, Vec<Expr>),
 }
 
+// The smart constructors deliberately mirror operator names (`add`, `not`,
+// …): they build syntax, they do not evaluate, so implementing the std ops
+// traits would be misleading.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     // ---- constructors -------------------------------------------------
 

@@ -81,15 +81,24 @@ pub fn eval(e: &Expr, env: &Env) -> Option<Value> {
         Expr::Loc(l) => Some(Value::Loc(*l)),
         Expr::Unit => Some(Value::Unit),
         Expr::Ctor(tag, args) => {
-            let vals = args.iter().map(|a| eval(a, env)).collect::<Option<Vec<_>>>()?;
+            let vals = args
+                .iter()
+                .map(|a| eval(a, env))
+                .collect::<Option<Vec<_>>>()?;
             Some(Value::Ctor(*tag, vals))
         }
         Expr::Tuple(args) => {
-            let vals = args.iter().map(|a| eval(a, env)).collect::<Option<Vec<_>>>()?;
+            let vals = args
+                .iter()
+                .map(|a| eval(a, env))
+                .collect::<Option<Vec<_>>>()?;
             Some(Value::Tuple(vals))
         }
         Expr::SeqLit(args) => {
-            let vals = args.iter().map(|a| eval(a, env)).collect::<Option<Vec<_>>>()?;
+            let vals = args
+                .iter()
+                .map(|a| eval(a, env))
+                .collect::<Option<Vec<_>>>()?;
             Some(Value::Seq(vals))
         }
         Expr::UnOp(op, a) => {
@@ -113,7 +122,10 @@ pub fn eval(e: &Expr, env: &Env) -> Option<Value> {
             eval_binop(*op, va, vb)
         }
         Expr::NOp(op, args) => {
-            let vals = args.iter().map(|a| eval(a, env)).collect::<Option<Vec<_>>>()?;
+            let vals = args
+                .iter()
+                .map(|a| eval(a, env))
+                .collect::<Option<Vec<_>>>()?;
             match op {
                 NOp::SeqSub => {
                     let s = vals[0].as_seq()?;
@@ -198,9 +210,7 @@ fn eval_binop(op: BinOp, va: Value, vb: Value) -> Option<Value> {
             if n < 0 {
                 return None;
             }
-            Some(Value::Seq(
-                std::iter::repeat(va).take(n as usize).collect(),
-            ))
+            Some(Value::Seq(std::iter::repeat_n(va, n as usize).collect()))
         }
         BagUnion => match (va, vb) {
             (Value::Bag(mut a), Value::Bag(b)) => {

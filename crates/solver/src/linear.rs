@@ -65,11 +65,7 @@ impl Poly {
     pub fn scale(&self, c: i128) -> Poly {
         let mut out = Poly {
             constant: self.constant * c,
-            coeffs: self
-                .coeffs
-                .iter()
-                .map(|(k, v)| (*k, v * c))
-                .collect(),
+            coeffs: self.coeffs.iter().map(|(k, v)| (*k, v * c)).collect(),
         };
         out.normalize();
         out

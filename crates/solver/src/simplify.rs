@@ -60,39 +60,27 @@ fn rewrite_unop(op: UnOp, a: Expr) -> Expr {
     match (op, &a) {
         (UnOp::Not, Expr::Bool(b)) => Expr::Bool(!b),
         (UnOp::Not, Expr::UnOp(UnOp::Not, inner)) => (**inner).clone(),
-        (UnOp::Not, Expr::BinOp(BinOp::Eq, x, y)) => {
-            Expr::BinOp(BinOp::Ne, x.clone(), y.clone())
-        }
-        (UnOp::Not, Expr::BinOp(BinOp::Ne, x, y)) => {
-            Expr::BinOp(BinOp::Eq, x.clone(), y.clone())
-        }
-        (UnOp::Not, Expr::BinOp(BinOp::Lt, x, y)) => {
-            Expr::BinOp(BinOp::Le, y.clone(), x.clone())
-        }
-        (UnOp::Not, Expr::BinOp(BinOp::Le, x, y)) => {
-            Expr::BinOp(BinOp::Lt, y.clone(), x.clone())
-        }
+        (UnOp::Not, Expr::BinOp(BinOp::Eq, x, y)) => Expr::BinOp(BinOp::Ne, x.clone(), y.clone()),
+        (UnOp::Not, Expr::BinOp(BinOp::Ne, x, y)) => Expr::BinOp(BinOp::Eq, x.clone(), y.clone()),
+        (UnOp::Not, Expr::BinOp(BinOp::Lt, x, y)) => Expr::BinOp(BinOp::Le, y.clone(), x.clone()),
+        (UnOp::Not, Expr::BinOp(BinOp::Le, x, y)) => Expr::BinOp(BinOp::Lt, y.clone(), x.clone()),
         // De Morgan: push negations through conjunction/disjunction/implication
         // so that the solver's case splitting sees the disjunctive structure.
-        (UnOp::Not, Expr::BinOp(BinOp::And, x, y)) => Expr::or(
-            Expr::not((**x).clone()),
-            Expr::not((**y).clone()),
-        ),
-        (UnOp::Not, Expr::BinOp(BinOp::Or, x, y)) => Expr::and(
-            Expr::not((**x).clone()),
-            Expr::not((**y).clone()),
-        ),
-        (UnOp::Not, Expr::BinOp(BinOp::Implies, x, y)) => Expr::and(
-            (**x).clone(),
-            Expr::not((**y).clone()),
-        ),
+        (UnOp::Not, Expr::BinOp(BinOp::And, x, y)) => {
+            Expr::or(Expr::not((**x).clone()), Expr::not((**y).clone()))
+        }
+        (UnOp::Not, Expr::BinOp(BinOp::Or, x, y)) => {
+            Expr::and(Expr::not((**x).clone()), Expr::not((**y).clone()))
+        }
+        (UnOp::Not, Expr::BinOp(BinOp::Implies, x, y)) => {
+            Expr::and((**x).clone(), Expr::not((**y).clone()))
+        }
         (UnOp::Neg, Expr::Int(i)) => Expr::Int(-i),
         (UnOp::Neg, Expr::UnOp(UnOp::Neg, inner)) => (**inner).clone(),
         (UnOp::SeqLen, Expr::SeqLit(items)) => Expr::Int(items.len() as i128),
-        (UnOp::SeqLen, Expr::BinOp(BinOp::SeqConcat, x, y)) => Expr::add(
-            Expr::seq_len((**x).clone()),
-            Expr::seq_len((**y).clone()),
-        ),
+        (UnOp::SeqLen, Expr::BinOp(BinOp::SeqConcat, x, y)) => {
+            Expr::add(Expr::seq_len((**x).clone()), Expr::seq_len((**y).clone()))
+        }
         (UnOp::SeqLen, Expr::BinOp(BinOp::SeqRepeat, _, n)) => (**n).clone(),
         (UnOp::SeqLen, Expr::NOp(NOp::SeqUpdate, args)) => Expr::seq_len(args[0].clone()),
         (UnOp::SeqLen, Expr::NOp(NOp::SeqSub, args)) => {
@@ -144,7 +132,9 @@ fn rewrite_binop(op: BinOp, a: Expr, b: Expr) -> Expr {
         Rem => match (&a, &b) {
             (Expr::Int(x), Expr::Int(y)) if *y != 0 => Expr::Int(x % y),
             // Parity reasoning: (x + k) % 2 == x % 2 when k is even.
-            (Expr::BinOp(Add, x, k), Expr::Int(2)) if k.as_int().map(|v| v % 2 == 0) == Some(true) => {
+            (Expr::BinOp(Add, x, k), Expr::Int(2))
+                if k.as_int().map(|v| v % 2 == 0) == Some(true) =>
+            {
                 Expr::bin(Rem, (**x).clone(), Expr::Int(2))
             }
             _ => Expr::bin(Rem, a, b),
@@ -205,15 +195,14 @@ fn rewrite_binop(op: BinOp, a: Expr, b: Expr) -> Expr {
             }
             // Re-associate to the right so that concatenations have a
             // canonical spine: (a ++ b) ++ c  ==>  a ++ (b ++ c).
-            (Expr::BinOp(SeqConcat, x, y), _) => Expr::seq_concat(
-                (**x).clone(),
-                Expr::seq_concat((**y).clone(), b),
-            ),
+            (Expr::BinOp(SeqConcat, x, y), _) => {
+                Expr::seq_concat((**x).clone(), Expr::seq_concat((**y).clone(), b))
+            }
             _ => Expr::bin(SeqConcat, a, b),
         },
         SeqRepeat => match (&a, &b) {
             (_, Expr::Int(n)) if *n >= 0 && *n <= 64 => {
-                Expr::SeqLit(std::iter::repeat(a.clone()).take(*n as usize).collect())
+                Expr::SeqLit(std::iter::repeat_n(a.clone(), *n as usize).collect())
             }
             _ => Expr::bin(SeqRepeat, a, b),
         },
@@ -267,9 +256,7 @@ fn rewrite_eq(a: Expr, b: Expr) -> Expr {
         (Expr::Bool(x), Expr::Bool(y)) => Expr::Bool(x == y),
         (Expr::Loc(x), Expr::Loc(y)) => Expr::Bool(x == y),
         (Expr::Ctor(t1, args1), Expr::Ctor(t2, args2)) => {
-            if t1 != t2 {
-                Expr::Bool(false)
-            } else if args1.len() != args2.len() {
+            if t1 != t2 || args1.len() != args2.len() {
                 Expr::Bool(false)
             } else {
                 Expr::conj(
@@ -299,7 +286,10 @@ fn rewrite_eq(a: Expr, b: Expr) -> Expr {
             && std::mem::discriminant(&a) != std::mem::discriminant(&b)
             && !matches!(
                 (&a, &b),
-                (Expr::SeqLit(_), _) | (_, Expr::SeqLit(_)) | (Expr::Tuple(_), _) | (_, Expr::Tuple(_))
+                (Expr::SeqLit(_), _)
+                    | (_, Expr::SeqLit(_))
+                    | (Expr::Tuple(_), _)
+                    | (_, Expr::Tuple(_))
             ) =>
         {
             Expr::Bool(false)
@@ -445,10 +435,7 @@ mod tests {
 
     #[test]
     fn seq_at_literal_index() {
-        let e = Expr::seq_at(
-            Expr::seq(vec![Expr::Int(10), Expr::Int(20)]),
-            Expr::Int(1),
-        );
+        let e = Expr::seq_at(Expr::seq(vec![Expr::Int(10), Expr::Int(20)]), Expr::Int(1));
         assert_eq!(s(&e), Expr::Int(20));
     }
 

@@ -20,8 +20,9 @@ use crate::congruence::Congruence;
 use crate::expr::{BinOp, Expr, UnOp};
 use crate::linear::Linear;
 use crate::simplify::simplify;
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Outcome of a satisfiability query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,20 +47,57 @@ pub struct SolverStats {
     pub cache_hits: u64,
 }
 
-/// The solver. Cheap to clone (the cache is shared per-instance, not global).
+/// Lock-free statistics counters so that the solver stays [`Sync`] and can be
+/// shared by the parallel batch verifier without serialising queries.
+#[derive(Debug, Default)]
+struct AtomicSolverStats {
+    unsat_queries: AtomicU64,
+    entailment_queries: AtomicU64,
+    cases_explored: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl AtomicSolverStats {
+    fn snapshot(&self) -> SolverStats {
+        SolverStats {
+            unsat_queries: self.unsat_queries.load(Ordering::Relaxed),
+            entailment_queries: self.entailment_queries.load(Ordering::Relaxed),
+            cases_explored: self.cases_explored.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    fn store(&self, s: SolverStats) {
+        self.unsat_queries.store(s.unsat_queries, Ordering::Relaxed);
+        self.entailment_queries
+            .store(s.entailment_queries, Ordering::Relaxed);
+        self.cases_explored
+            .store(s.cases_explored, Ordering::Relaxed);
+        self.cache_hits.store(s.cache_hits, Ordering::Relaxed);
+    }
+}
+
+/// A cached query: the fact conjunction plus an optional goal.
+type CacheKey = (Vec<Expr>, Option<Expr>);
+
+/// The solver. Cheap to clone (the cache is shared per-instance, not global)
+/// and thread-safe: the query cache is behind a read-mostly lock and the
+/// statistics are atomic counters.
 #[derive(Debug, Default)]
 pub struct Solver {
-    stats: RefCell<SolverStats>,
-    cache: RefCell<HashMap<(Vec<Expr>, Option<Expr>), bool>>,
+    stats: AtomicSolverStats,
+    cache: RwLock<HashMap<CacheKey, bool>>,
     /// Maximum number of leaf cases explored per query.
     pub case_budget: usize,
 }
 
 impl Clone for Solver {
     fn clone(&self) -> Self {
+        let stats = AtomicSolverStats::default();
+        stats.store(self.stats.snapshot());
         Solver {
-            stats: RefCell::new(*self.stats.borrow()),
-            cache: RefCell::new(self.cache.borrow().clone()),
+            stats,
+            cache: RwLock::new(self.cache.read().unwrap().clone()),
             case_budget: self.case_budget,
         }
     }
@@ -69,28 +107,28 @@ impl Solver {
     /// Creates a solver with the default case budget.
     pub fn new() -> Self {
         Solver {
-            stats: RefCell::new(SolverStats::default()),
-            cache: RefCell::new(HashMap::new()),
+            stats: AtomicSolverStats::default(),
+            cache: RwLock::new(HashMap::new()),
             case_budget: 512,
         }
     }
 
     /// Returns a snapshot of the collected statistics.
     pub fn stats(&self) -> SolverStats {
-        *self.stats.borrow()
+        self.stats.snapshot()
     }
 
     /// Resets the statistics counters.
     pub fn reset_stats(&self) {
-        *self.stats.borrow_mut() = SolverStats::default();
+        self.stats.store(SolverStats::default());
     }
 
     /// Is the conjunction of `facts` definitely unsatisfiable?
     pub fn check_unsat(&self, facts: &[Expr]) -> bool {
-        self.stats.borrow_mut().unsat_queries += 1;
+        self.stats.unsat_queries.fetch_add(1, Ordering::Relaxed);
         let key = (facts.to_vec(), None);
-        if let Some(&v) = self.cache.borrow().get(&key) {
-            self.stats.borrow_mut().cache_hits += 1;
+        if let Some(&v) = self.cache.read().unwrap().get(&key) {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             return v;
         }
         let mut literals = Vec::new();
@@ -105,7 +143,7 @@ impl Solver {
             let mut budget = self.case_budget;
             self.refute_cases(&literals, &mut budget)
         };
-        self.cache.borrow_mut().insert(key, result);
+        self.cache.write().unwrap().insert(key, result);
         result
     }
 
@@ -116,7 +154,9 @@ impl Solver {
 
     /// Do the `facts` entail the `goal`?
     pub fn entails(&self, facts: &[Expr], goal: &Expr) -> bool {
-        self.stats.borrow_mut().entailment_queries += 1;
+        self.stats
+            .entailment_queries
+            .fetch_add(1, Ordering::Relaxed);
         let goal = simplify(goal);
         self.entails_simplified(facts, &goal)
     }
@@ -216,7 +256,7 @@ impl Solver {
         if *budget > 0 {
             *budget -= 1;
         }
-        self.stats.borrow_mut().cases_explored += 1;
+        self.stats.cases_explored.fetch_add(1, Ordering::Relaxed);
         self.refute_conjunction(literals)
     }
 
@@ -266,10 +306,10 @@ impl Solver {
                 return true;
             }
             // Bag disequalities: refute when both sides normalise identically.
-            if bags::is_bag_expr(a) || bags::is_bag_expr(b) {
-                if bags::definitely_equal(a, b, &mut cc) {
-                    return true;
-                }
+            if (bags::is_bag_expr(a) || bags::is_bag_expr(b))
+                && bags::definitely_equal(a, b, &mut cc)
+            {
+                return true;
             }
         }
         // An atom asserted both positively and negatively.
@@ -472,7 +512,10 @@ mod tests {
         let x = g.fresh_expr();
         let y = g.fresh_expr();
         let facts = vec![
-            Expr::implies(Expr::eq(x.clone(), Expr::Int(1)), Expr::eq(y.clone(), Expr::Int(2))),
+            Expr::implies(
+                Expr::eq(x.clone(), Expr::Int(1)),
+                Expr::eq(y.clone(), Expr::Int(2)),
+            ),
             Expr::eq(x.clone(), Expr::Int(1)),
             Expr::eq(y.clone(), Expr::Int(3)),
         ];
@@ -500,10 +543,7 @@ mod tests {
         let t = g.fresh_expr();
         let x = g.fresh_expr();
         let facts = vec![Expr::eq(s.clone(), t.clone())];
-        let goal = Expr::eq(
-            Expr::seq_prepend(x.clone(), s),
-            Expr::seq_prepend(x, t),
-        );
+        let goal = Expr::eq(Expr::seq_prepend(x.clone(), s), Expr::seq_prepend(x, t));
         assert!(solver().entails(&facts, &goal));
     }
 
@@ -559,7 +599,10 @@ mod tests {
         let mut g = VarGen::new();
         let x = g.fresh_expr();
         let y = g.fresh_expr();
-        let facts = vec![Expr::le(x.clone(), y.clone()), Expr::le(y.clone(), x.clone())];
+        let facts = vec![
+            Expr::le(x.clone(), y.clone()),
+            Expr::le(y.clone(), x.clone()),
+        ];
         // x <= y and y <= x entail x == y over the integers. Our solver proves
         // this through the linear module when refuting x != y... which it
         // cannot do via congruence alone, so we accept either outcome but make

@@ -1,22 +1,11 @@
 //! Verifies type safety and functional correctness of the LinkedList case
-//! study (the §7 LinkedList rows of Table 1) and prints per-function timings.
+//! study (the §7 LinkedList rows of Table 1) and prints the session reports.
 
 use case_studies::{linked_list, SpecMode};
 
 fn main() {
-    for (label, mode) in [
-        ("TS", SpecMode::TypeSafety),
-        ("FC", SpecMode::FunctionalCorrectness),
-    ] {
-        println!("== LinkedList ({label}) ==");
-        for report in linked_list::verify_all(mode) {
-            println!(
-                "  {:<12} verified={} time={:.3}s {}",
-                report.name,
-                report.verified,
-                report.elapsed.as_secs_f64(),
-                report.error.as_deref().unwrap_or("")
-            );
-        }
+    for mode in [SpecMode::TypeSafety, SpecMode::FunctionalCorrectness] {
+        let report = linked_list::session(mode).verify_all();
+        print!("{}", report.render_text());
     }
 }

@@ -1,35 +1,33 @@
-//! The hybrid pipeline (§6): the LinkedList API is specified in Pearlite
-//! (Fig. 7), elaborated to Gilsonite, proven by Gillian-Rust against the
-//! unsafe bodies, and then reused as trusted specifications by safe client
-//! code. The paper's Merge Sort client uses loops, which this reproduction's
-//! safe-side checker does not support (see EXPERIMENTS.md); this example
-//! demonstrates the same specification reuse on the elaboration side.
+//! The hybrid pipeline (§6) in a few builder calls: the LinkedList API is
+//! specified once in Pearlite (Fig. 7), and `SessionBuilder::extern_specs`
+//! elaborates it to Gilsonite inside the API — Gillian-Rust then proves the
+//! elaborated specifications against the unsafe bodies, and safe clients
+//! (Creusot's side) may assume exactly those specifications. The paper's
+//! Merge Sort client uses loops, which this reproduction's safe-side checker
+//! does not support (see EXPERIMENTS.md); the example demonstrates the same
+//! specification reuse.
 
-use case_studies::{linked_list, SpecMode};
-use creusot_lite::{elaborate, ExternSpecs};
+use case_studies::linked_list;
+use creusot_lite::ExternSpecs;
+use driver::HybridSession;
+use gillian_rust::gilsonite::SpecMode;
 
 fn main() {
-    // 1. The hybrid specifications of the LinkedList library, in Pearlite.
-    let registry = ExternSpecs::linked_list();
-    println!("== Pearlite -> Gilsonite elaboration (the hybrid bridge) ==");
-    for name in ["new", "push_front", "pop_front"] {
-        let spec = registry.get(name).unwrap();
-        for t in &spec.requires {
-            println!("  {name}: requires {}", elaborate(t));
-        }
-        for t in &spec.ensures {
-            println!("  {name}: ensures  {}", elaborate(t));
-        }
-    }
-    // 2. Gillian-Rust proves those specifications against the unsafe bodies.
-    println!("\n== Gillian-Rust discharges the unsafe side ==");
-    for report in linked_list::verify_all(SpecMode::FunctionalCorrectness) {
-        println!(
-            "  {:<12} verified={} time={:.3}s",
-            report.name,
-            report.verified,
-            report.elapsed.as_secs_f64()
-        );
-    }
+    // The whole hybrid loop is three builder calls: program + ownership
+    // predicates + Pearlite extern-specs. The registry entries are elaborated
+    // through `creusot_lite::elaborate` during `build()`.
+    let session = HybridSession::builder()
+        .name("LinkedList (hybrid)")
+        .program(linked_list::program())
+        .mode(SpecMode::FunctionalCorrectness)
+        .specs(linked_list::gilsonite)
+        .extern_specs(ExternSpecs::linked_list())
+        .verify_fns(linked_list::FUNCTIONS.iter().copied())
+        .build()
+        .expect("hybrid session builds");
+
+    // Gillian-Rust discharges the unsafe side against the elaborated specs.
+    let report = session.verify_all();
+    print!("{}", report.render_text());
     println!("\nSafe clients (Creusot's side) may now assume exactly these specifications.");
 }

@@ -4,14 +4,7 @@
 use case_studies::{mini_vec, SpecMode};
 
 fn main() {
-    println!("== MiniVec (FC) ==");
-    for report in mini_vec::verify_all(SpecMode::FunctionalCorrectness) {
-        println!(
-            "  {:<14} verified={} time={:.3}s {}",
-            report.name,
-            report.verified,
-            report.elapsed.as_secs_f64(),
-            report.error.as_deref().unwrap_or("")
-        );
-    }
+    let report = mini_vec::session(SpecMode::FunctionalCorrectness).verify_all();
+    print!("{}", report.render_text());
+    println!("\nJSON: {}", report.to_json());
 }

@@ -6,7 +6,10 @@
 
 pub use case_studies;
 pub use creusot_lite;
+pub use driver;
 pub use gillian_engine;
 pub use gillian_rust;
 pub use gillian_solver;
 pub use rust_ir;
+
+pub use driver::{HybridSession, SessionBuilder, VerificationReport, VerifyDiagnostic};

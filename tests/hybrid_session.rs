@@ -1,0 +1,185 @@
+//! Integration tests of the `HybridSession` front door: the Pearlite →
+//! Gilsonite extern-spec round trip, parallel/serial determinism, and the
+//! full Table 1 batch through `verify_all` with multiple workers.
+
+use case_studies::table1::{table1, table1_with_workers};
+use case_studies::{even_int, linked_list, SpecMode};
+use creusot_lite::{elaborate, ExternSpecs};
+use driver::HybridSession;
+use gillian_rust::gilsonite::lv;
+use gillian_rust::verifier::VerifyDiagnostic;
+use gillian_solver::{Expr, Symbol};
+
+/// Builds the LinkedList session with its Pearlite extern specs installed
+/// through the builder (the hybrid bridge inside the API).
+fn linked_list_hybrid_session() -> HybridSession {
+    HybridSession::builder()
+        .name("LinkedList (hybrid)")
+        .program(linked_list::program())
+        .mode(SpecMode::FunctionalCorrectness)
+        .specs(linked_list::gilsonite)
+        .extern_specs(ExternSpecs::linked_list())
+        .verify_fns(linked_list::FUNCTIONS.iter().copied())
+        .build()
+        .expect("hybrid session builds")
+}
+
+/// The same session, with the extern specs elaborated *by hand* in a
+/// configure step — the reference path the builder must reproduce.
+fn linked_list_manual_session() -> HybridSession {
+    HybridSession::builder()
+        .name("LinkedList (manual elaboration)")
+        .program(linked_list::program())
+        .mode(SpecMode::FunctionalCorrectness)
+        .specs(linked_list::gilsonite)
+        .configure(|g| {
+            for (name, hspec) in ExternSpecs::linked_list().iter() {
+                let f = g.types.program.function(name).unwrap().clone();
+                let requires: Vec<_> = hspec.requires.iter().map(elaborate).collect();
+                let ensures: Vec<_> = hspec.ensures.iter().map(elaborate).collect();
+                let spec = g.fn_spec(&f, requires, ensures);
+                g.add_spec(spec);
+            }
+        })
+        .verify_fns(linked_list::FUNCTIONS.iter().copied())
+        .build()
+        .expect("manual session builds")
+}
+
+/// Round trip over EVERY entry of `ExternSpecs::linked_list()`: the specs the
+/// builder installs through `extern_specs` are exactly the ones produced by
+/// elaborating each Pearlite term and registering it by hand.
+#[test]
+fn extern_spec_elaboration_round_trips_for_every_linked_list_entry() {
+    let registry = ExternSpecs::linked_list();
+    assert_eq!(registry.len(), 3, "the Fig. 7 registry covers the full API");
+    let via_builder = linked_list_hybrid_session();
+    let via_manual = linked_list_manual_session();
+    for (name, _) in registry.iter() {
+        let sym = Symbol::new(name);
+        let auto = via_builder
+            .verifier()
+            .engine
+            .prog
+            .spec(sym)
+            .unwrap_or_else(|| panic!("builder installed no spec for {name}"));
+        let manual = via_manual
+            .verifier()
+            .engine
+            .prog
+            .spec(sym)
+            .unwrap_or_else(|| panic!("manual path installed no spec for {name}"));
+        assert_eq!(auto.pre, manual.pre, "precondition of {name} round-trips");
+        assert_eq!(
+            auto.posts, manual.posts,
+            "postconditions of {name} round-trip"
+        );
+    }
+}
+
+/// The hybrid session still discharges its obligations: the elaborated
+/// extern specs are equivalent to the hand-written Gilsonite ones.
+#[test]
+fn hybrid_session_verifies_with_elaborated_specs() {
+    let report = linked_list_hybrid_session().verify_all();
+    assert!(report.all_verified(), "{}", report.render_text());
+}
+
+/// A session whose batch contains both passing and failing obligations,
+/// mirroring real mixed workloads.
+fn mixed_even_int_session(workers: usize) -> HybridSession {
+    HybridSession::builder()
+        .name("EvenInt (mixed)")
+        .program(even_int::program())
+        .mode(SpecMode::FunctionalCorrectness)
+        .specs(even_int::gilsonite)
+        .configure(|g| {
+            // Deliberately break add_two's postcondition (adds 3, not 2).
+            let add_two = g.types.program.function("add_two").unwrap().clone();
+            let wrong = g.fn_spec(
+                &add_two,
+                vec![Expr::le(lv("self_cur"), Expr::Int(1000))],
+                vec![Expr::eq(
+                    lv("self_fin"),
+                    Expr::add(lv("self_cur"), Expr::Int(3)),
+                )],
+            );
+            g.add_spec(wrong);
+        })
+        .verify_fns(even_int::FUNCTIONS.iter().copied())
+        .workers(workers)
+        .build()
+        .unwrap()
+}
+
+/// Determinism: `verify_all` with 1 worker and with N workers produces
+/// identical verdicts and identical structured diagnostics (fingerprints
+/// normalise freshened logical-variable counters, which differ between runs
+/// without affecting meaning).
+#[test]
+fn verify_all_is_deterministic_across_worker_counts() {
+    let serial = mixed_even_int_session(1).verify_all();
+    let parallel = mixed_even_int_session(4).verify_all();
+    assert_eq!(serial.cases.len(), parallel.cases.len());
+    for (s, p) in serial.cases.iter().zip(parallel.cases.iter()) {
+        assert_eq!(s.name(), p.name(), "case order is registration order");
+        assert_eq!(s.verified(), p.verified(), "verdict of {}", s.name());
+        let fp = |c: &driver::CaseOutcome| c.diagnostic().map(|d| d.fingerprint());
+        assert_eq!(fp(s), fp(p), "diagnostic of {}", s.name());
+    }
+    // The mixed batch really does mix outcomes.
+    assert!(!serial.all_verified());
+    assert!(serial.verified_count() >= 1);
+}
+
+/// Acceptance: the full Table 1 batch through `HybridSession::verify_all`
+/// with ≥2 workers produces the same 6 verdict rows as the serial path, and
+/// a deliberately-failing spec yields a structured (non-string) diagnostic.
+#[test]
+fn table1_parallel_batch_matches_serial_rows() {
+    let serial = table1();
+    let parallel = table1_with_workers(2);
+    assert_eq!(serial.len(), 6);
+    assert_eq!(parallel.len(), 6);
+    for (s, p) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(s.name, p.name);
+        assert_eq!(s.property, p.property);
+        assert_eq!(s.eloc, p.eloc);
+        assert_eq!(s.aloc, p.aloc);
+        assert_eq!(
+            s.all_verified, p.all_verified,
+            "row {} ({})",
+            s.name, s.property
+        );
+        assert_eq!(s.reports.len(), p.reports.len());
+        for (sr, pr) in s.reports.iter().zip(p.reports.iter()) {
+            assert_eq!(sr.name, pr.name);
+            assert_eq!(
+                sr.verified, pr.verified,
+                "case {} of row {}",
+                sr.name, s.name
+            );
+        }
+    }
+
+    // The deliberately-failing spec: a structured diagnostic, not a string.
+    let failing = mixed_even_int_session(2).verify_all();
+    let case = failing.case("add_two").expect("add_two is in the batch");
+    assert!(!case.verified());
+    match case.diagnostic().expect("structured diagnostic attached") {
+        VerifyDiagnostic::SpecMismatch { message } => {
+            assert!(!message.is_empty());
+        }
+        other => panic!("expected a spec-mismatch diagnostic, got {other:?}"),
+    }
+}
+
+/// The JSON rendering of a mixed report carries the diagnostic categories.
+#[test]
+fn report_json_includes_diagnostics() {
+    let report = mixed_even_int_session(2).verify_all();
+    let json = report.to_json();
+    assert!(json.contains("\"diagnostic\""));
+    assert!(json.contains("\"category\":\"spec-mismatch\""));
+    assert!(json.contains("\"all_verified\":false"));
+}
