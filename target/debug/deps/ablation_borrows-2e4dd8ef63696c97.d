@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_borrows-2e4dd8ef63696c97.d: crates/bench/benches/ablation_borrows.rs
+
+/root/repo/target/debug/deps/libablation_borrows-2e4dd8ef63696c97.rmeta: crates/bench/benches/ablation_borrows.rs
+
+crates/bench/benches/ablation_borrows.rs:

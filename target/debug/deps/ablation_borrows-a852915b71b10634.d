@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_borrows-a852915b71b10634.d: crates/bench/benches/ablation_borrows.rs
+
+/root/repo/target/debug/deps/ablation_borrows-a852915b71b10634: crates/bench/benches/ablation_borrows.rs
+
+crates/bench/benches/ablation_borrows.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_borrows-ae24bb9cc9fcab2f.d: crates/bench/benches/ablation_borrows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_borrows-ae24bb9cc9fcab2f.rmeta: crates/bench/benches/ablation_borrows.rs Cargo.toml
+
+crates/bench/benches/ablation_borrows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

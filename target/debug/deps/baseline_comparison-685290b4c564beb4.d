@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_comparison-685290b4c564beb4.d: crates/bench/benches/baseline_comparison.rs
+
+/root/repo/target/debug/deps/libbaseline_comparison-685290b4c564beb4.rmeta: crates/bench/benches/baseline_comparison.rs
+
+crates/bench/benches/baseline_comparison.rs:

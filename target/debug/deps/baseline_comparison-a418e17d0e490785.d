@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_comparison-a418e17d0e490785.d: crates/bench/benches/baseline_comparison.rs
+
+/root/repo/target/debug/deps/baseline_comparison-a418e17d0e490785: crates/bench/benches/baseline_comparison.rs
+
+crates/bench/benches/baseline_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_comparison-e61a7e7aac579e76.d: crates/bench/benches/baseline_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_comparison-e61a7e7aac579e76.rmeta: crates/bench/benches/baseline_comparison.rs Cargo.toml
+
+crates/bench/benches/baseline_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

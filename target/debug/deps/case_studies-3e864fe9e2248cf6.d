@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/case_studies-3e864fe9e2248cf6.d: crates/case-studies/src/lib.rs crates/case-studies/src/even_int.rs crates/case-studies/src/linked_list.rs crates/case-studies/src/linked_pair.rs crates/case-studies/src/mini_vec.rs crates/case-studies/src/table1.rs
+
+/root/repo/target/debug/deps/libcase_studies-3e864fe9e2248cf6.rlib: crates/case-studies/src/lib.rs crates/case-studies/src/even_int.rs crates/case-studies/src/linked_list.rs crates/case-studies/src/linked_pair.rs crates/case-studies/src/mini_vec.rs crates/case-studies/src/table1.rs
+
+/root/repo/target/debug/deps/libcase_studies-3e864fe9e2248cf6.rmeta: crates/case-studies/src/lib.rs crates/case-studies/src/even_int.rs crates/case-studies/src/linked_list.rs crates/case-studies/src/linked_pair.rs crates/case-studies/src/mini_vec.rs crates/case-studies/src/table1.rs
+
+crates/case-studies/src/lib.rs:
+crates/case-studies/src/even_int.rs:
+crates/case-studies/src/linked_list.rs:
+crates/case-studies/src/linked_pair.rs:
+crates/case-studies/src/mini_vec.rs:
+crates/case-studies/src/table1.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/case_studies-b17a270e4d544314.d: crates/case-studies/src/lib.rs crates/case-studies/src/even_int.rs crates/case-studies/src/linked_list.rs crates/case-studies/src/linked_pair.rs crates/case-studies/src/mini_vec.rs crates/case-studies/src/table1.rs
+
+/root/repo/target/debug/deps/case_studies-b17a270e4d544314: crates/case-studies/src/lib.rs crates/case-studies/src/even_int.rs crates/case-studies/src/linked_list.rs crates/case-studies/src/linked_pair.rs crates/case-studies/src/mini_vec.rs crates/case-studies/src/table1.rs
+
+crates/case-studies/src/lib.rs:
+crates/case-studies/src/even_int.rs:
+crates/case-studies/src/linked_list.rs:
+crates/case-studies/src/linked_pair.rs:
+crates/case-studies/src/mini_vec.rs:
+crates/case-studies/src/table1.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/case_studies-b6b3399a9fd8aff3.d: crates/case-studies/src/lib.rs crates/case-studies/src/even_int.rs crates/case-studies/src/linked_list.rs crates/case-studies/src/linked_pair.rs crates/case-studies/src/mini_vec.rs crates/case-studies/src/table1.rs
+
+/root/repo/target/debug/deps/libcase_studies-b6b3399a9fd8aff3.rmeta: crates/case-studies/src/lib.rs crates/case-studies/src/even_int.rs crates/case-studies/src/linked_list.rs crates/case-studies/src/linked_pair.rs crates/case-studies/src/mini_vec.rs crates/case-studies/src/table1.rs
+
+crates/case-studies/src/lib.rs:
+crates/case-studies/src/even_int.rs:
+crates/case-studies/src/linked_list.rs:
+crates/case-studies/src/linked_pair.rs:
+crates/case-studies/src/mini_vec.rs:
+crates/case-studies/src/table1.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/creusot_lite-7b5a932ba8bad51c.d: crates/creusot-lite/src/lib.rs crates/creusot-lite/src/elaborate.rs crates/creusot-lite/src/extern_specs.rs crates/creusot-lite/src/pearlite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcreusot_lite-7b5a932ba8bad51c.rmeta: crates/creusot-lite/src/lib.rs crates/creusot-lite/src/elaborate.rs crates/creusot-lite/src/extern_specs.rs crates/creusot-lite/src/pearlite.rs Cargo.toml
+
+crates/creusot-lite/src/lib.rs:
+crates/creusot-lite/src/elaborate.rs:
+crates/creusot-lite/src/extern_specs.rs:
+crates/creusot-lite/src/pearlite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

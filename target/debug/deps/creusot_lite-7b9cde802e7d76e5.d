@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/creusot_lite-7b9cde802e7d76e5.d: crates/creusot-lite/src/lib.rs crates/creusot-lite/src/elaborate.rs crates/creusot-lite/src/extern_specs.rs crates/creusot-lite/src/pearlite.rs
+
+/root/repo/target/debug/deps/libcreusot_lite-7b9cde802e7d76e5.rmeta: crates/creusot-lite/src/lib.rs crates/creusot-lite/src/elaborate.rs crates/creusot-lite/src/extern_specs.rs crates/creusot-lite/src/pearlite.rs
+
+crates/creusot-lite/src/lib.rs:
+crates/creusot-lite/src/elaborate.rs:
+crates/creusot-lite/src/extern_specs.rs:
+crates/creusot-lite/src/pearlite.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/creusot_lite-debdcac90b383d17.d: crates/creusot-lite/src/lib.rs crates/creusot-lite/src/elaborate.rs crates/creusot-lite/src/extern_specs.rs crates/creusot-lite/src/pearlite.rs
+
+/root/repo/target/debug/deps/creusot_lite-debdcac90b383d17: crates/creusot-lite/src/lib.rs crates/creusot-lite/src/elaborate.rs crates/creusot-lite/src/extern_specs.rs crates/creusot-lite/src/pearlite.rs
+
+crates/creusot-lite/src/lib.rs:
+crates/creusot-lite/src/elaborate.rs:
+crates/creusot-lite/src/extern_specs.rs:
+crates/creusot-lite/src/pearlite.rs:

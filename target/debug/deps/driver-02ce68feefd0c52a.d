@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/driver-02ce68feefd0c52a.d: crates/driver/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdriver-02ce68feefd0c52a.rmeta: crates/driver/src/lib.rs Cargo.toml
+
+crates/driver/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

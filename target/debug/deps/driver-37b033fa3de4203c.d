@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/driver-37b033fa3de4203c.d: crates/driver/src/lib.rs
+
+/root/repo/target/debug/deps/libdriver-37b033fa3de4203c.rlib: crates/driver/src/lib.rs
+
+/root/repo/target/debug/deps/libdriver-37b033fa3de4203c.rmeta: crates/driver/src/lib.rs
+
+crates/driver/src/lib.rs:

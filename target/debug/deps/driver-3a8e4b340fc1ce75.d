@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/driver-3a8e4b340fc1ce75.d: crates/driver/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdriver-3a8e4b340fc1ce75.rmeta: crates/driver/src/lib.rs Cargo.toml
+
+crates/driver/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/driver-46ff736de49badb8.d: crates/driver/src/lib.rs
+
+/root/repo/target/debug/deps/libdriver-46ff736de49badb8.rmeta: crates/driver/src/lib.rs
+
+crates/driver/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/driver-f2d03517db32fdd4.d: crates/driver/src/lib.rs
+
+/root/repo/target/debug/deps/libdriver-f2d03517db32fdd4.rmeta: crates/driver/src/lib.rs
+
+crates/driver/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/driver-f5545257e44041ca.d: crates/driver/src/lib.rs
+
+/root/repo/target/debug/deps/driver-f5545257e44041ca: crates/driver/src/lib.rs
+
+crates/driver/src/lib.rs:

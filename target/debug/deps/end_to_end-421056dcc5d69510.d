@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-421056dcc5d69510.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-421056dcc5d69510: tests/end_to_end.rs
+
+tests/end_to_end.rs:

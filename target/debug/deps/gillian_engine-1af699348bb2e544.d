@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gillian_engine-1af699348bb2e544.d: crates/gillian/src/lib.rs crates/gillian/src/asrt.rs crates/gillian/src/config.rs crates/gillian/src/engine.rs crates/gillian/src/gil.rs crates/gillian/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgillian_engine-1af699348bb2e544.rmeta: crates/gillian/src/lib.rs crates/gillian/src/asrt.rs crates/gillian/src/config.rs crates/gillian/src/engine.rs crates/gillian/src/gil.rs crates/gillian/src/state.rs Cargo.toml
+
+crates/gillian/src/lib.rs:
+crates/gillian/src/asrt.rs:
+crates/gillian/src/config.rs:
+crates/gillian/src/engine.rs:
+crates/gillian/src/gil.rs:
+crates/gillian/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gillian_engine-38aab3e287dc199c.d: crates/gillian/src/lib.rs crates/gillian/src/asrt.rs crates/gillian/src/config.rs crates/gillian/src/engine.rs crates/gillian/src/gil.rs crates/gillian/src/state.rs
+
+/root/repo/target/debug/deps/libgillian_engine-38aab3e287dc199c.rlib: crates/gillian/src/lib.rs crates/gillian/src/asrt.rs crates/gillian/src/config.rs crates/gillian/src/engine.rs crates/gillian/src/gil.rs crates/gillian/src/state.rs
+
+/root/repo/target/debug/deps/libgillian_engine-38aab3e287dc199c.rmeta: crates/gillian/src/lib.rs crates/gillian/src/asrt.rs crates/gillian/src/config.rs crates/gillian/src/engine.rs crates/gillian/src/gil.rs crates/gillian/src/state.rs
+
+crates/gillian/src/lib.rs:
+crates/gillian/src/asrt.rs:
+crates/gillian/src/config.rs:
+crates/gillian/src/engine.rs:
+crates/gillian/src/gil.rs:
+crates/gillian/src/state.rs:

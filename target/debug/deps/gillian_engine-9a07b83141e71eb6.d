@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gillian_engine-9a07b83141e71eb6.d: crates/gillian/src/lib.rs crates/gillian/src/asrt.rs crates/gillian/src/config.rs crates/gillian/src/engine.rs crates/gillian/src/gil.rs crates/gillian/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgillian_engine-9a07b83141e71eb6.rmeta: crates/gillian/src/lib.rs crates/gillian/src/asrt.rs crates/gillian/src/config.rs crates/gillian/src/engine.rs crates/gillian/src/gil.rs crates/gillian/src/state.rs Cargo.toml
+
+crates/gillian/src/lib.rs:
+crates/gillian/src/asrt.rs:
+crates/gillian/src/config.rs:
+crates/gillian/src/engine.rs:
+crates/gillian/src/gil.rs:
+crates/gillian/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

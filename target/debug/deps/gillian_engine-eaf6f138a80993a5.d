@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gillian_engine-eaf6f138a80993a5.d: crates/gillian/src/lib.rs crates/gillian/src/asrt.rs crates/gillian/src/config.rs crates/gillian/src/engine.rs crates/gillian/src/gil.rs crates/gillian/src/state.rs
+
+/root/repo/target/debug/deps/libgillian_engine-eaf6f138a80993a5.rmeta: crates/gillian/src/lib.rs crates/gillian/src/asrt.rs crates/gillian/src/config.rs crates/gillian/src/engine.rs crates/gillian/src/gil.rs crates/gillian/src/state.rs
+
+crates/gillian/src/lib.rs:
+crates/gillian/src/asrt.rs:
+crates/gillian/src/config.rs:
+crates/gillian/src/engine.rs:
+crates/gillian/src/gil.rs:
+crates/gillian/src/state.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gillian_rust-99b2a985581c56e3.d: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/gilsonite.rs crates/core/src/heap.rs crates/core/src/state.rs crates/core/src/tactics.rs crates/core/src/types.rs crates/core/src/verifier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgillian_rust-99b2a985581c56e3.rmeta: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/gilsonite.rs crates/core/src/heap.rs crates/core/src/state.rs crates/core/src/tactics.rs crates/core/src/types.rs crates/core/src/verifier.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/compile.rs:
+crates/core/src/gilsonite.rs:
+crates/core/src/heap.rs:
+crates/core/src/state.rs:
+crates/core/src/tactics.rs:
+crates/core/src/types.rs:
+crates/core/src/verifier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gillian_rust-a7a86d67060e1df8.d: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/gilsonite.rs crates/core/src/heap.rs crates/core/src/state.rs crates/core/src/tactics.rs crates/core/src/types.rs crates/core/src/verifier.rs
+
+/root/repo/target/debug/deps/libgillian_rust-a7a86d67060e1df8.rmeta: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/gilsonite.rs crates/core/src/heap.rs crates/core/src/state.rs crates/core/src/tactics.rs crates/core/src/types.rs crates/core/src/verifier.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compile.rs:
+crates/core/src/gilsonite.rs:
+crates/core/src/heap.rs:
+crates/core/src/state.rs:
+crates/core/src/tactics.rs:
+crates/core/src/types.rs:
+crates/core/src/verifier.rs:

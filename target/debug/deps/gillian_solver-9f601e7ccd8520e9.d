@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/gillian_solver-9f601e7ccd8520e9.d: crates/solver/src/lib.rs crates/solver/src/bags.rs crates/solver/src/congruence.rs crates/solver/src/expr.rs crates/solver/src/interp.rs crates/solver/src/linear.rs crates/solver/src/simplify.rs crates/solver/src/solver.rs crates/solver/src/symbol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgillian_solver-9f601e7ccd8520e9.rmeta: crates/solver/src/lib.rs crates/solver/src/bags.rs crates/solver/src/congruence.rs crates/solver/src/expr.rs crates/solver/src/interp.rs crates/solver/src/linear.rs crates/solver/src/simplify.rs crates/solver/src/solver.rs crates/solver/src/symbol.rs Cargo.toml
+
+crates/solver/src/lib.rs:
+crates/solver/src/bags.rs:
+crates/solver/src/congruence.rs:
+crates/solver/src/expr.rs:
+crates/solver/src/interp.rs:
+crates/solver/src/linear.rs:
+crates/solver/src/simplify.rs:
+crates/solver/src/solver.rs:
+crates/solver/src/symbol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gillian_solver-a6e9aee119f2018c.d: crates/solver/src/lib.rs crates/solver/src/bags.rs crates/solver/src/congruence.rs crates/solver/src/expr.rs crates/solver/src/interp.rs crates/solver/src/linear.rs crates/solver/src/simplify.rs crates/solver/src/solver.rs crates/solver/src/symbol.rs
+
+/root/repo/target/debug/deps/libgillian_solver-a6e9aee119f2018c.rlib: crates/solver/src/lib.rs crates/solver/src/bags.rs crates/solver/src/congruence.rs crates/solver/src/expr.rs crates/solver/src/interp.rs crates/solver/src/linear.rs crates/solver/src/simplify.rs crates/solver/src/solver.rs crates/solver/src/symbol.rs
+
+/root/repo/target/debug/deps/libgillian_solver-a6e9aee119f2018c.rmeta: crates/solver/src/lib.rs crates/solver/src/bags.rs crates/solver/src/congruence.rs crates/solver/src/expr.rs crates/solver/src/interp.rs crates/solver/src/linear.rs crates/solver/src/simplify.rs crates/solver/src/solver.rs crates/solver/src/symbol.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/bags.rs:
+crates/solver/src/congruence.rs:
+crates/solver/src/expr.rs:
+crates/solver/src/interp.rs:
+crates/solver/src/linear.rs:
+crates/solver/src/simplify.rs:
+crates/solver/src/solver.rs:
+crates/solver/src/symbol.rs:

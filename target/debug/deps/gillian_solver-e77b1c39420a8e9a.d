@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gillian_solver-e77b1c39420a8e9a.d: crates/solver/src/lib.rs crates/solver/src/bags.rs crates/solver/src/congruence.rs crates/solver/src/expr.rs crates/solver/src/interp.rs crates/solver/src/linear.rs crates/solver/src/simplify.rs crates/solver/src/solver.rs crates/solver/src/symbol.rs
+
+/root/repo/target/debug/deps/libgillian_solver-e77b1c39420a8e9a.rmeta: crates/solver/src/lib.rs crates/solver/src/bags.rs crates/solver/src/congruence.rs crates/solver/src/expr.rs crates/solver/src/interp.rs crates/solver/src/linear.rs crates/solver/src/simplify.rs crates/solver/src/solver.rs crates/solver/src/symbol.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/bags.rs:
+crates/solver/src/congruence.rs:
+crates/solver/src/expr.rs:
+crates/solver/src/interp.rs:
+crates/solver/src/linear.rs:
+crates/solver/src/simplify.rs:
+crates/solver/src/solver.rs:
+crates/solver/src/symbol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heap_model-53cdea8b309d388f.d: crates/bench/benches/heap_model.rs
+
+/root/repo/target/debug/deps/heap_model-53cdea8b309d388f: crates/bench/benches/heap_model.rs
+
+crates/bench/benches/heap_model.rs:

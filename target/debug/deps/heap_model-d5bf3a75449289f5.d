@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heap_model-d5bf3a75449289f5.d: crates/bench/benches/heap_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheap_model-d5bf3a75449289f5.rmeta: crates/bench/benches/heap_model.rs Cargo.toml
+
+crates/bench/benches/heap_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

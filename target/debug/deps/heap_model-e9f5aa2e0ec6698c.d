@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heap_model-e9f5aa2e0ec6698c.d: crates/bench/benches/heap_model.rs
+
+/root/repo/target/debug/deps/libheap_model-e9f5aa2e0ec6698c.rmeta: crates/bench/benches/heap_model.rs
+
+crates/bench/benches/heap_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_bench-206c1cf589749eaf.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhybrid_bench-206c1cf589749eaf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hybrid_bench-40a7e35aa482c520.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhybrid_bench-40a7e35aa482c520.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhybrid_bench-40a7e35aa482c520.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

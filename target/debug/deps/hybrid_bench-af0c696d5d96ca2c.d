@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid_bench-af0c696d5d96ca2c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_bench-af0c696d5d96ca2c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

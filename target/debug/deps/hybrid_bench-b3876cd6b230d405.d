@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid_bench-b3876cd6b230d405.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_bench-b3876cd6b230d405.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

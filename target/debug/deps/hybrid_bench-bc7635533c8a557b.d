@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_bench-bc7635533c8a557b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhybrid_bench-bc7635533c8a557b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_bench-c5c4f8530166d80f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hybrid_bench-c5c4f8530166d80f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid_clients-3f70421edc02aad5.d: crates/bench/benches/hybrid_clients.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_clients-3f70421edc02aad5.rmeta: crates/bench/benches/hybrid_clients.rs Cargo.toml
+
+crates/bench/benches/hybrid_clients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_clients-52cbed6058d7e64f.d: crates/bench/benches/hybrid_clients.rs
+
+/root/repo/target/debug/deps/libhybrid_clients-52cbed6058d7e64f.rmeta: crates/bench/benches/hybrid_clients.rs
+
+crates/bench/benches/hybrid_clients.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_clients-97ead6c40c00dccb.d: crates/bench/benches/hybrid_clients.rs
+
+/root/repo/target/debug/deps/hybrid_clients-97ead6c40c00dccb: crates/bench/benches/hybrid_clients.rs
+
+crates/bench/benches/hybrid_clients.rs:

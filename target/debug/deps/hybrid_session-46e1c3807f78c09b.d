@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_session-46e1c3807f78c09b.d: tests/hybrid_session.rs
+
+/root/repo/target/debug/deps/hybrid_session-46e1c3807f78c09b: tests/hybrid_session.rs
+
+tests/hybrid_session.rs:

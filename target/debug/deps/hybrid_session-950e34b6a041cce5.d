@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid_session-950e34b6a041cce5.d: tests/hybrid_session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_session-950e34b6a041cce5.rmeta: tests/hybrid_session.rs Cargo.toml
+
+tests/hybrid_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

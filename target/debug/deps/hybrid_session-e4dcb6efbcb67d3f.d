@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_session-e4dcb6efbcb67d3f.d: tests/hybrid_session.rs
+
+/root/repo/target/debug/deps/libhybrid_session-e4dcb6efbcb67d3f.rmeta: tests/hybrid_session.rs
+
+tests/hybrid_session.rs:

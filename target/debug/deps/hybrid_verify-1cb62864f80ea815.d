@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hybrid_verify-1cb62864f80ea815.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhybrid_verify-1cb62864f80ea815.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhybrid_verify-1cb62864f80ea815.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_verify-b8ba7a2489cda0fd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhybrid_verify-b8ba7a2489cda0fd.rmeta: src/lib.rs
+
+src/lib.rs:

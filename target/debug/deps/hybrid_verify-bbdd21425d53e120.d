@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid_verify-bbdd21425d53e120.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_verify-bbdd21425d53e120.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

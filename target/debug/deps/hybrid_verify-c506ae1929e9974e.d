@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid_verify-c506ae1929e9974e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_verify-c506ae1929e9974e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_verify-cd2dde4c833e8f68.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhybrid_verify-cd2dde4c833e8f68.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_verify-d7f196bbeb94c685.d: src/lib.rs
+
+/root/repo/target/debug/deps/hybrid_verify-d7f196bbeb94c685: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rust_ir-29ebc1e11bea630f.d: crates/rust-ir/src/lib.rs crates/rust-ir/src/body.rs crates/rust-ir/src/builder.rs crates/rust-ir/src/layout.rs crates/rust-ir/src/program.rs crates/rust-ir/src/ty.rs
+
+/root/repo/target/debug/deps/librust_ir-29ebc1e11bea630f.rmeta: crates/rust-ir/src/lib.rs crates/rust-ir/src/body.rs crates/rust-ir/src/builder.rs crates/rust-ir/src/layout.rs crates/rust-ir/src/program.rs crates/rust-ir/src/ty.rs
+
+crates/rust-ir/src/lib.rs:
+crates/rust-ir/src/body.rs:
+crates/rust-ir/src/builder.rs:
+crates/rust-ir/src/layout.rs:
+crates/rust-ir/src/program.rs:
+crates/rust-ir/src/ty.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rust_ir-662d00cc1637efc1.d: crates/rust-ir/src/lib.rs crates/rust-ir/src/body.rs crates/rust-ir/src/builder.rs crates/rust-ir/src/layout.rs crates/rust-ir/src/program.rs crates/rust-ir/src/ty.rs
+
+/root/repo/target/debug/deps/rust_ir-662d00cc1637efc1: crates/rust-ir/src/lib.rs crates/rust-ir/src/body.rs crates/rust-ir/src/builder.rs crates/rust-ir/src/layout.rs crates/rust-ir/src/program.rs crates/rust-ir/src/ty.rs
+
+crates/rust-ir/src/lib.rs:
+crates/rust-ir/src/body.rs:
+crates/rust-ir/src/builder.rs:
+crates/rust-ir/src/layout.rs:
+crates/rust-ir/src/program.rs:
+crates/rust-ir/src/ty.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rust_ir-6eee701d21dc59a0.d: crates/rust-ir/src/lib.rs crates/rust-ir/src/body.rs crates/rust-ir/src/builder.rs crates/rust-ir/src/layout.rs crates/rust-ir/src/program.rs crates/rust-ir/src/ty.rs
+
+/root/repo/target/debug/deps/librust_ir-6eee701d21dc59a0.rlib: crates/rust-ir/src/lib.rs crates/rust-ir/src/body.rs crates/rust-ir/src/builder.rs crates/rust-ir/src/layout.rs crates/rust-ir/src/program.rs crates/rust-ir/src/ty.rs
+
+/root/repo/target/debug/deps/librust_ir-6eee701d21dc59a0.rmeta: crates/rust-ir/src/lib.rs crates/rust-ir/src/body.rs crates/rust-ir/src/builder.rs crates/rust-ir/src/layout.rs crates/rust-ir/src/program.rs crates/rust-ir/src/ty.rs
+
+crates/rust-ir/src/lib.rs:
+crates/rust-ir/src/body.rs:
+crates/rust-ir/src/builder.rs:
+crates/rust-ir/src/layout.rs:
+crates/rust-ir/src/program.rs:
+crates/rust-ir/src/ty.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rust_ir-701d9e02a6283e76.d: crates/rust-ir/src/lib.rs crates/rust-ir/src/body.rs crates/rust-ir/src/builder.rs crates/rust-ir/src/layout.rs crates/rust-ir/src/program.rs crates/rust-ir/src/ty.rs Cargo.toml
+
+/root/repo/target/debug/deps/librust_ir-701d9e02a6283e76.rmeta: crates/rust-ir/src/lib.rs crates/rust-ir/src/body.rs crates/rust-ir/src/builder.rs crates/rust-ir/src/layout.rs crates/rust-ir/src/program.rs crates/rust-ir/src/ty.rs Cargo.toml
+
+crates/rust-ir/src/lib.rs:
+crates/rust-ir/src/body.rs:
+crates/rust-ir/src/builder.rs:
+crates/rust-ir/src/layout.rs:
+crates/rust-ir/src/program.rs:
+crates/rust-ir/src/ty.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

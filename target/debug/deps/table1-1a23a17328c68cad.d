@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-1a23a17328c68cad.d: crates/bench/benches/table1.rs
+
+/root/repo/target/debug/deps/table1-1a23a17328c68cad: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-b91df4b86129d65c.d: crates/bench/benches/table1.rs
+
+/root/repo/target/debug/deps/libtable1-b91df4b86129d65c.rmeta: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/linked_list_fc-7bd0170590634bc3.d: examples/linked_list_fc.rs
+
+/root/repo/target/debug/examples/liblinked_list_fc-7bd0170590634bc3.rmeta: examples/linked_list_fc.rs
+
+examples/linked_list_fc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/linked_list_fc-870e39529bea522d.d: examples/linked_list_fc.rs
+
+/root/repo/target/debug/examples/linked_list_fc-870e39529bea522d: examples/linked_list_fc.rs
+
+examples/linked_list_fc.rs:

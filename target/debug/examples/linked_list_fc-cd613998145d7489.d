@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/linked_list_fc-cd613998145d7489.d: examples/linked_list_fc.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblinked_list_fc-cd613998145d7489.rmeta: examples/linked_list_fc.rs Cargo.toml
+
+examples/linked_list_fc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

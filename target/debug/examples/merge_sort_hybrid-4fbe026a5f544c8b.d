@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/merge_sort_hybrid-4fbe026a5f544c8b.d: examples/merge_sort_hybrid.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmerge_sort_hybrid-4fbe026a5f544c8b.rmeta: examples/merge_sort_hybrid.rs Cargo.toml
+
+examples/merge_sort_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/merge_sort_hybrid-a34f0fd0104b7d41.d: examples/merge_sort_hybrid.rs
+
+/root/repo/target/debug/examples/libmerge_sort_hybrid-a34f0fd0104b7d41.rmeta: examples/merge_sort_hybrid.rs
+
+examples/merge_sort_hybrid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/merge_sort_hybrid-db5e873a2238fcff.d: examples/merge_sort_hybrid.rs
+
+/root/repo/target/debug/examples/merge_sort_hybrid-db5e873a2238fcff: examples/merge_sort_hybrid.rs
+
+examples/merge_sort_hybrid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mini_vec-55bd0f8fc34701b9.d: examples/mini_vec.rs
+
+/root/repo/target/debug/examples/libmini_vec-55bd0f8fc34701b9.rmeta: examples/mini_vec.rs
+
+examples/mini_vec.rs:

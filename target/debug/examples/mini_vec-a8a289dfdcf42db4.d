@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mini_vec-a8a289dfdcf42db4.d: examples/mini_vec.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmini_vec-a8a289dfdcf42db4.rmeta: examples/mini_vec.rs Cargo.toml
+
+examples/mini_vec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mini_vec-cf0aca5450c43bea.d: examples/mini_vec.rs
+
+/root/repo/target/debug/examples/mini_vec-cf0aca5450c43bea: examples/mini_vec.rs
+
+examples/mini_vec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-349ef7ee4747d348.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-349ef7ee4747d348: examples/quickstart.rs
+
+examples/quickstart.rs:

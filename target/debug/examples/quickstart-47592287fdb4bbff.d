@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-47592287fdb4bbff.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-47592287fdb4bbff.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-af5c7222c6e9b5ce.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-af5c7222c6e9b5ce.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

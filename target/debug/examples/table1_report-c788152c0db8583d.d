@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/table1_report-c788152c0db8583d.d: examples/table1_report.rs
+
+/root/repo/target/debug/examples/table1_report-c788152c0db8583d: examples/table1_report.rs
+
+examples/table1_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/table1_report-de982ca84310a840.d: examples/table1_report.rs
+
+/root/repo/target/debug/examples/libtable1_report-de982ca84310a840.rmeta: examples/table1_report.rs
+
+examples/table1_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/table1_report-fdf4be3b50c4fa84.d: examples/table1_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtable1_report-fdf4be3b50c4fa84.rmeta: examples/table1_report.rs Cargo.toml
+
+examples/table1_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

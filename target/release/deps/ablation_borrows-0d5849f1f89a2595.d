@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_borrows-0d5849f1f89a2595.d: crates/bench/benches/ablation_borrows.rs
+
+/root/repo/target/release/deps/ablation_borrows-0d5849f1f89a2595: crates/bench/benches/ablation_borrows.rs
+
+crates/bench/benches/ablation_borrows.rs:

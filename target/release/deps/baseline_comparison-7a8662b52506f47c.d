@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_comparison-7a8662b52506f47c.d: crates/bench/benches/baseline_comparison.rs
+
+/root/repo/target/release/deps/baseline_comparison-7a8662b52506f47c: crates/bench/benches/baseline_comparison.rs
+
+crates/bench/benches/baseline_comparison.rs:

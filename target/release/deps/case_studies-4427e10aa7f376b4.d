@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/case_studies-4427e10aa7f376b4.d: crates/case-studies/src/lib.rs crates/case-studies/src/even_int.rs crates/case-studies/src/linked_list.rs crates/case-studies/src/linked_pair.rs crates/case-studies/src/mini_vec.rs crates/case-studies/src/table1.rs
+
+/root/repo/target/release/deps/libcase_studies-4427e10aa7f376b4.rlib: crates/case-studies/src/lib.rs crates/case-studies/src/even_int.rs crates/case-studies/src/linked_list.rs crates/case-studies/src/linked_pair.rs crates/case-studies/src/mini_vec.rs crates/case-studies/src/table1.rs
+
+/root/repo/target/release/deps/libcase_studies-4427e10aa7f376b4.rmeta: crates/case-studies/src/lib.rs crates/case-studies/src/even_int.rs crates/case-studies/src/linked_list.rs crates/case-studies/src/linked_pair.rs crates/case-studies/src/mini_vec.rs crates/case-studies/src/table1.rs
+
+crates/case-studies/src/lib.rs:
+crates/case-studies/src/even_int.rs:
+crates/case-studies/src/linked_list.rs:
+crates/case-studies/src/linked_pair.rs:
+crates/case-studies/src/mini_vec.rs:
+crates/case-studies/src/table1.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/case_studies-765c210e8ee26e8a.d: crates/case-studies/src/lib.rs crates/case-studies/src/even_int.rs crates/case-studies/src/linked_list.rs crates/case-studies/src/linked_pair.rs crates/case-studies/src/mini_vec.rs crates/case-studies/src/table1.rs
+
+/root/repo/target/release/deps/case_studies-765c210e8ee26e8a: crates/case-studies/src/lib.rs crates/case-studies/src/even_int.rs crates/case-studies/src/linked_list.rs crates/case-studies/src/linked_pair.rs crates/case-studies/src/mini_vec.rs crates/case-studies/src/table1.rs
+
+crates/case-studies/src/lib.rs:
+crates/case-studies/src/even_int.rs:
+crates/case-studies/src/linked_list.rs:
+crates/case-studies/src/linked_pair.rs:
+crates/case-studies/src/mini_vec.rs:
+crates/case-studies/src/table1.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/creusot_lite-333403e29bfa4e52.d: crates/creusot-lite/src/lib.rs crates/creusot-lite/src/elaborate.rs crates/creusot-lite/src/extern_specs.rs crates/creusot-lite/src/pearlite.rs
+
+/root/repo/target/release/deps/creusot_lite-333403e29bfa4e52: crates/creusot-lite/src/lib.rs crates/creusot-lite/src/elaborate.rs crates/creusot-lite/src/extern_specs.rs crates/creusot-lite/src/pearlite.rs
+
+crates/creusot-lite/src/lib.rs:
+crates/creusot-lite/src/elaborate.rs:
+crates/creusot-lite/src/extern_specs.rs:
+crates/creusot-lite/src/pearlite.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/creusot_lite-ab188ee8466fe43f.d: crates/creusot-lite/src/lib.rs crates/creusot-lite/src/elaborate.rs crates/creusot-lite/src/extern_specs.rs crates/creusot-lite/src/pearlite.rs
+
+/root/repo/target/release/deps/libcreusot_lite-ab188ee8466fe43f.rlib: crates/creusot-lite/src/lib.rs crates/creusot-lite/src/elaborate.rs crates/creusot-lite/src/extern_specs.rs crates/creusot-lite/src/pearlite.rs
+
+/root/repo/target/release/deps/libcreusot_lite-ab188ee8466fe43f.rmeta: crates/creusot-lite/src/lib.rs crates/creusot-lite/src/elaborate.rs crates/creusot-lite/src/extern_specs.rs crates/creusot-lite/src/pearlite.rs
+
+crates/creusot-lite/src/lib.rs:
+crates/creusot-lite/src/elaborate.rs:
+crates/creusot-lite/src/extern_specs.rs:
+crates/creusot-lite/src/pearlite.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/driver-3a122412651296e2.d: crates/driver/src/lib.rs
+
+/root/repo/target/release/deps/libdriver-3a122412651296e2.rlib: crates/driver/src/lib.rs
+
+/root/repo/target/release/deps/libdriver-3a122412651296e2.rmeta: crates/driver/src/lib.rs
+
+crates/driver/src/lib.rs:

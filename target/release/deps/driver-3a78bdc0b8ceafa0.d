@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/driver-3a78bdc0b8ceafa0.d: crates/driver/src/lib.rs
+
+/root/repo/target/release/deps/driver-3a78bdc0b8ceafa0: crates/driver/src/lib.rs
+
+crates/driver/src/lib.rs:

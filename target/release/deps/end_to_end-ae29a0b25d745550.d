@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-ae29a0b25d745550.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-ae29a0b25d745550: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gillian_engine-3cda69fe352b7ca8.d: crates/gillian/src/lib.rs crates/gillian/src/asrt.rs crates/gillian/src/config.rs crates/gillian/src/engine.rs crates/gillian/src/gil.rs crates/gillian/src/state.rs
+
+/root/repo/target/release/deps/libgillian_engine-3cda69fe352b7ca8.rlib: crates/gillian/src/lib.rs crates/gillian/src/asrt.rs crates/gillian/src/config.rs crates/gillian/src/engine.rs crates/gillian/src/gil.rs crates/gillian/src/state.rs
+
+/root/repo/target/release/deps/libgillian_engine-3cda69fe352b7ca8.rmeta: crates/gillian/src/lib.rs crates/gillian/src/asrt.rs crates/gillian/src/config.rs crates/gillian/src/engine.rs crates/gillian/src/gil.rs crates/gillian/src/state.rs
+
+crates/gillian/src/lib.rs:
+crates/gillian/src/asrt.rs:
+crates/gillian/src/config.rs:
+crates/gillian/src/engine.rs:
+crates/gillian/src/gil.rs:
+crates/gillian/src/state.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gillian_rust-417cdfc97b9ded10.d: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/gilsonite.rs crates/core/src/heap.rs crates/core/src/state.rs crates/core/src/tactics.rs crates/core/src/types.rs crates/core/src/verifier.rs
+
+/root/repo/target/release/deps/libgillian_rust-417cdfc97b9ded10.rlib: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/gilsonite.rs crates/core/src/heap.rs crates/core/src/state.rs crates/core/src/tactics.rs crates/core/src/types.rs crates/core/src/verifier.rs
+
+/root/repo/target/release/deps/libgillian_rust-417cdfc97b9ded10.rmeta: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/gilsonite.rs crates/core/src/heap.rs crates/core/src/state.rs crates/core/src/tactics.rs crates/core/src/types.rs crates/core/src/verifier.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compile.rs:
+crates/core/src/gilsonite.rs:
+crates/core/src/heap.rs:
+crates/core/src/state.rs:
+crates/core/src/tactics.rs:
+crates/core/src/types.rs:
+crates/core/src/verifier.rs:

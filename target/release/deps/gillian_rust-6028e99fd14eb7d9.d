@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gillian_rust-6028e99fd14eb7d9.d: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/gilsonite.rs crates/core/src/heap.rs crates/core/src/state.rs crates/core/src/tactics.rs crates/core/src/types.rs crates/core/src/verifier.rs
+
+/root/repo/target/release/deps/gillian_rust-6028e99fd14eb7d9: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/gilsonite.rs crates/core/src/heap.rs crates/core/src/state.rs crates/core/src/tactics.rs crates/core/src/types.rs crates/core/src/verifier.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compile.rs:
+crates/core/src/gilsonite.rs:
+crates/core/src/heap.rs:
+crates/core/src/state.rs:
+crates/core/src/tactics.rs:
+crates/core/src/types.rs:
+crates/core/src/verifier.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gillian_solver-0a1d2543ec74f3e2.d: crates/solver/src/lib.rs crates/solver/src/bags.rs crates/solver/src/congruence.rs crates/solver/src/expr.rs crates/solver/src/interp.rs crates/solver/src/linear.rs crates/solver/src/simplify.rs crates/solver/src/solver.rs crates/solver/src/symbol.rs
+
+/root/repo/target/release/deps/gillian_solver-0a1d2543ec74f3e2: crates/solver/src/lib.rs crates/solver/src/bags.rs crates/solver/src/congruence.rs crates/solver/src/expr.rs crates/solver/src/interp.rs crates/solver/src/linear.rs crates/solver/src/simplify.rs crates/solver/src/solver.rs crates/solver/src/symbol.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/bags.rs:
+crates/solver/src/congruence.rs:
+crates/solver/src/expr.rs:
+crates/solver/src/interp.rs:
+crates/solver/src/linear.rs:
+crates/solver/src/simplify.rs:
+crates/solver/src/solver.rs:
+crates/solver/src/symbol.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/gillian_solver-535cc380d3ec68b1.d: crates/solver/src/lib.rs crates/solver/src/bags.rs crates/solver/src/congruence.rs crates/solver/src/expr.rs crates/solver/src/interp.rs crates/solver/src/linear.rs crates/solver/src/simplify.rs crates/solver/src/solver.rs crates/solver/src/symbol.rs
+
+/root/repo/target/release/deps/libgillian_solver-535cc380d3ec68b1.rlib: crates/solver/src/lib.rs crates/solver/src/bags.rs crates/solver/src/congruence.rs crates/solver/src/expr.rs crates/solver/src/interp.rs crates/solver/src/linear.rs crates/solver/src/simplify.rs crates/solver/src/solver.rs crates/solver/src/symbol.rs
+
+/root/repo/target/release/deps/libgillian_solver-535cc380d3ec68b1.rmeta: crates/solver/src/lib.rs crates/solver/src/bags.rs crates/solver/src/congruence.rs crates/solver/src/expr.rs crates/solver/src/interp.rs crates/solver/src/linear.rs crates/solver/src/simplify.rs crates/solver/src/solver.rs crates/solver/src/symbol.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/bags.rs:
+crates/solver/src/congruence.rs:
+crates/solver/src/expr.rs:
+crates/solver/src/interp.rs:
+crates/solver/src/linear.rs:
+crates/solver/src/simplify.rs:
+crates/solver/src/solver.rs:
+crates/solver/src/symbol.rs:

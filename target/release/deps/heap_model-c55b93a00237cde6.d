@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/heap_model-c55b93a00237cde6.d: crates/bench/benches/heap_model.rs
+
+/root/repo/target/release/deps/heap_model-c55b93a00237cde6: crates/bench/benches/heap_model.rs
+
+crates/bench/benches/heap_model.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hybrid_bench-338284e17ebfc696.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhybrid_bench-338284e17ebfc696.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhybrid_bench-338284e17ebfc696.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

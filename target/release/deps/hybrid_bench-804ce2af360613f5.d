@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hybrid_bench-804ce2af360613f5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/hybrid_bench-804ce2af360613f5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

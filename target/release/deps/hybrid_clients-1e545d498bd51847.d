@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hybrid_clients-1e545d498bd51847.d: crates/bench/benches/hybrid_clients.rs
+
+/root/repo/target/release/deps/hybrid_clients-1e545d498bd51847: crates/bench/benches/hybrid_clients.rs
+
+crates/bench/benches/hybrid_clients.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hybrid_session-f4faf4ec076a7520.d: tests/hybrid_session.rs
+
+/root/repo/target/release/deps/hybrid_session-f4faf4ec076a7520: tests/hybrid_session.rs
+
+tests/hybrid_session.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hybrid_verify-6636fec62814474d.d: src/lib.rs
+
+/root/repo/target/release/deps/libhybrid_verify-6636fec62814474d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhybrid_verify-6636fec62814474d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hybrid_verify-c9975b9980b9ea26.d: src/lib.rs
+
+/root/repo/target/release/deps/hybrid_verify-c9975b9980b9ea26: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rust_ir-7d487963257ad6c9.d: crates/rust-ir/src/lib.rs crates/rust-ir/src/body.rs crates/rust-ir/src/builder.rs crates/rust-ir/src/layout.rs crates/rust-ir/src/program.rs crates/rust-ir/src/ty.rs
+
+/root/repo/target/release/deps/librust_ir-7d487963257ad6c9.rlib: crates/rust-ir/src/lib.rs crates/rust-ir/src/body.rs crates/rust-ir/src/builder.rs crates/rust-ir/src/layout.rs crates/rust-ir/src/program.rs crates/rust-ir/src/ty.rs
+
+/root/repo/target/release/deps/librust_ir-7d487963257ad6c9.rmeta: crates/rust-ir/src/lib.rs crates/rust-ir/src/body.rs crates/rust-ir/src/builder.rs crates/rust-ir/src/layout.rs crates/rust-ir/src/program.rs crates/rust-ir/src/ty.rs
+
+crates/rust-ir/src/lib.rs:
+crates/rust-ir/src/body.rs:
+crates/rust-ir/src/builder.rs:
+crates/rust-ir/src/layout.rs:
+crates/rust-ir/src/program.rs:
+crates/rust-ir/src/ty.rs:

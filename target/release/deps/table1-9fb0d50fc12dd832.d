@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-9fb0d50fc12dd832.d: crates/bench/benches/table1.rs
+
+/root/repo/target/release/deps/table1-9fb0d50fc12dd832: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

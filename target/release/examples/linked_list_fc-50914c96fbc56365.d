@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/linked_list_fc-50914c96fbc56365.d: examples/linked_list_fc.rs
+
+/root/repo/target/release/examples/linked_list_fc-50914c96fbc56365: examples/linked_list_fc.rs
+
+examples/linked_list_fc.rs:

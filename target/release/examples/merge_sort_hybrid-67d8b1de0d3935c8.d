@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/merge_sort_hybrid-67d8b1de0d3935c8.d: examples/merge_sort_hybrid.rs
+
+/root/repo/target/release/examples/merge_sort_hybrid-67d8b1de0d3935c8: examples/merge_sort_hybrid.rs
+
+examples/merge_sort_hybrid.rs:

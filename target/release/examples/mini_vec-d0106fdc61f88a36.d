@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mini_vec-d0106fdc61f88a36.d: examples/mini_vec.rs
+
+/root/repo/target/release/examples/mini_vec-d0106fdc61f88a36: examples/mini_vec.rs
+
+examples/mini_vec.rs:

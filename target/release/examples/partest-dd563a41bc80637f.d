@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/partest-dd563a41bc80637f.d: examples/partest.rs
+
+/root/repo/target/release/examples/partest-dd563a41bc80637f: examples/partest.rs
+
+examples/partest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_misuse-28d72f62e13a34e8.d: examples/probe_misuse.rs
+
+/root/repo/target/release/examples/probe_misuse-28d72f62e13a34e8: examples/probe_misuse.rs
+
+examples/probe_misuse.rs:

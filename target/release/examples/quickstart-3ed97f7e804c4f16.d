@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-3ed97f7e804c4f16.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-3ed97f7e804c4f16: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/table1_report-5146337f23203460.d: examples/table1_report.rs
+
+/root/repo/target/release/examples/table1_report-5146337f23203460: examples/table1_report.rs
+
+examples/table1_report.rs:
