@@ -15,22 +15,23 @@ fn bench_heap(c: &mut Criterion) {
         b.iter(|| {
             let types = TypeRegistry::new(Program::new("bench"), LayoutOracle::default());
             let solver = Solver::new();
+            let sctx = solver.ctx();
             let mut vars = VarGen::new();
             let mut path = Vec::new();
-            let n = vars.fresh_expr();
-            let k = vars.fresh_expr();
-            let vs = vars.fresh_expr();
-            path.push(Expr::le(Expr::Int(0), k.clone()));
-            path.push(Expr::lt(k.clone(), n.clone()));
-            path.push(Expr::eq(Expr::seq_len(vs.clone()), k.clone()));
-            let mut heap = Heap::new();
-            let elem = Ty::usize();
-            let addr = heap.alloc_array(elem.clone(), n.clone());
             let mut ctx = PureCtx {
-                solver: &solver,
+                ctx: &sctx,
                 path: &mut path,
                 vars: &mut vars,
             };
+            let n = ctx.fresh();
+            let k = ctx.fresh();
+            let vs = ctx.fresh();
+            ctx.assume(Expr::le(Expr::Int(0), k.clone()));
+            ctx.assume(Expr::lt(k.clone(), n.clone()));
+            ctx.assume(Expr::eq(Expr::seq_len(vs.clone()), k.clone()));
+            let mut heap = Heap::new();
+            let elem = Ty::usize();
+            let addr = heap.alloc_array(elem.clone(), n.clone());
             heap.take_uninit_slice(&addr, &elem, &k, &types, &mut ctx)
                 .unwrap();
             heap.give_slice(&addr, &elem, &k, vs, &types, &mut ctx)
@@ -46,6 +47,7 @@ fn bench_heap(c: &mut Criterion) {
         b.iter(|| {
             let types = TypeRegistry::new(Program::new("bench"), LayoutOracle::default());
             let solver = Solver::new();
+            let sctx = solver.ctx();
             let mut vars = VarGen::new();
             let mut path = Vec::new();
             let mut heap = Heap::new();
@@ -53,7 +55,7 @@ fn bench_heap(c: &mut Criterion) {
             heap.retype_array(&addr, Ty::usize(), Expr::Int(8), addr.to_expr())
                 .unwrap();
             let mut ctx = PureCtx {
-                solver: &solver,
+                ctx: &sctx,
                 path: &mut path,
                 vars: &mut vars,
             };

@@ -1254,7 +1254,16 @@ mod tests {
         vars: &mut VarGen,
         f: impl FnOnce(&mut PureCtx<'_>) -> R,
     ) -> R {
-        let mut ctx = PureCtx { solver, path, vars };
+        let sctx = solver.ctx();
+        // Re-assert any pre-seeded path facts into the fresh context.
+        for fact in path.iter() {
+            sctx.assert_expr(fact);
+        }
+        let mut ctx = PureCtx {
+            ctx: &sctx,
+            path,
+            vars,
+        };
         f(&mut ctx)
     }
 

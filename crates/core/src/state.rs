@@ -493,10 +493,11 @@ impl StateModel for GRState {
                 }
             }
             OBSERVATION => {
-                // Observation-Consume: π ∧ φ must entail the observation.
-                let mut facts: Vec<Expr> = ctx.path.to_vec();
-                facts.extend(self.observations.iter().cloned());
-                if ctx.solver.entails(&facts, &ins[0]) {
+                // Observation-Consume: π ∧ φ must entail the observation. The
+                // engine asserts observations into the path as they are
+                // produced; re-asserting φ in a transient scope keeps the
+                // check correct when the state model is driven directly.
+                if ctx.entails_under(&self.observations, &ins[0]) {
                     ConsumeResult::Ok(vec![ConsumeOk {
                         state: self.clone(),
                         outs: vec![],
@@ -666,16 +667,16 @@ impl StateModel for GRState {
                 }
             }
             OBSERVATION => {
-                // Observation-Produce: keep φ satisfiable.
-                let mut facts: Vec<Expr> = ctx.path.to_vec();
-                facts.extend(self.observations.iter().cloned());
-                facts.push(ins[0].clone());
-                if ctx.solver.check_unsat(&facts) {
+                // Observation-Produce: keep π ∧ φ satisfiable, otherwise the
+                // production vanishes. The observation is returned as a fact
+                // so the engine asserts φ into the solver context alongside
+                // the path condition (§5.2: φ is a secondary path condition).
+                if !ctx.possibly_under(&self.observations, &ins[0]) {
                     vec![]
                 } else {
                     let mut s = self.clone();
                     s.observations.push(ins[0].clone());
-                    one(s, vec![])
+                    one(s, vec![ins[0].clone()])
                 }
             }
             VALUE_OBSERVER => {
@@ -763,10 +764,6 @@ impl StateModel for GRState {
         }
     }
 
-    fn assumptions(&self) -> Vec<Expr> {
-        self.observations.clone()
-    }
-
     fn is_empty_heap(&self) -> bool {
         self.heap.is_empty()
     }
@@ -777,7 +774,7 @@ impl StateModel for GRState {
 mod tests {
     use super::*;
     use crate::types::TypeRegistry;
-    use gillian_solver::{Solver, VarGen};
+    use gillian_solver::Solver;
     use rust_ir::{LayoutOracle, Program};
 
     fn state() -> GRState {
@@ -789,15 +786,8 @@ mod tests {
 
     fn run<R>(f: impl FnOnce(&GRState, &mut PureCtx<'_>) -> R) -> R {
         let solver = Solver::new();
-        let mut path = vec![];
-        let mut vars = VarGen::new();
-        let mut ctx = PureCtx {
-            solver: &solver,
-            path: &mut path,
-            vars: &mut vars,
-        };
         let s = state();
-        f(&s, &mut ctx)
+        gillian_engine::with_pure_ctx(&solver, |ctx| f(&s, ctx))
     }
 
     #[test]

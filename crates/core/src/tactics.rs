@@ -15,22 +15,14 @@ use gillian_solver::{simplify, Expr, Symbol};
 
 /// Finds the guarded predicate or closing token corresponding to the mutable
 /// reference `p`. Returns `(pred name, args, is_open, index)`.
-fn find_mutref_borrow(
-    engine: &Engine<GRState>,
-    cfg: &Config<GRState>,
-    p: &Expr,
-) -> Option<(Symbol, Vec<Expr>, bool, usize)> {
+fn find_mutref_borrow(cfg: &Config<GRState>, p: &Expr) -> Option<(Symbol, Vec<Expr>, bool, usize)> {
     for (idx, ct) in cfg.closing.iter().enumerate() {
-        if ct.pred.as_str().starts_with("mutref_inner")
-            && cfg.must_equal(&engine.solver, &ct.args[0], p)
-        {
+        if ct.pred.as_str().starts_with("mutref_inner") && cfg.must_equal(&ct.args[0], p) {
             return Some((ct.pred, ct.args.clone(), true, idx));
         }
     }
     for (idx, gp) in cfg.guarded.iter().enumerate() {
-        if gp.name.as_str().starts_with("mutref_inner")
-            && cfg.must_equal(&engine.solver, &gp.args[0], p)
-        {
+        if gp.name.as_str().starts_with("mutref_inner") && cfg.must_equal(&gp.args[0], p) {
             return Some((gp.name, gp.args.clone(), false, idx));
         }
     }
@@ -194,7 +186,7 @@ pub fn mutref_auto_resolve(
     let p = args
         .first()
         .ok_or_else(|| VerError::new("mutref_auto_resolve needs the reference as argument"))?;
-    let (pred, bargs, is_open, idx) = find_mutref_borrow(engine, &cfg, p)
+    let (pred, bargs, is_open, idx) = find_mutref_borrow(&cfg, p)
         .ok_or_else(|| VerError::new(format!("no mutable-reference borrow found for {p}")))?;
     // Type-safety mode: no prophecies — just close the borrow if it is open.
     if pred.as_str().starts_with("mutref_inner_ts") {
@@ -216,9 +208,7 @@ pub fn mutref_auto_resolve(
         let tok_idx = c
             .closing
             .iter()
-            .position(|ct| {
-                ct.pred == pred && engine.solver.must_equal(&c.all_facts(), &ct.args[0], p)
-            })
+            .position(|ct| ct.pred == pred && c.must_equal(&ct.args[0], p))
             .ok_or_else(|| VerError::new("open borrow disappeared during Mut-Auto-Update"))?;
         let closed = engine.gfold(c, tok_idx)?;
         // 3. MutRef-Resolve.
@@ -238,7 +228,7 @@ pub fn prophecy_auto_update(
     let p = args
         .first()
         .ok_or_else(|| VerError::new("prophecy_auto_update needs the reference as argument"))?;
-    let (pred, bargs, is_open, _idx) = find_mutref_borrow(engine, &cfg, p)
+    let (pred, bargs, is_open, _idx) = find_mutref_borrow(&cfg, p)
         .ok_or_else(|| VerError::new(format!("no mutable-reference borrow found for {p}")))?;
     if !is_open {
         return Ok(vec![cfg]);

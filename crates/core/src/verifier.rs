@@ -11,7 +11,7 @@ use crate::state::GRState;
 use crate::tactics;
 use crate::types::Types;
 use gillian_engine::{Engine, EngineOptions, EngineStats, VerError, VerErrorKind};
-use gillian_solver::Expr;
+use gillian_solver::{BackendKind, Expr, SolverStats};
 use std::time::Duration;
 
 /// Options for building a [`Verifier`].
@@ -259,6 +259,23 @@ impl Verifier {
     /// Engine statistics (used by the ablation benches).
     pub fn stats(&self) -> EngineStats {
         self.engine.stats()
+    }
+
+    /// Solver statistics (per-backend query/hit counts).
+    pub fn solver_stats(&self) -> SolverStats {
+        self.engine.solver.stats()
+    }
+
+    /// The solver backend answering this verifier's pure queries.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.engine.solver.backend_kind()
+    }
+
+    /// Re-runs the verifier on another solver backend: fresh arena, cache
+    /// and statistics, same compiled program and specifications. Used by the
+    /// solver ablation harness.
+    pub fn set_backend(&mut self, kind: BackendKind) {
+        self.engine.set_backend(kind);
     }
 }
 

@@ -48,6 +48,7 @@
 pub use creusot_lite::ExternSpecs;
 pub use gillian_engine::{EngineOptions, EngineStats};
 pub use gillian_rust::verifier::VerifyDiagnostic;
+pub use gillian_solver::{BackendKind, SolverStats};
 
 use creusot_lite::elaborate;
 use gillian_rust::compile::CompileError;
@@ -182,6 +183,10 @@ pub struct VerificationReport {
     pub wall_time: Duration,
     /// Engine statistics accumulated over the batch.
     pub stats: EngineStats,
+    /// The solver backend that answered the batch's pure queries.
+    pub backend: BackendKind,
+    /// Solver statistics (query/hit counts) accumulated over the batch.
+    pub solver: SolverStats,
 }
 
 impl VerificationReport {
@@ -219,13 +224,16 @@ impl VerificationReport {
             SpecMode::FunctionalCorrectness => "FC",
         };
         let mut out = format!(
-            "== {} ({mode}) — {}/{} verified, wall {:.3}s, cpu {:.3}s, {} worker(s) ==\n",
+            "== {} ({mode}) — {}/{} verified, wall {:.3}s, cpu {:.3}s, {} worker(s), solver {} ({} queries, {} cache hits) ==\n",
             self.session,
             self.verified_count(),
             self.cases.len(),
             self.wall_time.as_secs_f64(),
             self.cpu_time().as_secs_f64(),
             self.workers,
+            self.backend,
+            self.solver.queries(),
+            self.solver.cache_hits,
         );
         for c in &self.cases {
             out.push_str(&format!(
@@ -262,6 +270,14 @@ impl VerificationReport {
         out.push_str(&format!(
             "\"cpu_seconds\":{:.6},",
             self.cpu_time().as_secs_f64()
+        ));
+        out.push_str(&format!("\"backend\":\"{}\",", self.backend));
+        out.push_str(&format!(
+            "\"solver\":{{\"unsat_queries\":{},\"entailment_queries\":{},\"cases_explored\":{},\"cache_hits\":{}}},",
+            self.solver.unsat_queries,
+            self.solver.entailment_queries,
+            self.solver.cases_explored,
+            self.solver.cache_hits,
         ));
         out.push_str(&format!(
             "\"stats\":{{\"commands\":{},\"folds\":{},\"unfolds\":{},\"borrow_opens\":{},\"borrow_closes\":{},\"recoveries\":{}}},",
@@ -330,6 +346,7 @@ pub struct SessionBuilder {
     layout: LayoutOracle,
     mode: SpecMode,
     engine: Option<EngineOptions>,
+    backend: Option<BackendKind>,
     baseline: bool,
     workers: Option<usize>,
     specs: Option<SpecsFn>,
@@ -346,6 +363,7 @@ impl Default for SessionBuilder {
             layout: LayoutOracle::default(),
             mode: SpecMode::FunctionalCorrectness,
             engine: None,
+            backend: None,
             baseline: false,
             workers: None,
             specs: None,
@@ -384,6 +402,15 @@ impl SessionBuilder {
     /// Overrides the engine tuning (defaults are derived from the mode).
     pub fn engine_options(mut self, opts: EngineOptions) -> Self {
         self.engine = Some(opts);
+        self
+    }
+
+    /// Selects the solver backend answering the session's pure queries
+    /// (defaults to [`BackendKind::CachedIncremental`]; the others exist for
+    /// the ablation benchmarks). Overrides any [`EngineOptions::backend`]
+    /// set through [`SessionBuilder::engine_options`].
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backend = Some(kind);
         self
     }
 
@@ -510,6 +537,9 @@ impl SessionBuilder {
         };
         if mode == SpecMode::TypeSafety && !explicit_engine {
             engine_opts.panics_are_safe = VerifierOptions::type_safety().engine.panics_are_safe;
+        }
+        if let Some(kind) = self.backend {
+            engine_opts.backend = kind;
         }
 
         let verifier = Verifier::new(
@@ -644,6 +674,20 @@ impl HybridSession {
         self
     }
 
+    /// The solver backend answering this session's pure queries.
+    pub fn backend(&self) -> BackendKind {
+        self.verifier.backend_kind()
+    }
+
+    /// Swaps the solver backend of an already-built session (fresh arena,
+    /// cache and statistics; the compiled program and specifications are
+    /// reused). This is how the ablation bench re-runs the Table 1 suite
+    /// under each backend.
+    pub fn with_backend(mut self, kind: BackendKind) -> Self {
+        self.verifier.set_backend(kind);
+        self
+    }
+
     /// Access to the underlying verifier (escape hatch for existing code).
     pub fn verifier(&self) -> &Verifier {
         &self.verifier
@@ -687,6 +731,7 @@ impl HybridSession {
     pub fn verify_all(&self) -> VerificationReport {
         let start = Instant::now();
         let stats_before = self.verifier.stats();
+        let solver_before = self.verifier.solver_stats();
         let workers = self.workers.min(self.targets.len()).max(1);
         let cases = parallel_map(self.targets.iter().collect(), workers, |t| {
             self.run_target(t)
@@ -698,6 +743,8 @@ impl HybridSession {
             cases,
             wall_time: start.elapsed(),
             stats: self.verifier.stats().since(stats_before),
+            backend: self.verifier.backend_kind(),
+            solver: self.verifier.solver_stats().since(solver_before),
         }
     }
 }

@@ -1,12 +1,14 @@
 //! Symbolic execution configurations.
 //!
 //! A [`Config`] is one branch of the symbolic execution: the state-model
-//! state, the variable store, the path condition, the folded user predicates
-//! and the guarded predicates (full borrows) together with their closing
-//! tokens. Engine operations clone configurations freely at branch points.
+//! state, the variable store, the branch-scoped solver context (which owns
+//! the asserted path condition), the folded user predicates and the guarded
+//! predicates (full borrows) together with their closing tokens. Engine
+//! operations clone configurations freely at branch points; clones share the
+//! solver's term arena and query cache but own their assertion stack.
 
 use crate::state::{PureCtx, StateModel};
-use gillian_solver::{simplify, Expr, Solver, Symbol, VarGen};
+use gillian_solver::{simplify, Expr, SolverCtx, Symbol, VarGen};
 use std::collections::HashMap;
 
 /// A folded user-predicate instance held in the symbolic state.
@@ -45,7 +47,13 @@ pub struct Config<S> {
     pub state: S,
     /// The variable store (program variables to symbolic expressions).
     pub store: HashMap<Symbol, Expr>,
-    /// The path condition π.
+    /// The branch-scoped solver context: owns the asserted path condition π
+    /// as interned terms. Queries (`feasible`, `entails`, `must_equal`) run
+    /// against it without re-shipping the fact vector.
+    pub ctx: SolverCtx,
+    /// An expression mirror of π, in assertion order, for structural scans
+    /// (pointer resolution, constructor-form lookups) and diagnostics. Kept
+    /// in sync by [`Config::assume`]; never queried through the solver.
     pub path: Vec<Expr>,
     /// Fresh-variable generator.
     pub vars: VarGen,
@@ -61,11 +69,13 @@ pub struct Config<S> {
 }
 
 impl<S: StateModel> Config<S> {
-    /// A fresh configuration with an empty state.
-    pub fn new() -> Self {
+    /// A fresh configuration with an empty state over the given solver
+    /// context (obtained from [`gillian_solver::Solver::ctx`]).
+    pub fn new(ctx: SolverCtx) -> Self {
         Config {
             state: S::empty(),
             store: HashMap::new(),
+            ctx,
             path: Vec::new(),
             vars: VarGen::new(),
             folded: Vec::new(),
@@ -97,47 +107,38 @@ impl<S: StateModel> Config<S> {
         simplify(&e.subst_pvars(&|s| store.get(&s).cloned()))
     }
 
-    /// Adds a fact to the path condition; returns `false` when the path has
-    /// become definitely infeasible.
-    pub fn assume(&mut self, solver: &Solver, fact: Expr) -> bool {
-        let fact = simplify(&fact);
-        match fact.as_bool() {
-            Some(true) => true,
-            Some(false) => {
-                self.path.push(Expr::Bool(false));
-                false
-            }
-            None => {
-                self.path.push(fact);
-                !solver.check_unsat(&self.all_facts())
-            }
-        }
+    /// Opens a solver scope for a branch point: facts asserted afterwards
+    /// belong to this branch. Clones made for sibling branches snapshot the
+    /// stack, so scopes document the branch structure for backends that
+    /// exploit it (e.g. a future SMT-LIB bridge).
+    pub fn branch_scope(&self) {
+        self.ctx.push();
     }
 
-    /// All pure facts: the path condition plus the state model's extra
-    /// assumptions (e.g. the observation context of Gillian-Rust).
-    pub fn all_facts(&self) -> Vec<Expr> {
-        let mut facts = self.path.clone();
-        facts.extend(self.state.assumptions());
-        facts
+    /// Adds a fact to the path condition; returns `false` when the path has
+    /// become definitely infeasible. The fact is interned and asserted into
+    /// the solver context once, and mirrored into [`Config::path`].
+    pub fn assume(&mut self, fact: Expr) -> bool {
+        let (simplified, feasible) = self.ctx.assume(&fact);
+        if simplified.as_bool() != Some(true) {
+            self.path.push(simplified);
+        }
+        feasible
     }
 
     /// Is the path condition still possibly satisfiable?
-    pub fn feasible(&self, solver: &Solver) -> bool {
-        !solver.check_unsat(&self.all_facts())
+    pub fn feasible(&self) -> bool {
+        self.ctx.feasible()
     }
 
     /// Does the path condition entail a fact?
-    pub fn entails(&self, solver: &Solver, fact: &Expr) -> bool {
-        solver.entails(&self.all_facts(), fact)
+    pub fn entails(&self, fact: &Expr) -> bool {
+        self.ctx.entails(fact)
     }
 
     /// Must two expressions be equal under the path condition?
-    pub fn must_equal(&self, solver: &Solver, a: &Expr, b: &Expr) -> bool {
-        if simplify(a) == simplify(b) {
-            return true;
-        }
-        solver.must_equal(&self.all_facts(), a, b)
+    pub fn must_equal(&self, a: &Expr, b: &Expr) -> bool {
+        self.ctx.must_equal(a, b)
     }
 
     /// Records a trace message.
@@ -147,9 +148,9 @@ impl<S: StateModel> Config<S> {
 
     /// Runs a closure with a [`PureCtx`] borrowing the pure components and the
     /// state immutably; used to call into the state model.
-    pub fn with_ctx<R>(&mut self, solver: &Solver, f: impl FnOnce(&S, &mut PureCtx<'_>) -> R) -> R {
+    pub fn with_ctx<R>(&mut self, f: impl FnOnce(&S, &mut PureCtx<'_>) -> R) -> R {
         let mut ctx = PureCtx {
-            solver,
+            ctx: &self.ctx,
             path: &mut self.path,
             vars: &mut self.vars,
         };
@@ -158,14 +159,7 @@ impl<S: StateModel> Config<S> {
 
     /// Finds the index of a folded predicate whose name matches and whose
     /// leading `num_ins` arguments are provably equal to `ins`.
-    pub fn find_folded(
-        &self,
-        solver: &Solver,
-        name: Symbol,
-        ins: &[Expr],
-        num_ins: usize,
-    ) -> Option<usize> {
-        let facts = self.all_facts();
+    pub fn find_folded(&self, name: Symbol, ins: &[Expr], num_ins: usize) -> Option<usize> {
         self.folded.iter().position(|fp| {
             if fp.name != name || fp.args.len() < num_ins || ins.len() < num_ins {
                 return false;
@@ -173,19 +167,12 @@ impl<S: StateModel> Config<S> {
             fp.args[..num_ins]
                 .iter()
                 .zip(ins[..num_ins].iter())
-                .all(|(a, b)| simplify(a) == simplify(b) || solver.must_equal(&facts, a, b))
+                .all(|(a, b)| self.ctx.must_equal(a, b))
         })
     }
 
     /// Finds a guarded predicate by name and in-arguments.
-    pub fn find_guarded(
-        &self,
-        solver: &Solver,
-        name: Symbol,
-        ins: &[Expr],
-        num_ins: usize,
-    ) -> Option<usize> {
-        let facts = self.all_facts();
+    pub fn find_guarded(&self, name: Symbol, ins: &[Expr], num_ins: usize) -> Option<usize> {
         self.guarded.iter().position(|gp| {
             if gp.name != name || gp.args.len() < num_ins || ins.len() < num_ins {
                 return false;
@@ -193,14 +180,8 @@ impl<S: StateModel> Config<S> {
             gp.args[..num_ins]
                 .iter()
                 .zip(ins[..num_ins].iter())
-                .all(|(a, b)| simplify(a) == simplify(b) || solver.must_equal(&facts, a, b))
+                .all(|(a, b)| self.ctx.must_equal(a, b))
         })
-    }
-}
-
-impl<S: StateModel> Default for Config<S> {
-    fn default() -> Self {
-        Self::new()
     }
 }
 
@@ -210,9 +191,13 @@ mod tests {
     use crate::state::EmptyState;
     use gillian_solver::Solver;
 
+    fn config() -> Config<EmptyState> {
+        Config::new(Solver::new().ctx())
+    }
+
     #[test]
     fn store_assign_and_eval() {
-        let mut cfg: Config<EmptyState> = Config::new();
+        let mut cfg = config();
         let x = Symbol::new("x");
         cfg.assign(x, Expr::Int(4));
         let e = Expr::add(Expr::pvar("x"), Expr::Int(1));
@@ -221,45 +206,55 @@ mod tests {
 
     #[test]
     fn assume_detects_contradiction() {
-        let solver = Solver::new();
-        let mut cfg: Config<EmptyState> = Config::new();
+        let mut cfg = config();
         let v = cfg.fresh();
-        assert!(cfg.assume(&solver, Expr::eq(v.clone(), Expr::Int(1))));
-        assert!(!cfg.assume(&solver, Expr::eq(v, Expr::Int(2))));
-        assert!(!cfg.feasible(&solver));
+        assert!(cfg.assume(Expr::eq(v.clone(), Expr::Int(1))));
+        assert!(!cfg.assume(Expr::eq(v, Expr::Int(2))));
+        assert!(!cfg.feasible());
+    }
+
+    #[test]
+    fn cloned_branches_are_independent() {
+        let mut cfg = config();
+        let v = cfg.fresh();
+        assert!(cfg.assume(Expr::lt(Expr::Int(0), v.clone())));
+        cfg.branch_scope();
+        let mut other = cfg.clone();
+        assert!(!other.assume(Expr::eq(v.clone(), Expr::Int(0))));
+        assert!(cfg.assume(Expr::eq(v, Expr::Int(1))));
+        assert!(cfg.feasible());
+        assert!(!other.feasible());
     }
 
     #[test]
     fn find_folded_matches_modulo_path() {
-        let solver = Solver::new();
-        let mut cfg: Config<EmptyState> = Config::new();
+        let mut cfg = config();
         let a = cfg.fresh();
         let b = cfg.fresh();
-        assert!(cfg.assume(&solver, Expr::eq(a.clone(), b.clone())));
+        assert!(cfg.assume(Expr::eq(a.clone(), b.clone())));
         cfg.folded.push(FoldedPred {
             name: Symbol::new("p"),
             args: vec![a, Expr::Int(1)],
         });
-        let idx = cfg.find_folded(&solver, Symbol::new("p"), &[b], 1);
+        let idx = cfg.find_folded(Symbol::new("p"), &[b], 1);
         assert_eq!(idx, Some(0));
     }
 
     #[test]
     fn find_folded_rejects_wrong_ins() {
-        let solver = Solver::new();
-        let mut cfg: Config<EmptyState> = Config::new();
+        let mut cfg = config();
         let a = cfg.fresh();
         let b = cfg.fresh();
         cfg.folded.push(FoldedPred {
             name: Symbol::new("p"),
             args: vec![a],
         });
-        assert_eq!(cfg.find_folded(&solver, Symbol::new("p"), &[b], 1), None);
+        assert_eq!(cfg.find_folded(Symbol::new("p"), &[b], 1), None);
     }
 
     #[test]
     fn trace_notes_accumulate() {
-        let mut cfg: Config<EmptyState> = Config::new();
+        let mut cfg = config();
         cfg.note("unfolded dll_seg");
         cfg.note("opened borrow");
         assert_eq!(cfg.trace.len(), 2);

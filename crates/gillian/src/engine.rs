@@ -18,7 +18,7 @@ use crate::asrt::{Asrt, Pred, Spec};
 use crate::config::{Bindings, ClosingToken, Config, FoldedPred, GuardedPred};
 use crate::gil::{Cmd, LogicCmd, Proc, Prog};
 use crate::state::{ActionResult, ConsumeResult, StateModel};
-use gillian_solver::{simplify, Expr, Solver, Symbol};
+use gillian_solver::{simplify, BackendKind, Expr, Solver, Symbol};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -137,6 +137,10 @@ pub struct EngineOptions {
     /// verification failures (used for type-safety-only verification, where
     /// panicking is well-defined behaviour).
     pub panics_are_safe: bool,
+    /// Which solver backend answers pure queries
+    /// ([`BackendKind::CachedIncremental`] by default; the others exist for
+    /// the ablation benchmarks and as templates for new backends).
+    pub backend: BackendKind,
 }
 
 impl Default for EngineOptions {
@@ -149,6 +153,7 @@ impl Default for EngineOptions {
             max_steps: 200_000,
             max_branch_unfolds: 3,
             panics_are_safe: false,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -317,24 +322,26 @@ pub fn contains_expr(haystack: &Expr, needle: &Expr) -> bool {
 impl<S: StateModel> Engine<S> {
     /// Creates an engine for a program with default options.
     pub fn new(prog: Prog) -> Self {
-        Engine {
-            prog,
-            solver: Solver::new(),
-            opts: EngineOptions::default(),
-            tactics: HashMap::new(),
-            stats: AtomicEngineStats::default(),
-        }
+        Engine::with_options(prog, EngineOptions::default())
     }
 
     /// Creates an engine with explicit options.
     pub fn with_options(prog: Prog, opts: EngineOptions) -> Self {
         Engine {
             prog,
-            solver: Solver::new(),
+            solver: Solver::with_backend(opts.backend),
             opts,
             tactics: HashMap::new(),
             stats: AtomicEngineStats::default(),
         }
+    }
+
+    /// Swaps the solver backend (fresh arena, cache and statistics). Used by
+    /// the ablation harness to re-run the same compiled program under
+    /// another backend without recompiling.
+    pub fn set_backend(&mut self, kind: BackendKind) {
+        self.opts.backend = kind;
+        self.solver = Solver::with_backend(kind);
     }
 
     /// Registers a semi-automatic tactic.
@@ -395,7 +402,7 @@ impl<S: StateModel> Engine<S> {
             Asrt::Emp | Asrt::Star(_) => vec![cfg],
             Asrt::Pure(e) => {
                 let e = subst(e);
-                if cfg.assume(&self.solver, e) {
+                if cfg.assume(e) {
                     vec![cfg]
                 } else {
                     vec![]
@@ -435,21 +442,19 @@ impl<S: StateModel> Engine<S> {
         ins: &[Expr],
         outs: &[Expr],
     ) -> Vec<Config<S>> {
-        let outcomes = cfg.with_ctx(&self.solver, |state, ctx| {
-            state.produce_core(name, ins, outs, ctx)
-        });
+        let outcomes = cfg.with_ctx(|state, ctx| state.produce_core(name, ins, outs, ctx));
         let mut result = Vec::new();
         for ok in outcomes {
             let mut c = cfg.clone();
             c.state = ok.state;
             let mut feasible = true;
             for f in ok.facts {
-                if !c.assume(&self.solver, f) {
+                if !c.assume(f) {
                     feasible = false;
                     break;
                 }
             }
-            if feasible && c.feasible(&self.solver) {
+            if feasible && c.feasible() {
                 result.push(c);
             }
         }
@@ -535,7 +540,7 @@ impl<S: StateModel> Engine<S> {
         }
         let unbound: Vec<Symbol> = e.lvars().into_iter().collect();
         if unbound.is_empty() {
-            if cfg.entails(&self.solver, &e) {
+            if cfg.entails(&e) {
                 return Ok(vec![(cfg, bindings)]);
             }
             return Err(VerError::new(format!("pure assertion not entailed: {e}")));
@@ -624,9 +629,7 @@ impl<S: StateModel> Engine<S> {
         out_patterns: &[Expr],
         recovery_budget: usize,
     ) -> Result<Vec<(Config<S>, Bindings)>, VerError> {
-        let result = cfg.with_ctx(&self.solver, |state, ctx| {
-            state.consume_core(name, ins, ctx)
-        });
+        let result = cfg.with_ctx(|state, ctx| state.consume_core(name, ins, ctx));
         match result {
             ConsumeResult::Ok(outcomes) => {
                 let mut branches = Vec::new();
@@ -636,7 +639,7 @@ impl<S: StateModel> Engine<S> {
                     let mut b = bindings.clone();
                     let mut feasible = true;
                     for f in ok.facts {
-                        if !c.assume(&self.solver, f) {
+                        if !c.assume(f) {
                             feasible = false;
                             break;
                         }
@@ -728,7 +731,7 @@ impl<S: StateModel> Engine<S> {
             .collect();
 
         // 1. A folded instance with matching ins.
-        if let Some(idx) = cfg.find_folded(&self.solver, name, &ins_sub, num_ins) {
+        if let Some(idx) = cfg.find_folded(name, &ins_sub, num_ins) {
             let mut c = cfg.clone();
             let inst = c.folded.remove(idx);
             let mut b = bindings.clone();
@@ -887,7 +890,7 @@ impl<S: StateModel> Engine<S> {
             .map(|e| simplify(&e.subst_lvars(&|s| bindings.get(&s).cloned())))
             .collect();
         let lft_sub = lft.subst_lvars(&|s| bindings.get(&s).cloned());
-        if let Some(idx) = cfg.find_guarded(&self.solver, name, &ins_sub, num_ins) {
+        if let Some(idx) = cfg.find_guarded(name, &ins_sub, num_ins) {
             let mut c = cfg.clone();
             let inst = c.guarded.remove(idx);
             let mut b = bindings.clone();
@@ -952,9 +955,7 @@ impl<S: StateModel> Engine<S> {
         if b.len() > a.len() {
             return false;
         }
-        a.iter()
-            .zip(b.iter())
-            .all(|(x, y)| cfg.must_equal(&self.solver, x, y))
+        a.iter().zip(b.iter()).all(|(x, y)| cfg.must_equal(x, y))
     }
 
     /// Structural unification used when matching out-parameters: binds unbound
@@ -991,7 +992,7 @@ impl<S: StateModel> Engine<S> {
                 .all(|(p, a)| self.unify(cfg, bindings, p, a)),
             _ => {
                 if pattern.lvars().is_empty() {
-                    return cfg.must_equal(&self.solver, &pattern, actual);
+                    return cfg.must_equal(&pattern, actual);
                 }
                 // The pattern still has unknowns but the actual value is
                 // opaque: look through the path condition for a constructor
@@ -1184,9 +1185,7 @@ impl<S: StateModel> Engine<S> {
         }
         // 3. Close an open borrow whose lifetime is the missing resource.
         for (idx, ct) in cfg.closing.iter().enumerate() {
-            let lft_needed = hint
-                .iter()
-                .any(|h| cfg.must_equal(&self.solver, h, &ct.lft));
+            let lft_needed = hint.iter().any(|h| cfg.must_equal(h, &ct.lft));
             if lft_needed {
                 if let Ok(v) = self.gfold(cfg.clone(), idx) {
                     if !v.is_empty() {
@@ -1210,7 +1209,7 @@ impl<S: StateModel> Engine<S> {
                 if contains_expr(a, h) || contains_expr(h, a) {
                     return true;
                 }
-                if cfg.must_equal(&self.solver, a, h) {
+                if cfg.must_equal(a, h) {
                     return true;
                 }
                 for fact in &cfg.path {
@@ -1283,9 +1282,7 @@ impl<S: StateModel> Engine<S> {
         budget: usize,
     ) -> Result<Vec<(Config<S>, Expr)>, VerError> {
         self.bump(|s| &s.actions);
-        let result = cfg.with_ctx(&self.solver, |state, ctx| {
-            state.exec_action(name, args, ctx)
-        });
+        let result = cfg.with_ctx(|state, ctx| state.exec_action(name, args, ctx));
         match result {
             ActionResult::Ok(outcomes) => {
                 let mut out = Vec::new();
@@ -1294,7 +1291,7 @@ impl<S: StateModel> Engine<S> {
                     c.state = ok.state;
                     let mut feasible = true;
                     for f in ok.facts {
-                        if !c.assume(&self.solver, f) {
+                        if !c.assume(f) {
                             feasible = false;
                             break;
                         }
@@ -1370,7 +1367,7 @@ impl<S: StateModel> Engine<S> {
                     .pred(*name)
                     .ok_or_else(|| VerError::new(format!("unknown predicate {name}")))?;
                 let idx = cfg
-                    .find_folded(&self.solver, *name, &args_e, pred.num_ins.min(args_e.len()))
+                    .find_folded(*name, &args_e, pred.num_ins.min(args_e.len()))
                     .ok_or_else(|| {
                         VerError::new(format!("no folded instance of {name} to unfold"))
                     })?;
@@ -1383,7 +1380,7 @@ impl<S: StateModel> Engine<S> {
                     .pred(*name)
                     .ok_or_else(|| VerError::new(format!("unknown predicate {name}")))?;
                 let idx = cfg
-                    .find_guarded(&self.solver, *name, &args_e, pred.num_ins.min(args_e.len()))
+                    .find_guarded(*name, &args_e, pred.num_ins.min(args_e.len()))
                     .ok_or_else(|| {
                         VerError::new(format!("no guarded instance of {name} to open"))
                     })?;
@@ -1414,7 +1411,7 @@ impl<S: StateModel> Engine<S> {
             LogicCmd::Assume(e) => {
                 let mut c = cfg;
                 let e = c.eval(e);
-                if c.assume(&self.solver, e) {
+                if c.assume(e) {
                     Ok(vec![c])
                 } else {
                     Ok(vec![])
@@ -1535,12 +1532,17 @@ impl<S: StateModel> Engine<S> {
                             let configs = self.auto_unfold_for_branch(cfg, &g);
                             for c in configs {
                                 self.bump(|s| &s.branches);
+                                // Each side gets its own solver scope: the
+                                // guard is asserted incrementally on top of
+                                // the shared path prefix.
                                 let mut then_c = c.clone();
-                                if then_c.assume(&self.solver, g.clone()) {
+                                then_c.branch_scope();
+                                if then_c.assume(g.clone()) {
                                     work.push((then_c, *then_target));
                                 }
                                 let mut else_c = c;
-                                if else_c.assume(&self.solver, Expr::not(g.clone())) {
+                                else_c.branch_scope();
+                                if else_c.assume(Expr::not(g.clone())) {
                                     work.push((else_c, *else_target));
                                 }
                             }
@@ -1576,15 +1578,11 @@ impl<S: StateModel> Engine<S> {
                         // path simply terminates without returning.
                         continue;
                     }
-                    if cfg.feasible(&self.solver) {
+                    if cfg.feasible() {
                         if std::env::var("GILLIAN_DEBUG").is_ok() {
                             eprintln!("--- reachable failure in {}: {msg}", proc.name);
                             eprintln!("path ({}):", cfg.path.len());
                             for f in &cfg.path {
-                                eprintln!("  {f}");
-                            }
-                            eprintln!("assumptions:");
-                            for f in cfg.state.assumptions() {
                                 eprintln!("  {f}");
                             }
                             eprintln!(
@@ -1730,7 +1728,7 @@ impl<S: StateModel> Engine<S> {
             .proc(name)
             .ok_or_else(|| VerError::missing_spec(format!("no procedure named {name}")))?
             .clone();
-        let mut cfg: Config<S> = Config::new();
+        let mut cfg: Config<S> = Config::new(self.solver.ctx());
         cfg.state = initial;
         let mut param_map: HashMap<Symbol, Expr> = HashMap::new();
         for p in &proc.params {
@@ -1816,7 +1814,7 @@ impl<S: StateModel> Engine<S> {
             .proof
             .clone()
             .ok_or_else(|| VerError::missing_spec(format!("lemma {name} has no proof script")))?;
-        let mut cfg: Config<S> = Config::new();
+        let mut cfg: Config<S> = Config::new(self.solver.ctx());
         cfg.state = initial;
         let mut bindings = Bindings::new();
         for p in &lemma.params {

@@ -47,5 +47,6 @@ pub use engine::{
 };
 pub use gil::{Cmd, LogicCmd, Proc, Prog};
 pub use state::{
-    ActionOk, ActionResult, ConsumeOk, ConsumeResult, EmptyState, ProduceOk, PureCtx, StateModel,
+    with_pure_ctx, ActionOk, ActionResult, ConsumeOk, ConsumeResult, EmptyState, ProduceOk,
+    PureCtx, StateModel,
 };

@@ -5,12 +5,20 @@
 //! compiled code), and *core predicates* with a consumer/producer pair each.
 //! The engine is otherwise completely generic.
 
-use gillian_solver::{simplify, Expr, Solver, Symbol, VarGen};
+use gillian_solver::{simplify, Expr, Solver, SolverCtx, Symbol, TermId, VarGen};
 
-/// Pure reasoning context handed to the state model: the path condition, the
-/// fresh-variable generator and the solver.
+/// Pure reasoning context handed to the state model: the branch-scoped
+/// [`SolverCtx`] (which owns the asserted path condition), an expression
+/// mirror of the path for structural scans, and the fresh-variable
+/// generator.
+///
+/// Queries go through the solver context — facts are interned terms,
+/// asserted once when learned. The `path` mirror holds the same facts as
+/// simplified expressions so state models can pattern-match on them (e.g.
+/// pointer resolution scanning for `p == ptr_shape` equalities) without
+/// resolving ids.
 pub struct PureCtx<'a> {
-    pub solver: &'a Solver,
+    pub ctx: &'a SolverCtx,
     pub path: &'a mut Vec<Expr>,
     pub vars: &'a mut VarGen,
 }
@@ -21,54 +29,95 @@ impl<'a> PureCtx<'a> {
         self.vars.fresh_expr()
     }
 
+    /// Interns an expression into the solver's term arena.
+    pub fn term(&self, e: &Expr) -> TermId {
+        self.ctx.intern(e)
+    }
+
     /// Adds a fact to the path condition. Returns `false` if the path has
     /// become definitely infeasible (the caller should prune/vanish).
     pub fn assume(&mut self, fact: Expr) -> bool {
-        let fact = simplify(&fact);
-        match fact.as_bool() {
-            Some(true) => true,
-            Some(false) => {
-                self.path.push(Expr::Bool(false));
-                false
-            }
-            None => {
-                self.path.push(fact);
-                !self.solver.check_unsat(self.path)
-            }
+        let (simplified, feasible) = self.ctx.assume(&fact);
+        if simplified.as_bool() != Some(true) {
+            self.path.push(simplified);
         }
+        feasible
     }
 
     /// Is the current path condition still possibly satisfiable?
     pub fn feasible(&self) -> bool {
-        !self.solver.check_unsat(self.path)
+        self.ctx.feasible()
     }
 
     /// Does the path condition entail the fact?
     pub fn entails(&self, fact: &Expr) -> bool {
-        self.solver.entails(self.path, fact)
+        self.ctx.entails(fact)
+    }
+
+    /// Does the path condition entail an interned goal?
+    pub fn entails_term(&self, goal: TermId) -> bool {
+        self.ctx.entails_term(goal)
     }
 
     /// Are the two expressions necessarily equal under the path condition?
     pub fn must_equal(&self, a: &Expr, b: &Expr) -> bool {
-        self.solver.must_equal(self.path, a, b)
+        self.ctx.must_equal(a, b)
     }
 
     /// Are the two expressions necessarily different under the path condition?
     pub fn must_differ(&self, a: &Expr, b: &Expr) -> bool {
-        self.solver.must_differ(self.path, a, b)
+        self.ctx.must_differ(a, b)
     }
 
     /// Can the fact hold on some extension of the path condition?
     pub fn possibly(&self, fact: &Expr) -> bool {
-        let mut extended = self.path.clone();
-        extended.push(simplify(fact));
-        !self.solver.check_unsat(&extended)
+        self.ctx.possibly(fact)
+    }
+
+    /// Does the path condition, extended with `extra` hypotheses in a
+    /// transient scope, entail the goal? Used by state models that carry
+    /// auxiliary pure contexts (e.g. the observation context φ).
+    pub fn entails_under(&self, extra: &[Expr], goal: &Expr) -> bool {
+        self.ctx.push();
+        for e in extra {
+            self.ctx.assert_expr(e);
+        }
+        let r = self.ctx.entails(goal);
+        self.ctx.pop();
+        r
+    }
+
+    /// Can the fact hold on some extension of the path condition plus the
+    /// `extra` hypotheses (asserted in a transient scope)?
+    pub fn possibly_under(&self, extra: &[Expr], fact: &Expr) -> bool {
+        self.ctx.push();
+        for e in extra {
+            self.ctx.assert_expr(e);
+        }
+        let r = self.ctx.possibly(fact);
+        self.ctx.pop();
+        r
     }
 
     /// Simplifies an expression (syntactic only).
     pub fn simplify(&self, e: &Expr) -> Expr {
         simplify(e)
     }
+}
+
+/// Builds a standalone pure context over a fresh path: test and bench
+/// helper. The closure receives a [`PureCtx`] wired to a context of the
+/// given solver hub.
+pub fn with_pure_ctx<R>(solver: &Solver, f: impl FnOnce(&mut PureCtx<'_>) -> R) -> R {
+    let ctx = solver.ctx();
+    let mut path = Vec::new();
+    let mut vars = VarGen::new();
+    let mut pure = PureCtx {
+        ctx: &ctx,
+        path: &mut path,
+        vars: &mut vars,
+    };
+    f(&mut pure)
 }
 
 /// One successful outcome of executing an action. Actions may branch, so
@@ -161,14 +210,6 @@ pub trait StateModel: Clone + std::fmt::Debug {
     /// ins followed by outs) into ins and outs.
     fn core_arity(&self, name: Symbol) -> Option<(usize, usize)>;
 
-    /// Extra pure assumptions carried by the state and valid on every path
-    /// (e.g. the observation context φ of Gillian-Rust, which acts as a
-    /// secondary path condition — §5.2). Used for feasibility checks and
-    /// entailments, never mutated by the engine.
-    fn assumptions(&self) -> Vec<Expr> {
-        vec![]
-    }
-
     /// Is the state observably empty (no remaining spatial resource)? Used to
     /// report leaks at the end of verification (informative only).
     fn is_empty_heap(&self) -> bool;
@@ -229,50 +270,53 @@ mod tests {
     #[test]
     fn pure_ctx_assume_and_entail() {
         let solver = Solver::new();
-        let mut path = Vec::new();
-        let mut vars = VarGen::new();
-        let mut ctx = PureCtx {
-            solver: &solver,
-            path: &mut path,
-            vars: &mut vars,
-        };
-        let x = ctx.fresh();
-        assert!(ctx.assume(Expr::eq(x.clone(), Expr::Int(3))));
-        assert!(ctx.entails(&Expr::lt(x.clone(), Expr::Int(10))));
-        assert!(!ctx.assume(Expr::eq(x, Expr::Int(4))));
+        with_pure_ctx(&solver, |ctx| {
+            let x = ctx.fresh();
+            assert!(ctx.assume(Expr::eq(x.clone(), Expr::Int(3))));
+            assert!(ctx.entails(&Expr::lt(x.clone(), Expr::Int(10))));
+            assert!(!ctx.assume(Expr::eq(x, Expr::Int(4))));
+        });
     }
 
     #[test]
     fn pure_ctx_possibly() {
         let solver = Solver::new();
+        with_pure_ctx(&solver, |ctx| {
+            let x = ctx.fresh();
+            assert!(ctx.possibly(&Expr::eq(x.clone(), Expr::Int(1))));
+            assert!(ctx.assume(Expr::ne(x.clone(), Expr::Int(1))));
+            assert!(!ctx.possibly(&Expr::eq(x, Expr::Int(1))));
+        });
+    }
+
+    #[test]
+    fn pure_ctx_mirrors_assumed_facts() {
+        let solver = Solver::new();
+        let ctx = solver.ctx();
         let mut path = Vec::new();
         let mut vars = VarGen::new();
-        let mut ctx = PureCtx {
-            solver: &solver,
+        let mut pure = PureCtx {
+            ctx: &ctx,
             path: &mut path,
             vars: &mut vars,
         };
-        let x = ctx.fresh();
-        assert!(ctx.possibly(&Expr::eq(x.clone(), Expr::Int(1))));
-        assert!(ctx.assume(Expr::ne(x.clone(), Expr::Int(1))));
-        assert!(!ctx.possibly(&Expr::eq(x, Expr::Int(1))));
+        let x = pure.fresh();
+        let fact = Expr::eq(x, Expr::Int(3));
+        assert!(pure.assume(fact.clone()));
+        assert_eq!(path, vec![fact]);
+        assert_eq!(ctx.assertions().len(), 1);
     }
 
     #[test]
     fn empty_state_refuses_everything() {
         let solver = Solver::new();
-        let mut path = Vec::new();
-        let mut vars = VarGen::new();
-        let mut ctx = PureCtx {
-            solver: &solver,
-            path: &mut path,
-            vars: &mut vars,
-        };
-        let s = EmptyState;
-        match s.exec_action(Symbol::new("load"), &[], &mut ctx) {
-            ActionResult::Error(_) => {}
-            other => panic!("expected error, got {other:?}"),
-        }
-        assert!(s.is_empty_heap());
+        with_pure_ctx(&solver, |ctx| {
+            let s = EmptyState;
+            match s.exec_action(Symbol::new("load"), &[], ctx) {
+                ActionResult::Error(_) => {}
+                other => panic!("expected error, got {other:?}"),
+            }
+            assert!(s.is_empty_heap());
+        });
     }
 }

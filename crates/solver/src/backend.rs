@@ -1,0 +1,611 @@
+//! Pluggable solver backends.
+//!
+//! A [`SolverBackend`] owns an assertion stack over interned terms and
+//! answers refutation/entailment queries about it. The symbolic-execution
+//! engine talks to backends exclusively through [`crate::SolverCtx`]: it
+//! pushes a scope at each branch point, asserts new path facts incrementally
+//! and queries in place — instead of shipping the whole path condition on
+//! every call.
+//!
+//! Three backends ship today:
+//!
+//! * [`OneShotBackend`] — the pre-redesign behaviour: every query re-resolves
+//!   and re-simplifies the whole assertion stack from scratch. Kept as the
+//!   ablation baseline.
+//! * [`EagerBackend`] — incremental: facts are simplified (memoised in the
+//!   [`TermArena`]) and flattened into literals once, *at assert time*; a
+//!   definitely-false assertion short-circuits every later query in the
+//!   scope.
+//! * [`CachingBackend`] — a decorator owning a canonicalised query cache: the
+//!   key is the **sorted, deduplicated** set of simplified assertion
+//!   [`TermId`]s (plus the goal), so `{a, b}` and `{b, a}` hit the same
+//!   entry and the cache is shared across branch clones and worker threads.
+//!
+//! Adding a backend (e.g. an SMT-LIB bridge) means implementing the trait's
+//! five core operations; `entails` can lean on [`entails_by_decomposition`].
+
+use crate::arena::{TermArena, TermId};
+use crate::expr::{BinOp, Expr};
+use crate::kernel;
+use crate::simplify::simplify;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Statistics collected by the solver layer (exposed per-backend through the
+/// verification reports and the ablation benchmarks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of top-level `check_unsat` queries answered.
+    pub unsat_queries: u64,
+    /// Number of top-level entailment queries answered.
+    pub entailment_queries: u64,
+    /// Number of leaf conjunctions explored by the refutation kernel (the
+    /// "raw work" measure of the ablation).
+    pub cases_explored: u64,
+    /// Canonical-key cache hits.
+    pub cache_hits: u64,
+}
+
+impl SolverStats {
+    /// Field-wise difference (`self - earlier`), used to report the work of
+    /// one batch out of the hub's cumulative counters.
+    pub fn since(self, earlier: SolverStats) -> SolverStats {
+        SolverStats {
+            unsat_queries: self.unsat_queries.saturating_sub(earlier.unsat_queries),
+            entailment_queries: self
+                .entailment_queries
+                .saturating_sub(earlier.entailment_queries),
+            cases_explored: self.cases_explored.saturating_sub(earlier.cases_explored),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+        }
+    }
+
+    /// Total queries answered (refutation plus entailment).
+    pub fn queries(self) -> u64 {
+        self.unsat_queries + self.entailment_queries
+    }
+}
+
+/// Lock-free counters shared by every [`crate::SolverCtx`] handle of a
+/// [`crate::Solver`], so parallel workers aggregate without serialising.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicSolverStats {
+    pub(crate) unsat_queries: AtomicU64,
+    pub(crate) entailment_queries: AtomicU64,
+    pub(crate) cases_explored: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+}
+
+impl AtomicSolverStats {
+    pub(crate) fn snapshot(&self) -> SolverStats {
+        SolverStats {
+            unsat_queries: self.unsat_queries.load(Ordering::Relaxed),
+            entailment_queries: self.entailment_queries.load(Ordering::Relaxed),
+            cases_explored: self.cases_explored.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.unsat_queries.store(0, Ordering::Relaxed);
+        self.entailment_queries.store(0, Ordering::Relaxed);
+        self.cases_explored.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Which backend a [`crate::Solver`] hands out from [`crate::Solver::ctx`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// [`OneShotBackend`]: re-simplify everything on every query.
+    OneShot,
+    /// [`EagerBackend`]: incremental assertion processing, no cache.
+    Incremental,
+    /// [`CachingBackend`] over [`EagerBackend`]: the default.
+    #[default]
+    CachedIncremental,
+}
+
+impl BackendKind {
+    /// Every selectable backend, in ablation order.
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::OneShot,
+        BackendKind::Incremental,
+        BackendKind::CachedIncremental,
+    ];
+
+    /// A stable machine-readable label (reports, JSON, bench output).
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::OneShot => "one-shot",
+            BackendKind::Incremental => "incremental",
+            BackendKind::CachedIncremental => "cached-incremental",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A branch-scoped solver backend: an assertion stack plus refutation and
+/// entailment queries over it. Queries are *sound for refutation*: `true`
+/// answers are definitive, `false` means "could not establish".
+pub trait SolverBackend: Send {
+    /// The backend's stable label.
+    fn name(&self) -> &'static str;
+
+    /// Opens a new assertion scope.
+    fn push(&mut self);
+
+    /// Closes the innermost scope, dropping the facts asserted inside it.
+    /// Popping with no open scope is a no-op.
+    fn pop(&mut self);
+
+    /// Asserts a fact into the current scope.
+    fn assert(&mut self, arena: &TermArena, fact: TermId);
+
+    /// Is the conjunction of the asserted facts definitely unsatisfiable?
+    fn check_unsat(&mut self, arena: &TermArena) -> bool;
+
+    /// Do the asserted facts entail the goal?
+    fn entails(&mut self, arena: &TermArena, goal: TermId) -> bool;
+
+    /// Was the most recent `check_unsat` answer *complete* — i.e. not cut
+    /// short by the case budget? A complete verdict is a pure function of
+    /// the asserted fact *set* (independent of assertion order), so only
+    /// complete answers may be memoised under order-insensitive keys.
+    fn last_query_complete(&self) -> bool {
+        true
+    }
+
+    /// The raw asserted ids, in assertion order (diagnostics and tests).
+    fn assertions(&self) -> Vec<TermId>;
+
+    /// Clones the backend for a branching symbolic execution: the clone gets
+    /// an independent assertion stack but shares heavyweight structures
+    /// (arena, cache, statistics) with the original.
+    fn boxed_clone(&self) -> Box<dyn SolverBackend>;
+}
+
+/// Implements `entails` on top of `push`/`assert`/`pop`/`check_unsat` by
+/// decomposing the goal: conjunctions split, implications assert their
+/// hypothesis into a scope, disjunctions try each arm then refute the
+/// negation, and any other goal is refuted by asserting its negation.
+/// Recursive sub-queries go back through the backend's own entry points, so
+/// a caching decorator also caches the sub-goals.
+pub fn entails_by_decomposition<B: SolverBackend + ?Sized>(
+    b: &mut B,
+    arena: &TermArena,
+    goal: TermId,
+) -> bool {
+    let goal = arena.resolve(arena.simplify(goal));
+    match goal.as_ref() {
+        Expr::Bool(true) => true,
+        Expr::Bool(false) => b.check_unsat(arena),
+        Expr::BinOp(BinOp::And, x, y) => {
+            b.entails(arena, arena.intern(x)) && b.entails(arena, arena.intern(y))
+        }
+        Expr::BinOp(BinOp::Implies, x, y) => {
+            b.push();
+            b.assert(arena, arena.intern(x));
+            let r = b.entails(arena, arena.intern(y));
+            b.pop();
+            r
+        }
+        Expr::BinOp(BinOp::Or, x, y) => {
+            let (ix, iy) = (arena.intern(x), arena.intern(y));
+            if b.entails(arena, ix) || b.entails(arena, iy) {
+                return true;
+            }
+            b.push();
+            b.assert(
+                arena,
+                arena.intern_owned(simplify(&Expr::not((**x).clone()))),
+            );
+            b.assert(
+                arena,
+                arena.intern_owned(simplify(&Expr::not((**y).clone()))),
+            );
+            let r = b.check_unsat(arena);
+            b.pop();
+            r
+        }
+        other => {
+            b.push();
+            b.assert(
+                arena,
+                arena.intern_owned(simplify(&Expr::not(other.clone()))),
+            );
+            let r = b.check_unsat(arena);
+            b.pop();
+            r
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One-shot baseline
+// ---------------------------------------------------------------------------
+
+/// The ablation baseline: stores raw asserted ids and, on **every** query,
+/// re-resolves and re-simplifies the whole stack from scratch (no arena
+/// memoisation, no cache) — the cost profile of the pre-redesign
+/// `&[Expr]`-slice API.
+#[derive(Debug)]
+pub struct OneShotBackend {
+    stats: Arc<AtomicSolverStats>,
+    case_budget: usize,
+    asserted: Vec<TermId>,
+    scopes: Vec<usize>,
+    last_complete: bool,
+}
+
+impl OneShotBackend {
+    pub(crate) fn new(stats: Arc<AtomicSolverStats>, case_budget: usize) -> Self {
+        OneShotBackend {
+            stats,
+            case_budget,
+            asserted: Vec::new(),
+            scopes: Vec::new(),
+            last_complete: true,
+        }
+    }
+}
+
+impl SolverBackend for OneShotBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::OneShot.label()
+    }
+
+    fn push(&mut self) {
+        self.scopes.push(self.asserted.len());
+    }
+
+    fn pop(&mut self) {
+        if let Some(mark) = self.scopes.pop() {
+            self.asserted.truncate(mark);
+        }
+    }
+
+    fn assert(&mut self, _arena: &TermArena, fact: TermId) {
+        self.asserted.push(fact);
+    }
+
+    fn check_unsat(&mut self, arena: &TermArena) -> bool {
+        let mut literals = Vec::new();
+        let mut definitely_false = false;
+        for &id in &self.asserted {
+            // Deliberately the free-function simplifier: the baseline re-does
+            // the full simplification walk per query.
+            let s = simplify(&arena.resolve(id));
+            kernel::flatten_conjuncts(&s, &mut literals, &mut definitely_false);
+        }
+        if definitely_false {
+            self.last_complete = true;
+            return true;
+        }
+        let out = kernel::refute(&literals, self.case_budget);
+        self.last_complete = !out.budget_exhausted;
+        self.stats
+            .cases_explored
+            .fetch_add(out.leaf_cases, Ordering::Relaxed);
+        out.refuted
+    }
+
+    fn entails(&mut self, arena: &TermArena, goal: TermId) -> bool {
+        entails_by_decomposition(self, arena, goal)
+    }
+
+    fn last_query_complete(&self) -> bool {
+        self.last_complete
+    }
+
+    fn assertions(&self) -> Vec<TermId> {
+        self.asserted.clone()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn SolverBackend> {
+        Box::new(OneShotBackend {
+            stats: Arc::clone(&self.stats),
+            case_budget: self.case_budget,
+            asserted: self.asserted.clone(),
+            scopes: self.scopes.clone(),
+            last_complete: self.last_complete,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental (eager) backend
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+struct EagerScope {
+    lits: usize,
+    raw: usize,
+    definitely_false: bool,
+}
+
+/// The incremental backend: each asserted fact is simplified through the
+/// arena's memo table and flattened into literals exactly once; queries reuse
+/// the flattened literal stack. A fact that simplifies to `false` poisons the
+/// scope, short-circuiting every later query without touching the kernel.
+#[derive(Debug)]
+pub struct EagerBackend {
+    stats: Arc<AtomicSolverStats>,
+    case_budget: usize,
+    /// Flattened, simplified literals (shared allocations from the arena).
+    lits: Vec<Arc<Expr>>,
+    /// Raw asserted ids, in assertion order.
+    raw: Vec<TermId>,
+    scopes: Vec<EagerScope>,
+    definitely_false: bool,
+    last_complete: bool,
+}
+
+impl EagerBackend {
+    pub(crate) fn new(stats: Arc<AtomicSolverStats>, case_budget: usize) -> Self {
+        EagerBackend {
+            stats,
+            case_budget,
+            lits: Vec::new(),
+            raw: Vec::new(),
+            scopes: Vec::new(),
+            definitely_false: false,
+            last_complete: true,
+        }
+    }
+}
+
+impl SolverBackend for EagerBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::Incremental.label()
+    }
+
+    fn push(&mut self) {
+        self.scopes.push(EagerScope {
+            lits: self.lits.len(),
+            raw: self.raw.len(),
+            definitely_false: self.definitely_false,
+        });
+    }
+
+    fn pop(&mut self) {
+        if let Some(mark) = self.scopes.pop() {
+            self.lits.truncate(mark.lits);
+            self.raw.truncate(mark.raw);
+            self.definitely_false = mark.definitely_false;
+        }
+    }
+
+    fn assert(&mut self, arena: &TermArena, fact: TermId) {
+        self.raw.push(fact);
+        let simplified = arena.resolve(arena.simplify(fact));
+        kernel::flatten_shared(&simplified, &mut self.lits, &mut self.definitely_false);
+    }
+
+    fn check_unsat(&mut self, arena: &TermArena) -> bool {
+        let _ = arena;
+        if self.definitely_false {
+            self.last_complete = true;
+            return true;
+        }
+        let out = kernel::refute(&self.lits, self.case_budget);
+        self.last_complete = !out.budget_exhausted;
+        self.stats
+            .cases_explored
+            .fetch_add(out.leaf_cases, Ordering::Relaxed);
+        out.refuted
+    }
+
+    fn entails(&mut self, arena: &TermArena, goal: TermId) -> bool {
+        entails_by_decomposition(self, arena, goal)
+    }
+
+    fn last_query_complete(&self) -> bool {
+        self.last_complete
+    }
+
+    fn assertions(&self) -> Vec<TermId> {
+        self.raw.clone()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn SolverBackend> {
+        Box::new(EagerBackend {
+            stats: Arc::clone(&self.stats),
+            case_budget: self.case_budget,
+            lits: self.lits.clone(),
+            raw: self.raw.clone(),
+            scopes: self.scopes.clone(),
+            definitely_false: self.definitely_false,
+            last_complete: self.last_complete,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Caching decorator
+// ---------------------------------------------------------------------------
+
+/// Cached verdicts for one canonical assertion set: `None` keys the plain
+/// `check_unsat`, `Some(goal)` keys entailments of that (simplified) goal.
+type GoalVerdicts = HashMap<Option<TermId>, bool>;
+
+/// The shared canonical query cache: one per [`crate::Solver`], shared by
+/// every branch clone and worker thread. Two-level so lookups can borrow the
+/// canonical slice instead of allocating a key per query.
+pub(crate) type QueryCache = Arc<RwLock<HashMap<Box<[TermId]>, GoalVerdicts>>>;
+
+/// A decorator adding an order-insensitive query cache in front of any
+/// backend. Keys canonicalise the assertion set (sorted, deduplicated), so
+/// the same facts asserted in a different order — a different execution path
+/// reaching the same pure state — hit the same entry.
+///
+/// Only *complete* answers are cached ([`SolverBackend::last_query_complete`]):
+/// a budget-exhausted "could not refute" is the one kernel answer that can
+/// depend on assertion order, so keeping it out of the cache makes cached
+/// verdicts a pure function of the fact set — preserving both refutation
+/// soundness and cross-worker determinism.
+pub struct CachingBackend {
+    inner: Box<dyn SolverBackend>,
+    cache: QueryCache,
+    stats: Arc<AtomicSolverStats>,
+    /// Simplified ids of the asserted facts, in assertion order.
+    key_ids: Vec<TermId>,
+    scopes: Vec<usize>,
+    /// Memoised canonical form of `key_ids`; invalidated on assert/pop.
+    canonical: Option<Box<[TermId]>>,
+    /// Bumped whenever an inner query comes back budget-exhausted; lets
+    /// `entails` tell whether its whole decomposition was complete.
+    incomplete_events: u64,
+    name: &'static str,
+}
+
+impl std::fmt::Debug for CachingBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CachingBackend({})", self.inner.name())
+    }
+}
+
+impl CachingBackend {
+    pub(crate) fn new(
+        inner: Box<dyn SolverBackend>,
+        cache: QueryCache,
+        stats: Arc<AtomicSolverStats>,
+        name: &'static str,
+    ) -> Self {
+        CachingBackend {
+            inner,
+            cache,
+            stats,
+            key_ids: Vec::new(),
+            scopes: Vec::new(),
+            canonical: None,
+            incomplete_events: 0,
+            name,
+        }
+    }
+
+    /// The canonical (sorted, deduplicated) assertion set, recomputed only
+    /// after the stack changed — queries between mutations reuse it.
+    fn canonical(&mut self) -> &[TermId] {
+        if self.canonical.is_none() {
+            let mut ids = self.key_ids.clone();
+            ids.sort_unstable();
+            ids.dedup();
+            self.canonical = Some(ids.into_boxed_slice());
+        }
+        self.canonical.as_deref().unwrap()
+    }
+
+    fn lookup(&mut self, goal: Option<TermId>) -> Option<bool> {
+        let cache = Arc::clone(&self.cache);
+        let key = self.canonical();
+        let hit = cache
+            .read()
+            .unwrap()
+            .get(key)
+            .and_then(|m| m.get(&goal).copied());
+        if hit.is_some() {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn store(&mut self, goal: Option<TermId>, result: bool) {
+        let cache = Arc::clone(&self.cache);
+        let key = self.canonical();
+        let mut write = cache.write().unwrap();
+        match write.get_mut(key) {
+            Some(m) => {
+                m.insert(goal, result);
+            }
+            None => {
+                let mut m = GoalVerdicts::new();
+                m.insert(goal, result);
+                write.insert(Box::from(key), m);
+            }
+        }
+    }
+}
+
+impl SolverBackend for CachingBackend {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn push(&mut self) {
+        self.scopes.push(self.key_ids.len());
+        self.inner.push();
+    }
+
+    fn pop(&mut self) {
+        if let Some(mark) = self.scopes.pop() {
+            if mark != self.key_ids.len() {
+                self.key_ids.truncate(mark);
+                self.canonical = None;
+            }
+        }
+        self.inner.pop();
+    }
+
+    fn assert(&mut self, arena: &TermArena, fact: TermId) {
+        self.key_ids.push(arena.simplify(fact));
+        self.canonical = None;
+        self.inner.assert(arena, fact);
+    }
+
+    fn check_unsat(&mut self, arena: &TermArena) -> bool {
+        if let Some(hit) = self.lookup(None) {
+            return hit;
+        }
+        let result = self.inner.check_unsat(arena);
+        if self.inner.last_query_complete() {
+            self.store(None, result);
+        } else {
+            self.incomplete_events += 1;
+        }
+        result
+    }
+
+    fn entails(&mut self, arena: &TermArena, goal: TermId) -> bool {
+        let goal_id = arena.simplify(goal);
+        if let Some(hit) = self.lookup(Some(goal_id)) {
+            return hit;
+        }
+        // Decompose through *this* backend, so sub-goals and the leaf
+        // refutations are cached too. The decomposition restores the
+        // assertion stack (balanced push/pop), so the key is unchanged.
+        let before = self.incomplete_events;
+        let result = entails_by_decomposition(self, arena, goal_id);
+        if self.incomplete_events == before {
+            self.store(Some(goal_id), result);
+        }
+        result
+    }
+
+    fn last_query_complete(&self) -> bool {
+        self.inner.last_query_complete()
+    }
+
+    fn assertions(&self) -> Vec<TermId> {
+        self.inner.assertions()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn SolverBackend> {
+        Box::new(CachingBackend {
+            inner: self.inner.boxed_clone(),
+            cache: Arc::clone(&self.cache),
+            stats: Arc::clone(&self.stats),
+            key_ids: self.key_ids.clone(),
+            scopes: self.scopes.clone(),
+            canonical: self.canonical.clone(),
+            incomplete_events: self.incomplete_events,
+            name: self.name,
+        })
+    }
+}

@@ -1,0 +1,273 @@
+//! The refutation kernel shared by every solver backend.
+//!
+//! A query arrives as a set of literals (already simplified and split out of
+//! top-level conjunctions). The kernel case-splits on disjunctive structure
+//! and runs congruence closure, constructor reasoning, linear integer
+//! arithmetic, sequence-length abstraction and multiset normalisation on each
+//! leaf case. It is *sound for refutation*: `true` means the literals are
+//! genuinely unsatisfiable; `false` means "could not refute".
+//!
+//! The kernel is a pure function of its inputs; how literals are accumulated
+//! (one-shot per query, incrementally at assert time, through a cache) is the
+//! backends' business ([`crate::backend`]).
+
+use crate::bags;
+use crate::congruence::Congruence;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::linear::Linear;
+use crate::simplify::simplify;
+use std::sync::Arc;
+
+/// The outcome of one kernel run.
+#[derive(Clone, Copy, Debug)]
+pub struct RefuteOutcome {
+    /// Were the literals refuted (definitely unsatisfiable)?
+    pub refuted: bool,
+    /// Number of leaf conjunctions explored (the "raw work" measure used by
+    /// the ablation benchmarks).
+    pub leaf_cases: u64,
+    /// Did the search give up because the case budget ran out? A
+    /// budget-exhausted "could not refute" is the only kernel answer that
+    /// depends on literal order (which disjunct the budget dies in); complete
+    /// searches explore the same leaf set in any order. Callers that cache
+    /// results under order-insensitive keys must not cache exhausted runs.
+    pub budget_exhausted: bool,
+}
+
+/// Attempts to refute the conjunction of `literals` within `case_budget`
+/// leaf cases.
+pub fn refute(literals: &[Arc<Expr>], case_budget: usize) -> RefuteOutcome {
+    let mut budget = case_budget;
+    let mut leaf_cases = 0u64;
+    let mut exhausted = false;
+    let refuted = refute_cases(literals, &mut budget, &mut leaf_cases, &mut exhausted);
+    RefuteOutcome {
+        refuted,
+        leaf_cases,
+        budget_exhausted: exhausted,
+    }
+}
+
+/// Splits nested conjunctions into individual literals. Sets
+/// `definitely_false` when a literal simplifies to `false`.
+pub fn flatten_conjuncts(e: &Expr, out: &mut Vec<Arc<Expr>>, definitely_false: &mut bool) {
+    match e {
+        Expr::Bool(true) => {}
+        Expr::Bool(false) => *definitely_false = true,
+        Expr::BinOp(BinOp::And, a, b) => {
+            flatten_conjuncts(a, out, definitely_false);
+            flatten_conjuncts(b, out, definitely_false);
+        }
+        _ => out.push(Arc::new(e.clone())),
+    }
+}
+
+/// Like [`flatten_conjuncts`], but reuses the shared allocation when the
+/// expression is already a single literal (the common case on the hot path).
+pub fn flatten_shared(e: &Arc<Expr>, out: &mut Vec<Arc<Expr>>, definitely_false: &mut bool) {
+    match e.as_ref() {
+        Expr::Bool(true) => {}
+        Expr::Bool(false) => *definitely_false = true,
+        Expr::BinOp(BinOp::And, a, b) => {
+            flatten_conjuncts(a, out, definitely_false);
+            flatten_conjuncts(b, out, definitely_false);
+        }
+        _ => out.push(Arc::clone(e)),
+    }
+}
+
+/// Recursively case-splits on disjunctive literals, refuting every case.
+fn refute_cases(
+    literals: &[Arc<Expr>],
+    budget: &mut usize,
+    leaf_cases: &mut u64,
+    exhausted: &mut bool,
+) -> bool {
+    if *budget == 0 {
+        *exhausted = true;
+        return false;
+    }
+    // Find a disjunctive literal to split on.
+    for (idx, lit) in literals.iter().enumerate() {
+        let split: Option<(Expr, Expr)> = match lit.as_ref() {
+            Expr::BinOp(BinOp::Or, a, b) => Some(((**a).clone(), (**b).clone())),
+            Expr::BinOp(BinOp::Implies, a, b) => {
+                Some((simplify(&Expr::not((**a).clone())), (**b).clone()))
+            }
+            // Integer disequalities split into strict inequalities so that
+            // the linear module can refute them (e.g. `x + 1 != 1 + y`
+            // under `x == y`).
+            Expr::BinOp(BinOp::Ne, a, b) if is_arith_like(a) || is_arith_like(b) => Some((
+                Expr::bin(BinOp::Lt, (**a).clone(), (**b).clone()),
+                Expr::bin(BinOp::Lt, (**b).clone(), (**a).clone()),
+            )),
+            Expr::Ite(c, t, e) => {
+                // A boolean-sorted ite used as a fact.
+                Some((
+                    Expr::and((**c).clone(), (**t).clone()),
+                    Expr::and(simplify(&Expr::not((**c).clone())), (**e).clone()),
+                ))
+            }
+            _ => None,
+        };
+        if let Some((left, right)) = split {
+            let mut rest: Vec<Arc<Expr>> = literals.to_vec();
+            rest.remove(idx);
+            for case in [left, right] {
+                let mut case_literals = rest.clone();
+                let mut definitely_false = false;
+                flatten_conjuncts(&simplify(&case), &mut case_literals, &mut definitely_false);
+                if definitely_false {
+                    continue;
+                }
+                if !refute_cases(&case_literals, budget, leaf_cases, exhausted) {
+                    return false;
+                }
+            }
+            return true;
+        }
+    }
+    if *budget > 0 {
+        *budget -= 1;
+    }
+    *leaf_cases += 1;
+    refute_conjunction(literals)
+}
+
+/// Attempts to refute a conjunction of non-disjunctive literals.
+fn refute_conjunction(literals: &[Arc<Expr>]) -> bool {
+    let mut cc = Congruence::new();
+    let mut disequalities: Vec<(Expr, Expr)> = Vec::new();
+    let mut negated_atoms: Vec<Expr> = Vec::new();
+
+    // Pass 1: equalities and boolean atoms into the congruence closure.
+    for lit in literals {
+        match lit.as_ref() {
+            Expr::Bool(false) => return true,
+            Expr::Bool(true) => {}
+            Expr::BinOp(BinOp::Eq, a, b) => {
+                let ta = cc.intern(a);
+                let tb = cc.intern(b);
+                cc.merge(ta, tb);
+            }
+            Expr::BinOp(BinOp::Ne, a, b) => {
+                disequalities.push(((**a).clone(), (**b).clone()));
+                let _ = cc.intern(a);
+                let _ = cc.intern(b);
+            }
+            Expr::UnOp(UnOp::Not, inner) => {
+                negated_atoms.push((**inner).clone());
+                let ti = cc.intern(inner);
+                let tf = cc.intern(&Expr::Bool(false));
+                cc.merge(ti, tf);
+            }
+            other => {
+                // Assert the atom itself to be true.
+                let ti = cc.intern(other);
+                let tt = cc.intern(&Expr::Bool(true));
+                cc.merge(ti, tt);
+            }
+        }
+    }
+    cc.rebuild();
+    if cc.contradictory() {
+        return true;
+    }
+
+    // Disequality check against the closure.
+    for (a, b) in &disequalities {
+        if cc.are_equal(a, b) {
+            return true;
+        }
+        // Bag disequalities: refute when both sides normalise identically.
+        if (bags::is_bag_expr(a) || bags::is_bag_expr(b)) && bags::definitely_equal(a, b, &mut cc) {
+            return true;
+        }
+    }
+    // An atom asserted both positively and negatively.
+    for atom in &negated_atoms {
+        if cc.are_equal(atom, &Expr::Bool(true)) {
+            return true;
+        }
+    }
+    if cc.contradictory() {
+        return true;
+    }
+
+    // Pass 2: linear arithmetic.
+    let mut lin = Linear::new();
+    for lit in literals {
+        match lit.as_ref() {
+            Expr::BinOp(BinOp::Lt, a, b) => lin.add_lt(a, b, &mut cc),
+            Expr::BinOp(BinOp::Le, a, b) => lin.add_le(a, b, &mut cc),
+            Expr::BinOp(BinOp::Gt, a, b) => lin.add_lt(b, a, &mut cc),
+            Expr::BinOp(BinOp::Ge, a, b) => lin.add_le(b, a, &mut cc),
+            Expr::BinOp(BinOp::Eq, a, b) => lin.add_eq(a, b, &mut cc),
+            Expr::UnOp(UnOp::Not, inner) => match inner.as_ref() {
+                Expr::BinOp(BinOp::Lt, a, b) => lin.add_le(b, a, &mut cc),
+                Expr::BinOp(BinOp::Le, a, b) => lin.add_lt(b, a, &mut cc),
+                _ => {}
+            },
+            _ => {}
+        }
+        // Sequence equalities imply length equalities.
+        if let Expr::BinOp(BinOp::Eq, a, b) = lit.as_ref() {
+            if is_seq_structured(a) || is_seq_structured(b) {
+                let la = simplify(&Expr::seq_len((**a).clone()));
+                let lb = simplify(&Expr::seq_len((**b).clone()));
+                lin.add_eq(&la, &lb, &mut cc);
+            }
+        }
+    }
+    // Length terms are non-negative.
+    let mut len_terms: Vec<Expr> = Vec::new();
+    for lit in literals {
+        lit.visit(&mut |e| {
+            if matches!(e, Expr::UnOp(UnOp::SeqLen, _)) {
+                len_terms.push(e.clone());
+            }
+        });
+    }
+    len_terms.sort_by_key(|e| format!("{e}"));
+    len_terms.dedup();
+    for t in &len_terms {
+        lin.add_nonneg(t, &mut cc);
+    }
+    lin.solve();
+    if lin.contradictory() {
+        return true;
+    }
+
+    false
+}
+
+/// Does the expression look integer-sorted (contains arithmetic structure,
+/// an integer literal or a sequence length)?
+fn is_arith_like(e: &Expr) -> bool {
+    let mut found = false;
+    e.visit(&mut |sub| {
+        if matches!(
+            sub,
+            Expr::Int(_)
+                | Expr::BinOp(BinOp::Add, _, _)
+                | Expr::BinOp(BinOp::Sub, _, _)
+                | Expr::BinOp(BinOp::Mul, _, _)
+                | Expr::UnOp(UnOp::SeqLen, _)
+                | Expr::UnOp(UnOp::Neg, _)
+        ) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Does this expression have visible sequence structure?
+fn is_seq_structured(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::SeqLit(_)
+            | Expr::BinOp(BinOp::SeqConcat, _, _)
+            | Expr::BinOp(BinOp::SeqRepeat, _, _)
+            | Expr::NOp(_, _)
+    )
+}

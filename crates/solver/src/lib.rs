@@ -11,6 +11,16 @@
 //! * sequences (length, concatenation, indexing, sub-sequences, update),
 //! * multisets ("bags"), used to discharge `permutation_of` obligations.
 //!
+//! The public API is built around two pieces:
+//!
+//! * a hash-consing [`TermArena`]: expressions are interned once into
+//!   copyable [`TermId`]s with memoised simplification and free-variable
+//!   sets ([`arena`]);
+//! * a pluggable [`SolverBackend`] ([`backend`]) with incremental
+//!   `assert`/`push`/`pop` scopes, selected by [`BackendKind`] and driven
+//!   through branch-scoped [`SolverCtx`] handles handed out by the shared
+//!   [`Solver`] hub.
+//!
 //! The solver is *sound for refutation*: `check_unsat` only answers `true`
 //! when the facts are genuinely unsatisfiable, and `entails` only answers
 //! `true` when the goal genuinely follows. Incompleteness can make
@@ -21,22 +31,30 @@
 //!
 //! let mut vars = VarGen::new();
 //! let x = vars.fresh_expr();
-//! let solver = Solver::new();
-//! let facts = vec![Expr::eq(x.clone(), Expr::Int(5))];
-//! assert!(solver.entails(&facts, &Expr::lt(Expr::Int(0), x)));
+//! let ctx = Solver::new().ctx();
+//! ctx.assert_expr(&Expr::eq(x.clone(), Expr::Int(5)));
+//! assert!(ctx.entails(&Expr::lt(Expr::Int(0), x)));
 //! ```
 
+pub mod arena;
+pub mod backend;
 pub mod bags;
 pub mod congruence;
 pub mod expr;
 pub mod interp;
+pub mod kernel;
 pub mod linear;
 pub mod simplify;
 pub mod solver;
 pub mod symbol;
 
+pub use arena::{TermArena, TermId};
+pub use backend::{
+    entails_by_decomposition, BackendKind, CachingBackend, EagerBackend, OneShotBackend,
+    SolverBackend, SolverStats,
+};
 pub use expr::{BinOp, Expr, NOp, SVar, UnOp, VarGen};
 pub use interp::{eval, Env, Value};
 pub use simplify::simplify;
-pub use solver::{SatResult, Solver, SolverStats};
+pub use solver::{SatResult, Solver, SolverCtx};
 pub use symbol::Symbol;

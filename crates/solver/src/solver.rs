@@ -1,28 +1,37 @@
-//! The solver façade used by the symbolic-execution engine.
+//! The solver entry points used by the symbolic-execution engine.
 //!
-//! Two queries are provided:
+//! [`Solver`] is the *shared hub* of a verification session: the hash-consing
+//! [`TermArena`], the canonical query cache and the aggregated statistics,
+//! plus the selected [`BackendKind`]. It answers no query itself — callers
+//! obtain a branch-scoped [`SolverCtx`] via [`Solver::ctx`] and interact with
+//! that:
 //!
-//! * [`Solver::check_unsat`] — is a conjunction of facts *definitely*
-//!   unsatisfiable? Used to prune infeasible execution branches and to make
-//!   producers "vanish" (e.g. producing an alive lifetime token for an expired
-//!   lifetime, Fig. 3 of the paper). Only a `true` answer is acted upon, so
-//!   incompleteness is safe.
-//! * [`Solver::entails`] — do the facts entail a goal? Used by consumers of
-//!   pure assertions (e.g. `Observation-Consume`, Fig. 5) and by postcondition
-//!   matching. Again only a `true` answer is acted upon.
+//! * facts are interned once ([`SolverCtx::assert_expr`] /
+//!   [`SolverCtx::assume`]) when the engine learns them, not re-walked per
+//!   query;
+//! * the engine opens a scope at each branch point ([`SolverCtx::push`]) and
+//!   clones the context when execution forks (clones share the arena, cache
+//!   and statistics but own their assertion stack);
+//! * queries ([`SolverCtx::check_unsat`], [`SolverCtx::entails`],
+//!   [`SolverCtx::must_equal`], …) run against the asserted facts in place.
 //!
-//! Internally the solver case-splits on disjunctive structure and then runs
-//! congruence closure, constructor reasoning, linear integer arithmetic,
-//! sequence-length abstraction and multiset normalisation on each case.
+//! Two query families are provided, both *sound for refutation* (only `true`
+//! answers are acted upon, so incompleteness can fail a verification but
+//! never wrongly succeed one): `check_unsat` prunes infeasible branches and
+//! makes producers "vanish" (Fig. 3 of the paper), `entails` discharges
+//! consumers of pure assertions (`Observation-Consume`, Fig. 5) and
+//! postcondition matching.
 
-use crate::bags;
-use crate::congruence::Congruence;
-use crate::expr::{BinOp, Expr, UnOp};
-use crate::linear::Linear;
-use crate::simplify::simplify;
+use crate::arena::{TermArena, TermId};
+use crate::backend::{
+    AtomicSolverStats, BackendKind, CachingBackend, EagerBackend, OneShotBackend, QueryCache,
+    SolverBackend, SolverStats,
+};
+use crate::expr::Expr;
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, RwLock};
 
 /// Outcome of a satisfiability query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,384 +43,268 @@ pub enum SatResult {
     Unknown,
 }
 
-/// Statistics collected by the solver (exposed for the ablation benchmarks).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct SolverStats {
-    /// Number of `check_unsat` queries answered.
-    pub unsat_queries: u64,
-    /// Number of entailment queries answered.
-    pub entailment_queries: u64,
-    /// Number of leaf conjunctions refuted.
-    pub cases_explored: u64,
-    /// Cache hits.
-    pub cache_hits: u64,
-}
-
-/// Lock-free statistics counters so that the solver stays [`Sync`] and can be
-/// shared by the parallel batch verifier without serialising queries.
-#[derive(Debug, Default)]
-struct AtomicSolverStats {
-    unsat_queries: AtomicU64,
-    entailment_queries: AtomicU64,
-    cases_explored: AtomicU64,
-    cache_hits: AtomicU64,
-}
-
-impl AtomicSolverStats {
-    fn snapshot(&self) -> SolverStats {
-        SolverStats {
-            unsat_queries: self.unsat_queries.load(Ordering::Relaxed),
-            entailment_queries: self.entailment_queries.load(Ordering::Relaxed),
-            cases_explored: self.cases_explored.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-        }
-    }
-
-    fn store(&self, s: SolverStats) {
-        self.unsat_queries.store(s.unsat_queries, Ordering::Relaxed);
-        self.entailment_queries
-            .store(s.entailment_queries, Ordering::Relaxed);
-        self.cases_explored
-            .store(s.cases_explored, Ordering::Relaxed);
-        self.cache_hits.store(s.cache_hits, Ordering::Relaxed);
-    }
-}
-
-/// A cached query: the fact conjunction plus an optional goal.
-type CacheKey = (Vec<Expr>, Option<Expr>);
-
-/// The solver. Cheap to clone (the cache is shared per-instance, not global)
-/// and thread-safe: the query cache is behind a read-mostly lock and the
-/// statistics are atomic counters.
-#[derive(Debug, Default)]
+/// The shared solver hub. Cheap to clone (clones share the arena, cache and
+/// statistics) and `Sync`: one hub serves every worker thread of the parallel
+/// batch verifier, each through its own [`SolverCtx`] handles.
+#[derive(Clone, Debug)]
 pub struct Solver {
-    stats: AtomicSolverStats,
-    cache: RwLock<HashMap<CacheKey, bool>>,
+    arena: Arc<TermArena>,
+    stats: Arc<AtomicSolverStats>,
+    cache: QueryCache,
+    kind: BackendKind,
     /// Maximum number of leaf cases explored per query.
     pub case_budget: usize,
 }
 
-impl Clone for Solver {
-    fn clone(&self) -> Self {
-        let stats = AtomicSolverStats::default();
-        stats.store(self.stats.snapshot());
-        Solver {
-            stats,
-            cache: RwLock::new(self.cache.read().unwrap().clone()),
-            case_budget: self.case_budget,
-        }
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
     }
 }
 
 impl Solver {
-    /// Creates a solver with the default case budget.
+    /// Creates a hub with the default backend ([`BackendKind::default`]).
     pub fn new() -> Self {
+        Solver::with_backend(BackendKind::default())
+    }
+
+    /// Creates a hub handing out contexts of the given backend kind.
+    pub fn with_backend(kind: BackendKind) -> Self {
         Solver {
-            stats: AtomicSolverStats::default(),
-            cache: RwLock::new(HashMap::new()),
+            arena: Arc::new(TermArena::new()),
+            stats: Arc::new(AtomicSolverStats::default()),
+            cache: Arc::new(RwLock::new(HashMap::new())),
+            kind,
             case_budget: 512,
         }
     }
 
-    /// Returns a snapshot of the collected statistics.
+    /// The backend kind handed out by [`Solver::ctx`].
+    pub fn backend_kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// The shared term arena.
+    pub fn arena(&self) -> &Arc<TermArena> {
+        &self.arena
+    }
+
+    /// A snapshot of the statistics aggregated across every context.
     pub fn stats(&self) -> SolverStats {
         self.stats.snapshot()
     }
 
-    /// Resets the statistics counters.
+    /// Resets the statistics counters (the cache and arena are kept).
     pub fn reset_stats(&self) {
-        self.stats.store(SolverStats::default());
+        self.stats.reset();
     }
 
-    /// Is the conjunction of `facts` definitely unsatisfiable?
-    pub fn check_unsat(&self, facts: &[Expr]) -> bool {
-        self.stats.unsat_queries.fetch_add(1, Ordering::Relaxed);
-        let key = (facts.to_vec(), None);
-        if let Some(&v) = self.cache.read().unwrap().get(&key) {
-            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return v;
-        }
-        let mut literals = Vec::new();
-        let mut definitely_false = false;
-        for f in facts {
-            let s = simplify(f);
-            flatten_conjuncts(&s, &mut literals, &mut definitely_false);
-        }
-        let result = if definitely_false {
-            true
-        } else {
-            let mut budget = self.case_budget;
-            self.refute_cases(&literals, &mut budget)
+    /// Creates a fresh branch-scoped context with an empty assertion stack.
+    pub fn ctx(&self) -> SolverCtx {
+        let backend: Box<dyn SolverBackend> = match self.kind {
+            BackendKind::OneShot => Box::new(OneShotBackend::new(
+                Arc::clone(&self.stats),
+                self.case_budget,
+            )),
+            BackendKind::Incremental => {
+                Box::new(EagerBackend::new(Arc::clone(&self.stats), self.case_budget))
+            }
+            BackendKind::CachedIncremental => Box::new(CachingBackend::new(
+                Box::new(EagerBackend::new(Arc::clone(&self.stats), self.case_budget)),
+                Arc::clone(&self.cache),
+                Arc::clone(&self.stats),
+                BackendKind::CachedIncremental.label(),
+            )),
         };
-        self.cache.write().unwrap().insert(key, result);
-        result
+        SolverCtx {
+            arena: Arc::clone(&self.arena),
+            stats: Arc::clone(&self.stats),
+            backend: RefCell::new(backend),
+            kind: self.kind,
+        }
+    }
+}
+
+/// A branch-scoped solver context: the handle every engine and state-model
+/// query goes through. Owns a backend (assertion stack); shares the arena,
+/// cache and statistics with its [`Solver`] and with clones of itself.
+///
+/// Query methods take `&self` — the backend sits behind a [`RefCell`] so the
+/// context can be threaded immutably through the state model alongside
+/// mutable borrows of the rest of the configuration. A context belongs to
+/// one branch of one symbolic execution, which is single-threaded; cloning
+/// it (`Config` cloning at branch points) snapshots the assertion stack.
+pub struct SolverCtx {
+    arena: Arc<TermArena>,
+    stats: Arc<AtomicSolverStats>,
+    backend: RefCell<Box<dyn SolverBackend>>,
+    kind: BackendKind,
+}
+
+impl Clone for SolverCtx {
+    fn clone(&self) -> Self {
+        SolverCtx {
+            arena: Arc::clone(&self.arena),
+            stats: Arc::clone(&self.stats),
+            backend: RefCell::new(self.backend.borrow().boxed_clone()),
+            kind: self.kind,
+        }
+    }
+}
+
+impl std::fmt::Debug for SolverCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SolverCtx({}, {} assertions)",
+            self.kind,
+            self.backend.borrow().assertions().len()
+        )
+    }
+}
+
+impl SolverCtx {
+    // ---- terms ---------------------------------------------------------
+
+    /// Interns an expression into the shared arena.
+    pub fn intern(&self, e: &Expr) -> TermId {
+        self.arena.intern(e)
     }
 
-    /// Is the conjunction of `facts` possibly satisfiable (i.e. not refuted)?
-    pub fn is_possibly_sat(&self, facts: &[Expr]) -> bool {
-        !self.check_unsat(facts)
+    /// The expression behind an id (shared, no deep clone).
+    pub fn resolve(&self, t: TermId) -> Arc<Expr> {
+        self.arena.resolve(t)
     }
 
-    /// Do the `facts` entail the `goal`?
-    pub fn entails(&self, facts: &[Expr], goal: &Expr) -> bool {
+    /// The memoised simplified form of a term.
+    pub fn simplify_term(&self, t: TermId) -> TermId {
+        self.arena.simplify(t)
+    }
+
+    /// The shared arena (for callers that batch-intern).
+    pub fn arena(&self) -> &Arc<TermArena> {
+        &self.arena
+    }
+
+    /// The backend kind behind this context.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// The backend's stable label.
+    pub fn backend_name(&self) -> &'static str {
+        self.kind.label()
+    }
+
+    // ---- assertion stack -----------------------------------------------
+
+    /// Opens an assertion scope (the engine does this at branch points; the
+    /// entailment decomposition and [`SolverCtx::possibly`] use it for
+    /// transient hypotheses).
+    pub fn push(&self) {
+        self.backend.borrow_mut().push();
+    }
+
+    /// Closes the innermost scope, restoring the assertion state exactly as
+    /// it was at the matching [`SolverCtx::push`].
+    pub fn pop(&self) {
+        self.backend.borrow_mut().pop();
+    }
+
+    /// Asserts an interned fact into the current scope.
+    pub fn assert_term(&self, t: TermId) {
+        self.backend.borrow_mut().assert(&self.arena, t);
+    }
+
+    /// Interns and asserts a fact, returning its id.
+    pub fn assert_expr(&self, e: &Expr) -> TermId {
+        let t = self.arena.intern(e);
+        self.assert_term(t);
+        t
+    }
+
+    /// The raw asserted ids, in assertion order.
+    pub fn assertions(&self) -> Vec<TermId> {
+        self.backend.borrow().assertions()
+    }
+
+    /// Adds a fact to the path condition after simplifying it. Returns the
+    /// simplified fact and whether the path is still possibly satisfiable
+    /// (`false` means the caller should prune/vanish). Trivially-true facts
+    /// are not asserted.
+    pub fn assume(&self, fact: &Expr) -> (Expr, bool) {
+        let s = self.arena.simplify(self.arena.intern(fact));
+        let se = self.arena.resolve(s);
+        match se.as_bool() {
+            Some(true) => ((*se).clone(), true),
+            Some(false) => {
+                self.assert_term(s);
+                ((*se).clone(), false)
+            }
+            None => {
+                self.assert_term(s);
+                ((*se).clone(), !self.check_unsat())
+            }
+        }
+    }
+
+    // ---- queries -------------------------------------------------------
+
+    /// Is the conjunction of the asserted facts definitely unsatisfiable?
+    pub fn check_unsat(&self) -> bool {
+        self.stats.unsat_queries.fetch_add(1, Ordering::Relaxed);
+        self.backend.borrow_mut().check_unsat(&self.arena)
+    }
+
+    /// Is the current path condition still possibly satisfiable?
+    pub fn feasible(&self) -> bool {
+        !self.check_unsat()
+    }
+
+    /// Do the asserted facts entail an interned goal?
+    pub fn entails_term(&self, goal: TermId) -> bool {
         self.stats
             .entailment_queries
             .fetch_add(1, Ordering::Relaxed);
-        let goal = simplify(goal);
-        self.entails_simplified(facts, &goal)
+        self.backend.borrow_mut().entails(&self.arena, goal)
     }
 
-    fn entails_simplified(&self, facts: &[Expr], goal: &Expr) -> bool {
-        match goal {
-            Expr::Bool(true) => true,
-            Expr::Bool(false) => self.check_unsat(facts),
-            Expr::BinOp(BinOp::And, a, b) => {
-                self.entails_simplified(facts, a) && self.entails_simplified(facts, b)
-            }
-            Expr::BinOp(BinOp::Implies, a, b) => {
-                let mut extended = facts.to_vec();
-                extended.push((**a).clone());
-                self.entails_simplified(&extended, b)
-            }
-            Expr::BinOp(BinOp::Or, a, b) => {
-                // Try each disjunct, then fall back to refutation of the
-                // negation of the whole disjunction.
-                if self.entails_simplified(facts, a) || self.entails_simplified(facts, b) {
-                    return true;
-                }
-                let mut extended = facts.to_vec();
-                extended.push(simplify(&Expr::not((**a).clone())));
-                extended.push(simplify(&Expr::not((**b).clone())));
-                self.check_unsat(&extended)
-            }
-            _ => {
-                let negated = simplify(&Expr::not(goal.clone()));
-                let mut extended = facts.to_vec();
-                extended.push(negated);
-                self.check_unsat(&extended)
-            }
-        }
+    /// Do the asserted facts entail the goal?
+    pub fn entails(&self, goal: &Expr) -> bool {
+        self.entails_term(self.arena.intern(goal))
     }
 
-    /// Are two expressions equal in all models of `facts`?
-    pub fn must_equal(&self, facts: &[Expr], a: &Expr, b: &Expr) -> bool {
-        if simplify(a) == simplify(b) {
+    /// Are two expressions equal in all models of the asserted facts?
+    pub fn must_equal(&self, a: &Expr, b: &Expr) -> bool {
+        let sa = self.arena.simplify(self.arena.intern(a));
+        let sb = self.arena.simplify(self.arena.intern(b));
+        if sa == sb {
             return true;
         }
-        self.entails(facts, &Expr::eq(a.clone(), b.clone()))
+        self.entails(&Expr::eq(a.clone(), b.clone()))
     }
 
-    /// Are two expressions different in all models of `facts`?
-    pub fn must_differ(&self, facts: &[Expr], a: &Expr, b: &Expr) -> bool {
-        self.entails(facts, &Expr::ne(a.clone(), b.clone()))
+    /// Are two expressions different in all models of the asserted facts?
+    pub fn must_differ(&self, a: &Expr, b: &Expr) -> bool {
+        self.entails(&Expr::ne(a.clone(), b.clone()))
     }
 
-    // ---- internals -----------------------------------------------------
-
-    /// Recursively case-splits on disjunctive literals, refuting every case.
-    fn refute_cases(&self, literals: &[Expr], budget: &mut usize) -> bool {
-        if *budget == 0 {
-            return false;
-        }
-        // Find a disjunctive literal to split on.
-        for (idx, lit) in literals.iter().enumerate() {
-            let split: Option<(Expr, Expr)> = match lit {
-                Expr::BinOp(BinOp::Or, a, b) => Some(((**a).clone(), (**b).clone())),
-                Expr::BinOp(BinOp::Implies, a, b) => {
-                    Some((simplify(&Expr::not((**a).clone())), (**b).clone()))
-                }
-                // Integer disequalities split into strict inequalities so that
-                // the linear module can refute them (e.g. `x + 1 != 1 + y`
-                // under `x == y`).
-                Expr::BinOp(BinOp::Ne, a, b) if is_arith_like(a) || is_arith_like(b) => Some((
-                    Expr::bin(BinOp::Lt, (**a).clone(), (**b).clone()),
-                    Expr::bin(BinOp::Lt, (**b).clone(), (**a).clone()),
-                )),
-                Expr::Ite(c, t, e) => {
-                    // A boolean-sorted ite used as a fact.
-                    Some((
-                        Expr::and((**c).clone(), (**t).clone()),
-                        Expr::and(simplify(&Expr::not((**c).clone())), (**e).clone()),
-                    ))
-                }
-                _ => None,
-            };
-            if let Some((left, right)) = split {
-                let mut rest: Vec<Expr> = literals.to_vec();
-                rest.remove(idx);
-                for case in [left, right] {
-                    let mut case_literals = rest.clone();
-                    let mut definitely_false = false;
-                    flatten_conjuncts(&simplify(&case), &mut case_literals, &mut definitely_false);
-                    if definitely_false {
-                        continue;
-                    }
-                    if !self.refute_cases(&case_literals, budget) {
-                        return false;
-                    }
-                }
-                return true;
-            }
-        }
-        if *budget > 0 {
-            *budget -= 1;
-        }
-        self.stats.cases_explored.fetch_add(1, Ordering::Relaxed);
-        self.refute_conjunction(literals)
+    /// Can the fact hold on some extension of the asserted facts?
+    pub fn possibly(&self, fact: &Expr) -> bool {
+        let s = self.arena.simplify(self.arena.intern(fact));
+        self.stats.unsat_queries.fetch_add(1, Ordering::Relaxed);
+        let mut b = self.backend.borrow_mut();
+        b.push();
+        b.assert(&self.arena, s);
+        let r = !b.check_unsat(&self.arena);
+        b.pop();
+        r
     }
 
-    /// Attempts to refute a conjunction of non-disjunctive literals.
-    fn refute_conjunction(&self, literals: &[Expr]) -> bool {
-        let mut cc = Congruence::new();
-        let mut disequalities: Vec<(Expr, Expr)> = Vec::new();
-        let mut negated_atoms: Vec<Expr> = Vec::new();
-
-        // Pass 1: equalities and boolean atoms into the congruence closure.
-        for lit in literals {
-            match lit {
-                Expr::Bool(false) => return true,
-                Expr::Bool(true) => {}
-                Expr::BinOp(BinOp::Eq, a, b) => {
-                    let ta = cc.intern(a);
-                    let tb = cc.intern(b);
-                    cc.merge(ta, tb);
-                }
-                Expr::BinOp(BinOp::Ne, a, b) => {
-                    disequalities.push(((**a).clone(), (**b).clone()));
-                    let _ = cc.intern(a);
-                    let _ = cc.intern(b);
-                }
-                Expr::UnOp(UnOp::Not, inner) => {
-                    negated_atoms.push((**inner).clone());
-                    let ti = cc.intern(inner);
-                    let tf = cc.intern(&Expr::Bool(false));
-                    cc.merge(ti, tf);
-                }
-                other => {
-                    // Assert the atom itself to be true.
-                    let ti = cc.intern(other);
-                    let tt = cc.intern(&Expr::Bool(true));
-                    cc.merge(ti, tt);
-                }
-            }
-        }
-        cc.rebuild();
-        if cc.contradictory() {
-            return true;
-        }
-
-        // Disequality check against the closure.
-        for (a, b) in &disequalities {
-            if cc.are_equal(a, b) {
-                return true;
-            }
-            // Bag disequalities: refute when both sides normalise identically.
-            if (bags::is_bag_expr(a) || bags::is_bag_expr(b))
-                && bags::definitely_equal(a, b, &mut cc)
-            {
-                return true;
-            }
-        }
-        // An atom asserted both positively and negatively.
-        for atom in &negated_atoms {
-            if cc.are_equal(atom, &Expr::Bool(true)) {
-                return true;
-            }
-        }
-        if cc.contradictory() {
-            return true;
-        }
-
-        // Pass 2: linear arithmetic.
-        let mut lin = Linear::new();
-        for lit in literals {
-            match lit {
-                Expr::BinOp(BinOp::Lt, a, b) => lin.add_lt(a, b, &mut cc),
-                Expr::BinOp(BinOp::Le, a, b) => lin.add_le(a, b, &mut cc),
-                Expr::BinOp(BinOp::Gt, a, b) => lin.add_lt(b, a, &mut cc),
-                Expr::BinOp(BinOp::Ge, a, b) => lin.add_le(b, a, &mut cc),
-                Expr::BinOp(BinOp::Eq, a, b) => lin.add_eq(a, b, &mut cc),
-                Expr::UnOp(UnOp::Not, inner) => match inner.as_ref() {
-                    Expr::BinOp(BinOp::Lt, a, b) => lin.add_le(b, a, &mut cc),
-                    Expr::BinOp(BinOp::Le, a, b) => lin.add_lt(b, a, &mut cc),
-                    _ => {}
-                },
-                _ => {}
-            }
-            // Sequence equalities imply length equalities.
-            if let Expr::BinOp(BinOp::Eq, a, b) = lit {
-                if is_seq_structured(a) || is_seq_structured(b) {
-                    let la = simplify(&Expr::seq_len((**a).clone()));
-                    let lb = simplify(&Expr::seq_len((**b).clone()));
-                    lin.add_eq(&la, &lb, &mut cc);
-                }
-            }
-        }
-        // Length terms are non-negative.
-        let mut len_terms: Vec<Expr> = Vec::new();
-        for lit in literals {
-            lit.visit(&mut |e| {
-                if matches!(e, Expr::UnOp(UnOp::SeqLen, _)) {
-                    len_terms.push(e.clone());
-                }
-            });
-        }
-        len_terms.sort_by_key(|e| format!("{e}"));
-        len_terms.dedup();
-        for t in &len_terms {
-            lin.add_nonneg(t, &mut cc);
-        }
-        lin.solve();
-        if lin.contradictory() {
-            return true;
-        }
-
-        false
+    /// A snapshot of the hub-wide statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats.snapshot()
     }
-}
-
-/// Splits nested conjunctions into individual literals.
-fn flatten_conjuncts(e: &Expr, out: &mut Vec<Expr>, definitely_false: &mut bool) {
-    match e {
-        Expr::Bool(true) => {}
-        Expr::Bool(false) => *definitely_false = true,
-        Expr::BinOp(BinOp::And, a, b) => {
-            flatten_conjuncts(a, out, definitely_false);
-            flatten_conjuncts(b, out, definitely_false);
-        }
-        _ => out.push(e.clone()),
-    }
-}
-
-/// Does the expression look integer-sorted (contains arithmetic structure,
-/// an integer literal or a sequence length)?
-fn is_arith_like(e: &Expr) -> bool {
-    let mut found = false;
-    e.visit(&mut |sub| {
-        if matches!(
-            sub,
-            Expr::Int(_)
-                | Expr::BinOp(BinOp::Add, _, _)
-                | Expr::BinOp(BinOp::Sub, _, _)
-                | Expr::BinOp(BinOp::Mul, _, _)
-                | Expr::UnOp(UnOp::SeqLen, _)
-                | Expr::UnOp(UnOp::Neg, _)
-        ) {
-            found = true;
-        }
-    });
-    found
-}
-
-/// Does this expression have visible sequence structure?
-fn is_seq_structured(e: &Expr) -> bool {
-    matches!(
-        e,
-        Expr::SeqLit(_)
-            | Expr::BinOp(BinOp::SeqConcat, _, _)
-            | Expr::BinOp(BinOp::SeqRepeat, _, _)
-            | Expr::NOp(_, _)
-    )
 }
 
 #[cfg(test)]
@@ -419,18 +312,55 @@ mod tests {
     use super::*;
     use crate::expr::VarGen;
 
-    fn solver() -> Solver {
-        Solver::new()
+    /// Builds one context per backend kind with the same asserted facts.
+    fn ctxs(facts: &[Expr]) -> Vec<SolverCtx> {
+        BackendKind::ALL
+            .iter()
+            .map(|&kind| {
+                let hub = Solver::with_backend(kind);
+                let ctx = hub.ctx();
+                for f in facts {
+                    ctx.assert_expr(f);
+                }
+                ctx
+            })
+            .collect()
+    }
+
+    /// Runs `check_unsat` through every backend and asserts they agree.
+    fn check_unsat(facts: &[Expr]) -> bool {
+        let results: Vec<(&'static str, bool)> = ctxs(facts)
+            .iter()
+            .map(|c| (c.backend_name(), c.check_unsat()))
+            .collect();
+        let first = results[0].1;
+        for (name, r) in &results {
+            assert_eq!(*r, first, "backend {name} disagrees on {facts:?}");
+        }
+        first
+    }
+
+    /// Runs `entails` through every backend and asserts they agree.
+    fn entails(facts: &[Expr], goal: &Expr) -> bool {
+        let results: Vec<(&'static str, bool)> = ctxs(facts)
+            .iter()
+            .map(|c| (c.backend_name(), c.entails(goal)))
+            .collect();
+        let first = results[0].1;
+        for (name, r) in &results {
+            assert_eq!(*r, first, "backend {name} disagrees on {facts:?} |- {goal}");
+        }
+        first
     }
 
     #[test]
     fn empty_facts_are_satisfiable() {
-        assert!(!solver().check_unsat(&[]));
+        assert!(!check_unsat(&[]));
     }
 
     #[test]
     fn false_fact_is_unsat() {
-        assert!(solver().check_unsat(&[Expr::Bool(false)]));
+        assert!(check_unsat(&[Expr::Bool(false)]));
     }
 
     #[test]
@@ -441,7 +371,7 @@ mod tests {
             Expr::eq(x.clone(), Expr::Int(1)),
             Expr::eq(x.clone(), Expr::Int(2)),
         ];
-        assert!(solver().check_unsat(&facts));
+        assert!(check_unsat(&facts));
     }
 
     #[test]
@@ -453,7 +383,7 @@ mod tests {
             Expr::eq(x.clone(), Expr::none()),
             Expr::eq(x.clone(), Expr::some(y)),
         ];
-        assert!(solver().check_unsat(&facts));
+        assert!(check_unsat(&facts));
     }
 
     #[test]
@@ -468,7 +398,7 @@ mod tests {
             Expr::lt(Expr::seq_len(repr.clone()), max.clone()),
             Expr::lt(max, Expr::add(len, Expr::Int(1))),
         ];
-        assert!(solver().check_unsat(&facts));
+        assert!(check_unsat(&facts));
     }
 
     #[test]
@@ -480,7 +410,7 @@ mod tests {
             Expr::lt(Expr::Int(0), x.clone()),
             Expr::lt(x.clone(), Expr::Int(10)),
         );
-        assert!(solver().entails(&facts, &goal));
+        assert!(entails(&facts, &goal));
     }
 
     #[test]
@@ -489,7 +419,7 @@ mod tests {
         let x = g.fresh_expr();
         let facts = vec![Expr::lt(Expr::Int(0), x.clone())];
         let goal = Expr::lt(x, Expr::Int(10));
-        assert!(!solver().entails(&facts, &goal));
+        assert!(!entails(&facts, &goal));
     }
 
     #[test]
@@ -503,7 +433,7 @@ mod tests {
             ),
             Expr::eq(x.clone(), Expr::Int(3)),
         ];
-        assert!(solver().check_unsat(&facts));
+        assert!(check_unsat(&facts));
     }
 
     #[test]
@@ -519,7 +449,7 @@ mod tests {
             Expr::eq(x.clone(), Expr::Int(1)),
             Expr::eq(y.clone(), Expr::Int(3)),
         ];
-        assert!(solver().check_unsat(&facts));
+        assert!(check_unsat(&facts));
     }
 
     #[test]
@@ -533,7 +463,7 @@ mod tests {
             Expr::eq(s.clone(), Expr::seq_prepend(x, rest)),
             Expr::eq(s, Expr::empty_seq()),
         ];
-        assert!(solver().check_unsat(&facts));
+        assert!(check_unsat(&facts));
     }
 
     #[test]
@@ -544,7 +474,7 @@ mod tests {
         let x = g.fresh_expr();
         let facts = vec![Expr::eq(s.clone(), t.clone())];
         let goal = Expr::eq(Expr::seq_prepend(x.clone(), s), Expr::seq_prepend(x, t));
-        assert!(solver().entails(&facts, &goal));
+        assert!(entails(&facts, &goal));
     }
 
     #[test]
@@ -552,12 +482,11 @@ mod tests {
         let mut g = VarGen::new();
         let xs = g.fresh_expr();
         let ys = g.fresh_expr();
-        let facts: Vec<Expr> = vec![];
         let goal = Expr::eq(
             Expr::bag_of(Expr::seq_concat(xs.clone(), ys.clone())),
             Expr::bag_of(Expr::seq_concat(ys, xs)),
         );
-        assert!(solver().entails(&facts, &goal));
+        assert!(entails(&[], &goal));
     }
 
     #[test]
@@ -565,24 +494,23 @@ mod tests {
         let mut g = VarGen::new();
         let x = g.fresh_expr();
         let xs = g.fresh_expr();
-        let facts: Vec<Expr> = vec![];
         // bag([x] ++ xs) == bag(xs ++ [x])
         let goal = Expr::eq(
             Expr::bag_of(Expr::seq_prepend(x.clone(), xs.clone())),
             Expr::bag_of(Expr::seq_snoc(xs, x)),
         );
-        assert!(solver().entails(&facts, &goal));
+        assert!(entails(&[], &goal));
     }
 
     #[test]
     fn must_equal_and_must_differ() {
         let mut g = VarGen::new();
         let x = g.fresh_expr();
-        let facts = vec![Expr::eq(x.clone(), Expr::Int(7))];
-        let s = solver();
-        assert!(s.must_equal(&facts, &x, &Expr::Int(7)));
-        assert!(s.must_differ(&facts, &x, &Expr::Int(8)));
-        assert!(!s.must_differ(&facts, &x, &Expr::Int(7)));
+        for ctx in ctxs(&[Expr::eq(x.clone(), Expr::Int(7))]) {
+            assert!(ctx.must_equal(&x, &Expr::Int(7)));
+            assert!(ctx.must_differ(&x, &Expr::Int(8)));
+            assert!(!ctx.must_differ(&x, &Expr::Int(7)));
+        }
     }
 
     #[test]
@@ -591,11 +519,11 @@ mod tests {
         let x = g.fresh_expr();
         let atom = Expr::lt(x.clone(), Expr::Int(3));
         let facts = vec![atom.clone(), Expr::not(atom)];
-        assert!(solver().check_unsat(&facts));
+        assert!(check_unsat(&facts));
     }
 
     #[test]
-    fn le_and_ge_entail_equality() {
+    fn le_and_ge_do_not_refute() {
         let mut g = VarGen::new();
         let x = g.fresh_expr();
         let y = g.fresh_expr();
@@ -603,20 +531,162 @@ mod tests {
             Expr::le(x.clone(), y.clone()),
             Expr::le(y.clone(), x.clone()),
         ];
-        // x <= y and y <= x entail x == y over the integers. Our solver proves
-        // this through the linear module when refuting x != y... which it
-        // cannot do via congruence alone, so we accept either outcome but make
-        // sure nothing is *unsound* (the facts themselves are satisfiable).
-        assert!(!solver().check_unsat(&facts));
+        // The facts are satisfiable; nothing may be refuted.
+        assert!(!check_unsat(&facts));
+    }
+
+    #[test]
+    fn assume_reports_infeasibility() {
+        let hub = Solver::new();
+        let ctx = hub.ctx();
+        let mut g = VarGen::new();
+        let x = g.fresh_expr();
+        assert!(ctx.assume(&Expr::eq(x.clone(), Expr::Int(1))).1);
+        assert!(!ctx.assume(&Expr::eq(x, Expr::Int(2))).1);
+        assert!(!ctx.feasible());
+    }
+
+    #[test]
+    fn possibly_checks_extensions() {
+        let hub = Solver::new();
+        let ctx = hub.ctx();
+        let mut g = VarGen::new();
+        let x = g.fresh_expr();
+        assert!(ctx.possibly(&Expr::eq(x.clone(), Expr::Int(1))));
+        ctx.assert_expr(&Expr::ne(x.clone(), Expr::Int(1)));
+        assert!(!ctx.possibly(&Expr::eq(x, Expr::Int(1))));
+        // The transient hypothesis was popped: the path itself is satisfiable.
+        assert!(ctx.feasible());
+    }
+
+    #[test]
+    fn push_pop_restores_exact_assertion_state() {
+        for kind in BackendKind::ALL {
+            let hub = Solver::with_backend(kind);
+            let ctx = hub.ctx();
+            let mut g = VarGen::new();
+            let x = g.fresh_expr();
+            ctx.assert_expr(&Expr::lt(Expr::Int(0), x.clone()));
+            let before = ctx.assertions();
+            assert!(ctx.feasible());
+
+            ctx.push();
+            ctx.assert_expr(&Expr::eq(x.clone(), Expr::Int(0)));
+            assert!(!ctx.feasible(), "{kind}: contradiction inside the scope");
+            ctx.pop();
+
+            assert_eq!(ctx.assertions(), before, "{kind}: stack restored");
+            assert!(ctx.feasible(), "{kind}: satisfiable again after pop");
+
+            // Nested scopes unwind one at a time.
+            ctx.push();
+            ctx.push();
+            ctx.assert_expr(&Expr::eq(x.clone(), Expr::Int(5)));
+            ctx.pop();
+            ctx.pop();
+            assert_eq!(ctx.assertions(), before);
+        }
+    }
+
+    #[test]
+    fn clones_have_independent_assertion_stacks() {
+        let hub = Solver::new();
+        let ctx = hub.ctx();
+        let mut g = VarGen::new();
+        let x = g.fresh_expr();
+        ctx.assert_expr(&Expr::lt(Expr::Int(0), x.clone()));
+        let branch = ctx.clone();
+        branch.assert_expr(&Expr::eq(x.clone(), Expr::Int(0)));
+        assert!(!branch.feasible());
+        assert!(ctx.feasible(), "sibling branch is unaffected");
+    }
+
+    #[test]
+    fn cache_key_is_order_insensitive() {
+        // The PR-1 cache keyed on the literal fact vector, so permuted fact
+        // orders missed. The canonical TermId-set key must hit.
+        let hub = Solver::with_backend(BackendKind::CachedIncremental);
+        let mut g = VarGen::new();
+        let x = g.fresh_expr();
+        let a = Expr::eq(x.clone(), Expr::Int(5));
+        let b = Expr::lt(Expr::Int(0), x.clone());
+        let goal = Expr::lt(x.clone(), Expr::Int(10));
+
+        let ctx1 = hub.ctx();
+        ctx1.assert_expr(&a);
+        ctx1.assert_expr(&b);
+        assert!(ctx1.entails(&goal));
+        let hits_before = hub.stats().cache_hits;
+
+        // Same facts, opposite order, fresh context.
+        let ctx2 = hub.ctx();
+        ctx2.assert_expr(&b);
+        ctx2.assert_expr(&a);
+        assert!(ctx2.entails(&goal));
+        assert!(
+            hub.stats().cache_hits > hits_before,
+            "permuted assertion order must hit the canonical cache"
+        );
+    }
+
+    #[test]
+    fn duplicate_facts_share_a_cache_entry() {
+        let hub = Solver::with_backend(BackendKind::CachedIncremental);
+        let mut g = VarGen::new();
+        let x = g.fresh_expr();
+        let a = Expr::eq(x.clone(), Expr::Int(5));
+
+        let ctx1 = hub.ctx();
+        ctx1.assert_expr(&a);
+        let _ = ctx1.check_unsat();
+        let hits_before = hub.stats().cache_hits;
+
+        let ctx2 = hub.ctx();
+        ctx2.assert_expr(&a);
+        ctx2.assert_expr(&a); // deduplicated by the canonical key
+        let _ = ctx2.check_unsat();
+        assert!(hub.stats().cache_hits > hits_before);
+    }
+
+    #[test]
+    fn cached_backend_explores_fewer_leaf_cases() {
+        let mut g = VarGen::new();
+        let x = g.fresh_expr();
+        let facts = [
+            Expr::eq(x.clone(), Expr::Int(1)),
+            Expr::eq(x.clone(), Expr::Int(2)),
+        ];
+        let run = |kind: BackendKind| {
+            let hub = Solver::with_backend(kind);
+            let ctx = hub.ctx();
+            for f in &facts {
+                ctx.assert_expr(f);
+            }
+            // The same query repeated: the cache answers the repeats.
+            for _ in 0..5 {
+                assert!(ctx.check_unsat());
+            }
+            hub.stats().cases_explored
+        };
+        let one_shot = run(BackendKind::OneShot);
+        let cached = run(BackendKind::CachedIncremental);
+        assert!(
+            cached < one_shot,
+            "cached {cached} must explore strictly fewer leaf cases than one-shot {one_shot}"
+        );
     }
 
     #[test]
     fn stats_are_collected() {
-        let s = solver();
-        let _ = s.check_unsat(&[Expr::Bool(false)]);
-        let _ = s.entails(&[], &Expr::Bool(true));
-        let st = s.stats();
+        let hub = Solver::new();
+        let ctx = hub.ctx();
+        ctx.assert_expr(&Expr::Bool(false));
+        let _ = ctx.check_unsat();
+        let _ = ctx.entails(&Expr::Bool(true));
+        let st = hub.stats();
         assert!(st.unsat_queries >= 1);
         assert!(st.entailment_queries >= 1);
+        hub.reset_stats();
+        assert_eq!(hub.stats(), SolverStats::default());
     }
 }

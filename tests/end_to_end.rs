@@ -219,12 +219,12 @@ fn layout_independence_of_verification() {
 #[test]
 fn pearlite_permutation_is_decided_by_bags() {
     // The permutation reasoning needed by the Merge Sort client (§6).
-    let solver = gillian_solver::Solver::new();
+    let ctx = gillian_solver::Solver::new().ctx();
     let t = Term::permutation_of(Term::cur_model("l"), Term::fin_model("l"));
     let goal = elaborate(&t);
-    let facts = vec![Expr::eq(lv("l_fin"), lv("l_cur"))];
-    // Substitute the logical variables by themselves as opaque constants.
-    assert!(solver.entails(&facts, &goal));
+    ctx.assert_expr(&Expr::eq(lv("l_fin"), lv("l_cur")));
+    // The logical variables stand for themselves as opaque constants.
+    assert!(ctx.entails(&goal));
 }
 
 #[test]
