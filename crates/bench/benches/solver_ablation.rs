@@ -130,10 +130,9 @@ fn main() {
         })
         .collect();
 
-    // Contract 1: identical verdicts whatever the backend. (The suite is
-    // compared for *identity*, not for full success: LP/FC has two
-    // spec-mismatch rows inherited from the seed, and every backend must
-    // reproduce them identically.)
+    // Contract 1: identical verdicts whatever the backend (compared for
+    // *identity*, so a future failing row would have to fail identically
+    // under every backend; since the LP/FC fix the whole suite verifies).
     let reference = verdicts(&runs[0]);
     let identical = runs.iter().all(|r| verdicts(r) == reference);
     assert!(identical, "backends disagree on Table 1 verdicts");

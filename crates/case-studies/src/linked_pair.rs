@@ -187,20 +187,34 @@ pub fn eloc() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use driver::BackendKind;
 
-    /// The FC proofs of LP are tracked in EXPERIMENTS.md; this test records
-    /// the outcome so regressions/improvements are visible without failing
-    /// the default suite.
+    /// Regression test for the seed's oldest bug: `new`/`set_both` used to
+    /// fail FC with "observation not entailed" because the representation
+    /// equalities of the parameters' pure ownership predicates (e.g.
+    /// `own_usize(a, #a_repr)` holding `a == #a_repr`) stayed hidden inside
+    /// the folded instances. Observation consumption now hands the
+    /// observation back as a recovery hint, the engine unfolds the related
+    /// predicates and retries — both functions verify cleanly, under every
+    /// solver backend.
     #[test]
-    fn new_and_set_both_report_fc_outcome() {
-        let v = verifier(SpecMode::FunctionalCorrectness);
-        for f in FUNCTIONS {
-            let report = v.verify_fn(f);
-            eprintln!(
-                "LinkedPair::{f} (FC): verified={} ({})",
-                report.verified,
-                report.error_message().unwrap_or_else(|| "ok".into())
+    fn new_and_set_both_verify_fc_under_every_backend() {
+        for kind in BackendKind::ALL {
+            let report = session(SpecMode::FunctionalCorrectness)
+                .with_backend(kind)
+                .verify_all();
+            assert!(
+                report.all_verified(),
+                "LP (FC) under {kind}:\n{}",
+                report.render_text()
             );
+            for case in &report.cases {
+                assert!(
+                    case.diagnostic().is_none(),
+                    "no diagnostic expected for {} under {kind}",
+                    case.name()
+                );
+            }
         }
     }
 

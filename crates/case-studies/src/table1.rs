@@ -98,25 +98,36 @@ impl Table1Case {
 /// The six Table 1 entries (EvenInt, LP ×2, LinkedList ×2, MiniVec), each
 /// session configured with the given worker count for its own batch.
 pub fn table1_cases(workers: usize) -> Vec<Table1Case> {
+    table1_cases_with(workers, 1)
+}
+
+/// Same entries with an explicit branch-parallelism width: `workers` spreads
+/// the obligations of each row, `branch_parallelism` spreads the branches of
+/// each obligation over the engine's work-stealing scheduler.
+pub fn table1_cases_with(workers: usize, branch_parallelism: usize) -> Vec<Table1Case> {
     use SpecMode::{FunctionalCorrectness as FC, TypeSafety as TS};
+    let sess = move |s: HybridSession| {
+        s.with_workers(workers)
+            .with_branch_parallelism(branch_parallelism)
+    };
     vec![
         Table1Case::new("EvenInt", "TS/FC", even_int::ALOC, move || {
-            even_int::session(FC).with_workers(workers)
+            sess(even_int::session(FC))
         }),
         Table1Case::new("LP", "TS", linked_pair::ALOC, move || {
-            linked_pair::session(TS).with_workers(workers)
+            sess(linked_pair::session(TS))
         }),
         Table1Case::new("LP", "FC", linked_pair::ALOC, move || {
-            linked_pair::session(FC).with_workers(workers)
+            sess(linked_pair::session(FC))
         }),
         Table1Case::new("LinkedList", "TS", linked_list::ALOC, move || {
-            linked_list::session(TS).with_workers(workers)
+            sess(linked_list::session(TS))
         }),
         Table1Case::new("LinkedList", "FC", linked_list::ALOC, move || {
-            linked_list::session(FC).with_workers(workers)
+            sess(linked_list::session(FC))
         }),
         Table1Case::new("MiniVec", "FC", mini_vec::ALOC, move || {
-            mini_vec::session(FC).with_workers(workers)
+            sess(mini_vec::session(FC))
         }),
     ]
 }

@@ -160,7 +160,7 @@ impl Heap {
         // Look for a path-condition equality that gives the pointer a
         // concrete form.
         for fact in ctx.path.iter() {
-            if let Expr::BinOp(gillian_solver::BinOp::Eq, a, b) = fact {
+            if let Expr::BinOp(gillian_solver::BinOp::Eq, a, b) = fact.as_ref() {
                 if a.as_ref() == &e && is_ptr_shaped(b) {
                     return self.resolve_ptr_depth(b, ctx, types, depth - 1);
                 }
@@ -175,7 +175,7 @@ impl Heap {
         let candidates: Vec<(Expr, Expr)> = ctx
             .path
             .iter()
-            .filter_map(|fact| match fact {
+            .filter_map(|fact| match fact.as_ref() {
                 Expr::BinOp(gillian_solver::BinOp::Eq, a, b) => {
                     if is_ptr_shaped(b) {
                         Some(((**a).clone(), (**b).clone()))
@@ -1250,7 +1250,7 @@ mod tests {
 
     fn with_ctx<R>(
         solver: &Solver,
-        path: &mut Vec<Expr>,
+        path: &mut Vec<std::sync::Arc<Expr>>,
         vars: &mut VarGen,
         f: impl FnOnce(&mut PureCtx<'_>) -> R,
     ) -> R {
@@ -1321,10 +1321,10 @@ mod tests {
         });
         // Destructuring recorded the equality v == struct::Pair(f0, f1).
         assert!(path.iter().any(|f| matches!(
-            f,
+            f.as_ref(),
             Expr::BinOp(gillian_solver::BinOp::Eq, a, _) if a.as_ref() == &v
         ) || matches!(
-            f,
+            f.as_ref(),
             Expr::BinOp(gillian_solver::BinOp::Eq, _, b) if b.as_ref() == &v
         )));
     }
@@ -1359,9 +1359,12 @@ mod tests {
         let n = Expr::Var(vars.fresh());
         let k = Expr::Var(vars.fresh());
         let vs = Expr::Var(vars.fresh());
-        path.push(Expr::le(Expr::Int(0), k.clone()));
-        path.push(Expr::lt(k.clone(), n.clone()));
-        path.push(Expr::eq(Expr::seq_len(vs.clone()), k.clone()));
+        path.push(std::sync::Arc::new(Expr::le(Expr::Int(0), k.clone())));
+        path.push(std::sync::Arc::new(Expr::lt(k.clone(), n.clone())));
+        path.push(std::sync::Arc::new(Expr::eq(
+            Expr::seq_len(vs.clone()),
+            k.clone(),
+        )));
         let elem = Ty::usize();
         let addr = heap.alloc_array(elem.clone(), n.clone());
         let elem_id = types.intern(&elem);
@@ -1404,7 +1407,7 @@ mod tests {
         let mut vars = VarGen::new();
         let p = Expr::Var(vars.fresh());
         let addr = heap.alloc(Ty::usize());
-        path.push(Expr::eq(p.clone(), addr.to_expr()));
+        path.push(std::sync::Arc::new(Expr::eq(p.clone(), addr.to_expr())));
         with_ctx(&solver, &mut path, &mut vars, |ctx| {
             let resolved = heap.resolve_ptr(&p, ctx, &types).unwrap();
             assert_eq!(resolved, addr);

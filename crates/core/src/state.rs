@@ -132,6 +132,20 @@ impl PartialEq for GRState {
     }
 }
 
+/// Type-range facts for a value loaded at an integer type: a well-typed
+/// heap only holds inhabitants, so `usize` loads learn `0 <= v <= MAX` —
+/// exactly what overflow/underflow range checks on field reads need (e.g.
+/// `pop_front`'s `self.len - 1`, where nothing else bounds the field).
+fn int_range_facts(ty: &Ty, v: &Expr) -> Vec<Expr> {
+    match ty {
+        Ty::Int(ity) if !matches!(v, Expr::Int(_)) => vec![
+            Expr::le(Expr::Int(ity.min()), v.clone()),
+            Expr::le(v.clone(), Expr::Int(ity.max())),
+        ],
+        _ => vec![],
+    }
+}
+
 fn heap_err_to_action(e: HeapError) -> ActionResult<GRState> {
     match e {
         HeapError::Missing { msg, hint } => ActionResult::Missing {
@@ -217,7 +231,10 @@ impl StateModel for GRState {
                 };
                 let mut heap = self.heap.clone();
                 match heap.load(&addr, &ty, &self.types, ctx) {
-                    Ok(v) => self.ok_action(heap, v, vec![]),
+                    Ok(v) => {
+                        let facts = int_range_facts(&ty, &v);
+                        self.ok_action(heap, v, facts)
+                    }
                     Err(e) => heap_err_to_action(e),
                 }
             }
@@ -233,7 +250,10 @@ impl StateModel for GRState {
                 };
                 let mut heap = self.heap.clone();
                 match heap.move_out(&addr, &ty, &self.types, ctx) {
-                    Ok(v) => self.ok_action(heap, v, vec![]),
+                    Ok(v) => {
+                        let facts = int_range_facts(&ty, &v);
+                        self.ok_action(heap, v, facts)
+                    }
                     Err(e) => heap_err_to_action(e),
                 }
             }
@@ -504,9 +524,14 @@ impl StateModel for GRState {
                         facts: vec![],
                     }])
                 } else {
+                    // The entailment may only be missing pure facts that are
+                    // still hidden inside folded (pure) ownership predicates,
+                    // e.g. `own_usize(a, #a_repr)` holding `a == #a_repr`.
+                    // Hand the observation back as the recovery hint so the
+                    // engine unfolds the related predicates and retries.
                     ConsumeResult::Missing {
                         msg: format!("observation not entailed: {}", ins[0]),
-                        hint: vec![],
+                        hint: vec![ins[0].clone()],
                     }
                 }
             }

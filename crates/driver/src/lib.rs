@@ -177,6 +177,8 @@ pub struct VerificationReport {
     pub mode: SpecMode,
     /// Worker threads the batch ran on.
     pub workers: usize,
+    /// Branch-level worker threads per obligation (1 = serial exploration).
+    pub branch_parallelism: usize,
     /// Per-target outcomes, in registration order regardless of worker count.
     pub cases: Vec<CaseOutcome>,
     /// End-to-end wall-clock time of the batch.
@@ -224,13 +226,16 @@ impl VerificationReport {
             SpecMode::FunctionalCorrectness => "FC",
         };
         let mut out = format!(
-            "== {} ({mode}) — {}/{} verified, wall {:.3}s, cpu {:.3}s, {} worker(s), solver {} ({} queries, {} cache hits) ==\n",
+            "== {} ({mode}) — {}/{} verified, wall {:.3}s, cpu {:.3}s, {} worker(s), {} branch worker(s) ({} stolen, {} max live), solver {} ({} queries, {} cache hits) ==\n",
             self.session,
             self.verified_count(),
             self.cases.len(),
             self.wall_time.as_secs_f64(),
             self.cpu_time().as_secs_f64(),
             self.workers,
+            self.branch_parallelism,
+            self.stats.branches_stolen,
+            self.stats.max_live_branches,
             self.backend,
             self.solver.queries(),
             self.solver.cache_hits,
@@ -262,6 +267,10 @@ impl VerificationReport {
         out.push_str(&format!("\"session\":{},", json_str(&self.session)));
         out.push_str(&format!("\"mode\":\"{mode}\","));
         out.push_str(&format!("\"workers\":{},", self.workers));
+        out.push_str(&format!(
+            "\"branch_parallelism\":{},",
+            self.branch_parallelism
+        ));
         out.push_str(&format!("\"all_verified\":{},", self.all_verified()));
         out.push_str(&format!(
             "\"wall_seconds\":{:.6},",
@@ -280,13 +289,16 @@ impl VerificationReport {
             self.solver.cache_hits,
         ));
         out.push_str(&format!(
-            "\"stats\":{{\"commands\":{},\"folds\":{},\"unfolds\":{},\"borrow_opens\":{},\"borrow_closes\":{},\"recoveries\":{}}},",
+            "\"stats\":{{\"commands\":{},\"folds\":{},\"unfolds\":{},\"borrow_opens\":{},\"borrow_closes\":{},\"recoveries\":{},\"branches\":{},\"branches_stolen\":{},\"max_live_branches\":{}}},",
             self.stats.commands_executed,
             self.stats.folds,
             self.stats.unfolds,
             self.stats.borrow_opens,
             self.stats.borrow_closes,
             self.stats.recoveries,
+            self.stats.branches,
+            self.stats.branches_stolen,
+            self.stats.max_live_branches,
         ));
         out.push_str("\"cases\":[");
         for (i, c) in self.cases.iter().enumerate() {
@@ -349,6 +361,7 @@ pub struct SessionBuilder {
     backend: Option<BackendKind>,
     baseline: bool,
     workers: Option<usize>,
+    branch_parallelism: Option<usize>,
     specs: Option<SpecsFn>,
     configures: Vec<ConfigureFn>,
     extern_specs: Vec<ExternSpecs>,
@@ -366,6 +379,7 @@ impl Default for SessionBuilder {
             backend: None,
             baseline: false,
             workers: None,
+            branch_parallelism: None,
             specs: None,
             configures: Vec::new(),
             extern_specs: Vec::new(),
@@ -425,6 +439,18 @@ impl SessionBuilder {
     /// to the machine's available parallelism, capped by the target count.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Number of worker threads exploring sibling branches *within* one
+    /// proof obligation (the work-stealing scheduler of
+    /// `gillian_engine::schedule`; `1` — the default — keeps the serial
+    /// depth-first driver). Branch results are reordered by fork path, so
+    /// verdicts and diagnostics are identical at any width. Composes with
+    /// [`SessionBuilder::workers`]: `workers` spreads obligations,
+    /// `branch_parallelism` spreads the branches of each obligation.
+    pub fn branch_parallelism(mut self, workers: usize) -> Self {
+        self.branch_parallelism = Some(workers.max(1));
         self
     }
 
@@ -540,6 +566,9 @@ impl SessionBuilder {
         }
         if let Some(kind) = self.backend {
             engine_opts.backend = kind;
+        }
+        if let Some(n) = self.branch_parallelism {
+            engine_opts.branch_parallelism = n;
         }
 
         let verifier = Verifier::new(
@@ -674,6 +703,19 @@ impl HybridSession {
         self
     }
 
+    /// Branch-level worker threads per obligation.
+    pub fn branch_parallelism(&self) -> usize {
+        self.verifier.engine.opts.branch_parallelism
+    }
+
+    /// Changes the branch-level worker count of an already-built session
+    /// (the compiled program, arena and cache are reused — this is how the
+    /// branch-parallel bench re-runs the suite at several widths).
+    pub fn with_branch_parallelism(mut self, workers: usize) -> Self {
+        self.verifier.engine.opts.branch_parallelism = workers.max(1);
+        self
+    }
+
     /// The solver backend answering this session's pure queries.
     pub fn backend(&self) -> BackendKind {
         self.verifier.backend_kind()
@@ -740,6 +782,7 @@ impl HybridSession {
             session: self.name.clone(),
             mode: self.mode,
             workers,
+            branch_parallelism: self.branch_parallelism(),
             cases,
             wall_time: start.elapsed(),
             stats: self.verifier.stats().since(stats_before),

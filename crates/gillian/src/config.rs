@@ -10,6 +10,7 @@
 use crate::state::{PureCtx, StateModel};
 use gillian_solver::{simplify, Expr, SolverCtx, Symbol, VarGen};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A folded user-predicate instance held in the symbolic state.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,8 +54,10 @@ pub struct Config<S> {
     pub ctx: SolverCtx,
     /// An expression mirror of π, in assertion order, for structural scans
     /// (pointer resolution, constructor-form lookups) and diagnostics. Kept
-    /// in sync by [`Config::assume`]; never queried through the solver.
-    pub path: Vec<Expr>,
+    /// in sync by [`Config::assume`]; never queried through the solver. The
+    /// entries are the arena's own shared allocations, so cloning a config
+    /// at a branch point bumps refcounts instead of deep-cloning terms.
+    pub path: Vec<Arc<Expr>>,
     /// Fresh-variable generator.
     pub vars: VarGen,
     /// Folded user predicates.
@@ -124,6 +127,11 @@ impl<S: StateModel> Config<S> {
             self.path.push(simplified);
         }
         feasible
+    }
+
+    /// Read-only view of the path mirror as plain expressions.
+    pub fn path_exprs(&self) -> impl Iterator<Item = &Expr> {
+        self.path.iter().map(|e| e.as_ref())
     }
 
     /// Is the path condition still possibly satisfiable?

@@ -17,10 +17,12 @@
 use crate::asrt::{Asrt, Pred, Spec};
 use crate::config::{Bindings, ClosingToken, Config, FoldedPred, GuardedPred};
 use crate::gil::{Cmd, LogicCmd, Proc, Prog};
+use crate::schedule::{ForkPath, WorkItem, WorkQueue};
 use crate::state::{ActionResult, ConsumeResult, StateModel};
 use gillian_solver::{simplify, BackendKind, Expr, Solver, Symbol};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Core-predicate name for lifetime tokens `[κ]_q` (ins: `[κ]`, outs: `[q]`).
@@ -141,6 +143,12 @@ pub struct EngineOptions {
     /// ([`BackendKind::CachedIncremental`] by default; the others exist for
     /// the ablation benchmarks and as templates for new backends).
     pub backend: BackendKind,
+    /// Number of worker threads exploring sibling branches of ONE proof
+    /// obligation (`1` = serial, the default). Branches are tagged with
+    /// their fork path and results are reordered before returning, so
+    /// verdicts and diagnostics are identical at any width; see
+    /// [`crate::schedule`].
+    pub branch_parallelism: usize,
 }
 
 impl Default for EngineOptions {
@@ -154,6 +162,7 @@ impl Default for EngineOptions {
             max_branch_unfolds: 3,
             panics_are_safe: false,
             backend: BackendKind::default(),
+            branch_parallelism: 1,
         }
     }
 }
@@ -186,6 +195,12 @@ pub struct EngineStats {
     pub branches: u64,
     pub paths_completed: u64,
     pub commands_executed: u64,
+    /// Branches executed on a different worker than the one that forked them
+    /// (only the branch-parallel scheduler bumps this).
+    pub branches_stolen: u64,
+    /// High-water mark of simultaneously-live (queued) branches across every
+    /// `exec_proc` exploration since the last reset.
+    pub max_live_branches: u64,
 }
 
 impl EngineStats {
@@ -206,6 +221,10 @@ impl EngineStats {
             commands_executed: self
                 .commands_executed
                 .saturating_sub(earlier.commands_executed),
+            branches_stolen: self.branches_stolen.saturating_sub(earlier.branches_stolen),
+            // A high-water mark, not a counter: the batch's mark is the
+            // cumulative one (it cannot be meaningfully subtracted).
+            max_live_branches: self.max_live_branches,
         }
     }
 }
@@ -225,6 +244,8 @@ struct AtomicEngineStats {
     branches: AtomicU64,
     paths_completed: AtomicU64,
     commands_executed: AtomicU64,
+    branches_stolen: AtomicU64,
+    max_live_branches: AtomicU64,
 }
 
 impl AtomicEngineStats {
@@ -241,6 +262,8 @@ impl AtomicEngineStats {
             branches: self.branches.load(Ordering::Relaxed),
             paths_completed: self.paths_completed.load(Ordering::Relaxed),
             commands_executed: self.commands_executed.load(Ordering::Relaxed),
+            branches_stolen: self.branches_stolen.load(Ordering::Relaxed),
+            max_live_branches: self.max_live_branches.load(Ordering::Relaxed),
         }
     }
 
@@ -257,6 +280,8 @@ impl AtomicEngineStats {
             &self.branches,
             &self.paths_completed,
             &self.commands_executed,
+            &self.branches_stolen,
+            &self.max_live_branches,
         ] {
             field.store(0, Ordering::Relaxed);
         }
@@ -265,6 +290,39 @@ impl AtomicEngineStats {
 
 /// A semi-automatic tactic registered with the engine.
 pub type TacticFn<S> = fn(&Engine<S>, Config<S>, &[Expr]) -> Result<Vec<Config<S>>, VerError>;
+
+/// The classified outcome of executing one command on one branch.
+/// (`Finished` boxes its configuration so the common `Forked`/`Pruned`
+/// values stay small.)
+enum StepOutcome<S> {
+    /// Zero or more successor branches, in canonical visit order.
+    Forked(Vec<(Config<S>, usize)>),
+    /// The branch reached the end of the procedure with a return value.
+    Finished(Box<Config<S>>, Expr),
+    /// The branch vanished (infeasible, or a safe panic in TS mode).
+    Pruned,
+}
+
+impl<S> StepOutcome<S> {
+    fn one(cfg: Config<S>, pc: usize) -> StepOutcome<S> {
+        StepOutcome::Forked(vec![(cfg, pc)])
+    }
+}
+
+/// State shared by the branch-parallel workers of one `exec_proc` run.
+struct BranchShared<'a, S> {
+    /// Finished branches with their fork paths (sorted before returning).
+    finished: &'a Mutex<Vec<(ForkPath, Config<S>, Expr)>>,
+    /// The lexicographically-least failing branch seen so far.
+    first_err: &'a Mutex<Option<(ForkPath, VerError)>>,
+    /// Hot-path probe for `first_err` being `Some` (workers only take the
+    /// mutex once a failure exists).
+    has_err: AtomicBool,
+    /// The shared step budget tripped; workers drain without executing.
+    timed_out: AtomicBool,
+    /// Commands executed across all workers (the shared step budget).
+    steps: AtomicUsize,
+}
 
 /// Report for the verification of one procedure or lemma.
 #[derive(Clone, Debug)]
@@ -968,6 +1026,19 @@ impl<S: StateModel> Engine<S> {
         pattern: &Expr,
         actual: &Expr,
     ) -> bool {
+        // The rewrite fallback explores the path-condition equality graph,
+        // which may contain cycles; the depth bound keeps the search finite.
+        self.unify_bounded(cfg, bindings, pattern, actual, 16)
+    }
+
+    fn unify_bounded(
+        &self,
+        cfg: &Config<S>,
+        bindings: &mut Bindings,
+        pattern: &Expr,
+        actual: &Expr,
+        depth: usize,
+    ) -> bool {
         let pattern = pattern.subst_lvars(&|s| bindings.get(&s).cloned());
         match (&pattern, actual) {
             (Expr::LVar(s), _) => {
@@ -980,16 +1051,16 @@ impl<S: StateModel> Engine<S> {
                 args1
                     .iter()
                     .zip(args2.iter())
-                    .all(|(p, a)| self.unify(cfg, bindings, p, a))
+                    .all(|(p, a)| self.unify_bounded(cfg, bindings, p, a, depth))
             }
             (Expr::Tuple(args1), Expr::Tuple(args2)) if args1.len() == args2.len() => args1
                 .iter()
                 .zip(args2.iter())
-                .all(|(p, a)| self.unify(cfg, bindings, p, a)),
+                .all(|(p, a)| self.unify_bounded(cfg, bindings, p, a, depth)),
             (Expr::SeqLit(args1), Expr::SeqLit(args2)) if args1.len() == args2.len() => args1
                 .iter()
                 .zip(args2.iter())
-                .all(|(p, a)| self.unify(cfg, bindings, p, a)),
+                .all(|(p, a)| self.unify_bounded(cfg, bindings, p, a, depth)),
             _ => {
                 if pattern.lvars().is_empty() {
                     return cfg.must_equal(&pattern, actual);
@@ -997,32 +1068,49 @@ impl<S: StateModel> Engine<S> {
                 // The pattern still has unknowns but the actual value is
                 // opaque: look through the path condition for a constructor
                 // form of the actual value (e.g. `v == Some(w)` learned by an
-                // `unwrap_option`) and retry against it.
-                if matches!(pattern, Expr::Ctor(..) | Expr::Tuple(_) | Expr::SeqLit(_)) {
-                    for fact in cfg.path.clone() {
-                        if let Expr::BinOp(gillian_solver::BinOp::Eq, a, b) = &fact {
-                            let rewritten = if a.as_ref() == actual
-                                && matches!(
-                                    b.as_ref(),
-                                    Expr::Ctor(..) | Expr::Tuple(_) | Expr::SeqLit(_)
-                                ) {
-                                Some((**b).clone())
-                            } else if b.as_ref() == actual
-                                && matches!(
-                                    a.as_ref(),
-                                    Expr::Ctor(..) | Expr::Tuple(_) | Expr::SeqLit(_)
-                                )
-                            {
-                                Some((**a).clone())
-                            } else {
-                                None
-                            };
-                            if let Some(form) = rewritten {
-                                let mut trial = bindings.clone();
-                                if self.unify(cfg, &mut trial, &pattern, &form) {
-                                    *bindings = trial;
-                                    return true;
-                                }
+                // `unwrap_option`) and retry against it. Two passes: first
+                // syntactic equality with either side of a path equation
+                // (cheap), then solver-provable equality (`must_equal`),
+                // which sees through chains like `h == v, v == Some(w)` that
+                // have no single syntactic fact for `h`.
+                if depth > 0 && matches!(pattern, Expr::Ctor(..) | Expr::Tuple(_) | Expr::SeqLit(_))
+                {
+                    // Snapshot the mirror (refcount bumps only — the entries
+                    // are shared arena allocations) and borrow the equation
+                    // sides out of it: no term is deep-cloned here.
+                    let path: Vec<std::sync::Arc<Expr>> = cfg.path.clone();
+                    let mut ctor_facts: Vec<(&Expr, &Expr)> = Vec::new();
+                    for fact in &path {
+                        if let Expr::BinOp(gillian_solver::BinOp::Eq, a, b) = fact.as_ref() {
+                            if matches!(
+                                b.as_ref(),
+                                Expr::Ctor(..) | Expr::Tuple(_) | Expr::SeqLit(_)
+                            ) {
+                                ctor_facts.push((a, b));
+                            }
+                            if matches!(
+                                a.as_ref(),
+                                Expr::Ctor(..) | Expr::Tuple(_) | Expr::SeqLit(_)
+                            ) {
+                                ctor_facts.push((b, a));
+                            }
+                        }
+                    }
+                    for &(opaque, form) in &ctor_facts {
+                        if opaque == actual {
+                            let mut trial = bindings.clone();
+                            if self.unify_bounded(cfg, &mut trial, &pattern, form, depth - 1) {
+                                *bindings = trial;
+                                return true;
+                            }
+                        }
+                    }
+                    for &(opaque, form) in &ctor_facts {
+                        if opaque != actual && cfg.must_equal(opaque, actual) {
+                            let mut trial = bindings.clone();
+                            if self.unify_bounded(cfg, &mut trial, &pattern, form, depth - 1) {
+                                *bindings = trial;
+                                return true;
                             }
                         }
                     }
@@ -1212,7 +1300,7 @@ impl<S: StateModel> Engine<S> {
                 if cfg.must_equal(a, h) {
                     return true;
                 }
-                for fact in &cfg.path {
+                for fact in cfg.path_exprs() {
                     if contains_expr(fact, a) && contains_expr(fact, h) {
                         return true;
                     }
@@ -1472,7 +1560,15 @@ impl<S: StateModel> Engine<S> {
     }
 
     /// Executes a procedure body from the beginning, returning the final
-    /// configuration and return value of every path.
+    /// configuration and return value of every path, in deterministic
+    /// (depth-first) order.
+    ///
+    /// With [`EngineOptions::branch_parallelism`] > 1, the top-level (depth
+    /// 0) exploration distributes sibling branches over a work-stealing
+    /// worker pool; nested inlined calls stay serial inside their branch.
+    /// Branches carry fork paths and results are reordered (and the
+    /// lexicographically-least failing branch selected), so verdicts and
+    /// diagnostics are identical at any width.
     pub fn exec_proc(
         &self,
         cfg: Config<S>,
@@ -1485,9 +1581,154 @@ impl<S: StateModel> Engine<S> {
                 proc.name
             )));
         }
+        if depth == 0 && self.opts.branch_parallelism > 1 {
+            self.exec_proc_parallel(cfg, proc, self.opts.branch_parallelism)
+        } else {
+            self.exec_proc_serial(cfg, proc, depth)
+        }
+    }
+
+    /// Executes one command of `proc` at `pc` in `cfg`, classifying the
+    /// outcome. Successors are returned in *canonical visit order*: the
+    /// order in which the serial depth-first driver explores them, which is
+    /// also the fork-path index order of the parallel scheduler.
+    fn step(
+        &self,
+        cfg: Config<S>,
+        pc: usize,
+        proc: &Proc,
+        depth: usize,
+    ) -> Result<StepOutcome<S>, VerError> {
+        self.bump(|s| &s.commands_executed);
+        if pc >= proc.body.len() {
+            return Ok(StepOutcome::Finished(Box::new(cfg), Expr::Unit));
+        }
+        match &proc.body[pc] {
+            Cmd::Skip => Ok(StepOutcome::one(cfg, pc + 1)),
+            Cmd::Assign(x, e) => {
+                let mut c = cfg;
+                let v = c.eval(e);
+                c.assign(*x, v);
+                Ok(StepOutcome::one(c, pc + 1))
+            }
+            Cmd::Action { lhs, name, args } => {
+                let args_e: Vec<Expr> = args.iter().map(|a| cfg.eval(a)).collect();
+                let results =
+                    self.exec_action_cmd(cfg, *name, &args_e, self.opts.max_recovery_steps)?;
+                Ok(StepOutcome::Forked(
+                    results
+                        .into_iter()
+                        .map(|(mut c, v)| {
+                            c.assign(*lhs, v);
+                            (c, pc + 1)
+                        })
+                        .collect(),
+                ))
+            }
+            Cmd::Goto(t) => Ok(StepOutcome::one(cfg, *t)),
+            Cmd::GotoIf {
+                guard,
+                then_target,
+                else_target,
+            } => {
+                let g = cfg.eval(guard);
+                match g.as_bool() {
+                    Some(true) => Ok(StepOutcome::one(cfg, *then_target)),
+                    Some(false) => Ok(StepOutcome::one(cfg, *else_target)),
+                    None => {
+                        let configs = self.auto_unfold_for_branch(cfg, &g);
+                        let mut succs = Vec::new();
+                        for c in configs {
+                            self.bump(|s| &s.branches);
+                            // Each side gets its own solver scope: the guard
+                            // is asserted incrementally on top of the shared
+                            // path prefix.
+                            let mut then_c = c.clone();
+                            then_c.branch_scope();
+                            if then_c.assume(g.clone()) {
+                                succs.push((then_c, *then_target));
+                            }
+                            let mut else_c = c;
+                            else_c.branch_scope();
+                            if else_c.assume(Expr::not(g.clone())) {
+                                succs.push((else_c, *else_target));
+                            }
+                        }
+                        Ok(StepOutcome::Forked(succs))
+                    }
+                }
+            }
+            Cmd::Call {
+                lhs,
+                proc: callee,
+                args,
+            } => {
+                let args_e: Vec<Expr> = args.iter().map(|a| cfg.eval(a)).collect();
+                let results = self.exec_call(cfg, *callee, &args_e, depth)?;
+                Ok(StepOutcome::Forked(
+                    results
+                        .into_iter()
+                        .map(|(mut c, v)| {
+                            c.assign(*lhs, v);
+                            (c, pc + 1)
+                        })
+                        .collect(),
+                ))
+            }
+            Cmd::Logic(l) => {
+                let configs = self.exec_logic(cfg, l)?;
+                Ok(StepOutcome::Forked(
+                    configs.into_iter().map(|c| (c, pc + 1)).collect(),
+                ))
+            }
+            Cmd::Return(e) => {
+                let v = cfg.eval(e);
+                self.bump(|s| &s.paths_completed);
+                Ok(StepOutcome::Finished(Box::new(cfg), v))
+            }
+            Cmd::Fail(msg) => {
+                if self.opts.panics_are_safe {
+                    // Type-safety mode: a panic is safe behaviour, the path
+                    // simply terminates without returning.
+                    return Ok(StepOutcome::Pruned);
+                }
+                if cfg.feasible() {
+                    if std::env::var("GILLIAN_DEBUG").is_ok() {
+                        eprintln!("--- reachable failure in {}: {msg}", proc.name);
+                        eprintln!("path ({}):", cfg.path.len());
+                        for f in &cfg.path {
+                            eprintln!("  {f}");
+                        }
+                        eprintln!(
+                            "folded: {:?}",
+                            cfg.folded.iter().map(|f| f.name).collect::<Vec<_>>()
+                        );
+                        eprintln!("trace: {:?}", cfg.trace);
+                    }
+                    return Err(VerError::new(format!(
+                        "reachable failure in {}: {msg}",
+                        proc.name
+                    )));
+                }
+                // Path pruned: the failure is unreachable (e.g. an overflow
+                // contradicted by an observation).
+                Ok(StepOutcome::Pruned)
+            }
+        }
+    }
+
+    /// The serial depth-first driver: a LIFO worklist, successors pushed in
+    /// reverse so they pop — and finish — in canonical visit order.
+    fn exec_proc_serial(
+        &self,
+        cfg: Config<S>,
+        proc: &Proc,
+        depth: usize,
+    ) -> Result<Vec<(Config<S>, Expr)>, VerError> {
         let mut work: Vec<(Config<S>, usize)> = vec![(cfg, 0)];
         let mut finished: Vec<(Config<S>, Expr)> = Vec::new();
         let mut steps = 0usize;
+        let mut max_live = 1u64;
         while let Some((cfg, pc)) = work.pop() {
             steps += 1;
             if steps > self.opts.max_steps {
@@ -1496,112 +1737,159 @@ impl<S: StateModel> Engine<S> {
                     proc.name
                 )));
             }
-            self.bump(|s| &s.commands_executed);
-            if pc >= proc.body.len() {
-                finished.push((cfg, Expr::Unit));
+            match self.step(cfg, pc, proc, depth)? {
+                StepOutcome::Forked(succs) => {
+                    work.extend(succs.into_iter().rev());
+                    max_live = max_live.max(work.len() as u64);
+                }
+                StepOutcome::Finished(c, v) => finished.push((*c, v)),
+                StepOutcome::Pruned => {}
+            }
+        }
+        self.stats
+            .max_live_branches
+            .fetch_max(max_live, Ordering::Relaxed);
+        Ok(finished)
+    }
+
+    /// The work-stealing branch-parallel driver. Sibling branches execute on
+    /// `workers` scoped threads through a shared [`WorkQueue`]; every branch
+    /// is tagged with its fork path. Finished branches are sorted back into
+    /// canonical (serial depth-first) order, and on failure the
+    /// lexicographically-least failing branch — the one the serial driver
+    /// would have reached first — supplies the error, so verdicts and
+    /// diagnostics match the serial driver's.
+    ///
+    /// Step-budget caveat: the identity guarantee holds for runs that stay
+    /// within the step budget. The budget is shared across workers in
+    /// wall-clock order, so *near the boundary* the two drivers can diverge
+    /// in either direction (serial may time out inside a lex-earlier
+    /// subtree before ever reaching an error a parallel worker finds, or
+    /// parallel workers may burn the budget on lex-later subtrees the
+    /// serial driver would never visit). The policy here is fixed and
+    /// deterministic-in-kind: a concrete branch error, when one is found,
+    /// always beats the budget timeout.
+    fn exec_proc_parallel(
+        &self,
+        cfg: Config<S>,
+        proc: &Proc,
+        workers: usize,
+    ) -> Result<Vec<(Config<S>, Expr)>, VerError> {
+        let queue: WorkQueue<(Config<S>, usize)> = WorkQueue::new(workers);
+        queue.push(
+            0,
+            WorkItem {
+                path: ForkPath::new(),
+                item: (cfg, 0),
+            },
+        );
+        let finished: Mutex<Vec<(ForkPath, Config<S>, Expr)>> = Mutex::new(Vec::new());
+        let first_err: Mutex<Option<(ForkPath, VerError)>> = Mutex::new(None);
+        let shared = BranchShared {
+            finished: &finished,
+            first_err: &first_err,
+            has_err: AtomicBool::new(false),
+            timed_out: AtomicBool::new(false),
+            steps: AtomicUsize::new(0),
+        };
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queue = &queue;
+                let shared = &shared;
+                scope.spawn(move || {
+                    self.branch_worker(w, queue, proc, shared);
+                });
+            }
+        });
+        self.stats
+            .branches_stolen
+            .fetch_add(queue.stolen(), Ordering::Relaxed);
+        self.stats
+            .max_live_branches
+            .fetch_max(queue.max_live() as u64, Ordering::Relaxed);
+        // Destructure to release the borrows of `finished`/`first_err`.
+        let BranchShared { timed_out, .. } = shared;
+        let timed_out = timed_out.load(Ordering::Relaxed);
+        if let Some((_, e)) = first_err.into_inner().unwrap() {
+            return Err(e);
+        }
+        if timed_out {
+            return Err(VerError::timeout(format!(
+                "step budget exhausted while executing {}",
+                proc.name
+            )));
+        }
+        let mut fin = finished.into_inner().unwrap();
+        fin.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(fin.into_iter().map(|(_, c, v)| (c, v)).collect())
+    }
+
+    /// One branch-parallel worker: take a branch, execute one command, push
+    /// the successors (extending the fork path at real forks only), repeat
+    /// until the exploration drains. Errors are folded into the
+    /// lexicographic minimum; branches strictly after the current first
+    /// error are discarded unseen (the serial driver would never have
+    /// reached them).
+    fn branch_worker(
+        &self,
+        w: usize,
+        queue: &WorkQueue<(Config<S>, usize)>,
+        proc: &Proc,
+        shared: &BranchShared<'_, S>,
+    ) {
+        while let Some(WorkItem {
+            path,
+            item: (cfg, pc),
+        }) = queue.pop_or_steal(w)
+        {
+            // Completes the pending slot even if step() panics below, so
+            // sibling workers drain and the panic propagates through the
+            // thread scope instead of hanging the exploration.
+            let _slot = queue.completion_guard();
+            // The error probe is a relaxed flag on the hot path; the mutex
+            // is only taken once a failure actually exists.
+            let doomed = shared.has_err.load(Ordering::Relaxed)
+                && shared
+                    .first_err
+                    .lock()
+                    .unwrap()
+                    .as_ref()
+                    .is_some_and(|(p, _)| *p < path);
+            if doomed || shared.timed_out.load(Ordering::Relaxed) {
                 continue;
             }
-            match &proc.body[pc] {
-                Cmd::Skip => work.push((cfg, pc + 1)),
-                Cmd::Assign(x, e) => {
-                    let mut c = cfg;
-                    let v = c.eval(e);
-                    c.assign(*x, v);
-                    work.push((c, pc + 1));
-                }
-                Cmd::Action { lhs, name, args } => {
-                    let args_e: Vec<Expr> = args.iter().map(|a| cfg.eval(a)).collect();
-                    let results =
-                        self.exec_action_cmd(cfg, *name, &args_e, self.opts.max_recovery_steps)?;
-                    for (mut c, v) in results {
-                        c.assign(*lhs, v);
-                        work.push((c, pc + 1));
-                    }
-                }
-                Cmd::Goto(t) => work.push((cfg, *t)),
-                Cmd::GotoIf {
-                    guard,
-                    then_target,
-                    else_target,
-                } => {
-                    let g = cfg.eval(guard);
-                    match g.as_bool() {
-                        Some(true) => work.push((cfg, *then_target)),
-                        Some(false) => work.push((cfg, *else_target)),
-                        None => {
-                            let configs = self.auto_unfold_for_branch(cfg, &g);
-                            for c in configs {
-                                self.bump(|s| &s.branches);
-                                // Each side gets its own solver scope: the
-                                // guard is asserted incrementally on top of
-                                // the shared path prefix.
-                                let mut then_c = c.clone();
-                                then_c.branch_scope();
-                                if then_c.assume(g.clone()) {
-                                    work.push((then_c, *then_target));
-                                }
-                                let mut else_c = c;
-                                else_c.branch_scope();
-                                if else_c.assume(Expr::not(g.clone())) {
-                                    work.push((else_c, *else_target));
-                                }
-                            }
+            if shared.steps.fetch_add(1, Ordering::Relaxed) + 1 > self.opts.max_steps {
+                shared.timed_out.store(true, Ordering::Relaxed);
+                continue;
+            }
+            match self.step(cfg, pc, proc, 0) {
+                Ok(StepOutcome::Forked(succs)) => {
+                    // A single successor is a continuation, not a sibling:
+                    // it keeps its parent's fork path, so path length is
+                    // proportional to the branch's *fork depth*, not to the
+                    // number of commands executed.
+                    let fork = succs.len() > 1;
+                    for (i, s) in succs.into_iter().enumerate() {
+                        let mut p = path.clone();
+                        if fork {
+                            p.push(i as u32);
                         }
+                        queue.push(w, WorkItem { path: p, item: s });
                     }
                 }
-                Cmd::Call {
-                    lhs,
-                    proc: callee,
-                    args,
-                } => {
-                    let args_e: Vec<Expr> = args.iter().map(|a| cfg.eval(a)).collect();
-                    let results = self.exec_call(cfg, *callee, &args_e, depth)?;
-                    for (mut c, v) in results {
-                        c.assign(*lhs, v);
-                        work.push((c, pc + 1));
-                    }
+                Ok(StepOutcome::Finished(c, v)) => {
+                    shared.finished.lock().unwrap().push((path, *c, v));
                 }
-                Cmd::Logic(l) => {
-                    let configs = self.exec_logic(cfg, l)?;
-                    for c in configs {
-                        work.push((c, pc + 1));
+                Ok(StepOutcome::Pruned) => {}
+                Err(e) => {
+                    let mut best = shared.first_err.lock().unwrap();
+                    if best.as_ref().is_none_or(|(p, _)| path < *p) {
+                        *best = Some((path, e));
                     }
-                }
-                Cmd::Return(e) => {
-                    let v = cfg.eval(e);
-                    self.bump(|s| &s.paths_completed);
-                    finished.push((cfg, v));
-                }
-                Cmd::Fail(msg) => {
-                    if self.opts.panics_are_safe {
-                        // Type-safety mode: a panic is safe behaviour, the
-                        // path simply terminates without returning.
-                        continue;
-                    }
-                    if cfg.feasible() {
-                        if std::env::var("GILLIAN_DEBUG").is_ok() {
-                            eprintln!("--- reachable failure in {}: {msg}", proc.name);
-                            eprintln!("path ({}):", cfg.path.len());
-                            for f in &cfg.path {
-                                eprintln!("  {f}");
-                            }
-                            eprintln!(
-                                "folded: {:?}",
-                                cfg.folded.iter().map(|f| f.name).collect::<Vec<_>>()
-                            );
-                            eprintln!("trace: {:?}", cfg.trace);
-                        }
-                        return Err(VerError::new(format!(
-                            "reachable failure in {}: {msg}",
-                            proc.name
-                        )));
-                    }
-                    // Path pruned: the failure is unreachable (e.g. an
-                    // overflow contradicted by an observation).
+                    shared.has_err.store(true, Ordering::Relaxed);
                 }
             }
         }
-        Ok(finished)
     }
 
     /// Calls a procedure: by specification if one exists, otherwise by
@@ -1868,5 +2156,86 @@ fn subst_logic_cmd(cmd: &LogicCmd, bindings: &Bindings) -> LogicCmd {
         LogicCmd::Produce(a) => LogicCmd::Produce(a.subst_lvars(&|x| bindings.get(&x).cloned())),
         LogicCmd::Consume(a) => LogicCmd::Consume(a.subst_lvars(&|x| bindings.get(&x).cloned())),
         LogicCmd::Tactic(n, a) => LogicCmd::Tactic(*n, sv(a)),
+    }
+}
+
+#[cfg(test)]
+mod branch_parallel_tests {
+    use super::*;
+    use crate::state::EmptyState;
+
+    /// A diamond: two symbolic branches that re-join, each returning a
+    /// distinct value. The parallel driver must return the same paths in
+    /// the same canonical order as the serial one.
+    fn branchy_prog() -> Prog {
+        let mut prog = Prog::new();
+        prog.add_proc(Proc::new(
+            "branchy",
+            &["x"],
+            vec![
+                // 0: if x == 0 goto 1 else 2
+                Cmd::GotoIf {
+                    guard: Expr::eq(Expr::pvar("x"), Expr::Int(0)),
+                    then_target: 1,
+                    else_target: 2,
+                },
+                // 1:
+                Cmd::Return(Expr::Int(1)),
+                // 2: if x == 1 goto 3 else 4
+                Cmd::GotoIf {
+                    guard: Expr::eq(Expr::pvar("x"), Expr::Int(1)),
+                    then_target: 3,
+                    else_target: 4,
+                },
+                // 3:
+                Cmd::Return(Expr::Int(2)),
+                // 4:
+                Cmd::Return(Expr::Int(3)),
+            ],
+        ));
+        prog
+    }
+
+    fn run_with(width: usize) -> Vec<Expr> {
+        let opts = EngineOptions {
+            branch_parallelism: width,
+            ..EngineOptions::default()
+        };
+        let engine: Engine<EmptyState> = Engine::with_options(branchy_prog(), opts);
+        let mut cfg: Config<EmptyState> = Config::new(engine.solver.ctx());
+        let x = cfg.fresh();
+        cfg.assign(Symbol::new("x"), x);
+        let proc = engine.prog.proc(Symbol::new("branchy")).unwrap().clone();
+        engine
+            .exec_proc(cfg, &proc, 0)
+            .expect("branchy executes")
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect()
+    }
+
+    #[test]
+    fn parallel_driver_matches_serial_order() {
+        let serial = run_with(1);
+        assert_eq!(serial, vec![Expr::Int(1), Expr::Int(2), Expr::Int(3)]);
+        for width in [2, 4, 8] {
+            assert_eq!(run_with(width), serial, "width {width}");
+        }
+    }
+
+    /// Branch-scheduler counters reach the engine stats.
+    #[test]
+    fn parallel_driver_tracks_live_branches() {
+        let opts = EngineOptions {
+            branch_parallelism: 4,
+            ..EngineOptions::default()
+        };
+        let engine: Engine<EmptyState> = Engine::with_options(branchy_prog(), opts);
+        let mut cfg: Config<EmptyState> = Config::new(engine.solver.ctx());
+        let x = cfg.fresh();
+        cfg.assign(Symbol::new("x"), x);
+        let proc = engine.prog.proc(Symbol::new("branchy")).unwrap().clone();
+        engine.exec_proc(cfg, &proc, 0).unwrap();
+        assert!(engine.stats().max_live_branches >= 1);
     }
 }

@@ -37,6 +37,7 @@ pub mod asrt;
 pub mod config;
 pub mod engine;
 pub mod gil;
+pub mod schedule;
 pub mod state;
 
 pub use asrt::{Asrt, Lemma, Pred, Spec};
@@ -46,6 +47,7 @@ pub use engine::{
     VerErrorKind, LFT_TOKEN, RET_VAR,
 };
 pub use gil::{Cmd, LogicCmd, Proc, Prog};
+pub use schedule::{ForkPath, WorkItem, WorkQueue};
 pub use state::{
     with_pure_ctx, ActionOk, ActionResult, ConsumeOk, ConsumeResult, EmptyState, ProduceOk,
     PureCtx, StateModel,

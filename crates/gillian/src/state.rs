@@ -6,6 +6,7 @@
 //! The engine is otherwise completely generic.
 
 use gillian_solver::{simplify, Expr, Solver, SolverCtx, Symbol, TermId, VarGen};
+use std::sync::Arc;
 
 /// Pure reasoning context handed to the state model: the branch-scoped
 /// [`SolverCtx`] (which owns the asserted path condition), an expression
@@ -19,7 +20,7 @@ use gillian_solver::{simplify, Expr, Solver, SolverCtx, Symbol, TermId, VarGen};
 /// resolving ids.
 pub struct PureCtx<'a> {
     pub ctx: &'a SolverCtx,
-    pub path: &'a mut Vec<Expr>,
+    pub path: &'a mut Vec<Arc<Expr>>,
     pub vars: &'a mut VarGen,
 }
 
@@ -42,6 +43,11 @@ impl<'a> PureCtx<'a> {
             self.path.push(simplified);
         }
         feasible
+    }
+
+    /// Read-only view of the path mirror as plain expressions.
+    pub fn path_exprs(&self) -> impl Iterator<Item = &Expr> {
+        self.path.iter().map(|e| e.as_ref())
     }
 
     /// Is the current path condition still possibly satisfiable?
@@ -77,7 +83,20 @@ impl<'a> PureCtx<'a> {
     /// Does the path condition, extended with `extra` hypotheses in a
     /// transient scope, entail the goal? Used by state models that carry
     /// auxiliary pure contexts (e.g. the observation context φ).
+    ///
+    /// Fast path: when π alone entails the goal, the transient scope — and
+    /// the re-assertion of every `extra` fact per query — is skipped
+    /// entirely. The engine asserts observations into the path as they are
+    /// produced, so in engine-driven runs φ ⊆ π and this is the common
+    /// case; the scoped re-assertion only pays off when the state model is
+    /// driven directly.
     pub fn entails_under(&self, extra: &[Expr], goal: &Expr) -> bool {
+        if self.ctx.entails(goal) {
+            return true;
+        }
+        if extra.is_empty() {
+            return false;
+        }
         self.ctx.push();
         for e in extra {
             self.ctx.assert_expr(e);
@@ -110,7 +129,7 @@ impl<'a> PureCtx<'a> {
 /// given solver hub.
 pub fn with_pure_ctx<R>(solver: &Solver, f: impl FnOnce(&mut PureCtx<'_>) -> R) -> R {
     let ctx = solver.ctx();
-    let mut path = Vec::new();
+    let mut path: Vec<Arc<Expr>> = Vec::new();
     let mut vars = VarGen::new();
     let mut pure = PureCtx {
         ctx: &ctx,
@@ -180,8 +199,9 @@ pub struct ProduceOk<S> {
 }
 
 /// A state model: the symbolic memory (and any other components) of the
-/// target language.
-pub trait StateModel: Clone + std::fmt::Debug {
+/// target language. `Send` because configurations migrate between workers
+/// under branch-level parallelism (see `gillian_engine::schedule`).
+pub trait StateModel: Clone + std::fmt::Debug + Send {
     /// An empty state.
     fn empty() -> Self;
 
@@ -303,7 +323,8 @@ mod tests {
         let x = pure.fresh();
         let fact = Expr::eq(x, Expr::Int(3));
         assert!(pure.assume(fact.clone()));
-        assert_eq!(path, vec![fact]);
+        assert_eq!(path.len(), 1);
+        assert_eq!(*path[0], fact);
         assert_eq!(ctx.assertions().len(), 1);
     }
 

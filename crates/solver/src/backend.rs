@@ -30,7 +30,7 @@ use crate::kernel;
 use crate::simplify::simplify;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 /// Statistics collected by the solver layer (exposed per-backend through the
 /// verification reports and the ablation benchmarks).
@@ -431,14 +431,126 @@ impl SolverBackend for EagerBackend {
 // Caching decorator
 // ---------------------------------------------------------------------------
 
+/// A query that one context is currently computing. Concurrent askers of
+/// the same (assertion set, goal) park here instead of re-running the
+/// kernel, so each distinct query costs exactly one kernel exploration
+/// whatever the thread count — this is what keeps the `cases_explored`
+/// counter deterministic at 1 vs N workers (obligation- or branch-level).
+///
+/// Waits cannot deadlock: a computation only ever waits (through its
+/// decomposition sub-queries) on entries whose key is a superset of its
+/// own, or — at equal keys — whose goal is strictly structurally smaller
+/// (`None` smallest), a well-founded descent shared by every thread.
+#[derive(Debug)]
+pub(crate) struct InFlight {
+    state: Mutex<InFlightState>,
+    cv: Condvar,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum InFlightState {
+    Pending,
+    Done(bool),
+    /// The computation finished budget-exhausted (not cacheable): waiters
+    /// must compute for themselves.
+    Abandoned,
+}
+
+impl InFlight {
+    fn new() -> InFlight {
+        InFlight {
+            state: Mutex::new(InFlightState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> InFlightState {
+        let mut st = self.state.lock().unwrap();
+        while matches!(*st, InFlightState::Pending) {
+            st = self.cv.wait(st).unwrap();
+        }
+        *st
+    }
+
+    fn settle(&self, st: InFlightState) {
+        *self.state.lock().unwrap() = st;
+        self.cv.notify_all();
+    }
+}
+
+/// A cached verdict: settled, or still being computed by some context.
+#[derive(Clone, Debug)]
+pub(crate) enum CachedVerdict {
+    Done(bool),
+    InFlight(Arc<InFlight>),
+}
+
 /// Cached verdicts for one canonical assertion set: `None` keys the plain
 /// `check_unsat`, `Some(goal)` keys entailments of that (simplified) goal.
-type GoalVerdicts = HashMap<Option<TermId>, bool>;
+type GoalVerdicts = HashMap<Option<TermId>, CachedVerdict>;
 
 /// The shared canonical query cache: one per [`crate::Solver`], shared by
 /// every branch clone and worker thread. Two-level so lookups can borrow the
 /// canonical slice instead of allocating a key per query.
 pub(crate) type QueryCache = Arc<RwLock<HashMap<Box<[TermId]>, GoalVerdicts>>>;
+
+/// What [`CachingBackend::lookup_or_begin`] decided.
+enum Lookup {
+    /// A settled verdict (either cached, or computed by another context we
+    /// waited for).
+    Hit(bool),
+    /// This context claimed the query: it must compute and then
+    /// [`CachingBackend::finish`] with the returned cell and key snapshot.
+    Compute(Arc<InFlight>, Box<[TermId]>),
+}
+
+/// Unwind guard for a claimed query: if the computation panics before
+/// [`CachingBackend::finish`] runs, the in-flight entry is removed and its
+/// waiters released (as abandoned), instead of parking them forever. Owns
+/// its handles (shared `Arc`s) so the computation keeps exclusive use of
+/// the backend.
+struct AbandonOnUnwind {
+    cache: QueryCache,
+    cell: Arc<InFlight>,
+    key: Box<[TermId]>,
+    goal: Option<TermId>,
+    armed: std::cell::Cell<bool>,
+}
+
+impl AbandonOnUnwind {
+    fn new(
+        cache: &QueryCache,
+        cell: &Arc<InFlight>,
+        key: &[TermId],
+        goal: Option<TermId>,
+    ) -> AbandonOnUnwind {
+        AbandonOnUnwind {
+            cache: Arc::clone(cache),
+            cell: Arc::clone(cell),
+            key: Box::from(key),
+            goal,
+            armed: std::cell::Cell::new(true),
+        }
+    }
+
+    fn defuse(&self) {
+        self.armed.set(false);
+    }
+}
+
+impl Drop for AbandonOnUnwind {
+    fn drop(&mut self) {
+        if !self.armed.get() {
+            return;
+        }
+        if let Ok(mut write) = self.cache.write() {
+            if let Some(m) = write.get_mut(&self.key) {
+                m.remove(&self.goal);
+            }
+        }
+        self.cell.settle(InFlightState::Abandoned);
+    }
+}
 
 /// A decorator adding an order-insensitive query cache in front of any
 /// backend. Keys canonicalise the assertion set (sorted, deduplicated), so
@@ -502,34 +614,100 @@ impl CachingBackend {
         self.canonical.as_deref().unwrap()
     }
 
-    fn lookup(&mut self, goal: Option<TermId>) -> Option<bool> {
+    /// Resolves a query against the cache, *claiming* it when absent.
+    ///
+    /// * A settled entry is a hit.
+    /// * An in-flight entry (another context is computing the same query
+    ///   right now) parks until it settles — the query is never computed
+    ///   twice, which keeps kernel-work counters deterministic whatever the
+    ///   thread count.
+    /// * An absent entry is claimed: an in-flight marker is installed and
+    ///   the caller must compute and [`CachingBackend::finish`].
+    fn lookup_or_begin(&mut self, goal: Option<TermId>) -> Lookup {
+        use std::collections::hash_map::Entry;
         let cache = Arc::clone(&self.cache);
-        let key = self.canonical();
-        let hit = cache
-            .read()
-            .unwrap()
-            .get(key)
-            .and_then(|m| m.get(&goal).copied());
-        if hit.is_some() {
+        // Fast path: a settled entry under the read lock, with no key
+        // allocation (the overwhelmingly common case on warm caches).
+        let fast = {
+            let key = self.canonical();
+            match cache.read().unwrap().get(key).and_then(|m| m.get(&goal)) {
+                Some(CachedVerdict::Done(b)) => Some(*b),
+                _ => None,
+            }
+        };
+        if let Some(b) = fast {
             self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Hit(b);
         }
-        hit
+        loop {
+            enum Probe {
+                Hit(bool),
+                Wait(Arc<InFlight>),
+                Claimed(Arc<InFlight>, Box<[TermId]>),
+            }
+            let probe = {
+                let key: Box<[TermId]> = Box::from(self.canonical());
+                let mut write = cache.write().unwrap();
+                match write.entry(key.clone()).or_default().entry(goal) {
+                    Entry::Occupied(e) => match e.get() {
+                        CachedVerdict::Done(b) => Probe::Hit(*b),
+                        CachedVerdict::InFlight(cell) => Probe::Wait(Arc::clone(cell)),
+                    },
+                    Entry::Vacant(slot) => {
+                        let cell = Arc::new(InFlight::new());
+                        slot.insert(CachedVerdict::InFlight(Arc::clone(&cell)));
+                        Probe::Claimed(cell, key)
+                    }
+                }
+            };
+            match probe {
+                Probe::Hit(b) => {
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Lookup::Hit(b);
+                }
+                Probe::Claimed(cell, key) => return Lookup::Compute(cell, key),
+                Probe::Wait(cell) => match cell.wait() {
+                    InFlightState::Done(b) => {
+                        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        return Lookup::Hit(b);
+                    }
+                    // The computation was not cacheable (budget-exhausted):
+                    // retry, most likely claiming the query for ourselves.
+                    InFlightState::Abandoned => continue,
+                    InFlightState::Pending => unreachable!("wait() returns settled states"),
+                },
+            }
+        }
     }
 
-    fn store(&mut self, goal: Option<TermId>, result: bool) {
-        let cache = Arc::clone(&self.cache);
-        let key = self.canonical();
-        let mut write = cache.write().unwrap();
-        match write.get_mut(key) {
-            Some(m) => {
-                m.insert(goal, result);
-            }
-            None => {
-                let mut m = GoalVerdicts::new();
-                m.insert(goal, result);
-                write.insert(Box::from(key), m);
+    /// Publishes the result of a claimed query: settles the entry when the
+    /// answer is complete (cacheable), removes it otherwise, and wakes every
+    /// parked waiter either way. `key` is the canonical-set snapshot taken
+    /// at claim time (entailment decompositions push and pop around the
+    /// computation; the stack is balanced, but the snapshot makes this
+    /// independent of that invariant).
+    fn finish(
+        &mut self,
+        cell: &InFlight,
+        key: Box<[TermId]>,
+        goal: Option<TermId>,
+        result: bool,
+        complete: bool,
+    ) {
+        {
+            let mut write = self.cache.write().unwrap();
+            let slot = write.entry(key).or_default();
+            if complete {
+                slot.insert(goal, CachedVerdict::Done(result));
+            } else {
+                slot.remove(&goal);
             }
         }
+        cell.settle(if complete {
+            InFlightState::Done(result)
+        } else {
+            InFlightState::Abandoned
+        });
     }
 }
 
@@ -560,32 +738,40 @@ impl SolverBackend for CachingBackend {
     }
 
     fn check_unsat(&mut self, arena: &TermArena) -> bool {
-        if let Some(hit) = self.lookup(None) {
-            return hit;
+        match self.lookup_or_begin(None) {
+            Lookup::Hit(b) => b,
+            Lookup::Compute(cell, key) => {
+                let guard = AbandonOnUnwind::new(&self.cache, &cell, &key, None);
+                let result = self.inner.check_unsat(arena);
+                let complete = self.inner.last_query_complete();
+                if !complete {
+                    self.incomplete_events += 1;
+                }
+                guard.defuse();
+                self.finish(&cell, key, None, result, complete);
+                result
+            }
         }
-        let result = self.inner.check_unsat(arena);
-        if self.inner.last_query_complete() {
-            self.store(None, result);
-        } else {
-            self.incomplete_events += 1;
-        }
-        result
     }
 
     fn entails(&mut self, arena: &TermArena, goal: TermId) -> bool {
         let goal_id = arena.simplify(goal);
-        if let Some(hit) = self.lookup(Some(goal_id)) {
-            return hit;
+        match self.lookup_or_begin(Some(goal_id)) {
+            Lookup::Hit(b) => b,
+            Lookup::Compute(cell, key) => {
+                // Decompose through *this* backend, so sub-goals and the
+                // leaf refutations are cached too. The decomposition
+                // restores the assertion stack (balanced push/pop), so the
+                // claimed key is unchanged by the time we publish.
+                let guard = AbandonOnUnwind::new(&self.cache, &cell, &key, Some(goal_id));
+                let before = self.incomplete_events;
+                let result = entails_by_decomposition(self, arena, goal_id);
+                let complete = self.incomplete_events == before;
+                guard.defuse();
+                self.finish(&cell, key, Some(goal_id), result, complete);
+                result
+            }
         }
-        // Decompose through *this* backend, so sub-goals and the leaf
-        // refutations are cached too. The decomposition restores the
-        // assertion stack (balanced push/pop), so the key is unchanged.
-        let before = self.incomplete_events;
-        let result = entails_by_decomposition(self, arena, goal_id);
-        if self.incomplete_events == before {
-            self.store(Some(goal_id), result);
-        }
-        result
     }
 
     fn last_query_complete(&self) -> bool {

@@ -6,8 +6,16 @@
 //! class whose head constructors are distinct literals or distinct datatype
 //! tags witness a contradiction, and equated constructor applications with the
 //! same tag propagate equalities between their fields (injectivity).
+//!
+//! Interpreted operators are handled by *normalisation*: when a child of an
+//! interpreted term (`++`, arithmetic, `len`, …) sits in a class that
+//! contains a concrete form (a literal, constructor, sequence or tuple), the
+//! term is re-simplified with that form substituted and merged with the
+//! result — so `c ~ []` makes `[e] ++ c ~ [e]`, which pure congruence over
+//! uninterpreted heads cannot see.
 
 use crate::expr::{BinOp, Expr, NOp, SVar, UnOp};
+use crate::simplify::simplify;
 use crate::symbol::Symbol;
 use std::collections::HashMap;
 
@@ -197,6 +205,7 @@ impl Congruence {
 
     /// Propagates congruence and pending injectivity equalities to fixpoint.
     pub fn rebuild(&mut self) {
+        let mut normalize_rounds = 0;
         loop {
             // Merge pending injectivity-derived equalities.
             let pending = std::mem::take(&mut self.pending);
@@ -233,13 +242,91 @@ impl Congruence {
                     }
                 }
             }
-            if !merged && !had_pending && self.pending.is_empty() {
-                break;
-            }
             if self.contradiction {
                 break;
             }
+            if !merged && !had_pending && self.pending.is_empty() {
+                // Quiescent under pure congruence: try interpreted
+                // normalisation, which may unlock further merges. Bounded so
+                // a pathological simplify/merge interplay cannot loop.
+                if normalize_rounds < 4 && self.normalize_pass() {
+                    normalize_rounds += 1;
+                    continue;
+                }
+                break;
+            }
         }
+    }
+
+    /// One interpreted-normalisation pass: for every term with an
+    /// interpreted head, re-simplify it with each child replaced by a
+    /// concrete member of its class (literal, constructor, sequence or
+    /// tuple) and merge the term with the simplified form when it reduces.
+    /// Returns whether anything was merged.
+    fn normalize_pass(&mut self) -> bool {
+        // Map each class representative to its most concrete member (lowest
+        // id for determinism).
+        let n = self.terms.len();
+        let mut concrete: HashMap<TermId, TermId> = HashMap::new();
+        for i in 0..n {
+            let head = &self.terms[i].head;
+            if head.is_value_head() || matches!(head, TermHead::SeqLit | TermHead::Tuple) {
+                let rep = self.find(TermId(i as u32));
+                concrete.entry(rep).or_insert(TermId(i as u32));
+            }
+        }
+        let mut changed = false;
+        for i in 0..n {
+            let head = self.terms[i].head.clone();
+            if !matches!(
+                head,
+                TermHead::UnOp(_) | TermHead::BinOp(_) | TermHead::NOp(_) | TermHead::Ite
+            ) {
+                continue;
+            }
+            let children = self.terms[i].children.clone();
+            let child_exprs: Vec<Expr> = children
+                .iter()
+                .map(|&c| self.concrete_expr(c, &concrete, 6))
+                .collect();
+            let e = mk_expr(&head, child_exprs);
+            let s = simplify(&e);
+            if s != e {
+                let ts = self.intern(&s);
+                let ri = self.find(TermId(i as u32));
+                let rs = self.find(ts);
+                if ri != rs {
+                    self.merge(ri, rs);
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Reconstructs an expression for `id`, steering through each class's
+    /// concrete member where one exists. Depth-limited: union-find classes
+    /// can relate a term to one of its own subterms (`x ~ f(x)`), so the
+    /// walk must not chase representatives forever.
+    fn concrete_expr(
+        &mut self,
+        id: TermId,
+        concrete: &HashMap<TermId, TermId>,
+        depth: usize,
+    ) -> Expr {
+        let use_id = if depth > 0 {
+            let rep = self.find(id);
+            concrete.get(&rep).copied().unwrap_or(id)
+        } else {
+            id
+        };
+        let term = self.terms[use_id.0 as usize].clone();
+        let children: Vec<Expr> = term
+            .children
+            .iter()
+            .map(|&c| self.concrete_expr(c, concrete, depth.saturating_sub(1)))
+            .collect();
+        mk_expr(&term.head, children)
     }
 
     /// Are the two expressions known to be equal?
@@ -305,6 +392,38 @@ impl Congruence {
     /// True when no terms have been interned.
     pub fn is_empty(&self) -> bool {
         self.terms.is_empty()
+    }
+}
+
+/// Rebuilds an expression from a term head and child expressions (the
+/// inverse of the destructuring in [`Congruence::intern`]).
+fn mk_expr(head: &TermHead, children: Vec<Expr>) -> Expr {
+    let mut it = children.into_iter();
+    match head {
+        TermHead::Var(v) => Expr::Var(*v),
+        TermHead::LVar(s) => Expr::LVar(*s),
+        TermHead::PVar(s) => Expr::PVar(*s),
+        TermHead::Int(i) => Expr::Int(*i),
+        TermHead::Bool(b) => Expr::Bool(*b),
+        TermHead::Loc(l) => Expr::Loc(*l),
+        TermHead::Unit => Expr::Unit,
+        TermHead::Ctor(tag) => Expr::Ctor(*tag, it.collect()),
+        TermHead::Tuple => Expr::Tuple(it.collect()),
+        TermHead::SeqLit => Expr::SeqLit(it.collect()),
+        TermHead::UnOp(op) => Expr::UnOp(*op, Box::new(it.next().expect("unop child"))),
+        TermHead::BinOp(op) => {
+            let a = it.next().expect("binop lhs");
+            let b = it.next().expect("binop rhs");
+            Expr::BinOp(*op, Box::new(a), Box::new(b))
+        }
+        TermHead::NOp(op) => Expr::NOp(*op, it.collect()),
+        TermHead::Ite => {
+            let c = it.next().expect("ite cond");
+            let t = it.next().expect("ite then");
+            let e = it.next().expect("ite else");
+            Expr::Ite(Box::new(c), Box::new(t), Box::new(e))
+        }
+        TermHead::App(name) => Expr::App(*name, it.collect()),
     }
 }
 

@@ -196,6 +196,7 @@ fn refute_conjunction(literals: &[Arc<Expr>]) -> bool {
 
     // Pass 2: linear arithmetic.
     let mut lin = Linear::new();
+    let mut derived_len_eqs: Vec<Expr> = Vec::new();
     for lit in literals {
         match lit.as_ref() {
             Expr::BinOp(BinOp::Lt, a, b) => lin.add_lt(a, b, &mut cc),
@@ -216,15 +217,28 @@ fn refute_conjunction(literals: &[Arc<Expr>]) -> bool {
                 let la = simplify(&Expr::seq_len((**a).clone()));
                 let lb = simplify(&Expr::seq_len((**b).clone()));
                 lin.add_eq(&la, &lb, &mut cc);
+                derived_len_eqs.push(la);
+                derived_len_eqs.push(lb);
             }
         }
     }
-    // Length terms are non-negative.
+    // Length terms are non-negative — including the ones that only appear
+    // in *derived* length equalities (e.g. `repr == [v] ++ tail` derives
+    // `len(repr) == 1 + len(tail)`; without `len(tail) >= 0` the system
+    // cannot conclude `len(repr) >= 1`, which is exactly what underflow
+    // checks like `len - 1` need).
     let mut len_terms: Vec<Expr> = Vec::new();
     for lit in literals {
         lit.visit(&mut |e| {
             if matches!(e, Expr::UnOp(UnOp::SeqLen, _)) {
                 len_terms.push(e.clone());
+            }
+        });
+    }
+    for e in &derived_len_eqs {
+        e.visit(&mut |sub| {
+            if matches!(sub, Expr::UnOp(UnOp::SeqLen, _)) {
+                len_terms.push(sub.clone());
             }
         });
     }

@@ -229,21 +229,23 @@ impl SolverCtx {
     }
 
     /// Adds a fact to the path condition after simplifying it. Returns the
-    /// simplified fact and whether the path is still possibly satisfiable
-    /// (`false` means the caller should prune/vanish). Trivially-true facts
-    /// are not asserted.
-    pub fn assume(&self, fact: &Expr) -> (Expr, bool) {
+    /// simplified fact — shared straight out of the arena, so callers
+    /// mirroring the path keep a refcount bump instead of a deep clone — and
+    /// whether the path is still possibly satisfiable (`false` means the
+    /// caller should prune/vanish). Trivially-true facts are not asserted.
+    pub fn assume(&self, fact: &Expr) -> (Arc<Expr>, bool) {
         let s = self.arena.simplify(self.arena.intern(fact));
         let se = self.arena.resolve(s);
         match se.as_bool() {
-            Some(true) => ((*se).clone(), true),
+            Some(true) => (se, true),
             Some(false) => {
                 self.assert_term(s);
-                ((*se).clone(), false)
+                (se, false)
             }
             None => {
                 self.assert_term(s);
-                ((*se).clone(), !self.check_unsat())
+                let feasible = !self.check_unsat();
+                (se, feasible)
             }
         }
     }

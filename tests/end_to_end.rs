@@ -19,7 +19,7 @@ fn linked_list_functional_correctness_end_to_end() {
 /// The full LinkedList API (push_front/pop_front) — long-running, see
 /// EXPERIMENTS.md; run with `cargo test -- --ignored`.
 #[test]
-#[ignore = "long-running: automated proof-search blow-up, see EXPERIMENTS.md"]
+#[ignore = "long-running: multi-minute automated proof search, see EXPERIMENTS.md"]
 fn linked_list_full_api_end_to_end() {
     let report =
         linked_list::session_for(SpecMode::FunctionalCorrectness, linked_list::FUNCTIONS_FULL)
