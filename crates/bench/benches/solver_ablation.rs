@@ -12,11 +12,17 @@
 //! `BENCH_solver.json` at the workspace root (uploaded as a CI artifact by
 //! the bench-smoke job).
 //!
+//! When an external SMT solver is probed (z3/cvc5 on `PATH`, or
+//! `GILLIAN_SMT`), the run gains an **smtlib column**: the same suite under
+//! [`BackendKind::SmtLib`] (kernel + external process), included in the
+//! verdict-identity contract and reported with its external query counters.
+//!
 //! `BENCH_QUICK=1` runs a reduced suite (first two rows, still asserting
 //! the contract) so CI stays fast.
 
 use case_studies::table1::{table1_cases, Table1Row};
 use driver::{BackendKind, SolverStats};
+use gillian_solver::smtlib;
 use std::time::{Duration, Instant};
 
 struct BackendRun {
@@ -44,6 +50,9 @@ fn run_backend(kind: BackendKind, quick: bool) -> BackendRun {
         solver.entailment_queries += s.entailment_queries;
         solver.cases_explored += s.cases_explored;
         solver.cache_hits += s.cache_hits;
+        solver.smt_queries += s.smt_queries;
+        solver.smt_unsat += s.smt_unsat;
+        solver.smt_failures += s.smt_failures;
         rows.push(Table1Row::from_report(name, property, eloc, aloc, report));
     }
     BackendRun {
@@ -71,6 +80,7 @@ fn to_json(runs: &[BackendRun], quick: bool, identical: bool, strictly_fewer: bo
     let mut out = String::from("{");
     out.push_str("\"suite\":\"table1\",");
     out.push_str(&format!("\"quick\":{quick},"));
+    out.push_str(&format!("\"smt_available\":{},", smtlib::available()));
     out.push_str(&format!("\"verdicts_identical\":{identical},"));
     out.push_str(&format!(
         "\"cached_fewer_leaf_cases_than_one_shot\":{strictly_fewer},"
@@ -81,13 +91,16 @@ fn to_json(runs: &[BackendRun], quick: bool, identical: bool, strictly_fewer: bo
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"backend\":\"{}\",\"wall_seconds\":{:.6},\"unsat_queries\":{},\"entailment_queries\":{},\"cases_explored\":{},\"cache_hits\":{},\"rows\":[",
+            "{{\"backend\":\"{}\",\"wall_seconds\":{:.6},\"unsat_queries\":{},\"entailment_queries\":{},\"cases_explored\":{},\"cache_hits\":{},\"smt_queries\":{},\"smt_unsat\":{},\"smt_failures\":{},\"rows\":[",
             run.kind,
             run.wall.as_secs_f64(),
             run.solver.unsat_queries,
             run.solver.entailment_queries,
             run.solver.cases_explored,
             run.solver.cache_hits,
+            run.solver.smt_queries,
+            run.solver.smt_unsat,
+            run.solver.smt_failures,
         ));
         for (j, row) in run.rows.iter().enumerate() {
             if j > 0 {
@@ -114,17 +127,29 @@ fn main() {
         if quick { ", quick" } else { "" }
     );
 
-    let runs: Vec<BackendRun> = BackendKind::ALL
-        .iter()
-        .map(|&kind| {
+    // The SMT column joins the ablation only when an external solver is
+    // actually present; the kernel-only fallback would just duplicate the
+    // cached-incremental column.
+    let mut kinds: Vec<BackendKind> = BackendKind::ALL.to_vec();
+    if smtlib::available() {
+        kinds.push(BackendKind::SmtLib);
+    } else {
+        println!("  (no external SMT solver probed; smtlib column skipped)");
+    }
+    let runs: Vec<BackendRun> = kinds
+        .into_iter()
+        .map(|kind| {
             let run = run_backend(kind, quick);
             println!(
-                "  {:<20} wall {:>8.3}s  queries {:>6}  leaf cases {:>7}  cache hits {:>6}",
+                "  {:<20} wall {:>8.3}s  queries {:>6}  leaf cases {:>7}  cache hits {:>6}  smt {:>4} asked / {:>4} unsat / {:>3} failed",
                 run.kind.label(),
                 run.wall.as_secs_f64(),
                 run.solver.queries(),
                 run.solver.cases_explored,
                 run.solver.cache_hits,
+                run.solver.smt_queries,
+                run.solver.smt_unsat,
+                run.solver.smt_failures,
             );
             run
         })

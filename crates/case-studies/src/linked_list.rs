@@ -16,11 +16,10 @@ use gillian_rust::verifier::{CaseReport, Verifier};
 use gillian_solver::{Expr, Symbol};
 use rust_ir::{AdtDef, AggregateKind, BodyBuilder, Operand, Place, Program, Ty};
 
-/// Functions verified by the quick (default) harness. `push_front` and
-/// `pop_front` are part of [`FUNCTIONS_FULL`]: their automated proofs go
-/// through but take minutes of proof search (recovery × folding over the
-/// `dll_seg` spine — measurements in EXPERIMENTS.md), so they are exercised
-/// by the `--ignored` tests instead of the default suite.
+/// Functions verified by the Table 1 harness. `push_front` and `pop_front`
+/// are part of [`FUNCTIONS_FULL`] and are exercised by dedicated tests;
+/// since the fold-search memoisation fix their automated proofs run in
+/// fractions of a second (history and measurements in EXPERIMENTS.md).
 pub const FUNCTIONS: &[&str] = &["new"];
 /// The full function set of the case study.
 pub const FUNCTIONS_FULL: &[&str] = &["new", "push_front", "pop_front"];
@@ -473,7 +472,6 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "long-running: multi-minute automated proof search, see EXPERIMENTS.md"]
     fn push_front_verifies_fc() {
         verifier(SpecMode::FunctionalCorrectness)
             .verify_fn("push_front")
@@ -481,7 +479,6 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "long-running: multi-minute automated proof search, see EXPERIMENTS.md"]
     fn pop_front_verifies_fc() {
         verifier(SpecMode::FunctionalCorrectness)
             .verify_fn("pop_front")
@@ -489,7 +486,6 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "long-running: multi-minute automated proof search, see EXPERIMENTS.md"]
     fn push_front_verifies_ts() {
         verifier(SpecMode::TypeSafety)
             .verify_fn("push_front")

@@ -10,7 +10,7 @@
 //! `prophecy_auto_update` applies only the Mut-Auto-Update step.
 
 use crate::state::{GRState, PROPH_CONTROLLER, VALUE_OBSERVER};
-use gillian_engine::{fresh_lvar_name, Asrt, Bindings, Config, Engine, VerError};
+use gillian_engine::{debug_enabled, fresh_lvar_name, Asrt, Bindings, Config, Engine, VerError};
 use gillian_solver::{simplify, Expr, Symbol};
 
 /// Finds the guarded predicate or closing token corresponding to the mutable
@@ -67,7 +67,7 @@ fn mut_auto_update(
     let pc_atom = pc_atom
         .ok_or_else(|| VerError::new("borrow body has no prophecy controller (TS mode?)"))?;
     let others_asrt = Asrt::star(others);
-    if std::env::var("GILLIAN_DEBUG").is_ok() {
+    if debug_enabled() {
         eprintln!("[tactic] consuming borrow body: {others_asrt}");
         eprintln!("[tactic] folded: {:?}", cfg.folded);
         eprintln!("[tactic] path:");

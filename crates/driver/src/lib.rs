@@ -225,8 +225,16 @@ impl VerificationReport {
             SpecMode::TypeSafety => "TS",
             SpecMode::FunctionalCorrectness => "FC",
         };
+        let smt = if self.solver.smt_queries > 0 || self.solver.smt_failures > 0 {
+            format!(
+                ", smt {} asked / {} unsat / {} failed",
+                self.solver.smt_queries, self.solver.smt_unsat, self.solver.smt_failures,
+            )
+        } else {
+            String::new()
+        };
         let mut out = format!(
-            "== {} ({mode}) — {}/{} verified, wall {:.3}s, cpu {:.3}s, {} worker(s), {} branch worker(s) ({} stolen, {} max live), solver {} ({} queries, {} cache hits) ==\n",
+            "== {} ({mode}) — {}/{} verified, wall {:.3}s, cpu {:.3}s, {} worker(s), {} branch worker(s) ({} stolen, {} max live), solver {} ({} queries, {} cache hits{smt}) ==\n",
             self.session,
             self.verified_count(),
             self.cases.len(),
@@ -282,11 +290,14 @@ impl VerificationReport {
         ));
         out.push_str(&format!("\"backend\":\"{}\",", self.backend));
         out.push_str(&format!(
-            "\"solver\":{{\"unsat_queries\":{},\"entailment_queries\":{},\"cases_explored\":{},\"cache_hits\":{}}},",
+            "\"solver\":{{\"unsat_queries\":{},\"entailment_queries\":{},\"cases_explored\":{},\"cache_hits\":{},\"smt_queries\":{},\"smt_unsat\":{},\"smt_failures\":{}}},",
             self.solver.unsat_queries,
             self.solver.entailment_queries,
             self.solver.cases_explored,
             self.solver.cache_hits,
+            self.solver.smt_queries,
+            self.solver.smt_unsat,
+            self.solver.smt_failures,
         ));
         out.push_str(&format!(
             "\"stats\":{{\"commands\":{},\"folds\":{},\"unfolds\":{},\"borrow_opens\":{},\"borrow_closes\":{},\"recoveries\":{},\"branches\":{},\"branches_stolen\":{},\"max_live_branches\":{}}},",

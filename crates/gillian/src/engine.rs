@@ -22,8 +22,18 @@ use crate::state::{ActionResult, ConsumeResult, StateModel};
 use gillian_solver::{simplify, BackendKind, Expr, Solver, Symbol};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Is `GILLIAN_DEBUG` set? Read from the environment once per process and
+/// cached: the engine (and the tactics layer) probe this on hot paths —
+/// every failed consume and every reachable failure — so re-reading the
+/// environment per step would be measurable overhead for something that
+/// cannot change mid-run.
+pub fn debug_enabled() -> bool {
+    static DEBUG: OnceLock<bool> = OnceLock::new();
+    *DEBUG.get_or_init(|| std::env::var("GILLIAN_DEBUG").is_ok())
+}
 
 /// Core-predicate name for lifetime tokens `[κ]_q` (ins: `[κ]`, outs: `[q]`).
 pub const LFT_TOKEN: &str = "lft_tok";
@@ -141,8 +151,20 @@ pub struct EngineOptions {
     pub panics_are_safe: bool,
     /// Which solver backend answers pure queries
     /// ([`BackendKind::CachedIncremental`] by default; the others exist for
-    /// the ablation benchmarks and as templates for new backends).
+    /// the ablation benchmarks and as templates for new backends;
+    /// [`BackendKind::SmtLib`] additionally drives an external SMT-LIB2
+    /// process for queries the in-repo kernel cannot refute).
     pub backend: BackendKind,
+    /// Wall-clock time box for each external SMT solve (milliseconds;
+    /// [`BackendKind::SmtLib`] only). On timeout the solver process is
+    /// killed and respawned and the in-flight cache entry for the query is
+    /// abandoned, so parked branch workers resume instead of hanging.
+    /// Defaults to `GILLIAN_SMT_TIMEOUT_MS` or 3000.
+    pub smt_timeout_ms: u64,
+    /// Explicit external solver command line for [`BackendKind::SmtLib`]
+    /// (`None` probes `GILLIAN_SMT`, then `PATH` for `z3`/`cvc5`). Lets
+    /// tests and benches inject stub solvers deterministically.
+    pub smt_command: Option<Vec<String>>,
     /// Number of worker threads exploring sibling branches of ONE proof
     /// obligation (`1` = serial, the default). Branches are tagged with
     /// their fork path and results are reordered before returning, so
@@ -162,6 +184,8 @@ impl Default for EngineOptions {
             max_branch_unfolds: 3,
             panics_are_safe: false,
             backend: BackendKind::default(),
+            smt_timeout_ms: gillian_solver::SmtOptions::from_env().timeout.as_millis() as u64,
+            smt_command: None,
             branch_parallelism: 1,
         }
     }
@@ -291,6 +315,16 @@ impl AtomicEngineStats {
 /// A semi-automatic tactic registered with the engine.
 pub type TacticFn<S> = fn(&Engine<S>, Config<S>, &[Expr]) -> Result<Vec<Config<S>>, VerError>;
 
+/// Strength of the connection between a recovery candidate's arguments and
+/// the failed consume's hint (stronger first; see `Engine::try_recover`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Relatedness {
+    /// Syntactic containment either way, or provable equality.
+    Direct,
+    /// Only connected through a path-condition fact mentioning both.
+    ViaPath,
+}
+
 /// The classified outcome of executing one command on one branch.
 /// (`Finished` boxes its configuration so the common `Forked`/`Pruned`
 /// values stay small.)
@@ -385,12 +419,20 @@ impl<S: StateModel> Engine<S> {
 
     /// Creates an engine with explicit options.
     pub fn with_options(prog: Prog, opts: EngineOptions) -> Self {
+        let solver = Solver::with_backend_and_smt(opts.backend, Self::smt_options(&opts));
         Engine {
             prog,
-            solver: Solver::with_backend(opts.backend),
+            solver,
             opts,
             tactics: HashMap::new(),
             stats: AtomicEngineStats::default(),
+        }
+    }
+
+    fn smt_options(opts: &EngineOptions) -> gillian_solver::SmtOptions {
+        gillian_solver::SmtOptions {
+            command: opts.smt_command.clone(),
+            timeout: Duration::from_millis(opts.smt_timeout_ms),
         }
     }
 
@@ -399,7 +441,7 @@ impl<S: StateModel> Engine<S> {
     /// another backend without recompiling.
     pub fn set_backend(&mut self, kind: BackendKind) {
         self.opts.backend = kind;
-        self.solver = Solver::with_backend(kind);
+        self.solver = Solver::with_backend_and_smt(kind, Self::smt_options(&self.opts));
     }
 
     /// Registers a semi-automatic tactic.
@@ -545,7 +587,7 @@ impl<S: StateModel> Engine<S> {
             if next.is_empty() {
                 let err =
                     last_err.unwrap_or_else(|| VerError::new(format!("failed to consume {atom}")));
-                if std::env::var("GILLIAN_DEBUG").is_ok() {
+                if debug_enabled() {
                     eprintln!("[consume] failed on atom {atom}: {}", err.msg);
                 }
                 return Err(err);
@@ -1027,8 +1069,10 @@ impl<S: StateModel> Engine<S> {
         actual: &Expr,
     ) -> bool {
         // The rewrite fallback explores the path-condition equality graph,
-        // which may contain cycles; the depth bound keeps the search finite.
-        self.unify_bounded(cfg, bindings, pattern, actual, 16)
+        // which may contain cycles; the depth bound keeps the search finite
+        // and the failure memo keeps it from re-exploring.
+        let mut failed = HashMap::new();
+        self.unify_bounded(cfg, bindings, pattern, actual, 16, &mut failed)
     }
 
     fn unify_bounded(
@@ -1038,6 +1082,7 @@ impl<S: StateModel> Engine<S> {
         pattern: &Expr,
         actual: &Expr,
         depth: usize,
+        failed: &mut HashMap<(Expr, Expr), usize>,
     ) -> bool {
         let pattern = pattern.subst_lvars(&|s| bindings.get(&s).cloned());
         match (&pattern, actual) {
@@ -1051,16 +1096,16 @@ impl<S: StateModel> Engine<S> {
                 args1
                     .iter()
                     .zip(args2.iter())
-                    .all(|(p, a)| self.unify_bounded(cfg, bindings, p, a, depth))
+                    .all(|(p, a)| self.unify_bounded(cfg, bindings, p, a, depth, failed))
             }
             (Expr::Tuple(args1), Expr::Tuple(args2)) if args1.len() == args2.len() => args1
                 .iter()
                 .zip(args2.iter())
-                .all(|(p, a)| self.unify_bounded(cfg, bindings, p, a, depth)),
+                .all(|(p, a)| self.unify_bounded(cfg, bindings, p, a, depth, failed)),
             (Expr::SeqLit(args1), Expr::SeqLit(args2)) if args1.len() == args2.len() => args1
                 .iter()
                 .zip(args2.iter())
-                .all(|(p, a)| self.unify_bounded(cfg, bindings, p, a, depth)),
+                .all(|(p, a)| self.unify_bounded(cfg, bindings, p, a, depth, failed)),
             _ => {
                 if pattern.lvars().is_empty() {
                     return cfg.must_equal(&pattern, actual);
@@ -1073,8 +1118,27 @@ impl<S: StateModel> Engine<S> {
                 // (cheap), then solver-provable equality (`must_equal`),
                 // which sees through chains like `h == v, v == Some(w)` that
                 // have no single syntactic fact for `h`.
+                //
+                // The path condition is fixed for the whole unification, so
+                // a (substituted pattern, actual) subproblem is determined
+                // by the pair plus the remaining depth budget. Failures are
+                // memoised together with the budget they failed at: a
+                // failure with depth `d` soundly blocks retries with depth
+                // `<= d` (a smaller budget can only explore less), while a
+                // retry with a larger budget runs afresh. DFS reaches each
+                // pair first along the shortest hop chain — the largest
+                // remaining budget — so nearly every revisit is a memo hit.
+                // Without the memo the fallback re-derives identical
+                // failures along every combination of equality hops: the
+                // LinkedList fold searches issued ~150 million (cached)
+                // solver queries this way, dominating the multi-minute
+                // proof times recorded in EXPERIMENTS.md.
                 if depth > 0 && matches!(pattern, Expr::Ctor(..) | Expr::Tuple(_) | Expr::SeqLit(_))
                 {
+                    let key = (pattern.clone(), actual.clone());
+                    if failed.get(&key).is_some_and(|&d| d >= depth) {
+                        return false;
+                    }
                     // Snapshot the mirror (refcount bumps only — the entries
                     // are shared arena allocations) and borrow the equation
                     // sides out of it: no term is deep-cloned here.
@@ -1099,7 +1163,14 @@ impl<S: StateModel> Engine<S> {
                     for &(opaque, form) in &ctor_facts {
                         if opaque == actual {
                             let mut trial = bindings.clone();
-                            if self.unify_bounded(cfg, &mut trial, &pattern, form, depth - 1) {
+                            if self.unify_bounded(
+                                cfg,
+                                &mut trial,
+                                &pattern,
+                                form,
+                                depth - 1,
+                                failed,
+                            ) {
                                 *bindings = trial;
                                 return true;
                             }
@@ -1108,12 +1179,21 @@ impl<S: StateModel> Engine<S> {
                     for &(opaque, form) in &ctor_facts {
                         if opaque != actual && cfg.must_equal(opaque, actual) {
                             let mut trial = bindings.clone();
-                            if self.unify_bounded(cfg, &mut trial, &pattern, form, depth - 1) {
+                            if self.unify_bounded(
+                                cfg,
+                                &mut trial,
+                                &pattern,
+                                form,
+                                depth - 1,
+                                failed,
+                            ) {
                                 *bindings = trial;
                                 return true;
                             }
                         }
                     }
+                    let slot = failed.entry(key).or_insert(0);
+                    *slot = (*slot).max(depth);
                 }
                 false
             }
@@ -1240,45 +1320,71 @@ impl<S: StateModel> Engine<S> {
 
     /// Attempts one automatic recovery step for a missing resource related to
     /// the hint expressions: unfold a related folded predicate, open a related
-    /// borrow, or close an open borrow when a lifetime token is needed.
+    /// borrow, or close an open borrow (re-folding its body).
+    ///
+    /// Candidates are ranked by a **relatedness ordering** rather than tried
+    /// in state order. Re-folds (closing an open borrow) and unfolds whose
+    /// parameters *directly* overlap the failed consume — syntactic
+    /// containment or provable equality — come before candidates that are
+    /// only related through a shared path-condition fact. Before this
+    /// ordering, the first weakly-related spine predicate was unfolded at
+    /// every recovery level, so searches over recursive structures
+    /// (`dll_seg`) unrolled the whole spine to the recovery budget before
+    /// the directly-relevant fold was ever attempted (EXPERIMENTS.md).
     pub fn try_recover(&self, cfg: &Config<S>, hint: &[Expr]) -> Vec<Config<S>> {
         if !self.opts.auto_recover || hint.is_empty() {
             return vec![];
         }
         self.bump(|s| &s.recoveries);
-        // 1. Unfold a related folded predicate.
+
+        enum Action {
+            Close(usize),
+            Unfold(usize),
+            Open(usize),
+        }
+        // Rank: 0 = close a directly-overlapping open borrow (re-folding an
+        // invariant that mentions the missing resource beats unfolding more
+        // of a structure's spine), 1 = directly-overlapping unfold, 2 =
+        // directly-overlapping borrow open, 3 = close a borrow whose
+        // lifetime is the missing resource, 4/5 = weakly (path-fact)
+        // related unfold/open. Ties break on state order, so the search
+        // stays deterministic.
+        let mut candidates: Vec<(u8, usize, Action)> = Vec::new();
         for (idx, fp) in cfg.folded.iter().enumerate() {
-            let pred = match self.prog.pred(fp.name) {
-                Some(p) if !p.is_abstract => p,
+            match self.prog.pred(fp.name) {
+                Some(p) if !p.is_abstract => {}
                 _ => continue,
-            };
-            let _ = pred;
-            if self.related(cfg, &fp.args, hint) {
-                if let Ok(v) = self.unfold_folded(cfg.clone(), idx) {
-                    if !v.is_empty() {
-                        return v;
-                    }
-                }
+            }
+            match self.relatedness(cfg, &fp.args, hint) {
+                Some(Relatedness::Direct) => candidates.push((1, idx, Action::Unfold(idx))),
+                Some(Relatedness::ViaPath) => candidates.push((4, idx, Action::Unfold(idx))),
+                None => {}
             }
         }
-        // 2. Open a related borrow.
         for (idx, gp) in cfg.guarded.iter().enumerate() {
-            if self.related(cfg, &gp.args, hint) {
-                if let Ok(v) = self.gunfold(cfg.clone(), idx) {
-                    if !v.is_empty() {
-                        return v;
-                    }
-                }
+            match self.relatedness(cfg, &gp.args, hint) {
+                Some(Relatedness::Direct) => candidates.push((2, idx, Action::Open(idx))),
+                Some(Relatedness::ViaPath) => candidates.push((5, idx, Action::Open(idx))),
+                None => {}
             }
         }
-        // 3. Close an open borrow whose lifetime is the missing resource.
         for (idx, ct) in cfg.closing.iter().enumerate() {
-            let lft_needed = hint.iter().any(|h| cfg.must_equal(h, &ct.lft));
-            if lft_needed {
-                if let Ok(v) = self.gfold(cfg.clone(), idx) {
-                    if !v.is_empty() {
-                        return v;
-                    }
+            if self.relatedness(cfg, &ct.args, hint) == Some(Relatedness::Direct) {
+                candidates.push((0, idx, Action::Close(idx)));
+            } else if hint.iter().any(|h| cfg.must_equal(h, &ct.lft)) {
+                candidates.push((3, idx, Action::Close(idx)));
+            }
+        }
+        candidates.sort_by_key(|(rank, idx, _)| (*rank, *idx));
+        for (_, _, action) in candidates {
+            let result = match action {
+                Action::Close(i) => self.gfold(cfg.clone(), i),
+                Action::Unfold(i) => self.unfold_folded(cfg.clone(), i),
+                Action::Open(i) => self.gunfold(cfg.clone(), i),
+            };
+            if let Ok(v) = result {
+                if !v.is_empty() {
+                    return v;
                 }
             }
         }
@@ -1289,25 +1395,37 @@ impl<S: StateModel> Engine<S> {
     /// are related if any pair is provably equal, one contains the other
     /// syntactically, or some path-condition fact mentions both.
     fn related(&self, cfg: &Config<S>, args: &[Expr], hint: &[Expr]) -> bool {
+        self.relatedness(cfg, args, hint).is_some()
+    }
+
+    /// How strongly a predicate's arguments relate to a recovery hint:
+    /// [`Relatedness::Direct`] when some pair is syntactically nested or
+    /// provably equal, [`Relatedness::ViaPath`] when the only connection is
+    /// a path-condition fact mentioning both sides.
+    fn relatedness(&self, cfg: &Config<S>, args: &[Expr], hint: &[Expr]) -> Option<Relatedness> {
+        let mut via_path = false;
         for a in args {
             if a.is_literal() {
                 continue;
             }
             for h in hint {
                 if contains_expr(a, h) || contains_expr(h, a) {
-                    return true;
+                    return Some(Relatedness::Direct);
                 }
                 if cfg.must_equal(a, h) {
-                    return true;
+                    return Some(Relatedness::Direct);
                 }
-                for fact in cfg.path_exprs() {
-                    if contains_expr(fact, a) && contains_expr(fact, h) {
-                        return true;
+                if !via_path {
+                    for fact in cfg.path_exprs() {
+                        if contains_expr(fact, a) && contains_expr(fact, h) {
+                            via_path = true;
+                            break;
+                        }
                     }
                 }
             }
         }
-        false
+        via_path.then_some(Relatedness::ViaPath)
     }
 
     /// Auto-unfolds folded predicates related to a branch guard (the
@@ -1693,7 +1811,7 @@ impl<S: StateModel> Engine<S> {
                     return Ok(StepOutcome::Pruned);
                 }
                 if cfg.feasible() {
-                    if std::env::var("GILLIAN_DEBUG").is_ok() {
+                    if debug_enabled() {
                         eprintln!("--- reachable failure in {}: {msg}", proc.name);
                         eprintln!("path ({}):", cfg.path.len());
                         for f in &cfg.path {

@@ -43,8 +43,8 @@ pub mod state;
 pub use asrt::{Asrt, Lemma, Pred, Spec};
 pub use config::{Bindings, ClosingToken, Config, FoldedPred, GuardedPred};
 pub use engine::{
-    fresh_lvar_name, Engine, EngineOptions, EngineStats, ProcReport, TacticFn, VerError,
-    VerErrorKind, LFT_TOKEN, RET_VAR,
+    debug_enabled, fresh_lvar_name, Engine, EngineOptions, EngineStats, ProcReport, TacticFn,
+    VerError, VerErrorKind, LFT_TOKEN, RET_VAR,
 };
 pub use gil::{Cmd, LogicCmd, Proc, Prog};
 pub use schedule::{ForkPath, WorkItem, WorkQueue};

@@ -45,6 +45,15 @@ pub struct SolverStats {
     pub cases_explored: u64,
     /// Canonical-key cache hits.
     pub cache_hits: u64,
+    /// Queries shipped to an external SMT process ([`BackendKind::SmtLib`]
+    /// only; the kernel had failed to refute them first).
+    pub smt_queries: u64,
+    /// External queries answered `unsat` — refutations the kernel alone
+    /// could not produce.
+    pub smt_unsat: u64,
+    /// External solves that timed out or whose process died (each one
+    /// kills/respawns the process and abandons its in-flight cache entry).
+    pub smt_failures: u64,
 }
 
 impl SolverStats {
@@ -58,6 +67,9 @@ impl SolverStats {
                 .saturating_sub(earlier.entailment_queries),
             cases_explored: self.cases_explored.saturating_sub(earlier.cases_explored),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            smt_queries: self.smt_queries.saturating_sub(earlier.smt_queries),
+            smt_unsat: self.smt_unsat.saturating_sub(earlier.smt_unsat),
+            smt_failures: self.smt_failures.saturating_sub(earlier.smt_failures),
         }
     }
 
@@ -75,6 +87,9 @@ pub(crate) struct AtomicSolverStats {
     pub(crate) entailment_queries: AtomicU64,
     pub(crate) cases_explored: AtomicU64,
     pub(crate) cache_hits: AtomicU64,
+    pub(crate) smt_queries: AtomicU64,
+    pub(crate) smt_unsat: AtomicU64,
+    pub(crate) smt_failures: AtomicU64,
 }
 
 impl AtomicSolverStats {
@@ -84,6 +99,9 @@ impl AtomicSolverStats {
             entailment_queries: self.entailment_queries.load(Ordering::Relaxed),
             cases_explored: self.cases_explored.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            smt_queries: self.smt_queries.load(Ordering::Relaxed),
+            smt_unsat: self.smt_unsat.load(Ordering::Relaxed),
+            smt_failures: self.smt_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -92,6 +110,9 @@ impl AtomicSolverStats {
         self.entailment_queries.store(0, Ordering::Relaxed);
         self.cases_explored.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
+        self.smt_queries.store(0, Ordering::Relaxed);
+        self.smt_unsat.store(0, Ordering::Relaxed);
+        self.smt_failures.store(0, Ordering::Relaxed);
     }
 }
 
@@ -105,14 +126,28 @@ pub enum BackendKind {
     /// [`CachingBackend`] over [`EagerBackend`]: the default.
     #[default]
     CachedIncremental,
+    /// [`CachingBackend`] over [`crate::smtlib::SmtBackend`]: the in-repo
+    /// kernel first, an external SMT-LIB2 process (z3/cvc5/`GILLIAN_SMT`)
+    /// for whatever the kernel cannot refute. Degrades to the kernel alone
+    /// when no solver binary is found.
+    SmtLib,
 }
 
 impl BackendKind {
-    /// Every selectable backend, in ablation order.
+    /// Every in-repo backend, in ablation order.
     pub const ALL: [BackendKind; 3] = [
         BackendKind::OneShot,
         BackendKind::Incremental,
         BackendKind::CachedIncremental,
+    ];
+
+    /// Every selectable backend, including the external SMT-LIB bridge
+    /// (which degrades to the kernel when no solver binary is probed).
+    pub const ALL_WITH_SMT: [BackendKind; 4] = [
+        BackendKind::OneShot,
+        BackendKind::Incremental,
+        BackendKind::CachedIncremental,
+        BackendKind::SmtLib,
     ];
 
     /// A stable machine-readable label (reports, JSON, bench output).
@@ -121,6 +156,7 @@ impl BackendKind {
             BackendKind::OneShot => "one-shot",
             BackendKind::Incremental => "incremental",
             BackendKind::CachedIncremental => "cached-incremental",
+            BackendKind::SmtLib => "smtlib",
         }
     }
 }
@@ -334,7 +370,8 @@ struct EagerScope {
 /// arena's memo table and flattened into literals exactly once; queries reuse
 /// the flattened literal stack. A fact that simplifies to `false` poisons the
 /// scope, short-circuiting every later query without touching the kernel.
-#[derive(Debug)]
+/// (`Clone` because the SMT-LIB backend embeds one as its kernel half.)
+#[derive(Clone, Debug)]
 pub struct EagerBackend {
     stats: Arc<AtomicSolverStats>,
     case_budget: usize,
@@ -500,47 +537,57 @@ enum Lookup {
     /// waited for).
     Hit(bool),
     /// This context claimed the query: it must compute and then
-    /// [`CachingBackend::finish`] with the returned cell and key snapshot.
-    Compute(Arc<InFlight>, Box<[TermId]>),
+    /// [`ClaimGuard::finish`] the claim.
+    Compute(ClaimGuard),
 }
 
-/// Unwind guard for a claimed query: if the computation panics before
-/// [`CachingBackend::finish`] runs, the in-flight entry is removed and its
-/// waiters released (as abandoned), instead of parking them forever. Owns
-/// its handles (shared `Arc`s) so the computation keeps exclusive use of
-/// the backend.
-struct AbandonOnUnwind {
+/// RAII claim on an in-flight query. Created when a context installs the
+/// in-flight marker, and guaranteed to release it exactly once: either
+/// explicitly through [`ClaimGuard::finish`] (publishing the verdict), or on
+/// drop — a panic during the computation, a backend that bails out early,
+/// any future code path that forgets — by removing the entry and waking
+/// every parked waiter with `Abandoned`. Structurally, no worker can be
+/// left parked forever on a computation that will never settle; this is
+/// load-bearing for external-process backends, whose solves can die or be
+/// killed mid-query.
+pub(crate) struct ClaimGuard {
     cache: QueryCache,
     cell: Arc<InFlight>,
     key: Box<[TermId]>,
     goal: Option<TermId>,
-    armed: std::cell::Cell<bool>,
+    finished: bool,
 }
 
-impl AbandonOnUnwind {
-    fn new(
-        cache: &QueryCache,
-        cell: &Arc<InFlight>,
-        key: &[TermId],
-        goal: Option<TermId>,
-    ) -> AbandonOnUnwind {
-        AbandonOnUnwind {
-            cache: Arc::clone(cache),
-            cell: Arc::clone(cell),
-            key: Box::from(key),
-            goal,
-            armed: std::cell::Cell::new(true),
+impl ClaimGuard {
+    /// Publishes the result of the claimed query: settles the entry when the
+    /// answer is complete (cacheable), removes it otherwise, and wakes every
+    /// parked waiter either way. The key is the canonical-set snapshot taken
+    /// at claim time (entailment decompositions push and pop around the
+    /// computation; the stack is balanced, but the snapshot makes this
+    /// independent of that invariant).
+    fn finish(mut self, result: bool, complete: bool) {
+        {
+            let key = std::mem::take(&mut self.key);
+            let mut write = self.cache.write().unwrap();
+            let slot = write.entry(key).or_default();
+            if complete {
+                slot.insert(self.goal, CachedVerdict::Done(result));
+            } else {
+                slot.remove(&self.goal);
+            }
         }
-    }
-
-    fn defuse(&self) {
-        self.armed.set(false);
+        self.cell.settle(if complete {
+            InFlightState::Done(result)
+        } else {
+            InFlightState::Abandoned
+        });
+        self.finished = true;
     }
 }
 
-impl Drop for AbandonOnUnwind {
+impl Drop for ClaimGuard {
     fn drop(&mut self) {
-        if !self.armed.get() {
+        if self.finished {
             return;
         }
         if let Ok(mut write) = self.cache.write() {
@@ -643,7 +690,7 @@ impl CachingBackend {
             enum Probe {
                 Hit(bool),
                 Wait(Arc<InFlight>),
-                Claimed(Arc<InFlight>, Box<[TermId]>),
+                Claimed(ClaimGuard),
             }
             let probe = {
                 let key: Box<[TermId]> = Box::from(self.canonical());
@@ -656,7 +703,13 @@ impl CachingBackend {
                     Entry::Vacant(slot) => {
                         let cell = Arc::new(InFlight::new());
                         slot.insert(CachedVerdict::InFlight(Arc::clone(&cell)));
-                        Probe::Claimed(cell, key)
+                        Probe::Claimed(ClaimGuard {
+                            cache: Arc::clone(&cache),
+                            cell,
+                            key,
+                            goal,
+                            finished: false,
+                        })
                     }
                 }
             };
@@ -665,7 +718,7 @@ impl CachingBackend {
                     self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                     return Lookup::Hit(b);
                 }
-                Probe::Claimed(cell, key) => return Lookup::Compute(cell, key),
+                Probe::Claimed(claim) => return Lookup::Compute(claim),
                 Probe::Wait(cell) => match cell.wait() {
                     InFlightState::Done(b) => {
                         self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -678,36 +731,6 @@ impl CachingBackend {
                 },
             }
         }
-    }
-
-    /// Publishes the result of a claimed query: settles the entry when the
-    /// answer is complete (cacheable), removes it otherwise, and wakes every
-    /// parked waiter either way. `key` is the canonical-set snapshot taken
-    /// at claim time (entailment decompositions push and pop around the
-    /// computation; the stack is balanced, but the snapshot makes this
-    /// independent of that invariant).
-    fn finish(
-        &mut self,
-        cell: &InFlight,
-        key: Box<[TermId]>,
-        goal: Option<TermId>,
-        result: bool,
-        complete: bool,
-    ) {
-        {
-            let mut write = self.cache.write().unwrap();
-            let slot = write.entry(key).or_default();
-            if complete {
-                slot.insert(goal, CachedVerdict::Done(result));
-            } else {
-                slot.remove(&goal);
-            }
-        }
-        cell.settle(if complete {
-            InFlightState::Done(result)
-        } else {
-            InFlightState::Abandoned
-        });
     }
 }
 
@@ -740,15 +763,15 @@ impl SolverBackend for CachingBackend {
     fn check_unsat(&mut self, arena: &TermArena) -> bool {
         match self.lookup_or_begin(None) {
             Lookup::Hit(b) => b,
-            Lookup::Compute(cell, key) => {
-                let guard = AbandonOnUnwind::new(&self.cache, &cell, &key, None);
+            Lookup::Compute(claim) => {
+                // The claim settles (as abandoned) if the inner backend
+                // panics or otherwise exits without reaching `finish`.
                 let result = self.inner.check_unsat(arena);
                 let complete = self.inner.last_query_complete();
                 if !complete {
                     self.incomplete_events += 1;
                 }
-                guard.defuse();
-                self.finish(&cell, key, None, result, complete);
+                claim.finish(result, complete);
                 result
             }
         }
@@ -758,17 +781,15 @@ impl SolverBackend for CachingBackend {
         let goal_id = arena.simplify(goal);
         match self.lookup_or_begin(Some(goal_id)) {
             Lookup::Hit(b) => b,
-            Lookup::Compute(cell, key) => {
+            Lookup::Compute(claim) => {
                 // Decompose through *this* backend, so sub-goals and the
                 // leaf refutations are cached too. The decomposition
                 // restores the assertion stack (balanced push/pop), so the
                 // claimed key is unchanged by the time we publish.
-                let guard = AbandonOnUnwind::new(&self.cache, &cell, &key, Some(goal_id));
                 let before = self.incomplete_events;
                 let result = entails_by_decomposition(self, arena, goal_id);
                 let complete = self.incomplete_events == before;
-                guard.defuse();
-                self.finish(&cell, key, Some(goal_id), result, complete);
+                claim.finish(result, complete);
                 result
             }
         }
@@ -793,5 +814,120 @@ impl SolverBackend for CachingBackend {
             incomplete_events: self.incomplete_events,
             name: self.name,
         })
+    }
+}
+
+#[cfg(test)]
+mod inflight_tests {
+    use super::*;
+    use crate::expr::VarGen;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// An inner backend that signals when its computation starts, then
+    /// panics — standing in for a computing thread (or an external solver
+    /// process) that dies without ever settling its in-flight entry.
+    struct PanickingBackend {
+        asserted: Vec<TermId>,
+        started: mpsc::Sender<()>,
+    }
+
+    impl SolverBackend for PanickingBackend {
+        fn name(&self) -> &'static str {
+            "panicking"
+        }
+        fn push(&mut self) {}
+        fn pop(&mut self) {}
+        fn assert(&mut self, _arena: &TermArena, fact: TermId) {
+            self.asserted.push(fact);
+        }
+        fn check_unsat(&mut self, _arena: &TermArena) -> bool {
+            let _ = self.started.send(());
+            // Give the sibling context time to park on the in-flight entry.
+            std::thread::sleep(Duration::from_millis(100));
+            panic!("backend died mid-query");
+        }
+        fn entails(&mut self, arena: &TermArena, goal: TermId) -> bool {
+            entails_by_decomposition(self, arena, goal)
+        }
+        fn assertions(&self) -> Vec<TermId> {
+            self.asserted.clone()
+        }
+        fn boxed_clone(&self) -> Box<dyn SolverBackend> {
+            unreachable!("not cloned in this test")
+        }
+    }
+
+    /// Regression: a claimed in-flight computation that dies without
+    /// settling must release parked waiters (the [`ClaimGuard`] settles the
+    /// entry as abandoned on drop). Without the guard, the waiter parks on
+    /// the condvar forever and a parallel exploration deadlocks.
+    #[test]
+    fn dead_computation_releases_parked_waiters() {
+        let arena = Arc::new(TermArena::new());
+        let stats = Arc::new(AtomicSolverStats::default());
+        let cache: QueryCache = Arc::new(RwLock::new(HashMap::new()));
+        let mut g = VarGen::new();
+        let x = g.fresh_expr();
+        let facts = [Expr::eq(x.clone(), Expr::Int(1)), Expr::eq(x, Expr::Int(2))];
+
+        let (started_tx, started_rx) = mpsc::channel();
+        let dying = {
+            let arena = Arc::clone(&arena);
+            let cache = Arc::clone(&cache);
+            let stats = Arc::clone(&stats);
+            let facts = facts.clone();
+            std::thread::spawn(move || {
+                let mut b = CachingBackend::new(
+                    Box::new(PanickingBackend {
+                        asserted: Vec::new(),
+                        started: started_tx,
+                    }),
+                    cache,
+                    stats,
+                    "caching-panicking",
+                );
+                for f in &facts {
+                    let id = arena.intern(f);
+                    b.assert(&arena, id);
+                }
+                // Claims the (facts, None) entry, then dies inside the inner
+                // backend; the unwind drops the claim guard.
+                b.check_unsat(&arena)
+            })
+        };
+        started_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("the dying context claims the query");
+
+        // A sibling context asking the same canonical query: parks on the
+        // in-flight entry, must be released when the computation dies, and
+        // then computes the verdict for itself.
+        let (done_tx, done_rx) = mpsc::channel();
+        let waiter = {
+            let arena = Arc::clone(&arena);
+            let cache = Arc::clone(&cache);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                let mut b = CachingBackend::new(
+                    Box::new(EagerBackend::new(Arc::clone(&stats), 512)),
+                    cache,
+                    stats,
+                    "caching-eager",
+                );
+                for f in &facts {
+                    let id = arena.intern(f);
+                    b.assert(&arena, id);
+                }
+                let _ = done_tx.send(b.check_unsat(&arena));
+            })
+        };
+
+        assert!(dying.join().is_err(), "the computing thread panicked");
+        let verdict = done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("the parked waiter must be released, not deadlock");
+        assert!(verdict, "x == 1 && x == 2 is unsatisfiable");
+        waiter.join().unwrap();
     }
 }

@@ -45,6 +45,7 @@ pub mod interp;
 pub mod kernel;
 pub mod linear;
 pub mod simplify;
+pub mod smtlib;
 pub mod solver;
 pub mod symbol;
 
@@ -56,5 +57,6 @@ pub use backend::{
 pub use expr::{BinOp, Expr, NOp, SVar, UnOp, VarGen};
 pub use interp::{eval, Env, Value};
 pub use simplify::simplify;
+pub use smtlib::{SmtBackend, SmtCommand, SmtOptions};
 pub use solver::{SatResult, Solver, SolverCtx};
 pub use symbol::Symbol;

@@ -28,6 +28,7 @@ use crate::backend::{
     SolverBackend, SolverStats,
 };
 use crate::expr::Expr;
+use crate::smtlib::{SmtBackend, SmtOptions, SmtShared};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -52,6 +53,9 @@ pub struct Solver {
     stats: Arc<AtomicSolverStats>,
     cache: QueryCache,
     kind: BackendKind,
+    /// The external SMT bridge (one process shared by every context of the
+    /// hub). Only built for [`BackendKind::SmtLib`].
+    smt: Option<Arc<SmtShared>>,
     /// Maximum number of leaf cases explored per query.
     pub case_budget: usize,
 }
@@ -68,15 +72,36 @@ impl Solver {
         Solver::with_backend(BackendKind::default())
     }
 
-    /// Creates a hub handing out contexts of the given backend kind.
+    /// Creates a hub handing out contexts of the given backend kind. For
+    /// [`BackendKind::SmtLib`] the external solver is configured from the
+    /// environment (`GILLIAN_SMT`, `GILLIAN_SMT_TIMEOUT_MS`, then `PATH`).
     pub fn with_backend(kind: BackendKind) -> Self {
+        Solver::with_backend_and_smt(kind, SmtOptions::from_env())
+    }
+
+    /// Creates a hub with an explicit SMT-bridge configuration (used by
+    /// tests and benches to inject stub solvers and short time boxes). The
+    /// options are ignored unless `kind` is [`BackendKind::SmtLib`].
+    pub fn with_backend_and_smt(kind: BackendKind, smt: SmtOptions) -> Self {
+        let smt = match kind {
+            BackendKind::SmtLib => Some(Arc::new(SmtShared::new(&smt))),
+            _ => None,
+        };
         Solver {
             arena: Arc::new(TermArena::new()),
             stats: Arc::new(AtomicSolverStats::default()),
             cache: Arc::new(RwLock::new(HashMap::new())),
             kind,
+            smt,
             case_budget: 512,
         }
+    }
+
+    /// Is the external SMT process configured and reachable? (`false` for
+    /// every in-repo backend, and for [`BackendKind::SmtLib`] hubs that
+    /// probed nothing — those degrade to the kernel alone.)
+    pub fn smt_available(&self) -> bool {
+        self.smt.as_ref().is_some_and(|s| s.is_available())
     }
 
     /// The backend kind handed out by [`Solver::ctx`].
@@ -115,6 +140,25 @@ impl Solver {
                 Arc::clone(&self.stats),
                 BackendKind::CachedIncremental.label(),
             )),
+            BackendKind::SmtLib => {
+                // Invariant from `with_backend_and_smt`: an SmtLib hub
+                // always carries the shared bridge — a silent per-context
+                // fallback here would split the one-process-per-hub state.
+                let shared = self
+                    .smt
+                    .clone()
+                    .expect("an SmtLib solver hub always carries its shared SMT bridge");
+                Box::new(CachingBackend::new(
+                    Box::new(SmtBackend::new(
+                        Arc::clone(&self.stats),
+                        self.case_budget,
+                        shared,
+                    )),
+                    Arc::clone(&self.cache),
+                    Arc::clone(&self.stats),
+                    BackendKind::SmtLib.label(),
+                ))
+            }
         };
         SolverCtx {
             arena: Arc::clone(&self.arena),
@@ -315,8 +359,12 @@ mod tests {
     use crate::expr::VarGen;
 
     /// Builds one context per backend kind with the same asserted facts.
+    /// Includes [`BackendKind::SmtLib`]: with a solver binary present (CI's
+    /// smt job, or a dev machine with z3) the whole battery doubles as the
+    /// external-backend agreement suite; without one the hybrid backend
+    /// degrades to the kernel and agreement holds trivially.
     fn ctxs(facts: &[Expr]) -> Vec<SolverCtx> {
-        BackendKind::ALL
+        BackendKind::ALL_WITH_SMT
             .iter()
             .map(|&kind| {
                 let hub = Solver::with_backend(kind);
@@ -563,7 +611,7 @@ mod tests {
 
     #[test]
     fn push_pop_restores_exact_assertion_state() {
-        for kind in BackendKind::ALL {
+        for kind in BackendKind::ALL_WITH_SMT {
             let hub = Solver::with_backend(kind);
             let ctx = hub.ctx();
             let mut g = VarGen::new();

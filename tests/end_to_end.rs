@@ -16,10 +16,11 @@ fn linked_list_functional_correctness_end_to_end() {
     assert!(report.all_verified(), "{}", report.render_text());
 }
 
-/// The full LinkedList API (push_front/pop_front) — long-running, see
-/// EXPERIMENTS.md; run with `cargo test -- --ignored`.
+/// The full LinkedList API (push_front/pop_front). These proofs took ~100 s
+/// each before the fold-search memoisation fix; they now run in fractions
+/// of a second (history in EXPERIMENTS.md), so they live in the default
+/// suite.
 #[test]
-#[ignore = "long-running: multi-minute automated proof search, see EXPERIMENTS.md"]
 fn linked_list_full_api_end_to_end() {
     let report =
         linked_list::session_for(SpecMode::FunctionalCorrectness, linked_list::FUNCTIONS_FULL)
@@ -66,7 +67,6 @@ fn pearlite_requires_elaborates_to_observation_body() {
 }
 
 #[test]
-#[ignore = "long-running: exercises the full push_front proof"]
 fn failure_injection_wrong_length_invariant_is_rejected() {
     // Break the LinkedList ownership predicate (claim the length is repr+1):
     // push_front must now fail to verify — guarding against vacuous proofs.
@@ -160,7 +160,6 @@ fn failure_injection_wrong_length_invariant_is_rejected() {
 }
 
 #[test]
-#[ignore = "long-running: exercises the full push_front proof"]
 fn failure_injection_missing_requires_is_rejected() {
     // Dropping the `len < usize::MAX` precondition makes the overflow panic
     // reachable and functional-correctness verification must fail.
