@@ -53,6 +53,8 @@ fn run_backend(kind: BackendKind, quick: bool) -> BackendRun {
         solver.smt_queries += s.smt_queries;
         solver.smt_unsat += s.smt_unsat;
         solver.smt_failures += s.smt_failures;
+        solver.kernel_nanos += s.kernel_nanos;
+        solver.incremental_hits += s.incremental_hits;
         rows.push(Table1Row::from_report(name, property, eloc, aloc, report));
     }
     BackendRun {
@@ -91,13 +93,15 @@ fn to_json(runs: &[BackendRun], quick: bool, identical: bool, strictly_fewer: bo
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"backend\":\"{}\",\"wall_seconds\":{:.6},\"unsat_queries\":{},\"entailment_queries\":{},\"cases_explored\":{},\"cache_hits\":{},\"smt_queries\":{},\"smt_unsat\":{},\"smt_failures\":{},\"rows\":[",
+            "{{\"backend\":\"{}\",\"wall_seconds\":{:.6},\"unsat_queries\":{},\"entailment_queries\":{},\"cases_explored\":{},\"cache_hits\":{},\"incremental_hits\":{},\"kernel_nanos\":{},\"smt_queries\":{},\"smt_unsat\":{},\"smt_failures\":{},\"rows\":[",
             run.kind,
             run.wall.as_secs_f64(),
             run.solver.unsat_queries,
             run.solver.entailment_queries,
             run.solver.cases_explored,
             run.solver.cache_hits,
+            run.solver.incremental_hits,
+            run.solver.kernel_nanos,
             run.solver.smt_queries,
             run.solver.smt_unsat,
             run.solver.smt_failures,

@@ -234,7 +234,7 @@ impl VerificationReport {
             String::new()
         };
         let mut out = format!(
-            "== {} ({mode}) — {}/{} verified, wall {:.3}s, cpu {:.3}s, {} worker(s), {} branch worker(s) ({} stolen, {} max live), solver {} ({} queries, {} cache hits{smt}) ==\n",
+            "== {} ({mode}) — {}/{} verified, wall {:.3}s, cpu {:.3}s, {} worker(s), {} branch worker(s) ({} stolen, {} max live), solver {} ({} queries, {} cache hits, {} incremental hits, kernel {:.3}s{smt}) ==\n",
             self.session,
             self.verified_count(),
             self.cases.len(),
@@ -247,6 +247,8 @@ impl VerificationReport {
             self.backend,
             self.solver.queries(),
             self.solver.cache_hits,
+            self.solver.incremental_hits,
+            self.solver.kernel_nanos as f64 / 1e9,
         );
         for c in &self.cases {
             out.push_str(&format!(
@@ -290,11 +292,13 @@ impl VerificationReport {
         ));
         out.push_str(&format!("\"backend\":\"{}\",", self.backend));
         out.push_str(&format!(
-            "\"solver\":{{\"unsat_queries\":{},\"entailment_queries\":{},\"cases_explored\":{},\"cache_hits\":{},\"smt_queries\":{},\"smt_unsat\":{},\"smt_failures\":{}}},",
+            "\"solver\":{{\"unsat_queries\":{},\"entailment_queries\":{},\"cases_explored\":{},\"cache_hits\":{},\"incremental_hits\":{},\"kernel_nanos\":{},\"smt_queries\":{},\"smt_unsat\":{},\"smt_failures\":{}}},",
             self.solver.unsat_queries,
             self.solver.entailment_queries,
             self.solver.cases_explored,
             self.solver.cache_hits,
+            self.solver.incremental_hits,
+            self.solver.kernel_nanos,
             self.solver.smt_queries,
             self.solver.smt_unsat,
             self.solver.smt_failures,

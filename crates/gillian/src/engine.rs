@@ -165,6 +165,13 @@ pub struct EngineOptions {
     /// (`None` probes `GILLIAN_SMT`, then `PATH` for `z3`/`cvc5`). Lets
     /// tests and benches inject stub solvers deterministically.
     pub smt_command: Option<Vec<String>>,
+    /// One external SMT process per concurrently-solving branch worker
+    /// (the default: workers never serialise on the hub mutex; idle
+    /// processes are pooled, checked out by longest shared scope prefix,
+    /// and share the declaration/naming tables). `false` restores the
+    /// single shared process behind a mutex — also forced by
+    /// `GILLIAN_SMT_SINGLE=1`.
+    pub smt_per_worker: bool,
     /// Number of worker threads exploring sibling branches of ONE proof
     /// obligation (`1` = serial, the default). Branches are tagged with
     /// their fork path and results are reordered before returning, so
@@ -175,6 +182,7 @@ pub struct EngineOptions {
 
 impl Default for EngineOptions {
     fn default() -> Self {
+        let smt = gillian_solver::SmtOptions::from_env();
         EngineOptions {
             auto_unfold_on_branch: true,
             auto_recover: true,
@@ -184,8 +192,9 @@ impl Default for EngineOptions {
             max_branch_unfolds: 3,
             panics_are_safe: false,
             backend: BackendKind::default(),
-            smt_timeout_ms: gillian_solver::SmtOptions::from_env().timeout.as_millis() as u64,
+            smt_timeout_ms: smt.timeout.as_millis() as u64,
             smt_command: None,
+            smt_per_worker: smt.per_worker,
             branch_parallelism: 1,
         }
     }
@@ -433,6 +442,7 @@ impl<S: StateModel> Engine<S> {
         gillian_solver::SmtOptions {
             command: opts.smt_command.clone(),
             timeout: Duration::from_millis(opts.smt_timeout_ms),
+            per_worker: opts.smt_per_worker,
         }
     }
 

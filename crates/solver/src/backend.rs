@@ -7,19 +7,26 @@
 //! and queries in place — instead of shipping the whole path condition on
 //! every call.
 //!
-//! Three backends ship today:
+//! Four in-repo backends ship today:
 //!
 //! * [`OneShotBackend`] — the pre-redesign behaviour: every query re-resolves
 //!   and re-simplifies the whole assertion stack from scratch. Kept as the
 //!   ablation baseline.
-//! * [`EagerBackend`] — incremental: facts are simplified (memoised in the
-//!   [`TermArena`]) and flattened into literals once, *at assert time*; a
-//!   definitely-false assertion short-circuits every later query in the
-//!   scope.
+//! * [`EagerBackend`] — incremental *assertion processing*: facts are
+//!   simplified (memoised in the [`TermArena`]) and flattened into literals
+//!   once, at assert time; a definitely-false assertion short-circuits every
+//!   later query in the scope — but every query still re-runs the
+//!   refutation kernel over the whole literal set.
+//! * [`IncrementalStateBackend`] — incremental *theory state*: a persistent
+//!   congruence/linear closure with an undo trail does each literal's theory
+//!   work once; queries consult the maintained closure and only re-split
+//!   disjunctive literals.
 //! * [`CachingBackend`] — a decorator owning a canonicalised query cache: the
 //!   key is the **sorted, deduplicated** set of simplified assertion
 //!   [`TermId`]s (plus the goal), so `{a, b}` and `{b, a}` hit the same
 //!   entry and the cache is shared across branch clones and worker threads.
+//!   The default ([`BackendKind::CachedIncremental`]) wraps the
+//!   incremental-state backend.
 //!
 //! Adding a backend (e.g. an SMT-LIB bridge) means implementing the trait's
 //! five core operations; `entails` can lean on [`entails_by_decomposition`].
@@ -31,6 +38,7 @@ use crate::simplify::simplify;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
 
 /// Statistics collected by the solver layer (exposed per-backend through the
 /// verification reports and the ablation benchmarks).
@@ -54,6 +62,14 @@ pub struct SolverStats {
     /// External solves that timed out or whose process died (each one
     /// kills/respawns the process and abandons its in-flight cache entry).
     pub smt_failures: u64,
+    /// Wall-clock nanoseconds spent inside the refutation kernel (theory
+    /// work at assert time plus query-time case splits), summed across
+    /// contexts. The denominator for "is the solver the bottleneck?".
+    pub kernel_nanos: u64,
+    /// Queries answered straight from the maintained incremental theory
+    /// state — no kernel re-run, no case split
+    /// ([`BackendKind::IncrementalState`] and the backends wrapping it).
+    pub incremental_hits: u64,
 }
 
 impl SolverStats {
@@ -70,6 +86,10 @@ impl SolverStats {
             smt_queries: self.smt_queries.saturating_sub(earlier.smt_queries),
             smt_unsat: self.smt_unsat.saturating_sub(earlier.smt_unsat),
             smt_failures: self.smt_failures.saturating_sub(earlier.smt_failures),
+            kernel_nanos: self.kernel_nanos.saturating_sub(earlier.kernel_nanos),
+            incremental_hits: self
+                .incremental_hits
+                .saturating_sub(earlier.incremental_hits),
         }
     }
 
@@ -90,6 +110,8 @@ pub(crate) struct AtomicSolverStats {
     pub(crate) smt_queries: AtomicU64,
     pub(crate) smt_unsat: AtomicU64,
     pub(crate) smt_failures: AtomicU64,
+    pub(crate) kernel_nanos: AtomicU64,
+    pub(crate) incremental_hits: AtomicU64,
 }
 
 impl AtomicSolverStats {
@@ -102,6 +124,8 @@ impl AtomicSolverStats {
             smt_queries: self.smt_queries.load(Ordering::Relaxed),
             smt_unsat: self.smt_unsat.load(Ordering::Relaxed),
             smt_failures: self.smt_failures.load(Ordering::Relaxed),
+            kernel_nanos: self.kernel_nanos.load(Ordering::Relaxed),
+            incremental_hits: self.incremental_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -113,6 +137,8 @@ impl AtomicSolverStats {
         self.smt_queries.store(0, Ordering::Relaxed);
         self.smt_unsat.store(0, Ordering::Relaxed);
         self.smt_failures.store(0, Ordering::Relaxed);
+        self.kernel_nanos.store(0, Ordering::Relaxed);
+        self.incremental_hits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -121,9 +147,14 @@ impl AtomicSolverStats {
 pub enum BackendKind {
     /// [`OneShotBackend`]: re-simplify everything on every query.
     OneShot,
-    /// [`EagerBackend`]: incremental assertion processing, no cache.
+    /// [`EagerBackend`]: incremental assertion processing, no cache, but the
+    /// kernel still re-runs over the whole literal set per query.
     Incremental,
-    /// [`CachingBackend`] over [`EagerBackend`]: the default.
+    /// [`IncrementalStateBackend`]: persistent congruence/linear state with
+    /// an undo trail — queries consult the maintained closure and only
+    /// re-split disjunctive literals.
+    IncrementalState,
+    /// [`CachingBackend`] over [`IncrementalStateBackend`]: the default.
     #[default]
     CachedIncremental,
     /// [`CachingBackend`] over [`crate::smtlib::SmtBackend`]: the in-repo
@@ -135,17 +166,19 @@ pub enum BackendKind {
 
 impl BackendKind {
     /// Every in-repo backend, in ablation order.
-    pub const ALL: [BackendKind; 3] = [
+    pub const ALL: [BackendKind; 4] = [
         BackendKind::OneShot,
         BackendKind::Incremental,
+        BackendKind::IncrementalState,
         BackendKind::CachedIncremental,
     ];
 
     /// Every selectable backend, including the external SMT-LIB bridge
     /// (which degrades to the kernel when no solver binary is probed).
-    pub const ALL_WITH_SMT: [BackendKind; 4] = [
+    pub const ALL_WITH_SMT: [BackendKind; 5] = [
         BackendKind::OneShot,
         BackendKind::Incremental,
+        BackendKind::IncrementalState,
         BackendKind::CachedIncremental,
         BackendKind::SmtLib,
     ];
@@ -155,6 +188,7 @@ impl BackendKind {
         match self {
             BackendKind::OneShot => "one-shot",
             BackendKind::Incremental => "incremental",
+            BackendKind::IncrementalState => "incremental-state",
             BackendKind::CachedIncremental => "cached-incremental",
             BackendKind::SmtLib => "smtlib",
         }
@@ -199,7 +233,9 @@ pub trait SolverBackend: Send {
     }
 
     /// The raw asserted ids, in assertion order (diagnostics and tests).
-    fn assertions(&self) -> Vec<TermId>;
+    /// Returns a borrowed slice: this is called on hot clone/debug paths,
+    /// where the previous `Vec` return cloned the whole stack per call.
+    fn assertions(&self) -> &[TermId];
 
     /// Clones the backend for a branching symbolic execution: the clone gets
     /// an independent assertion stack but shares heavyweight structures
@@ -324,11 +360,17 @@ impl SolverBackend for OneShotBackend {
             self.last_complete = true;
             return true;
         }
+        // Timed from here so `kernel_nanos` covers the same work in every
+        // backend (kernel/theory time, not simplification).
+        let start = Instant::now();
         let out = kernel::refute(&literals, self.case_budget);
         self.last_complete = !out.budget_exhausted;
         self.stats
             .cases_explored
             .fetch_add(out.leaf_cases, Ordering::Relaxed);
+        self.stats
+            .kernel_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         out.refuted
     }
 
@@ -340,8 +382,8 @@ impl SolverBackend for OneShotBackend {
         self.last_complete
     }
 
-    fn assertions(&self) -> Vec<TermId> {
-        self.asserted.clone()
+    fn assertions(&self) -> &[TermId] {
+        &self.asserted
     }
 
     fn boxed_clone(&self) -> Box<dyn SolverBackend> {
@@ -431,11 +473,15 @@ impl SolverBackend for EagerBackend {
             self.last_complete = true;
             return true;
         }
+        let start = Instant::now();
         let out = kernel::refute(&self.lits, self.case_budget);
         self.last_complete = !out.budget_exhausted;
         self.stats
             .cases_explored
             .fetch_add(out.leaf_cases, Ordering::Relaxed);
+        self.stats
+            .kernel_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         out.refuted
     }
 
@@ -447,8 +493,8 @@ impl SolverBackend for EagerBackend {
         self.last_complete
     }
 
-    fn assertions(&self) -> Vec<TermId> {
-        self.raw.clone()
+    fn assertions(&self) -> &[TermId] {
+        &self.raw
     }
 
     fn boxed_clone(&self) -> Box<dyn SolverBackend> {
@@ -461,6 +507,118 @@ impl SolverBackend for EagerBackend {
             definitely_false: self.definitely_false,
             last_complete: self.last_complete,
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental-state backend
+// ---------------------------------------------------------------------------
+
+/// The truly incremental backend: a persistent [`kernel::IncrementalState`]
+/// (congruence closure + linear context with an undo trail) does each
+/// literal's theory work **once, at assert time**; `check_unsat` consults
+/// the maintained closure and re-runs only the case split over disjunctive
+/// literals (each disjunct's decomposition memoised). `push`/`pop` restore
+/// exact state in O(changes since the push), and branch clones snapshot the
+/// whole trail-backed state instead of rebuilding it.
+///
+/// Soundness is inherited from the state's contract: every maintained fact
+/// is a consequence of literals currently on the stack, so `refuted` still
+/// means genuinely unsatisfiable. (`Clone` because the SMT-LIB backend
+/// embeds one as its kernel half.)
+#[derive(Clone, Debug)]
+pub struct IncrementalStateBackend {
+    stats: Arc<AtomicSolverStats>,
+    case_budget: usize,
+    state: kernel::IncrementalState,
+    /// Raw asserted ids, in assertion order.
+    raw: Vec<TermId>,
+    scopes: Vec<usize>,
+    last_complete: bool,
+}
+
+impl IncrementalStateBackend {
+    pub(crate) fn new(stats: Arc<AtomicSolverStats>, case_budget: usize) -> Self {
+        IncrementalStateBackend {
+            stats,
+            case_budget,
+            state: kernel::IncrementalState::new(),
+            raw: Vec::new(),
+            scopes: Vec::new(),
+            last_complete: true,
+        }
+    }
+}
+
+impl SolverBackend for IncrementalStateBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::IncrementalState.label()
+    }
+
+    fn push(&mut self) {
+        self.scopes.push(self.raw.len());
+        self.state.push();
+    }
+
+    fn pop(&mut self) {
+        if let Some(mark) = self.scopes.pop() {
+            self.raw.truncate(mark);
+            self.state.pop();
+        }
+    }
+
+    fn assert(&mut self, arena: &TermArena, fact: TermId) {
+        self.raw.push(fact);
+        let simplified = arena.resolve(arena.simplify(fact));
+        let mut lits = Vec::new();
+        let mut definitely_false = false;
+        kernel::flatten_shared(&simplified, &mut lits, &mut definitely_false);
+        // The timer starts after simplify/flatten: every backend does that
+        // work untimed, so `kernel_nanos` stays comparable across backends
+        // (it measures theory/kernel work only).
+        let start = Instant::now();
+        if definitely_false {
+            self.state.set_false();
+        }
+        for lit in &lits {
+            self.state.assert_lit(lit);
+        }
+        self.stats
+            .kernel_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn check_unsat(&mut self, arena: &TermArena) -> bool {
+        let _ = arena;
+        let start = Instant::now();
+        let out = self.state.check(self.case_budget);
+        self.last_complete = !out.budget_exhausted;
+        if out.fast {
+            self.stats.incremental_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats
+            .cases_explored
+            .fetch_add(out.leaf_cases, Ordering::Relaxed);
+        self.stats
+            .kernel_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out.refuted
+    }
+
+    fn entails(&mut self, arena: &TermArena, goal: TermId) -> bool {
+        entails_by_decomposition(self, arena, goal)
+    }
+
+    fn last_query_complete(&self) -> bool {
+        self.last_complete
+    }
+
+    fn assertions(&self) -> &[TermId] {
+        &self.raw
+    }
+
+    fn boxed_clone(&self) -> Box<dyn SolverBackend> {
+        Box::new(self.clone())
     }
 }
 
@@ -799,7 +957,7 @@ impl SolverBackend for CachingBackend {
         self.inner.last_query_complete()
     }
 
-    fn assertions(&self) -> Vec<TermId> {
+    fn assertions(&self) -> &[TermId] {
         self.inner.assertions()
     }
 
@@ -850,8 +1008,8 @@ mod inflight_tests {
         fn entails(&mut self, arena: &TermArena, goal: TermId) -> bool {
             entails_by_decomposition(self, arena, goal)
         }
-        fn assertions(&self) -> Vec<TermId> {
-            self.asserted.clone()
+        fn assertions(&self) -> &[TermId] {
+            &self.asserted
         }
         fn boxed_clone(&self) -> Box<dyn SolverBackend> {
             unreachable!("not cloned in this test")

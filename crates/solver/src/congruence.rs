@@ -64,7 +64,12 @@ struct Term {
     children: Vec<TermId>,
 }
 
-/// A congruence-closure engine.
+/// A congruence-closure engine with an **undo trail**: every union-find
+/// write (merges *and* path compressions) is logged, so [`Congruence::undo_to`]
+/// restores the exact state of an earlier [`Congruence::snapshot`] in
+/// O(changes) — the backbone of the incremental solver backend, where branch
+/// scopes push and pop around transient hypotheses thousands of times per
+/// proof.
 #[derive(Clone, Debug, Default)]
 pub struct Congruence {
     terms: Vec<Term>,
@@ -73,6 +78,31 @@ pub struct Congruence {
     /// Set to `true` when a contradiction has been found.
     contradiction: bool,
     /// Pending equalities discovered by injectivity, to be merged.
+    pending: Vec<(TermId, TermId)>,
+    /// Undo log of parent-pointer writes `(index, previous value)`, in write
+    /// order. Includes path-compression writes, so rewinding the trail
+    /// restores the union-find byte-for-byte.
+    trail: Vec<(u32, u32)>,
+    /// Log of class merges `(kept root, absorbed root)`, in merge order.
+    /// Consumed by theory-combination listeners (the incremental kernel uses
+    /// it to spot merges that invalidate linear-arithmetic atom keys).
+    merges: Vec<(TermId, TermId)>,
+    /// `false` when interns/merges happened since the last full rebuild —
+    /// lets a quiescent [`Congruence::rebuild`] return in O(1) instead of
+    /// re-scanning every term (critical once the closure is persistent).
+    clean: bool,
+}
+
+/// A restore point for [`Congruence::undo_to`].
+#[derive(Clone, Debug)]
+pub struct CcSnapshot {
+    terms_len: usize,
+    trail_len: usize,
+    merges_len: usize,
+    contradiction: bool,
+    clean: bool,
+    /// Pending injectivity equalities are normally drained by `rebuild`;
+    /// a snapshot taken mid-contradiction may still carry some.
     pending: Vec<(TermId, TermId)>,
 }
 
@@ -121,10 +151,60 @@ impl Congruence {
         });
         self.parent.push(id.0);
         self.intern.insert((head, children), id);
+        // A new term can be congruent to an existing one (interning `f(a)`
+        // when `f(b)` exists and `a ~ b`): the next rebuild must look.
+        self.clean = false;
         id
     }
 
-    /// Union-find: find with path compression.
+    /// The single funnel for union-find writes: logs the previous value so
+    /// the trail can restore it.
+    fn set_parent(&mut self, idx: u32, new: u32) {
+        self.trail.push((idx, self.parent[idx as usize]));
+        self.parent[idx as usize] = new;
+    }
+
+    /// Takes a restore point for [`Congruence::undo_to`].
+    pub fn snapshot(&self) -> CcSnapshot {
+        CcSnapshot {
+            terms_len: self.terms.len(),
+            trail_len: self.trail.len(),
+            merges_len: self.merges.len(),
+            contradiction: self.contradiction,
+            clean: self.clean,
+            pending: self.pending.clone(),
+        }
+    }
+
+    /// Restores the exact state of an earlier [`Congruence::snapshot`] in
+    /// O(changes since the snapshot): union-find writes are rewound from the
+    /// trail, terms interned since are un-interned, and the merge log,
+    /// contradiction flag and pending queue are rolled back.
+    pub fn undo_to(&mut self, snap: &CcSnapshot) {
+        while self.trail.len() > snap.trail_len {
+            let (idx, old) = self.trail.pop().unwrap();
+            self.parent[idx as usize] = old;
+        }
+        while self.terms.len() > snap.terms_len {
+            let term = self.terms.pop().unwrap();
+            self.intern.remove(&(term.head, term.children));
+        }
+        self.parent.truncate(snap.terms_len);
+        self.merges.truncate(snap.merges_len);
+        self.contradiction = snap.contradiction;
+        self.clean = snap.clean;
+        self.pending = snap.pending.clone();
+    }
+
+    /// The class merges performed so far, in order (`(kept, absorbed)`
+    /// roots). Indices into this log are stable until an
+    /// [`Congruence::undo_to`] truncates it.
+    pub fn merge_log(&self) -> &[(TermId, TermId)] {
+        &self.merges
+    }
+
+    /// Union-find: find with path compression (compressions go through the
+    /// trail so undo stays exact).
     pub fn find(&mut self, id: TermId) -> TermId {
         let mut root = id.0;
         while self.parent[root as usize] != root {
@@ -134,7 +214,7 @@ impl Congruence {
         let mut cur = id.0;
         while self.parent[cur as usize] != root {
             let next = self.parent[cur as usize];
-            self.parent[cur as usize] = root;
+            self.set_parent(cur, root);
             cur = next;
         }
         TermId(root)
@@ -200,11 +280,19 @@ impl Congruence {
         } else {
             (ra, rb)
         };
-        self.parent[absorb.0 as usize] = keep.0;
+        self.set_parent(absorb.0, keep.0);
+        self.merges.push((keep, absorb));
+        self.clean = false;
     }
 
     /// Propagates congruence and pending injectivity equalities to fixpoint.
+    /// O(1) when nothing was interned or merged since the last rebuild — the
+    /// persistent incremental state calls this after every assertion, and
+    /// most calls find the closure already quiescent.
     pub fn rebuild(&mut self) {
+        if self.clean && self.pending.is_empty() {
+            return;
+        }
         let mut normalize_rounds = 0;
         loop {
             // Merge pending injectivity-derived equalities.
@@ -256,6 +344,7 @@ impl Congruence {
                 break;
             }
         }
+        self.clean = true;
     }
 
     /// One interpreted-normalisation pass: for every term with an
@@ -513,6 +602,79 @@ mod tests {
             cc.value_head_of(&x),
             Some(TermHead::Ctor(Symbol::new("Option::None")))
         );
+    }
+
+    #[test]
+    fn snapshot_undo_restores_equalities_exactly() {
+        let mut g = VarGen::new();
+        let (a, b, c) = (g.fresh_expr(), g.fresh_expr(), g.fresh_expr());
+        let mut cc = Congruence::new();
+        cc.assert_eq_exprs(&a, &b);
+        let len_before = cc.len();
+        let snap = cc.snapshot();
+
+        cc.assert_eq_exprs(&b, &c);
+        assert!(cc.are_equal(&a, &c));
+        cc.undo_to(&snap);
+
+        assert!(cc.are_equal(&a, &b), "outer equality survives the undo");
+        assert!(!cc.are_equal(&a, &c), "inner equality is gone");
+        // `are_equal` interned `c` again after the undo removed it.
+        assert_eq!(cc.len(), len_before + 1);
+    }
+
+    #[test]
+    fn snapshot_undo_restores_contradiction_flag() {
+        let mut g = VarGen::new();
+        let x = g.fresh_expr();
+        let mut cc = Congruence::new();
+        cc.assert_eq_exprs(&x, &Expr::Int(1));
+        let snap = cc.snapshot();
+        cc.assert_eq_exprs(&x, &Expr::Int(2));
+        assert!(cc.contradictory());
+        cc.undo_to(&snap);
+        assert!(!cc.contradictory());
+        assert!(cc.are_equal(&x, &Expr::Int(1)));
+    }
+
+    #[test]
+    fn nested_snapshots_unwind_one_at_a_time() {
+        let mut g = VarGen::new();
+        let (a, b, c, d) = (
+            g.fresh_expr(),
+            g.fresh_expr(),
+            g.fresh_expr(),
+            g.fresh_expr(),
+        );
+        let mut cc = Congruence::new();
+        let outer = cc.snapshot();
+        cc.assert_eq_exprs(&a, &b);
+        let inner = cc.snapshot();
+        cc.assert_eq_exprs(&c, &d);
+        assert!(cc.are_equal(&c, &d));
+        cc.undo_to(&inner);
+        assert!(cc.are_equal(&a, &b));
+        assert!(!cc.are_equal(&c, &d));
+        cc.undo_to(&outer);
+        assert!(!cc.are_equal(&a, &b));
+        assert_eq!(cc.merge_log().len(), 0);
+    }
+
+    #[test]
+    fn undo_unwinds_injectivity_and_congruence_merges() {
+        let mut g = VarGen::new();
+        let (x, y) = (g.fresh_expr(), g.fresh_expr());
+        let mut cc = Congruence::new();
+        let snap = cc.snapshot();
+        // Injectivity propagates x ~ y, congruence then f(x) ~ f(y).
+        cc.assert_eq_exprs(&Expr::some(x.clone()), &Expr::some(y.clone()));
+        let fx = Expr::app("f", vec![x.clone()]);
+        let fy = Expr::app("f", vec![y.clone()]);
+        assert!(cc.are_equal(&fx, &fy));
+        assert!(!cc.merge_log().is_empty());
+        cc.undo_to(&snap);
+        assert!(!cc.are_equal(&x, &y));
+        assert!(!cc.are_equal(&fx, &fy));
     }
 
     #[test]

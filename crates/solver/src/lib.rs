@@ -51,11 +51,12 @@ pub mod symbol;
 
 pub use arena::{TermArena, TermId};
 pub use backend::{
-    entails_by_decomposition, BackendKind, CachingBackend, EagerBackend, OneShotBackend,
-    SolverBackend, SolverStats,
+    entails_by_decomposition, BackendKind, CachingBackend, EagerBackend, IncrementalStateBackend,
+    OneShotBackend, SolverBackend, SolverStats,
 };
 pub use expr::{BinOp, Expr, NOp, SVar, UnOp, VarGen};
 pub use interp::{eval, Env, Value};
+pub use kernel::IncrementalState;
 pub use simplify::simplify;
 pub use smtlib::{SmtBackend, SmtCommand, SmtOptions};
 pub use solver::{SatResult, Solver, SolverCtx};

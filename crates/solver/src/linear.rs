@@ -13,7 +13,7 @@ use crate::expr::{BinOp, Expr, UnOp};
 use std::collections::BTreeMap;
 
 /// A linear polynomial: constant + sum of coefficient * atom.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub struct Poly {
     /// Constant term.
     pub constant: i128,
@@ -91,15 +91,95 @@ impl Poly {
 pub struct LeZero(pub Poly);
 
 /// The linear-arithmetic context built from a set of literals.
+///
+/// Supports **incremental** use: constraints accumulate across
+/// [`Linear::solve`] calls, a `frontier` marks how far pairwise elimination
+/// has already been pushed (so a re-solve after a few new constraints only
+/// combines pairs involving the new rows — semi-naive evaluation), and
+/// [`Linear::snapshot`]/[`Linear::undo_to`] restore an earlier state in
+/// O(changes). Derived rows carried across solves are consequences of rows
+/// below them in the vector, so truncation is always sound.
 #[derive(Clone, Debug, Default)]
 pub struct Linear {
     constraints: Vec<LeZero>,
     contradiction: bool,
+    /// Constraints below this index have been exhaustively pairwise-combined
+    /// against each other by earlier [`Linear::solve`] calls.
+    frontier: usize,
+    /// Every [`TermId`] ever used as an atom key (conservative: entries are
+    /// *not* removed on undo — stale entries can only cause a spurious
+    /// staleness rebuild upstream, never unsoundness).
+    atoms: std::collections::BTreeSet<TermId>,
+    /// The constraint store hit `MAX_CONSTRAINTS`: derivation stopped. A
+    /// persistent context that keeps asserting afterwards must rebuild (see
+    /// [`Linear::needs_rebuild`]) — a saturated store silently blocks the
+    /// eliminations new facts would need, which a per-query rebuild never
+    /// experiences.
+    saturated: bool,
+    /// Rows asserted after saturation (they were never combined).
+    rows_since_saturation: usize,
+    /// Membership index over `constraints` for O(1) derivation dedup.
+    /// Maintained as a *subset* of the live rows (duplicate asserted rows
+    /// share one entry, and an undo may drop the entry while a copy
+    /// survives) — an absent entry merely re-appends a duplicate row,
+    /// never loses a derivation.
+    seen: std::collections::HashSet<Poly>,
+}
+
+/// A restore point for [`Linear::undo_to`].
+#[derive(Clone, Copy, Debug)]
+pub struct LinSnapshot {
+    constraints_len: usize,
+    frontier: usize,
+    contradiction: bool,
+    saturated: bool,
+    rows_since_saturation: usize,
 }
 
 impl Linear {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Takes a restore point for [`Linear::undo_to`].
+    pub fn snapshot(&self) -> LinSnapshot {
+        LinSnapshot {
+            constraints_len: self.constraints.len(),
+            frontier: self.frontier,
+            contradiction: self.contradiction,
+            saturated: self.saturated,
+            rows_since_saturation: self.rows_since_saturation,
+        }
+    }
+
+    /// Restores an earlier [`Linear::snapshot`]: constraints added (asserted
+    /// *or* derived) since are dropped and the elimination frontier rolls
+    /// back so re-solves recombine whatever needs recombining.
+    pub fn undo_to(&mut self, snap: &LinSnapshot) {
+        for c in &self.constraints[snap.constraints_len.min(self.constraints.len())..] {
+            self.seen.remove(&c.0);
+        }
+        self.constraints.truncate(snap.constraints_len);
+        self.frontier = snap.frontier;
+        self.contradiction = snap.contradiction;
+        self.saturated = snap.saturated;
+        self.rows_since_saturation = snap.rows_since_saturation;
+    }
+
+    /// Did rows arrive after the store saturated? They were never combined
+    /// with anything, so a persistent caller must rebuild from its source
+    /// facts (dropping the accumulated derived rows) to stay as complete as
+    /// a per-query solve.
+    pub fn needs_rebuild(&self) -> bool {
+        self.saturated && self.rows_since_saturation > 0
+    }
+
+    /// Has this id ever been used as an atom key? Conservative over undo —
+    /// see the field docs. The theory combiner uses this to detect
+    /// congruence merges that absorb a class some constraint row
+    /// references (the staleness-rebuild trigger).
+    pub fn is_atom(&self, t: TermId) -> bool {
+        self.atoms.contains(&t)
     }
 
     /// Returns `true` if the collected constraints are definitely
@@ -130,12 +210,18 @@ impl Linear {
                     (Some(ca), _) => pb.scale(ca),
                     (_, Some(cb)) => pa.scale(cb),
                     // Non-linear: treat the whole product as an atom.
-                    _ => Poly::atom(cc.rep_of(e)),
+                    _ => {
+                        let rep = cc.rep_of(e);
+                        self.atoms.insert(rep);
+                        Poly::atom(rep)
+                    }
                 }
             }
             Expr::UnOp(UnOp::Neg, a) => self.poly_of(a, cc).scale(-1),
             _ => {
-                let atom = Poly::atom(cc.rep_of(e));
+                let rep = cc.rep_of(e);
+                self.atoms.insert(rep);
+                let atom = Poly::atom(rep);
                 // Sequence lengths are always non-negative; record that fact
                 // whenever a length term becomes an atom.
                 if matches!(e, Expr::UnOp(UnOp::SeqLen, _)) {
@@ -182,11 +268,23 @@ impl Linear {
             }
             return;
         }
+        if self.saturated {
+            self.rows_since_saturation += 1;
+        }
+        self.seen.insert(c.0.clone());
         self.constraints.push(c);
     }
 
     /// Runs the decision procedure: bound propagation plus a bounded number of
     /// Fourier–Motzkin elimination rounds.
+    ///
+    /// Semi-naive: pairs entirely below the persistent `frontier` were
+    /// combined by an earlier call, so each round only pairs constraints
+    /// against the rows added since (asserted or derived). On a fresh
+    /// context this explores exactly the pair set the naive version did
+    /// (re-derivations were discarded by the dedup anyway); on a warm
+    /// context a re-solve after one new fact costs O(new × old), not
+    /// O(old²).
     pub fn solve(&mut self) {
         if self.contradiction {
             return;
@@ -198,14 +296,15 @@ impl Linear {
         // constraints.
         const MAX_CONSTRAINTS: usize = 4096;
         const MAX_ROUNDS: usize = 4;
+        let mut new_start = self.frontier.min(self.constraints.len());
         for _ in 0..MAX_ROUNDS {
-            if self.contradiction {
-                return;
+            let n = self.constraints.len();
+            if new_start >= n {
+                break;
             }
             let mut new_constraints: Vec<LeZero> = Vec::new();
-            let n = self.constraints.len();
             for i in 0..n {
-                for j in (i + 1)..n {
+                for j in (i + 1).max(new_start)..n {
                     let a = &self.constraints[i].0;
                     let b = &self.constraints[j].0;
                     // Find an atom with opposite signs.
@@ -235,19 +334,23 @@ impl Linear {
                     }
                 }
             }
+            new_start = n;
             if new_constraints.is_empty() {
-                return;
+                break;
             }
             // Deduplicate against existing constraints.
             for c in new_constraints {
                 if self.constraints.len() >= MAX_CONSTRAINTS {
+                    self.saturated = true;
+                    self.frontier = self.constraints.len();
                     return;
                 }
-                if !self.constraints.iter().any(|e| e.0 == c.0) {
+                if self.seen.insert(c.0.clone()) {
                     self.constraints.push(c);
                 }
             }
         }
+        self.frontier = self.constraints.len();
     }
 }
 
@@ -355,6 +458,70 @@ mod tests {
         let (mut cc, mut lin, _g) = setup();
         lin.add_lt(&Expr::Int(5), &Expr::Int(3), &mut cc);
         assert!(lin.contradictory());
+    }
+
+    #[test]
+    fn incremental_resolve_after_new_fact() {
+        // Solve, add one more fact, re-solve: the semi-naive frontier must
+        // still find the conflict introduced by the late fact.
+        let (mut cc, mut lin, mut g) = setup();
+        let x = g.fresh_expr();
+        let y = g.fresh_expr();
+        lin.add_lt(&x, &y, &mut cc); // x < y
+        lin.solve();
+        assert!(!lin.contradictory());
+        lin.add_le(&y, &x, &mut cc); // y <= x
+        lin.solve();
+        assert!(lin.contradictory());
+    }
+
+    #[test]
+    fn snapshot_undo_restores_consistency() {
+        let (mut cc, mut lin, mut g) = setup();
+        let x = g.fresh_expr();
+        lin.add_le(&Expr::Int(0), &x, &mut cc); // 0 <= x
+        lin.solve();
+        let snap = lin.snapshot();
+        lin.add_lt(&x, &Expr::Int(0), &mut cc); // x < 0
+        lin.solve();
+        assert!(lin.contradictory());
+        lin.undo_to(&snap);
+        assert!(!lin.contradictory());
+        // The surviving bound still works with new facts.
+        lin.add_lt(&x, &Expr::Int(5), &mut cc);
+        lin.solve();
+        assert!(!lin.contradictory());
+        lin.add_le(&Expr::Int(7), &x, &mut cc);
+        lin.solve();
+        assert!(lin.contradictory());
+    }
+
+    #[test]
+    fn undo_rolls_back_derived_rows() {
+        // Derived rows from an inner scope must not outlive it: after the
+        // undo, facts that only conflicted via the inner fact are consistent.
+        let (mut cc, mut lin, mut g) = setup();
+        let x = g.fresh_expr();
+        let y = g.fresh_expr();
+        lin.add_lt(&x, &y, &mut cc); // x < y
+        lin.solve();
+        let snap = lin.snapshot();
+        lin.add_lt(&y, &Expr::Int(0), &mut cc); // y < 0 (derives x < -1 …)
+        lin.solve();
+        assert!(!lin.contradictory());
+        lin.undo_to(&snap);
+        lin.add_le(&Expr::Int(0), &x, &mut cc); // 0 <= x — fine without y < 0
+        lin.solve();
+        assert!(!lin.contradictory());
+    }
+
+    #[test]
+    fn atoms_are_registered() {
+        let (mut cc, mut lin, mut g) = setup();
+        let x = g.fresh_expr();
+        lin.add_lt(&x, &Expr::Int(3), &mut cc);
+        let rep = cc.rep_of(&x);
+        assert!(lin.is_atom(rep));
     }
 
     #[test]

@@ -24,12 +24,20 @@
 //!
 //! ## Process driving
 //!
-//! One solver process is shared per [`crate::Solver`] hub (all branch clones
-//! and worker threads), serialised by a mutex. The process mirrors the
-//! querying context's assertion stack with `(push 1)`/`(pop 1)`: before each
-//! `(check-sat)` the shared state is re-synchronised to the context's branch
-//! scopes by popping to the common prefix and asserting the difference, so a
-//! linear exploration inside one branch is fully incremental.
+//! By default the bridge runs **one process per concurrently-solving
+//! worker**: each solve checks a process out of an idle pool (preferring the
+//! one whose mirrored stack shares the longest scope prefix with the query)
+//! or spawns a fresh one seeded with the shared prelude, so branch workers
+//! never serialise on a hub mutex. The naming tables (constructor tags,
+//! opaque constants) stay shared — locked only while rendering — so names
+//! are stable across every process. `GILLIAN_SMT_SINGLE=1` (or
+//! `SmtOptions::per_worker = false`) restores the pre-pool fallback: one
+//! process per [`crate::Solver`] hub behind a mutex. Either way a process
+//! mirrors the querying context's assertion stack with `(push 1)`/`(pop 1)`:
+//! before each `(check-sat)` its state is re-synchronised to the context's
+//! branch scopes by popping to the common prefix and asserting the
+//! difference, so a linear exploration inside one branch is fully
+//! incremental.
 //!
 //! Every solve is **time-boxed** (default 3 s; `GILLIAN_SMT_TIMEOUT_MS` or
 //! `EngineOptions::smt_timeout_ms`). On timeout or process death the child is
@@ -44,7 +52,9 @@
 //! to the kernel alone.
 
 use crate::arena::{TermArena, TermId};
-use crate::backend::{entails_by_decomposition, AtomicSolverStats, EagerBackend, SolverBackend};
+use crate::backend::{
+    entails_by_decomposition, AtomicSolverStats, IncrementalStateBackend, SolverBackend,
+};
 use crate::expr::{BinOp, Expr, NOp, UnOp};
 use crate::symbol::Symbol;
 use std::collections::{HashMap, HashSet};
@@ -77,6 +87,12 @@ pub struct SmtOptions {
     pub command: Option<Vec<String>>,
     /// Wall-clock time box per solve.
     pub timeout: Duration,
+    /// One external process per concurrently-solving worker (the default:
+    /// solves never serialise on a hub mutex; idle processes are pooled and
+    /// checked out by longest shared scope prefix) versus the single shared
+    /// process behind a mutex (the pre-pool behaviour; forced by
+    /// `GILLIAN_SMT_SINGLE=1`).
+    pub per_worker: bool,
 }
 
 impl Default for SmtOptions {
@@ -88,15 +104,20 @@ impl Default for SmtOptions {
 impl SmtOptions {
     /// Probe-everything defaults: command from the environment/`PATH`,
     /// timeout from `GILLIAN_SMT_TIMEOUT_MS` (milliseconds) or
-    /// [`DEFAULT_TIMEOUT_MS`].
+    /// [`DEFAULT_TIMEOUT_MS`], per-worker processes unless
+    /// `GILLIAN_SMT_SINGLE` is set to `1`/`true`/`on`.
     pub fn from_env() -> Self {
         let timeout = std::env::var("GILLIAN_SMT_TIMEOUT_MS")
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
             .unwrap_or(DEFAULT_TIMEOUT_MS);
+        let single = std::env::var("GILLIAN_SMT_SINGLE")
+            .map(|v| matches!(v.trim(), "1" | "true" | "on"))
+            .unwrap_or(false);
         SmtOptions {
             command: None,
             timeout: Duration::from_millis(timeout),
+            per_worker: !single,
         }
     }
 }
@@ -619,24 +640,41 @@ impl Drop for SmtProcess {
     }
 }
 
-/// Mutable hub-level SMT state: the live process (if any), naming tables and
-/// spawn bookkeeping, all behind one mutex.
+/// Spawn bookkeeping shared by every process of one bridge: consecutive
+/// spawn failures; after a few the bridge disables itself instead of
+/// respawning in a loop.
 #[derive(Default)]
-struct SmtHubState {
-    proc: Option<SmtProcess>,
-    tables: RenderTables,
-    /// Consecutive spawn failures; after a few the bridge disables itself
-    /// instead of respawning in a loop.
+struct SpawnHealth {
     spawn_failures: u32,
     disabled: bool,
 }
 
-/// The shared SMT bridge of one [`crate::Solver`] hub: configuration plus
-/// the serialised process state. Cheap to clone via `Arc`.
+/// The shared SMT bridge of one [`crate::Solver`] hub. Cheap to clone via
+/// `Arc`.
+///
+/// In **per-worker** mode (the default) each solve checks a process out of
+/// an idle pool — or spawns a fresh one seeded with the shared prelude —
+/// so concurrent branch workers never serialise on a hub mutex; the naming
+/// tables (constructor tags, opaque constants) stay shared and are locked
+/// only for the microseconds of rendering, keeping names stable across
+/// every process. Idle processes are checked out by longest shared scope
+/// prefix, so a worker usually gets a process already synced to most of its
+/// branch. In **single** mode (`GILLIAN_SMT_SINGLE=1`, or
+/// `SmtOptions::per_worker = false`) the pre-pool behaviour is kept: one
+/// process behind a mutex held for the whole solve.
 pub struct SmtShared {
     cmd: Option<SmtCommand>,
     timeout: Duration,
-    state: Mutex<SmtHubState>,
+    per_worker: bool,
+    /// Naming tables shared by every process (stable across respawns).
+    tables: Mutex<RenderTables>,
+    health: Mutex<SpawnHealth>,
+    /// Idle processes (per-worker mode).
+    idle: Mutex<Vec<SmtProcess>>,
+    /// The one shared process (single mode); the mutex serialises solves.
+    single: Mutex<Option<SmtProcess>>,
+    /// Total processes spawned over the bridge's lifetime (telemetry/tests).
+    spawned: std::sync::atomic::AtomicU64,
 }
 
 impl std::fmt::Debug for SmtShared {
@@ -691,7 +729,12 @@ impl SmtShared {
         SmtShared {
             cmd,
             timeout: opts.timeout,
-            state: Mutex::new(SmtHubState::default()),
+            per_worker: opts.per_worker,
+            tables: Mutex::new(RenderTables::default()),
+            health: Mutex::new(SpawnHealth::default()),
+            idle: Mutex::new(Vec::new()),
+            single: Mutex::new(None),
+            spawned: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -700,13 +743,18 @@ impl SmtShared {
         SmtShared {
             cmd: None,
             timeout: Duration::from_millis(DEFAULT_TIMEOUT_MS),
-            state: Mutex::new(SmtHubState::default()),
+            per_worker: true,
+            tables: Mutex::new(RenderTables::default()),
+            health: Mutex::new(SpawnHealth::default()),
+            idle: Mutex::new(Vec::new()),
+            single: Mutex::new(None),
+            spawned: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
     /// Is an external process configured (it may still die later)?
     pub fn is_available(&self) -> bool {
-        self.cmd.is_some() && !self.state.lock().unwrap().disabled
+        self.cmd.is_some() && !self.health.lock().unwrap().disabled
     }
 
     /// The provenance of the configured solver, for reports and notices.
@@ -714,62 +762,125 @@ impl SmtShared {
         self.cmd.as_ref().map(|c| c.source.clone())
     }
 
+    /// Total external processes spawned so far (telemetry/tests).
+    pub fn processes_spawned(&self) -> u64 {
+        self.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Is this bridge running one process per worker (vs the single shared
+    /// process fallback)?
+    pub fn per_worker(&self) -> bool {
+        self.per_worker
+    }
+
     /// Runs one `(check-sat)` for the given scoped assertion stack,
-    /// re-syncing the process as needed. Never blocks longer than the time
+    /// re-syncing a process as needed. Never blocks longer than the time
     /// box (plus scheduling noise): on deadline the process is killed and
     /// the answer is [`SmtAnswer::Timeout`].
+    ///
+    /// Per-worker mode checks a process out of the idle pool (or spawns
+    /// one), so concurrent callers each drive their own process; single
+    /// mode serialises callers on the shared process's mutex.
     fn check(&self, arena: &TermArena, scopes: &[Vec<TermId>]) -> SmtAnswer {
-        let Some(cmd) = &self.cmd else {
-            return SmtAnswer::Died;
-        };
-        let mut st = self.state.lock().unwrap();
-        if st.disabled {
+        if self.cmd.is_none() {
             return SmtAnswer::Died;
         }
-        if st.proc.is_none() {
-            match SmtProcess::spawn(cmd, self.timeout) {
-                Some(p) => {
-                    st.proc = Some(p);
-                    st.spawn_failures = 0;
-                }
-                None => {
-                    st.spawn_failures += 1;
-                    if st.spawn_failures >= 3 {
-                        st.disabled = true;
-                        eprintln!(
-                            "gillian-solver: disabling smtlib bridge after {} failed spawns of {:?}",
-                            st.spawn_failures, cmd.argv
-                        );
+        if self.per_worker {
+            let Some(mut proc) = self.checkout(scopes) else {
+                return SmtAnswer::Died;
+            };
+            let answer = self.drive(&mut proc, arena, scopes);
+            if !matches!(answer, SmtAnswer::Timeout | SmtAnswer::Died) {
+                self.idle.lock().unwrap().push(proc);
+            }
+            // A timed-out/dead process was already killed; dropping it here
+            // reaps it, and the next query spawns a replacement.
+            answer
+        } else {
+            let mut slot = self.single.lock().unwrap();
+            if slot.is_none() {
+                *slot = self.spawn_one();
+            }
+            let Some(proc) = slot.as_mut() else {
+                return SmtAnswer::Died;
+            };
+            let answer = self.drive(proc, arena, scopes);
+            if matches!(answer, SmtAnswer::Timeout | SmtAnswer::Died) {
+                *slot = None;
+            }
+            answer
+        }
+    }
+
+    /// Takes an idle process — preferring the one whose mirrored stack
+    /// shares the longest scope prefix with the target, to minimise the
+    /// re-sync — or spawns a fresh one.
+    fn checkout(&self, target: &[Vec<TermId>]) -> Option<SmtProcess> {
+        {
+            let mut idle = self.idle.lock().unwrap();
+            if !idle.is_empty() {
+                let mut best = 0usize;
+                let mut best_score = 0usize;
+                for (i, p) in idle.iter().enumerate() {
+                    let mut s = 0;
+                    while s < p.synced.len() && s < target.len() && p.synced[s] == target[s] {
+                        s += 1;
                     }
-                    return SmtAnswer::Died;
+                    if s > best_score {
+                        best_score = s;
+                        best = i;
+                    }
                 }
+                return Some(idle.swap_remove(best));
             }
         }
-        let answer = {
-            let SmtHubState { proc, tables, .. } = &mut *st;
-            Self::drive(proc.as_mut().unwrap(), tables, arena, scopes, self.timeout)
-        };
-        if matches!(answer, SmtAnswer::Timeout | SmtAnswer::Died) {
-            // Dropping the process kills it; the next query respawns and
-            // replays from scratch.
-            st.proc = None;
+        self.spawn_one()
+    }
+
+    /// Spawns one process (prelude included), with the shared failure
+    /// bookkeeping: a few consecutive failures disable the bridge.
+    fn spawn_one(&self) -> Option<SmtProcess> {
+        let cmd = self.cmd.as_ref()?;
+        let mut health = self.health.lock().unwrap();
+        if health.disabled {
+            return None;
         }
-        answer
+        match SmtProcess::spawn(cmd, self.timeout) {
+            Some(p) => {
+                health.spawn_failures = 0;
+                self.spawned.fetch_add(1, Ordering::Relaxed);
+                Some(p)
+            }
+            None => {
+                health.spawn_failures += 1;
+                if health.spawn_failures >= 3 {
+                    health.disabled = true;
+                    eprintln!(
+                        "gillian-solver: disabling smtlib bridge after {} failed spawns of {:?}",
+                        health.spawn_failures, cmd.argv
+                    );
+                }
+                None
+            }
+        }
     }
 
     /// Syncs, asks, and awaits one answer with a hard deadline (the
-    /// solver's own soft limit plus a little grace).
-    fn drive(
-        proc: &mut SmtProcess,
-        tables: &mut RenderTables,
-        arena: &TermArena,
-        scopes: &[Vec<TermId>],
-        timeout: Duration,
-    ) -> SmtAnswer {
-        if proc.sync(tables, scopes, arena).is_none() || proc.send("(check-sat)\n").is_none() {
+    /// solver's own soft limit plus a little grace). The shared naming
+    /// tables are locked only while rendering the sync commands.
+    fn drive(&self, proc: &mut SmtProcess, arena: &TermArena, scopes: &[Vec<TermId>]) -> SmtAnswer {
+        {
+            let mut tables = self.tables.lock().unwrap();
+            if proc.sync(&mut tables, scopes, arena).is_none() {
+                proc.kill();
+                return SmtAnswer::Died;
+            }
+        }
+        if proc.send("(check-sat)\n").is_none() {
+            proc.kill();
             return SmtAnswer::Died;
         }
-        let deadline = Instant::now() + timeout + Duration::from_millis(250);
+        let deadline = Instant::now() + self.timeout + Duration::from_millis(250);
         loop {
             let now = Instant::now();
             if now >= deadline {
@@ -811,7 +922,7 @@ impl SmtShared {
 /// process for whatever the kernel cannot refute. See the module docs for
 /// the soundness argument and the timeout/abandonment contract.
 pub struct SmtBackend {
-    kernel: EagerBackend,
+    kernel: IncrementalStateBackend,
     shared: Arc<SmtShared>,
     stats: Arc<AtomicSolverStats>,
     /// Simplified ids in assertion order (the process mirrors these).
@@ -833,7 +944,7 @@ impl SmtBackend {
         shared: Arc<SmtShared>,
     ) -> SmtBackend {
         SmtBackend {
-            kernel: EagerBackend::new(Arc::clone(&stats), case_budget),
+            kernel: IncrementalStateBackend::new(Arc::clone(&stats), case_budget),
             shared,
             stats,
             raw: Vec::new(),
@@ -928,7 +1039,7 @@ impl SolverBackend for SmtBackend {
         self.last_complete
     }
 
-    fn assertions(&self) -> Vec<TermId> {
+    fn assertions(&self) -> &[TermId] {
         self.kernel.assertions()
     }
 
@@ -1047,6 +1158,7 @@ mod tests {
         let shared = SmtShared::new(&SmtOptions {
             command: Some(vec![]),
             timeout: Duration::from_millis(100),
+            per_worker: true,
         });
         assert!(!shared.is_available());
     }
@@ -1118,6 +1230,7 @@ mod tests {
         let shared = Arc::new(SmtShared::new(&SmtOptions {
             command: Some(vec![script.to_string_lossy().into_owned()]),
             timeout: Duration::from_secs(5),
+            per_worker: true,
         }));
         assert!(shared.is_available());
         let stats = Arc::new(AtomicSolverStats::default());
@@ -1153,6 +1266,7 @@ mod tests {
         let shared = Arc::new(SmtShared::new(&SmtOptions {
             command: Some(vec![script.to_string_lossy().into_owned()]),
             timeout: Duration::from_millis(200),
+            per_worker: true,
         }));
         let stats = Arc::new(AtomicSolverStats::default());
         let arena = TermArena::new();

@@ -24,8 +24,8 @@
 
 use crate::arena::{TermArena, TermId};
 use crate::backend::{
-    AtomicSolverStats, BackendKind, CachingBackend, EagerBackend, OneShotBackend, QueryCache,
-    SolverBackend, SolverStats,
+    AtomicSolverStats, BackendKind, CachingBackend, EagerBackend, IncrementalStateBackend,
+    OneShotBackend, QueryCache, SolverBackend, SolverStats,
 };
 use crate::expr::Expr;
 use crate::smtlib::{SmtBackend, SmtOptions, SmtShared};
@@ -134,8 +134,15 @@ impl Solver {
             BackendKind::Incremental => {
                 Box::new(EagerBackend::new(Arc::clone(&self.stats), self.case_budget))
             }
+            BackendKind::IncrementalState => Box::new(IncrementalStateBackend::new(
+                Arc::clone(&self.stats),
+                self.case_budget,
+            )),
             BackendKind::CachedIncremental => Box::new(CachingBackend::new(
-                Box::new(EagerBackend::new(Arc::clone(&self.stats), self.case_budget)),
+                Box::new(IncrementalStateBackend::new(
+                    Arc::clone(&self.stats),
+                    self.case_budget,
+                )),
                 Arc::clone(&self.cache),
                 Arc::clone(&self.stats),
                 BackendKind::CachedIncremental.label(),
@@ -202,7 +209,7 @@ impl std::fmt::Debug for SolverCtx {
             f,
             "SolverCtx({}, {} assertions)",
             self.kind,
-            self.backend.borrow().assertions().len()
+            self.assertions_len()
         )
     }
 }
@@ -267,9 +274,17 @@ impl SolverCtx {
         t
     }
 
-    /// The raw asserted ids, in assertion order.
+    /// The raw asserted ids, in assertion order. (Collected into a `Vec`
+    /// because the backend sits behind a `RefCell`; backends themselves hand
+    /// out a borrowed slice, so hot paths that only need the length or a
+    /// scan go through [`SolverCtx::assertions_len`] / the backend.)
     pub fn assertions(&self) -> Vec<TermId> {
-        self.backend.borrow().assertions()
+        self.backend.borrow().assertions().to_vec()
+    }
+
+    /// Number of raw asserted ids (no allocation).
+    pub fn assertions_len(&self) -> usize {
+        self.backend.borrow().assertions().len()
     }
 
     /// Adds a fact to the path condition after simplifying it. Returns the
@@ -560,6 +575,34 @@ mod tests {
             assert!(ctx.must_equal(&x, &Expr::Int(7)));
             assert!(ctx.must_differ(&x, &Expr::Int(8)));
             assert!(!ctx.must_differ(&x, &Expr::Int(7)));
+        }
+    }
+
+    #[test]
+    fn interleaved_checks_do_not_stale_linear_atom_keys() {
+        // Regression: a congruence merge absorbing an atom-keyed class into
+        // a class that carries no atoms *yet* must still invalidate the
+        // linear keying — rows added later are keyed under the surviving
+        // representative and would otherwise never meet the absorbed-key
+        // rows. The `q != f(b)` fact interns `f(b)` early so the merge
+        // keeps its (atom-free) class as representative; the interleaved
+        // check forces the incremental state to settle mid-sequence.
+        for kind in BackendKind::ALL {
+            let hub = Solver::with_backend(kind);
+            let ctx = hub.ctx();
+            let mut g = VarGen::new();
+            let (a, b, q) = (g.fresh_expr(), g.fresh_expr(), g.fresh_expr());
+            let fa = Expr::app("f", vec![a.clone()]);
+            let fb = Expr::app("f", vec![b.clone()]);
+            ctx.assert_expr(&Expr::ne(q, fb.clone()));
+            ctx.assert_expr(&Expr::ge(fa, Expr::Int(3)));
+            ctx.assert_expr(&Expr::eq(a, b));
+            assert!(!ctx.check_unsat(), "{kind}: still satisfiable");
+            ctx.assert_expr(&Expr::lt(fb, Expr::Int(3)));
+            assert!(
+                ctx.check_unsat(),
+                "{kind}: f(a) >= 3, a == b, f(b) < 3 must refute"
+            );
         }
     }
 

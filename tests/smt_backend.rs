@@ -247,6 +247,118 @@ fn hung_solver_falls_back_without_deadlocking_branch_workers() {
     );
 }
 
+/// Per-worker processes: four threads solving *distinct* kernel-irrefutable
+/// queries concurrently against a stub that sleeps before answering. With
+/// the process pool there is no hub mutex to serialise on, so the threads
+/// overlap inside the stub's sleep and the bridge must have spawned more
+/// than one process. (The stub logs each start to a shared file.)
+#[test]
+#[cfg(unix)]
+fn per_worker_solves_use_multiple_processes() {
+    let dir = std::env::temp_dir().join(format!("gillian-smt-pool-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("spawns.log");
+    let stub = write_stub(
+        "slow-sat.sh",
+        &format!(
+            "#!/bin/sh\necho started >> {}\nwhile read line; do\n  case \"$line\" in\n    *check-sat*) sleep 1; echo sat ;;\n  esac\ndone\n",
+            log.display()
+        ),
+    );
+    let hub = Solver::with_backend_and_smt(
+        BackendKind::SmtLib,
+        SmtOptions {
+            command: Some(vec![stub.to_string_lossy().into_owned()]),
+            timeout: Duration::from_secs(30),
+            per_worker: true,
+        },
+    );
+    let barrier = std::sync::Barrier::new(4);
+    std::thread::scope(|scope| {
+        for i in 0..4 {
+            let hub = &hub;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let ctx = hub.ctx();
+                let mut g = gillian_solver::VarGen::new();
+                let x = g.fresh_expr();
+                // Distinct canonical queries per thread (distinct constants):
+                // no in-flight dedup, every thread's solve reaches a process
+                // of its own.
+                ctx.assert_expr(&Expr::lt(Expr::Int(1000 + i as i128), x));
+                barrier.wait();
+                assert!(!ctx.check_unsat());
+            });
+        }
+    });
+    let spawned = std::fs::read_to_string(&log)
+        .unwrap_or_default()
+        .lines()
+        .count();
+    assert!(
+        spawned >= 2,
+        "4 overlapping solves against a 1s-sleeping stub must use ≥2 processes, got {spawned}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The single-process fallback stays selectable and fully functional: with
+/// `smt_per_worker: false` the session still verifies through the stub.
+#[test]
+#[cfg(unix)]
+fn single_process_fallback_still_works() {
+    let stub = write_stub(
+        "single-always-unsat.sh",
+        "#!/bin/sh\nwhile read line; do\n  case \"$line\" in\n    *check-sat*) echo unsat ;;\n  esac\ndone\n",
+    );
+    let report = demo_session(EngineOptions {
+        backend: BackendKind::SmtLib,
+        smt_command: Some(vec![stub.to_string_lossy().into_owned()]),
+        smt_per_worker: false,
+        branch_parallelism: 4,
+        ..EngineOptions::default()
+    })
+    .verify_all();
+    assert!(report.all_verified(), "{}", report.render_text());
+    assert!(report.solver.smt_queries > 0);
+}
+
+/// With a real solver: verdict agreement must hold with per-worker
+/// processes enabled under branch-level parallelism (the configuration the
+/// CI z3 job pins).
+#[test]
+fn real_solver_agrees_with_per_worker_processes_at_branch_parallelism_4() {
+    if solver_or_skip("real_solver_agrees_with_per_worker_processes_at_branch_parallelism_4")
+        .is_none()
+    {
+        return;
+    }
+    let reference = demo_session(EngineOptions::default()).verify_all();
+    let smt = demo_session(EngineOptions {
+        backend: BackendKind::SmtLib,
+        smt_per_worker: true,
+        branch_parallelism: 4,
+        ..EngineOptions::default()
+    })
+    .verify_all();
+    assert_eq!(
+        reference.all_verified(),
+        smt.all_verified(),
+        "per-worker smtlib at bp=4 disagrees:\n{}",
+        smt.render_text()
+    );
+    for (a, b) in reference.cases.iter().zip(smt.cases.iter()) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.verified(), b.verified(), "case {}", a.name());
+        assert_eq!(
+            a.diagnostic().map(|d| d.fingerprint()),
+            b.diagnostic().map(|d| d.fingerprint()),
+            "diagnostic of {}",
+            a.name()
+        );
+    }
+}
+
 /// Solver-level variant of the same hazard: several workers asking the same
 /// canonical query while the external process hangs. The first asker times
 /// out and abandons the in-flight entry; the parked workers must resume and
@@ -260,6 +372,7 @@ fn hung_solver_releases_parked_solver_workers() {
         SmtOptions {
             command: Some(vec![stub.to_string_lossy().into_owned()]),
             timeout: Duration::from_millis(300),
+            per_worker: true,
         },
     );
     let start = Instant::now();
