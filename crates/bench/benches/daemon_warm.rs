@@ -1,0 +1,239 @@
+//! Warm-daemon speedup over the Table 1 suite (the tentpole's headline
+//! number).
+//!
+//! Three measurements per Table 1 workload/mode pair:
+//!
+//! 1. **cold batch** — a fresh session per pair, `verify_all`, everything
+//!    rebuilt and re-proved (what every CLI invocation pays);
+//! 2. **daemon pass 1** — the same work through one [`ServerCore`], which
+//!    additionally records per-target dependency reads;
+//! 3. **daemon pass 2** — the same requests against the now-warm daemon:
+//!    zero targets re-verified, every answer served from the retained cache.
+//!
+//! The run **asserts** the daemon's contract: pass 2 re-verifies nothing,
+//! verdicts agree with the cold batch, and the warm pass is at least 2×
+//! faster than the cold batch. A final section times the incremental path:
+//! a spec edit on the `chain` workload re-proves exactly its dependency
+//! cone. Results go to `BENCH_daemon.json` at the workspace root (uploaded
+//! as a CI artifact by the bench-smoke job).
+//!
+//! `BENCH_QUICK=1` runs the first three pairs only, still asserting the
+//! contract, so CI stays fast.
+
+use gillian_server::json::{parse, Value};
+use gillian_server::{parse_mode, ProgramDb, ServerCore};
+use std::time::{Duration, Instant};
+
+const TABLE1_PAIRS: &[(&str, &str)] = &[
+    ("even_int", "fc"),
+    ("linked_pair", "ts"),
+    ("linked_pair", "fc"),
+    ("linked_list", "ts"),
+    ("linked_list", "fc"),
+    ("mini_vec", "fc"),
+];
+
+struct PairTimes {
+    workload: &'static str,
+    mode: &'static str,
+    cold: Duration,
+    pass1: Duration,
+    warm: Duration,
+    targets: usize,
+    all_verified: bool,
+}
+
+fn ok(resp: &str) -> Value {
+    let v = parse(resp).expect("daemon responses are valid JSON");
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{resp}");
+    v
+}
+
+fn names(v: &Value, field: &str) -> Vec<String> {
+    v.get(field)
+        .and_then(Value::as_array)
+        .expect("array field")
+        .iter()
+        .map(|x| x.as_str().unwrap().to_string())
+        .collect()
+}
+
+fn verdicts(v: &Value) -> Vec<(String, bool)> {
+    v.get("cases")
+        .and_then(Value::as_array)
+        .expect("cases")
+        .iter()
+        .map(|c| {
+            (
+                c.get("name").and_then(Value::as_str).unwrap().to_string(),
+                c.get("verified").and_then(Value::as_bool).unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn load_and_verify(core: &mut ServerCore, workload: &str, mode: &str) -> (Duration, Value) {
+    let load = format!(r#"{{"cmd":"load","workload":"{workload}","mode":"{mode}"}}"#);
+    let start = Instant::now();
+    ok(&core.handle_line(&load));
+    let v = ok(&core.handle_line(r#"{"cmd":"verify"}"#));
+    (start.elapsed(), v)
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_QUICK").is_ok();
+    let pairs: &[(&str, &str)] = if quick {
+        &TABLE1_PAIRS[..3]
+    } else {
+        TABLE1_PAIRS
+    };
+    println!(
+        "== daemon_warm (Table 1 suite{}) ==",
+        if quick { ", quick" } else { "" }
+    );
+
+    let mut core = ServerCore::new();
+    let mut rows: Vec<PairTimes> = Vec::new();
+
+    for &(workload, mode) in pairs {
+        // Cold batch: the per-invocation price of a one-shot CLI run.
+        let start = Instant::now();
+        let report = ProgramDb::load(workload, parse_mode(mode), None, None)
+            .unwrap_or_else(|e| panic!("{workload}:{mode}: {e}"))
+            .session
+            .verify_all();
+        let cold = start.elapsed();
+        let batch: Vec<(String, bool)> = report
+            .cases
+            .iter()
+            .map(|c| (c.name().to_string(), c.verified()))
+            .collect();
+
+        // Daemon pass 1: same proofs, plus dependency recording.
+        let (pass1, v) = load_and_verify(&mut core, workload, mode);
+        assert_eq!(
+            names(&v, "reverified").len(),
+            batch.len(),
+            "{workload}:{mode}: pass 1 is cold"
+        );
+        assert_eq!(
+            verdicts(&v),
+            batch,
+            "{workload}:{mode}: daemon agrees with the batch"
+        );
+
+        rows.push(PairTimes {
+            workload,
+            mode,
+            cold,
+            pass1,
+            warm: Duration::ZERO,
+            targets: batch.len(),
+            all_verified: report.all_verified(),
+        });
+    }
+
+    // Pass 2: every pair warm, in the same order.
+    for row in rows.iter_mut() {
+        let (warm, v) = load_and_verify(&mut core, row.workload, row.mode);
+        assert!(
+            names(&v, "reverified").is_empty(),
+            "{}:{}: warm pass re-verifies zero targets",
+            row.workload,
+            row.mode
+        );
+        assert_eq!(names(&v, "cached").len(), row.targets);
+        row.warm = warm;
+    }
+
+    let total = |f: fn(&PairTimes) -> Duration| rows.iter().map(f).sum::<Duration>();
+    let cold_total = total(|r| r.cold);
+    let pass1_total = total(|r| r.pass1);
+    let warm_total = total(|r| r.warm);
+    let speedup = cold_total.as_secs_f64() / warm_total.as_secs_f64().max(1e-9);
+
+    for r in &rows {
+        println!(
+            "  {:<16} {:<3} cold {:>9.4}s  pass1 {:>9.4}s  warm {:>9.6}s  ({} targets)",
+            r.workload,
+            r.mode,
+            r.cold.as_secs_f64(),
+            r.pass1.as_secs_f64(),
+            r.warm.as_secs_f64(),
+            r.targets,
+        );
+        assert!(r.all_verified, "{}:{} regressed", r.workload, r.mode);
+    }
+    println!(
+        "  total: cold {:.4}s  pass1 {:.4}s  warm {:.6}s  warm speedup {:.1}x",
+        cold_total.as_secs_f64(),
+        pass1_total.as_secs_f64(),
+        warm_total.as_secs_f64(),
+        speedup,
+    );
+
+    // Acceptance: answering from the warm cache beats re-proving, with room.
+    assert!(
+        speedup >= 2.0,
+        "warm daemon must be at least 2x faster than the cold batch, got {speedup:.2}x"
+    );
+
+    // The incremental path: a spec edit re-proves exactly its cone.
+    ok(&core.handle_line(r#"{"cmd":"load","workload":"chain"}"#));
+    ok(&core.handle_line(r#"{"cmd":"verify"}"#));
+    let start = Instant::now();
+    ok(&core.handle_line(
+        r#"{"cmd":"update_spec","fn":"inc","requires":["x@ < 2000"],"ensures":["result@ == x@ + 1"]}"#,
+    ));
+    let v = ok(&core.handle_line(r#"{"cmd":"verify"}"#));
+    let edit = start.elapsed();
+    let reverified = names(&v, "reverified");
+    assert_eq!(reverified, vec!["inc", "inc2"], "the edit's exact cone");
+    println!(
+        "  chain spec edit: re-proved {:?} in {:.4}s (base stayed cached)",
+        reverified,
+        edit.as_secs_f64()
+    );
+
+    let mut json = String::from("{");
+    json.push_str("\"suite\":\"table1\",");
+    json.push_str("\"bench\":\"daemon_warm\",");
+    json.push_str(&format!("\"quick\":{quick},"));
+    json.push_str(&format!(
+        "\"cold_seconds\":{:.6},\"pass1_seconds\":{:.6},\"warm_seconds\":{:.6},\"warm_speedup\":{:.2},",
+        cold_total.as_secs_f64(),
+        pass1_total.as_secs_f64(),
+        warm_total.as_secs_f64(),
+        speedup,
+    ));
+    json.push_str(&format!(
+        "\"edit_reverified\":[{}],\"edit_seconds\":{:.6},",
+        reverified
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(","),
+        edit.as_secs_f64(),
+    ));
+    json.push_str("\"pairs\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"workload\":\"{}\",\"mode\":\"{}\",\"targets\":{},\"cold_seconds\":{:.6},\"pass1_seconds\":{:.6},\"warm_seconds\":{:.6},\"all_verified\":{}}}",
+            r.workload,
+            r.mode,
+            r.targets,
+            r.cold.as_secs_f64(),
+            r.pass1.as_secs_f64(),
+            r.warm.as_secs_f64(),
+            r.all_verified,
+        ));
+    }
+    json.push_str("]}");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_daemon.json");
+    std::fs::write(path, &json).expect("write BENCH_daemon.json");
+    println!("  wrote {path}");
+}

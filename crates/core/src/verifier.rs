@@ -87,6 +87,15 @@ impl VerifyDiagnostic {
         }
     }
 
+    /// The expression hints attached to the diagnostic (the resources a
+    /// failed consumption was looking for); empty for other categories.
+    pub fn hints(&self) -> &[Expr] {
+        match self {
+            VerifyDiagnostic::ConsumeFailure { hints, .. } => hints,
+            _ => &[],
+        }
+    }
+
     /// A stable machine-readable category label.
     pub fn category(&self) -> &'static str {
         match self {

@@ -18,7 +18,10 @@
 //!   (`#x_cur`, `#x_fin`, `#x_repr`, `#ret_repr`);
 //! * [`extern_specs`] — the registry of hybrid specifications (the
 //!   `creusot_contracts`-style trusted API specs), shared between the two
-//!   verifiers.
+//!   verifiers;
+//! * [`parse`] — a parser for textual Pearlite clauses, used by the
+//!   `gillian serve` daemon to accept `requires`/`ensures` strings over the
+//!   wire.
 //!
 //! Safe client code is verified against those specifications only (never
 //! against the unsafe bodies) by running the Gillian engine in spec-reuse
@@ -30,8 +33,10 @@
 
 pub mod elaborate;
 pub mod extern_specs;
+pub mod parse;
 pub mod pearlite;
 
 pub use elaborate::elaborate;
 pub use extern_specs::ExternSpecs;
+pub use parse::{parse_term, ParseError};
 pub use pearlite::Term;

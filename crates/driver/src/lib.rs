@@ -329,10 +329,25 @@ impl VerificationReport {
             ));
             if let Some(d) = c.diagnostic() {
                 out.push_str(&format!(
-                    ",\"diagnostic\":{{\"category\":\"{}\",\"message\":{}}}",
+                    ",\"diagnostic\":{{\"category\":\"{}\",\"message\":{},\"fingerprint\":{}",
                     d.category(),
                     json_str(d.message()),
+                    json_str(&d.fingerprint()),
                 ));
+                // Hint expressions (missing resources of a consume failure)
+                // render through Display and routinely contain quotes and
+                // backslashes — they go through the same escaper.
+                if !d.hints().is_empty() {
+                    out.push_str(",\"hints\":[");
+                    for (j, h) in d.hints().iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&json_str(&h.to_string()));
+                    }
+                    out.push(']');
+                }
+                out.push('}');
             }
             out.push('}');
         }
@@ -341,7 +356,11 @@ impl VerificationReport {
     }
 }
 
-fn json_str(s: &str) -> String {
+/// Escapes a string into a JSON string literal (including the surrounding
+/// quotes). The single escaper behind every hand-rolled JSON emitter of the
+/// reproduction — the daemon protocol depends on it, so it lives in the
+/// public API and is round-trip tested against the server's JSON parser.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -357,6 +376,10 @@ fn json_str(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+fn json_str(s: &str) -> String {
+    json_escape(s)
 }
 
 // ---------------------------------------------------------------------------
@@ -748,6 +771,13 @@ impl HybridSession {
     /// Access to the underlying verifier (escape hatch for existing code).
     pub fn verifier(&self) -> &Verifier {
         &self.verifier
+    }
+
+    /// Mutable access to the underlying verifier. The daemon uses this to
+    /// swap an updated specification into the compiled program while keeping
+    /// the session — arena, caches, SMT processes — warm.
+    pub fn verifier_mut(&mut self) -> &mut Verifier {
+        &mut self.verifier
     }
 
     /// Consumes the session, returning the underlying verifier (for callers

@@ -2064,7 +2064,7 @@ impl<S: StateModel> Engine<S> {
         spec: &Spec,
         args: &[Expr],
     ) -> Result<Vec<(Config<S>, Expr)>, VerError> {
-        let proc_params: Vec<Symbol> = match self.prog.proc(spec.name) {
+        let proc_params: Vec<Symbol> = match self.prog.proc_sig(spec.name) {
             Some(p) => p.params.clone(),
             None => (0..args.len())
                 .map(|i| Symbol::new(&format!("arg{i}")))

@@ -7,8 +7,10 @@
 
 use crate::asrt::{Asrt, Lemma, Pred, Spec};
 use gillian_solver::{Expr, Symbol};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A ghost (logic) command.
 #[derive(Clone, Debug, PartialEq)]
@@ -148,6 +150,48 @@ impl Proc {
     }
 }
 
+/// Which registry of a [`Prog`] a dependency read went through (see
+/// [`Prog::begin_dep_recording`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DepKind {
+    /// A procedure body lookup (inlining, compiled-body verification).
+    Proc,
+    /// A user-predicate lookup (folds, unfolds, borrow opens).
+    Pred,
+    /// A specification lookup (spec-calls, the target's own contract).
+    Spec,
+    /// A lemma lookup (`apply`, lemma verification).
+    Lemma,
+    /// A procedure *signature* lookup (spec-calls bind arguments to the
+    /// callee's parameter names without reading its body). Kept distinct
+    /// from [`DepKind::Proc`] so that invalidating a body does not dirty
+    /// callers that only used the contract.
+    ProcSig,
+}
+
+impl DepKind {
+    /// A stable machine-readable label (used by the daemon protocol).
+    pub fn label(self) -> &'static str {
+        match self {
+            DepKind::Proc => "proc",
+            DepKind::Pred => "pred",
+            DepKind::Spec => "spec",
+            DepKind::Lemma => "lemma",
+            DepKind::ProcSig => "proc-sig",
+        }
+    }
+}
+
+/// Interior-mutability sink behind the dependency recording of a [`Prog`]:
+/// while enabled, every registry lookup (hit *or* miss — a miss is still a
+/// dependency: adding the item later changes the reader's meaning) is noted.
+/// Disabled, the cost is one relaxed atomic load per lookup.
+#[derive(Debug, Default)]
+struct DepSink {
+    enabled: AtomicBool,
+    reads: Mutex<BTreeSet<(DepKind, Symbol)>>,
+}
+
 /// A complete GIL program: procedures, predicates, specifications, lemmas.
 #[derive(Clone, Debug, Default)]
 pub struct Prog {
@@ -155,6 +199,9 @@ pub struct Prog {
     pub preds: HashMap<Symbol, Pred>,
     pub specs: HashMap<Symbol, Spec>,
     pub lemmas: HashMap<Symbol, Lemma>,
+    /// Shared across clones: the engine may clone the program, but a
+    /// recording session spans one verification target of one engine.
+    dep_sink: Arc<DepSink>,
 }
 
 impl Prog {
@@ -183,19 +230,54 @@ impl Prog {
     }
 
     pub fn proc(&self, name: Symbol) -> Option<&Proc> {
+        self.record(DepKind::Proc, name);
+        self.procs.get(&name)
+    }
+
+    /// Like [`Prog::proc`], but records only a *signature* dependency: the
+    /// caller reads the parameter list, not the body (spec-call sites).
+    pub fn proc_sig(&self, name: Symbol) -> Option<&Proc> {
+        self.record(DepKind::ProcSig, name);
         self.procs.get(&name)
     }
 
     pub fn pred(&self, name: Symbol) -> Option<&Pred> {
+        self.record(DepKind::Pred, name);
         self.preds.get(&name)
     }
 
     pub fn spec(&self, name: Symbol) -> Option<&Spec> {
+        self.record(DepKind::Spec, name);
         self.specs.get(&name)
     }
 
     pub fn lemma(&self, name: Symbol) -> Option<&Lemma> {
+        self.record(DepKind::Lemma, name);
         self.lemmas.get(&name)
+    }
+
+    fn record(&self, kind: DepKind, name: Symbol) {
+        if self.dep_sink.enabled.load(Ordering::Relaxed) {
+            self.dep_sink.reads.lock().unwrap().insert((kind, name));
+        }
+    }
+
+    /// Starts recording which procs/preds/specs/lemmas are looked up. The
+    /// daemon wraps each verification target in a recording window to learn
+    /// its dependency set; only one target may record at a time per program
+    /// (branch workers of that target share the window safely).
+    pub fn begin_dep_recording(&self) {
+        self.dep_sink.reads.lock().unwrap().clear();
+        self.dep_sink.enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops recording and returns the reads observed since
+    /// [`Prog::begin_dep_recording`], deduplicated and in deterministic
+    /// (kind, name) order.
+    pub fn end_dep_recording(&self) -> Vec<(DepKind, Symbol)> {
+        self.dep_sink.enabled.store(false, Ordering::SeqCst);
+        let mut reads = self.dep_sink.reads.lock().unwrap();
+        std::mem::take(&mut *reads).into_iter().collect()
     }
 }
 
@@ -229,5 +311,41 @@ mod tests {
         assert!(prog.pred(Symbol::new("t")).is_some());
         assert!(prog.spec(Symbol::new("t")).is_none());
         assert!(prog.lemma(Symbol::new("t")).is_none());
+    }
+
+    #[test]
+    fn dep_recording_captures_hits_and_misses() {
+        let mut prog = Prog::new();
+        prog.add_proc(Proc::new("f", &[], vec![Cmd::Return(Expr::Int(0))]));
+        // Outside a recording window lookups leave no trace.
+        prog.proc(Symbol::new("f"));
+        prog.begin_dep_recording();
+        prog.proc(Symbol::new("f"));
+        prog.proc(Symbol::new("f")); // duplicates collapse
+        prog.spec(Symbol::new("f")); // a miss is still a dependency
+        prog.lemma(Symbol::new("l"));
+        let reads = prog.end_dep_recording();
+        assert_eq!(
+            reads,
+            vec![
+                (DepKind::Proc, Symbol::new("f")),
+                (DepKind::Spec, Symbol::new("f")),
+                (DepKind::Lemma, Symbol::new("l")),
+            ]
+        );
+        // The window is closed: nothing more is recorded.
+        prog.pred(Symbol::new("p"));
+        assert!(prog.end_dep_recording().is_empty());
+    }
+
+    #[test]
+    fn dep_recording_is_shared_across_clones() {
+        let mut prog = Prog::new();
+        prog.add_proc(Proc::new("f", &[], vec![Cmd::Skip]));
+        prog.begin_dep_recording();
+        let clone = prog.clone();
+        clone.proc(Symbol::new("f"));
+        let reads = prog.end_dep_recording();
+        assert_eq!(reads, vec![(DepKind::Proc, Symbol::new("f"))]);
     }
 }

@@ -46,7 +46,7 @@ pub use engine::{
     debug_enabled, fresh_lvar_name, Engine, EngineOptions, EngineStats, ProcReport, TacticFn,
     VerError, VerErrorKind, LFT_TOKEN, RET_VAR,
 };
-pub use gil::{Cmd, LogicCmd, Proc, Prog};
+pub use gil::{Cmd, DepKind, LogicCmd, Proc, Prog};
 pub use schedule::{ForkPath, WorkItem, WorkQueue};
 pub use state::{
     with_pure_ctx, ActionOk, ActionResult, ConsumeOk, ConsumeResult, EmptyState, ProduceOk,

@@ -1,0 +1,353 @@
+//! Content fingerprints of program items, keyed through the hash-consing
+//! arena.
+//!
+//! The dependency tracker needs to know whether a spec/pred/lemma/proc
+//! *changed* across an update, cheaply. Every expression inside an item is
+//! interned into the session's persistent [`TermArena`] — structurally equal
+//! expressions collapse to the same [`gillian_solver::TermId`] — and the
+//! fingerprint hashes the resulting id stream together with structural tags,
+//! names and flags. Within one daemon session (one arena) two items have the
+//! same fingerprint iff they are structurally identical, so comparing two
+//! u64s replaces deep equality walks on every update request.
+
+use gillian_engine::gil::{Cmd, DepKind, LogicCmd, Proc, Prog};
+use gillian_engine::{Asrt, Lemma, Pred, Spec};
+use gillian_solver::{Expr, Symbol, TermArena};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Fingerprint of whatever currently sits behind `(kind, name)` in `prog`.
+/// Absent items get a stable sentinel — a lookup miss is still a dependency,
+/// and the sentinel changing into a real fingerprint is exactly how "a spec
+/// was added for a previously-unspecified callee" dirties its readers.
+pub fn fingerprint_key(prog: &Prog, arena: &TermArena, kind: DepKind, name: Symbol) -> u64 {
+    // Direct map access: fingerprinting must not pollute an open dependency
+    // recording window, so it bypasses the recording lookups.
+    match kind {
+        DepKind::Proc => match prog.procs.get(&name) {
+            Some(p) => fingerprint_proc(arena, p),
+            None => absent(kind),
+        },
+        DepKind::Pred => match prog.preds.get(&name) {
+            Some(p) => fingerprint_pred(arena, p),
+            None => absent(kind),
+        },
+        DepKind::Spec => match prog.specs.get(&name) {
+            Some(s) => fingerprint_spec(arena, s),
+            None => absent(kind),
+        },
+        DepKind::Lemma => match prog.lemmas.get(&name) {
+            Some(l) => fingerprint_lemma(arena, l),
+            None => absent(kind),
+        },
+        DepKind::ProcSig => match prog.procs.get(&name) {
+            Some(p) => fingerprint_proc_sig(p),
+            None => absent(kind),
+        },
+    }
+}
+
+/// Fingerprint of a procedure's *signature* only (name + parameter list) —
+/// what a spec-call site actually reads. Body edits leave it unchanged.
+pub fn fingerprint_proc_sig(proc: &Proc) -> u64 {
+    let mut h = DefaultHasher::new();
+    0xA4u8.hash(&mut h);
+    proc.name.hash(&mut h);
+    proc.params.hash(&mut h);
+    h.finish()
+}
+
+fn absent(kind: DepKind) -> u64 {
+    let mut h = DefaultHasher::new();
+    "absent".hash(&mut h);
+    kind.hash(&mut h);
+    h.finish()
+}
+
+pub fn fingerprint_spec(arena: &TermArena, spec: &Spec) -> u64 {
+    let mut h = DefaultHasher::new();
+    0xA0u8.hash(&mut h);
+    spec.name.hash(&mut h);
+    spec.trusted.hash(&mut h);
+    asrt(&mut h, arena, &spec.pre);
+    spec.posts.len().hash(&mut h);
+    for p in &spec.posts {
+        asrt(&mut h, arena, p);
+    }
+    h.finish()
+}
+
+pub fn fingerprint_pred(arena: &TermArena, pred: &Pred) -> u64 {
+    let mut h = DefaultHasher::new();
+    0xA1u8.hash(&mut h);
+    pred.name.hash(&mut h);
+    pred.params.hash(&mut h);
+    pred.num_ins.hash(&mut h);
+    pred.is_abstract.hash(&mut h);
+    pred.unfold_on_branch.hash(&mut h);
+    pred.definitions.len().hash(&mut h);
+    for d in &pred.definitions {
+        asrt(&mut h, arena, d);
+    }
+    h.finish()
+}
+
+pub fn fingerprint_lemma(arena: &TermArena, lemma: &Lemma) -> u64 {
+    let mut h = DefaultHasher::new();
+    0xA2u8.hash(&mut h);
+    lemma.name.hash(&mut h);
+    lemma.params.hash(&mut h);
+    lemma.trusted.hash(&mut h);
+    asrt(&mut h, arena, &lemma.hyp);
+    lemma.concls.len().hash(&mut h);
+    for c in &lemma.concls {
+        asrt(&mut h, arena, c);
+    }
+    match &lemma.proof {
+        None => 0u8.hash(&mut h),
+        Some(cmds) => {
+            1u8.hash(&mut h);
+            cmds.len().hash(&mut h);
+            for c in cmds {
+                logic_cmd(&mut h, arena, c);
+            }
+        }
+    }
+    h.finish()
+}
+
+pub fn fingerprint_proc(arena: &TermArena, proc: &Proc) -> u64 {
+    let mut h = DefaultHasher::new();
+    0xA3u8.hash(&mut h);
+    proc.name.hash(&mut h);
+    proc.params.hash(&mut h);
+    proc.body.len().hash(&mut h);
+    for c in &proc.body {
+        cmd(&mut h, arena, c);
+    }
+    h.finish()
+}
+
+fn expr(h: &mut DefaultHasher, arena: &TermArena, e: &Expr) {
+    // The arena is the content-addressing scheme: equal expressions share an
+    // id, and the id is stable for the lifetime of the session.
+    arena.intern(e).hash(h);
+}
+
+fn exprs(h: &mut DefaultHasher, arena: &TermArena, es: &[Expr]) {
+    es.len().hash(h);
+    for e in es {
+        expr(h, arena, e);
+    }
+}
+
+fn asrt(h: &mut DefaultHasher, arena: &TermArena, a: &Asrt) {
+    match a {
+        Asrt::Emp => 0u8.hash(h),
+        Asrt::Star(items) => {
+            1u8.hash(h);
+            items.len().hash(h);
+            for item in items {
+                asrt(h, arena, item);
+            }
+        }
+        Asrt::Pure(e) => {
+            2u8.hash(h);
+            expr(h, arena, e);
+        }
+        Asrt::Core { name, ins, outs } => {
+            3u8.hash(h);
+            name.hash(h);
+            exprs(h, arena, ins);
+            exprs(h, arena, outs);
+        }
+        Asrt::Pred { name, args } => {
+            4u8.hash(h);
+            name.hash(h);
+            exprs(h, arena, args);
+        }
+        Asrt::Guarded { name, lft, args } => {
+            5u8.hash(h);
+            name.hash(h);
+            expr(h, arena, lft);
+            exprs(h, arena, args);
+        }
+        Asrt::Observation(e) => {
+            6u8.hash(h);
+            expr(h, arena, e);
+        }
+    }
+}
+
+fn logic_cmd(h: &mut DefaultHasher, arena: &TermArena, c: &LogicCmd) {
+    match c {
+        LogicCmd::Fold(name, args) => {
+            0u8.hash(h);
+            name.hash(h);
+            exprs(h, arena, args);
+        }
+        LogicCmd::Unfold(name, args) => {
+            1u8.hash(h);
+            name.hash(h);
+            exprs(h, arena, args);
+        }
+        LogicCmd::UnfoldGuarded(name, args) => {
+            2u8.hash(h);
+            name.hash(h);
+            exprs(h, arena, args);
+        }
+        LogicCmd::FoldGuarded(name, args) => {
+            3u8.hash(h);
+            name.hash(h);
+            exprs(h, arena, args);
+        }
+        LogicCmd::ApplyLemma(name, args) => {
+            4u8.hash(h);
+            name.hash(h);
+            exprs(h, arena, args);
+        }
+        LogicCmd::Assert(a) => {
+            5u8.hash(h);
+            asrt(h, arena, a);
+        }
+        LogicCmd::Assume(e) => {
+            6u8.hash(h);
+            expr(h, arena, e);
+        }
+        LogicCmd::Produce(a) => {
+            7u8.hash(h);
+            asrt(h, arena, a);
+        }
+        LogicCmd::Consume(a) => {
+            8u8.hash(h);
+            asrt(h, arena, a);
+        }
+        LogicCmd::Tactic(name, args) => {
+            9u8.hash(h);
+            name.hash(h);
+            exprs(h, arena, args);
+        }
+    }
+}
+
+fn cmd(h: &mut DefaultHasher, arena: &TermArena, c: &Cmd) {
+    match c {
+        Cmd::Assign(x, e) => {
+            0u8.hash(h);
+            x.hash(h);
+            expr(h, arena, e);
+        }
+        Cmd::Action { lhs, name, args } => {
+            1u8.hash(h);
+            lhs.hash(h);
+            name.hash(h);
+            exprs(h, arena, args);
+        }
+        Cmd::Goto(t) => {
+            2u8.hash(h);
+            t.hash(h);
+        }
+        Cmd::GotoIf {
+            guard,
+            then_target,
+            else_target,
+        } => {
+            3u8.hash(h);
+            expr(h, arena, guard);
+            then_target.hash(h);
+            else_target.hash(h);
+        }
+        Cmd::Call { lhs, proc, args } => {
+            4u8.hash(h);
+            lhs.hash(h);
+            proc.hash(h);
+            exprs(h, arena, args);
+        }
+        Cmd::Logic(l) => {
+            5u8.hash(h);
+            logic_cmd(h, arena, l);
+        }
+        Cmd::Return(e) => {
+            6u8.hash(h);
+            expr(h, arena, e);
+        }
+        Cmd::Fail(msg) => {
+            7u8.hash(h);
+            msg.hash(h);
+        }
+        Cmd::Skip => 8u8.hash(h),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(delta: i128) -> Spec {
+        Spec::new(
+            "f",
+            Asrt::pure(Expr::le(Expr::lvar("x"), Expr::Int(1000))),
+            Asrt::pure(Expr::eq(
+                Expr::lvar("ret"),
+                Expr::add(Expr::lvar("x"), Expr::Int(delta)),
+            )),
+        )
+    }
+
+    #[test]
+    fn identical_content_same_fingerprint() {
+        let arena = TermArena::new();
+        assert_eq!(
+            fingerprint_spec(&arena, &spec(1)),
+            fingerprint_spec(&arena, &spec(1))
+        );
+    }
+
+    #[test]
+    fn different_content_different_fingerprint() {
+        let arena = TermArena::new();
+        assert_ne!(
+            fingerprint_spec(&arena, &spec(1)),
+            fingerprint_spec(&arena, &spec(2))
+        );
+        assert_ne!(
+            fingerprint_spec(&arena, &spec(1)),
+            fingerprint_spec(&arena, &spec(1).trusted())
+        );
+    }
+
+    #[test]
+    fn absent_keys_are_stable_and_kind_distinct() {
+        let arena = TermArena::new();
+        let prog = Prog::new();
+        let name = Symbol::new("ghost");
+        let a = fingerprint_key(&prog, &arena, DepKind::Spec, name);
+        let b = fingerprint_key(&prog, &arena, DepKind::Spec, name);
+        assert_eq!(a, b);
+        assert_ne!(a, fingerprint_key(&prog, &arena, DepKind::Proc, name));
+    }
+
+    #[test]
+    fn adding_an_item_changes_its_key_fingerprint() {
+        let arena = TermArena::new();
+        let mut prog = Prog::new();
+        let name = Symbol::new("f");
+        let before = fingerprint_key(&prog, &arena, DepKind::Spec, name);
+        prog.add_spec(spec(1));
+        let after = fingerprint_key(&prog, &arena, DepKind::Spec, name);
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn proc_fingerprint_tracks_body_changes() {
+        let arena = TermArena::new();
+        let a = Proc::new("f", &["x"], vec![Cmd::Return(Expr::pvar("x"))]);
+        let b = Proc::new(
+            "f",
+            &["x"],
+            vec![Cmd::Return(Expr::add(Expr::pvar("x"), Expr::Int(1)))],
+        );
+        assert_eq!(fingerprint_proc(&arena, &a), fingerprint_proc(&arena, &a));
+        assert_ne!(fingerprint_proc(&arena, &a), fingerprint_proc(&arena, &b));
+    }
+}

@@ -1,0 +1,128 @@
+//! The `gillian` binary.
+//!
+//! ```text
+//! gillian serve                 # newline-delimited JSON over stdin/stdout
+//! gillian serve --socket PATH   # same protocol over a Unix domain socket
+//! ```
+
+use gillian_server::{serve_stdio, ServerCore};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+const USAGE: &str = "\
+gillian — the hybrid verification daemon
+
+USAGE:
+    gillian serve [--socket PATH]
+
+COMMANDS:
+    serve    Run the verification daemon. Requests are newline-delimited
+             JSON objects ({\"cmd\":\"load\"|\"verify\"|\"update_spec\"|
+             \"update_fn\"|\"stats\"|\"shutdown\", ...}); one response line
+             per request. Default transport is stdin/stdout; --socket PATH
+             listens on a Unix domain socket instead.
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            let mut socket: Option<String> = None;
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--socket" => match rest.next() {
+                        Some(path) => socket = Some(path.clone()),
+                        None => die("--socket requires a path"),
+                    },
+                    other => die(&format!("unknown argument `{other}`")),
+                }
+            }
+            let result = match socket {
+                None => serve_stdio(),
+                Some(path) => serve_unix(&path),
+            };
+            if let Err(e) = result {
+                eprintln!("gillian serve: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some("--help") | Some("-h") | Some("help") | None => {
+            print!("{USAGE}");
+        }
+        Some(other) => die(&format!("unknown command `{other}`")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("gillian: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Serves the daemon protocol on a Unix domain socket. Connections share
+/// one [`ServerCore`] (one loaded workload, one dependency tracker);
+/// requests are serialised through a mutex, so interleaved clients see a
+/// consistent warm state. A `shutdown` request stops the accept loop.
+fn serve_unix(path: &str) -> std::io::Result<()> {
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let core = Arc::new(Mutex::new(ServerCore::new()));
+    let done = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    while !done.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let core = Arc::clone(&core);
+                let done = Arc::clone(&done);
+                handles.push(std::thread::spawn(move || {
+                    let reader = BufReader::new(match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => return,
+                    });
+                    let mut writer = stream;
+                    for line in reader.lines() {
+                        let line = match line {
+                            Ok(l) => l,
+                            Err(_) => break,
+                        };
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        let resp = {
+                            let mut core = core.lock().unwrap();
+                            let resp = core.handle_line(&line);
+                            if core.is_shutting_down() {
+                                done.store(true, Ordering::SeqCst);
+                            }
+                            resp
+                        };
+                        if writeln!(writer, "{resp}")
+                            .and_then(|()| writer.flush())
+                            .is_err()
+                        {
+                            break;
+                        }
+                        if done.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    for h in handles {
+        let _ = h.join();
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}

@@ -1,0 +1,667 @@
+//! `gillian serve` — the request loop of the verification daemon.
+//!
+//! A [`ServerCore`] holds one loaded workload: the immutable program side
+//! (interned terms, elaborated specifications, layouts) lives inside the
+//! retained [`HybridSession`](driver::HybridSession) and is shared by every
+//! request, while each request only allocates its own response. Verification
+//! runs record, per target, exactly which specs/procs/preds/lemmas the proof
+//! read (through the engine's `Prog` lookups) together with content
+//! fingerprints of those items; `update_spec`/`update_fn` then dirty only
+//! the reverse-dependency cone of the edited item, and `verify` answers
+//! every clean target from the retained outcome cache.
+
+use crate::db::{mode_label, parse_mode, workload, ProgramDb};
+use crate::depgraph::{DepKey, DepTracker};
+use crate::fingerprint::{fingerprint_key, fingerprint_pred, fingerprint_spec};
+use crate::json::Value;
+use crate::protocol::{parse_request, Request};
+use creusot_lite::{elaborate, parse_term};
+use driver::{CaseOutcome, SolverStats, Target, TargetKind};
+use gillian_engine::gil::DepKind;
+use gillian_solver::Symbol;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+/// One loaded workload plus its dependency tracker.
+struct Loaded {
+    db: ProgramDb,
+    tracker: DepTracker,
+}
+
+/// The daemon state shared across requests.
+///
+/// Workloads stay resident after a `load`: re-loading a `workload`/`mode`
+/// pair that is already in memory switches back to the warm session — its
+/// dependency tracker and outcome cache intact — instead of rebuilding, so a
+/// client can cycle through several workloads and return to any of them
+/// without losing incremental state.
+pub struct ServerCore {
+    sessions: BTreeMap<String, Loaded>,
+    current: Option<String>,
+    requests_served: u64,
+    started: Instant,
+    shutting_down: bool,
+}
+
+impl Default for ServerCore {
+    fn default() -> Self {
+        ServerCore::new()
+    }
+}
+
+impl ServerCore {
+    pub fn new() -> ServerCore {
+        ServerCore {
+            sessions: BTreeMap::new(),
+            current: None,
+            requests_served: 0,
+            started: Instant::now(),
+            shutting_down: false,
+        }
+    }
+
+    /// Whether a `shutdown` request has been served.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down
+    }
+
+    /// Handles one request line and returns one response line.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        self.requests_served += 1;
+        let envelope = parse_request(line);
+        let result = match envelope.request {
+            Err(e) => Err(e),
+            Ok(req) => self.dispatch(req),
+        };
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        match envelope.id {
+            Some(id) => fields.push(("id".to_string(), Value::Int(id))),
+            None => fields.push(("id".to_string(), Value::Null)),
+        }
+        match result {
+            Ok(body) => {
+                fields.push(("ok".to_string(), Value::Bool(true)));
+                fields.extend(body);
+            }
+            Err(e) => {
+                fields.push(("ok".to_string(), Value::Bool(false)));
+                fields.push(("error".to_string(), Value::Str(e)));
+            }
+        }
+        Value::Object(fields).to_string()
+    }
+
+    fn dispatch(&mut self, req: Request) -> Result<Vec<(String, Value)>, String> {
+        match req {
+            Request::Load {
+                workload,
+                mode,
+                workers,
+                branch_parallelism,
+            } => self.do_load(&workload, mode.as_deref(), workers, branch_parallelism),
+            Request::Verify { targets, force } => self.do_verify(targets, force),
+            Request::UpdateSpec {
+                func,
+                requires,
+                ensures,
+            } => self.do_update_spec(&func, &requires, &ensures),
+            Request::UpdateFn { func } => self.do_update_fn(&func),
+            Request::Stats => Ok(self.do_stats()),
+            Request::Shutdown => {
+                self.shutting_down = true;
+                Ok(vec![("bye".to_string(), Value::Bool(true))])
+            }
+        }
+    }
+
+    fn loaded(&mut self) -> Result<&mut Loaded, String> {
+        let key = self
+            .current
+            .as_ref()
+            .ok_or_else(|| "no workload loaded (send a `load` request first)".to_string())?;
+        Ok(self
+            .sessions
+            .get_mut(key)
+            .expect("current always names a resident session"))
+    }
+
+    fn do_load(
+        &mut self,
+        name: &str,
+        mode: Option<&str>,
+        workers: Option<usize>,
+        branch_parallelism: Option<usize>,
+    ) -> Result<Vec<(String, Value)>, String> {
+        let mode = match mode {
+            None => None,
+            Some(s) => Some(
+                parse_mode(s)
+                    .ok_or_else(|| format!("unknown mode `{s}` (use \"ts\" or \"fc\")"))?,
+            ),
+        };
+        let w = workload(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+        let mode = mode.unwrap_or(w.default_mode);
+        let key = format!("{}:{}", w.name, mode_label(mode));
+
+        // Re-loading a resident pair switches back to the warm session; the
+        // workers/branch_parallelism of the original load stay in effect.
+        let reused = self.sessions.contains_key(&key);
+        if !reused {
+            let db = ProgramDb::load(name, Some(mode), workers, branch_parallelism)?;
+            let tracker = DepTracker::new(db.session.targets().iter().map(|t| t.name.clone()));
+            self.sessions.insert(key.clone(), Loaded { db, tracker });
+        }
+        self.current = Some(key.clone());
+
+        let loaded = &self.sessions[&key];
+        let targets: Vec<Value> = loaded
+            .db
+            .session
+            .targets()
+            .iter()
+            .map(|t| Value::Str(t.name.clone()))
+            .collect();
+        Ok(vec![
+            (
+                "workload".to_string(),
+                Value::Str(loaded.db.workload.name.to_string()),
+            ),
+            (
+                "mode".to_string(),
+                Value::Str(mode_label(loaded.db.mode).to_string()),
+            ),
+            ("reused".to_string(), Value::Bool(reused)),
+            ("targets".to_string(), Value::Array(targets)),
+            (
+                "backend".to_string(),
+                Value::Str(loaded.db.session.backend().to_string()),
+            ),
+            (
+                "smt_available".to_string(),
+                Value::Bool(loaded.db.session.verifier().engine.solver.smt_available()),
+            ),
+        ])
+    }
+
+    fn do_verify(
+        &mut self,
+        targets: Option<Vec<String>>,
+        force: bool,
+    ) -> Result<Vec<(String, Value)>, String> {
+        let loaded = self.loaded()?;
+        let all: Vec<Target> = loaded.db.session.targets().to_vec();
+        let selected: Vec<Target> = match targets {
+            None => all.clone(),
+            Some(names) => {
+                let mut out = Vec::with_capacity(names.len());
+                for n in &names {
+                    let t = all
+                        .iter()
+                        .find(|t| t.name == *n)
+                        .cloned()
+                        .ok_or_else(|| format!("unknown target `{n}`"))?;
+                    out.push(t);
+                }
+                out
+            }
+        };
+
+        let before = loaded.db.session.verifier().solver_stats();
+        let wall = Instant::now();
+        let mut reverified: Vec<String> = Vec::new();
+        let mut cached: Vec<String> = Vec::new();
+        let mut cases: Vec<(CaseOutcome, bool)> = Vec::new();
+
+        for t in &selected {
+            if force || loaded.tracker.is_dirty(&t.name) {
+                let outcome = run_target(&mut loaded.db, &mut loaded.tracker, t);
+                reverified.push(t.name.clone());
+                cases.push((outcome, false));
+            } else {
+                let outcome = loaded
+                    .tracker
+                    .cached(&t.name)
+                    .expect("clean target has a cached outcome")
+                    .clone();
+                cached.push(t.name.clone());
+                cases.push((outcome, true));
+            }
+        }
+
+        let wall_seconds = wall.elapsed().as_secs_f64();
+        let delta = loaded.db.session.verifier().solver_stats().since(before);
+        let all_verified = cases.iter().all(|(o, _)| o.verified());
+        let case_values: Vec<Value> = cases
+            .iter()
+            .map(|(o, was_cached)| case_value(o, *was_cached))
+            .collect();
+
+        Ok(vec![
+            ("all_verified".to_string(), Value::Bool(all_verified)),
+            ("cases".to_string(), Value::Array(case_values)),
+            ("reverified".to_string(), string_array(&reverified)),
+            ("cached".to_string(), string_array(&cached)),
+            ("wall_seconds".to_string(), Value::Float(wall_seconds)),
+            ("solver_delta".to_string(), stats_value(delta)),
+            (
+                "backend".to_string(),
+                Value::Str(loaded.db.session.backend().to_string()),
+            ),
+        ])
+    }
+
+    fn do_update_spec(
+        &mut self,
+        func: &str,
+        requires: &[String],
+        ensures: &[String],
+    ) -> Result<Vec<(String, Value)>, String> {
+        let loaded = self.loaded()?;
+
+        let parse_clauses = |clauses: &[String], what: &str| {
+            clauses
+                .iter()
+                .map(|src| {
+                    parse_term(src)
+                        .map(|t| elaborate(&t))
+                        .map_err(|e| format!("{what} `{src}`: {} at byte {}", e.message, e.offset))
+                })
+                .collect::<Result<Vec<_>, String>>()
+        };
+        let req_exprs = parse_clauses(requires, "requires")?;
+        let ens_exprs = parse_clauses(ensures, "ensures")?;
+
+        let fndef = loaded
+            .db
+            .session
+            .verifier()
+            .types
+            .program
+            .function(func)
+            .cloned()
+            .ok_or_else(|| format!("unknown function `{func}`"))?;
+
+        // Re-elaborate against the retained side context: own-predicates are
+        // created on demand there, so they may need syncing into the engine.
+        let spec = loaded.db.side_ctx.fn_spec(&fndef, req_exprs, ens_exprs);
+        loaded.db.side_ctx.add_spec(spec.clone());
+
+        let arena = loaded.db.session.verifier().engine.solver.arena().clone();
+        let mut dirtied: BTreeSet<String> = BTreeSet::new();
+        let mut changed = false;
+
+        let pred_names: Vec<Symbol> = loaded.db.side_ctx.prog.preds.keys().copied().collect();
+        for name in pred_names {
+            let new_fp = fingerprint_pred(&arena, &loaded.db.side_ctx.prog.preds[&name]);
+            let old_fp = fingerprint_key(
+                &loaded.db.session.verifier().engine.prog,
+                &arena,
+                DepKind::Pred,
+                name,
+            );
+            if old_fp != new_fp {
+                let pred = loaded.db.side_ctx.prog.preds[&name].clone();
+                loaded.db.session.verifier_mut().engine.prog.add_pred(pred);
+                changed = true;
+                dirtied.extend(
+                    loaded
+                        .tracker
+                        .dirty_key(&(DepKind::Pred, name.to_string()), new_fp),
+                );
+            }
+        }
+
+        let new_fp = fingerprint_spec(&arena, &spec);
+        let old_fp = fingerprint_key(
+            &loaded.db.session.verifier().engine.prog,
+            &arena,
+            DepKind::Spec,
+            Symbol::new(func),
+        );
+        if old_fp != new_fp {
+            loaded.db.session.verifier_mut().engine.prog.add_spec(spec);
+            changed = true;
+            dirtied.extend(
+                loaded
+                    .tracker
+                    .dirty_key(&(DepKind::Spec, func.to_string()), new_fp),
+            );
+        }
+
+        let dirtied: Vec<String> = dirtied.into_iter().collect();
+        Ok(vec![
+            ("fn".to_string(), Value::Str(func.to_string())),
+            ("changed".to_string(), Value::Bool(changed)),
+            ("dirtied".to_string(), string_array(&dirtied)),
+        ])
+    }
+
+    fn do_update_fn(&mut self, func: &str) -> Result<Vec<(String, Value)>, String> {
+        let loaded = self.loaded()?;
+        let sym = Symbol::new(func);
+        if !loaded
+            .db
+            .session
+            .verifier()
+            .engine
+            .prog
+            .procs
+            .contains_key(&sym)
+        {
+            return Err(format!("unknown function `{func}`"));
+        }
+        // The body itself cannot be edited over the wire (programs are
+        // compiled in), so an `update_fn` conservatively invalidates every
+        // proof that read the procedure: its own, plus any caller that
+        // inlined it for lack of a spec.
+        let key: DepKey = (DepKind::Proc, func.to_string());
+        let dirtied = loaded.tracker.dirty_key_force(&key);
+        Ok(vec![
+            ("fn".to_string(), Value::Str(func.to_string())),
+            ("dirtied".to_string(), string_array(&dirtied)),
+        ])
+    }
+
+    fn do_stats(&mut self) -> Vec<(String, Value)> {
+        let uptime = self.started.elapsed().as_secs_f64();
+        let mut body = vec![
+            (
+                "requests_served".to_string(),
+                Value::Int(self.requests_served as i64),
+            ),
+            ("uptime_seconds".to_string(), Value::Float(uptime)),
+            (
+                "loaded_sessions".to_string(),
+                Value::Int(self.sessions.len() as i64),
+            ),
+        ];
+        let current = self.current.as_ref().and_then(|key| self.sessions.get(key));
+        match current {
+            None => body.push(("workload".to_string(), Value::Null)),
+            Some(loaded) => {
+                let verifier = loaded.db.session.verifier();
+                body.push((
+                    "workload".to_string(),
+                    Value::Str(loaded.db.workload.name.to_string()),
+                ));
+                body.push((
+                    "mode".to_string(),
+                    Value::Str(mode_label(loaded.db.mode).to_string()),
+                ));
+                body.push((
+                    "arena_terms".to_string(),
+                    Value::Int(verifier.engine.solver.arena().len() as i64),
+                ));
+                body.push((
+                    "dirty_targets".to_string(),
+                    Value::Int(loaded.tracker.dirty_count() as i64),
+                ));
+                body.push(("solver".to_string(), stats_value(verifier.solver_stats())));
+                body.push((
+                    "backend".to_string(),
+                    Value::Str(verifier.backend_kind().to_string()),
+                ));
+                body.push((
+                    "smt_available".to_string(),
+                    Value::Bool(verifier.engine.solver.smt_available()),
+                ));
+            }
+        }
+        body
+    }
+}
+
+/// Runs one target with dependency recording and records the result.
+fn run_target(db: &mut ProgramDb, tracker: &mut DepTracker, target: &Target) -> CaseOutcome {
+    let verifier = db.session.verifier();
+    verifier.engine.prog.begin_dep_recording();
+    let report = match target.kind {
+        TargetKind::Function => db.session.verify_fn(&target.name),
+        TargetKind::Lemma => db.session.verify_lemma(&target.name),
+    };
+    let raw = verifier.engine.prog.end_dep_recording();
+    let arena = verifier.engine.solver.arena();
+    let reads: Vec<(DepKey, u64)> = raw
+        .into_iter()
+        .map(|(kind, name)| {
+            let fp = fingerprint_key(&verifier.engine.prog, arena, kind, name);
+            ((kind, name.to_string()), fp)
+        })
+        .collect();
+    let outcome = CaseOutcome {
+        kind: target.kind,
+        report,
+    };
+    tracker.record(&target.name, reads, outcome.clone());
+    outcome
+}
+
+fn case_value(outcome: &CaseOutcome, was_cached: bool) -> Value {
+    let mut fields = vec![
+        ("name".to_string(), Value::Str(outcome.name().to_string())),
+        (
+            "kind".to_string(),
+            Value::Str(outcome.kind.label().to_string()),
+        ),
+        ("verified".to_string(), Value::Bool(outcome.verified())),
+        ("cached".to_string(), Value::Bool(was_cached)),
+        (
+            "seconds".to_string(),
+            Value::Float(outcome.report.elapsed.as_secs_f64()),
+        ),
+    ];
+    if let Some(d) = outcome.diagnostic() {
+        fields.push((
+            "diagnostic".to_string(),
+            Value::Object(vec![
+                ("category".to_string(), Value::Str(d.category().to_string())),
+                ("message".to_string(), Value::Str(d.message().to_string())),
+                ("fingerprint".to_string(), Value::Str(d.fingerprint())),
+            ]),
+        ));
+    }
+    Value::Object(fields)
+}
+
+fn stats_value(s: SolverStats) -> Value {
+    Value::Object(vec![
+        (
+            "unsat_queries".to_string(),
+            Value::Int(s.unsat_queries as i64),
+        ),
+        (
+            "entailment_queries".to_string(),
+            Value::Int(s.entailment_queries as i64),
+        ),
+        (
+            "cases_explored".to_string(),
+            Value::Int(s.cases_explored as i64),
+        ),
+        ("cache_hits".to_string(), Value::Int(s.cache_hits as i64)),
+        (
+            "incremental_hits".to_string(),
+            Value::Int(s.incremental_hits as i64),
+        ),
+        ("smt_queries".to_string(), Value::Int(s.smt_queries as i64)),
+        ("smt_unsat".to_string(), Value::Int(s.smt_unsat as i64)),
+        (
+            "smt_failures".to_string(),
+            Value::Int(s.smt_failures as i64),
+        ),
+        (
+            "kernel_nanos".to_string(),
+            Value::Int(s.kernel_nanos as i64),
+        ),
+    ])
+}
+
+fn string_array(names: &[String]) -> Value {
+    Value::Array(names.iter().map(|n| Value::Str(n.clone())).collect())
+}
+
+/// Serves newline-delimited JSON over stdin/stdout until `shutdown` (or
+/// EOF). One request per line, one response per line.
+pub fn serve_stdio() -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut core = ServerCore::new();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = core.handle_line(&line);
+        {
+            let mut out = stdout.lock();
+            writeln!(out, "{resp}")?;
+            out.flush()?;
+        }
+        if core.is_shutting_down() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn ok(resp: &str) -> Value {
+        let v = parse(resp).expect("response is valid JSON");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{resp}");
+        v
+    }
+
+    fn names(v: &Value, field: &str) -> Vec<String> {
+        v.get(field)
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|x| x.as_str().unwrap().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn load_verify_and_warm_cache() {
+        let mut core = ServerCore::new();
+        let v = ok(&core.handle_line(
+            r#"{"id":1,"cmd":"load","workload":"chain","workers":1,"branch_parallelism":1}"#,
+        ));
+        assert_eq!(names(&v, "targets"), vec!["base", "inc", "inc2"]);
+
+        let v = ok(&core.handle_line(r#"{"id":2,"cmd":"verify"}"#));
+        assert_eq!(v.get("all_verified").and_then(Value::as_bool), Some(true));
+        assert_eq!(names(&v, "reverified"), vec!["base", "inc", "inc2"]);
+        assert!(names(&v, "cached").is_empty());
+
+        // Warm: nothing dirty, everything cached.
+        let v = ok(&core.handle_line(r#"{"id":3,"cmd":"verify"}"#));
+        assert_eq!(v.get("all_verified").and_then(Value::as_bool), Some(true));
+        assert!(names(&v, "reverified").is_empty());
+        assert_eq!(names(&v, "cached"), vec!["base", "inc", "inc2"]);
+
+        // Re-loading the same workload/mode pair switches back to the warm
+        // session instead of rebuilding: the cache survives.
+        let v = ok(&core.handle_line(r#"{"id":4,"cmd":"load","workload":"chain"}"#));
+        assert_eq!(v.get("reused").and_then(Value::as_bool), Some(true));
+        let v = ok(&core.handle_line(r#"{"id":5,"cmd":"verify"}"#));
+        assert!(names(&v, "reverified").is_empty());
+        assert_eq!(names(&v, "cached"), vec!["base", "inc", "inc2"]);
+    }
+
+    #[test]
+    fn update_spec_dirties_exactly_the_cone() {
+        let mut core = ServerCore::new();
+        ok(&core.handle_line(
+            r#"{"id":1,"cmd":"load","workload":"chain","workers":1,"branch_parallelism":1}"#,
+        ));
+        ok(&core.handle_line(r#"{"id":2,"cmd":"verify"}"#));
+
+        // Tighten inc's precondition: inc itself and its spec-caller inc2
+        // must re-run; base must not.
+        let v = ok(&core.handle_line(
+            r#"{"id":3,"cmd":"update_spec","fn":"inc","requires":["x@ < 2000"],"ensures":["result@ == x@ + 1"]}"#,
+        ));
+        assert_eq!(v.get("changed").and_then(Value::as_bool), Some(true));
+        assert_eq!(names(&v, "dirtied"), vec!["inc", "inc2"]);
+
+        let v = ok(&core.handle_line(r#"{"id":4,"cmd":"verify"}"#));
+        assert_eq!(v.get("all_verified").and_then(Value::as_bool), Some(true));
+        assert_eq!(names(&v, "reverified"), vec!["inc", "inc2"]);
+        assert_eq!(names(&v, "cached"), vec!["base"]);
+
+        // Re-sending the same spec is a no-op.
+        let v = ok(&core.handle_line(
+            r#"{"id":5,"cmd":"update_spec","fn":"inc","requires":["x@ < 2000"],"ensures":["result@ == x@ + 1"]}"#,
+        ));
+        assert_eq!(v.get("changed").and_then(Value::as_bool), Some(false));
+        assert!(names(&v, "dirtied").is_empty());
+    }
+
+    #[test]
+    fn update_spec_can_break_and_fix_a_proof() {
+        let mut core = ServerCore::new();
+        ok(&core.handle_line(
+            r#"{"id":1,"cmd":"load","workload":"chain","workers":1,"branch_parallelism":1}"#,
+        ));
+        ok(&core.handle_line(r#"{"id":2,"cmd":"verify"}"#));
+
+        // A wrong postcondition for inc: inc's own proof fails, and inc2's
+        // proof (built on the broken contract) fails too.
+        let v = ok(&core.handle_line(
+            r#"{"id":3,"cmd":"update_spec","fn":"inc","requires":["x@ < 1000"],"ensures":["result@ == x@ + 2"]}"#,
+        ));
+        assert_eq!(names(&v, "dirtied"), vec!["inc", "inc2"]);
+        let v = ok(&core.handle_line(r#"{"id":4,"cmd":"verify"}"#));
+        assert_eq!(v.get("all_verified").and_then(Value::as_bool), Some(false));
+
+        // Restore the correct contract; only the cone re-runs and passes.
+        ok(&core.handle_line(
+            r#"{"id":5,"cmd":"update_spec","fn":"inc","requires":["x@ < 1000"],"ensures":["result@ == x@ + 1"]}"#,
+        ));
+        let v = ok(&core.handle_line(r#"{"id":6,"cmd":"verify"}"#));
+        assert_eq!(v.get("all_verified").and_then(Value::as_bool), Some(true));
+        assert_eq!(names(&v, "reverified"), vec!["inc", "inc2"]);
+    }
+
+    #[test]
+    fn update_fn_dirties_only_the_function() {
+        let mut core = ServerCore::new();
+        ok(&core.handle_line(
+            r#"{"id":1,"cmd":"load","workload":"chain","workers":1,"branch_parallelism":1}"#,
+        ));
+        ok(&core.handle_line(r#"{"id":2,"cmd":"verify"}"#));
+
+        // inc2 is verified against inc's SPEC, not its body, so touching
+        // inc's body re-runs only inc.
+        let v = ok(&core.handle_line(r#"{"id":3,"cmd":"update_fn","fn":"inc"}"#));
+        assert_eq!(names(&v, "dirtied"), vec!["inc"]);
+        let v = ok(&core.handle_line(r#"{"id":4,"cmd":"verify"}"#));
+        assert_eq!(names(&v, "reverified"), vec!["inc"]);
+        assert_eq!(names(&v, "cached"), vec!["base", "inc2"]);
+    }
+
+    #[test]
+    fn errors_and_stats_and_shutdown() {
+        let mut core = ServerCore::new();
+        let v = parse(&core.handle_line(r#"{"id":1,"cmd":"verify"}"#)).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(v
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("no workload loaded"));
+
+        let v = ok(&core.handle_line(r#"{"id":2,"cmd":"stats"}"#));
+        assert_eq!(v.get("requests_served").and_then(Value::as_i64), Some(2));
+        assert!(matches!(v.get("workload"), Some(Value::Null)));
+
+        assert!(!core.is_shutting_down());
+        let v = ok(&core.handle_line(r#"{"id":3,"cmd":"shutdown"}"#));
+        assert_eq!(v.get("bye").and_then(Value::as_bool), Some(true));
+        assert!(core.is_shutting_down());
+    }
+}

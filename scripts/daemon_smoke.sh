@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Smoke test of `gillian serve`: drives a scripted newline-delimited JSON
+# session against the built binary over stdin/stdout and asserts the
+# incremental contract on the wire:
+#
+#   * the first `verify` re-proves every target,
+#   * the second (warm, unchanged) `verify` re-proves NOTHING,
+#   * an `update_spec` on `inc` dirties exactly its dependency cone
+#     (`inc` itself plus its spec-caller `inc2` — never `base`),
+#   * the daemon answers `stats` and exits cleanly on `shutdown`.
+#
+# Usage: scripts/daemon_smoke.sh  (from the workspace root)
+# Env:   GILLIAN_BIN — path to the binary (default target/release/gillian).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${GILLIAN_BIN:-target/release/gillian}"
+if [[ ! -x "$BIN" ]]; then
+    echo "daemon_smoke: building $BIN" >&2
+    cargo build --release -p gillian-server
+fi
+
+OUT="$(printf '%s\n' \
+    '{"id":1,"cmd":"load","workload":"chain","workers":1,"branch_parallelism":1}' \
+    '{"id":2,"cmd":"verify"}' \
+    '{"id":3,"cmd":"verify"}' \
+    '{"id":4,"cmd":"update_spec","fn":"inc","requires":["x@ < 2000"],"ensures":["result@ == x@ + 1"]}' \
+    '{"id":5,"cmd":"verify"}' \
+    '{"id":6,"cmd":"stats"}' \
+    '{"id":7,"cmd":"shutdown"}' \
+    | "$BIN" serve)"
+
+echo "$OUT"
+
+fail() {
+    echo "daemon_smoke: FAIL: $1" >&2
+    exit 1
+}
+
+# One response line per request, in order.
+[[ "$(wc -l <<<"$OUT")" -eq 7 ]] || fail "expected 7 response lines"
+line() { sed -n "${1}p" <<<"$OUT"; }
+
+grep -q '"ok":false' <<<"$OUT" && fail "a request errored"
+
+line 1 | grep -q '"targets":\["base","inc","inc2"\]' \
+    || fail "load reports the chain targets"
+line 2 | grep -q '"all_verified":true' || fail "chain verifies"
+line 2 | grep -q '"reverified":\["base","inc","inc2"\]' \
+    || fail "cold verify re-proves every target"
+line 3 | grep -q '"reverified":\[\]' \
+    || fail "warm unchanged verify re-proves nothing"
+line 3 | grep -q '"cached":\["base","inc","inc2"\]' \
+    || fail "warm verify answers from the cache"
+line 4 | grep -q '"dirtied":\["inc","inc2"\]' \
+    || fail "spec edit dirties exactly its cone (inc + spec-caller inc2)"
+line 5 | grep -q '"reverified":\["inc","inc2"\]' \
+    || fail "post-edit verify re-proves exactly the cone"
+line 5 | grep -q '"cached":\["base"\]' || fail "base stays cached across the edit"
+line 5 | grep -q '"all_verified":true' || fail "the loosened contract still proves"
+line 6 | grep -q '"requests_served":6' || fail "stats counts requests"
+line 7 | grep -q '"bye":true' || fail "shutdown acknowledged"
+
+echo "daemon_smoke: OK"

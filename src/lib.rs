@@ -9,6 +9,7 @@ pub use creusot_lite;
 pub use driver;
 pub use gillian_engine;
 pub use gillian_rust;
+pub use gillian_server;
 pub use gillian_solver;
 pub use rust_ir;
 
