@@ -49,6 +49,7 @@ pub use creusot_lite::ExternSpecs;
 pub use gillian_engine::{EngineOptions, EngineStats};
 pub use gillian_rust::verifier::VerifyDiagnostic;
 pub use gillian_solver::{BackendKind, SolverStats};
+pub use proof_cache::{CacheStore, DirStore, MemStore};
 
 use creusot_lite::elaborate;
 use gillian_rust::compile::CompileError;
@@ -56,9 +57,14 @@ use gillian_rust::gilsonite::{GilsoniteCtx, SpecMode};
 use gillian_rust::types::{TypeRegistry, Types};
 use gillian_rust::verifier::{CaseReport, Verifier, VerifierOptions};
 use gillian_solver::Symbol;
+use proof_cache::{
+    namespace_fingerprint, record_matches, stable_fingerprint_key, stable_target_fingerprint,
+    CacheRecord, DepEntry, RunCounters,
+};
 use rust_ir::{LayoutOracle, Program};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -233,8 +239,22 @@ impl VerificationReport {
         } else {
             String::new()
         };
+        let disk = if self.solver.disk_cache_hits
+            + self.solver.disk_cache_misses
+            + self.solver.disk_cache_writes
+            > 0
+        {
+            format!(
+                ", disk cache {} hit / {} miss / {} written",
+                self.solver.disk_cache_hits,
+                self.solver.disk_cache_misses,
+                self.solver.disk_cache_writes,
+            )
+        } else {
+            String::new()
+        };
         let mut out = format!(
-            "== {} ({mode}) — {}/{} verified, wall {:.3}s, cpu {:.3}s, {} worker(s), {} branch worker(s) ({} stolen, {} max live), solver {} ({} queries, {} cache hits, {} incremental hits, kernel {:.3}s{smt}) ==\n",
+            "== {} ({mode}) — {}/{} verified, wall {:.3}s, cpu {:.3}s, {} worker(s), {} branch worker(s) ({} stolen, {} max live), solver {} ({} queries, {} cache hits, {} incremental hits, kernel {:.3}s{smt}{disk}) ==\n",
             self.session,
             self.verified_count(),
             self.cases.len(),
@@ -292,7 +312,7 @@ impl VerificationReport {
         ));
         out.push_str(&format!("\"backend\":\"{}\",", self.backend));
         out.push_str(&format!(
-            "\"solver\":{{\"unsat_queries\":{},\"entailment_queries\":{},\"cases_explored\":{},\"cache_hits\":{},\"incremental_hits\":{},\"kernel_nanos\":{},\"smt_queries\":{},\"smt_unsat\":{},\"smt_failures\":{}}},",
+            "\"solver\":{{\"unsat_queries\":{},\"entailment_queries\":{},\"cases_explored\":{},\"cache_hits\":{},\"incremental_hits\":{},\"kernel_nanos\":{},\"smt_queries\":{},\"smt_unsat\":{},\"smt_failures\":{},\"disk_cache_hits\":{},\"disk_cache_misses\":{},\"disk_cache_writes\":{}}},",
             self.solver.unsat_queries,
             self.solver.entailment_queries,
             self.solver.cases_explored,
@@ -302,6 +322,9 @@ impl VerificationReport {
             self.solver.smt_queries,
             self.solver.smt_unsat,
             self.solver.smt_failures,
+            self.solver.disk_cache_hits,
+            self.solver.disk_cache_misses,
+            self.solver.disk_cache_writes,
         ));
         out.push_str(&format!(
             "\"stats\":{{\"commands\":{},\"folds\":{},\"unfolds\":{},\"borrow_opens\":{},\"borrow_closes\":{},\"recoveries\":{},\"branches\":{},\"branches_stolen\":{},\"max_live_branches\":{}}},",
@@ -404,6 +427,7 @@ pub struct SessionBuilder {
     configures: Vec<ConfigureFn>,
     extern_specs: Vec<ExternSpecs>,
     targets: Vec<Target>,
+    cache: Option<Arc<dyn CacheStore>>,
 }
 
 impl Default for SessionBuilder {
@@ -422,6 +446,7 @@ impl Default for SessionBuilder {
             configures: Vec::new(),
             extern_specs: Vec::new(),
             targets: Vec::new(),
+            cache: None,
         }
     }
 }
@@ -548,6 +573,24 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a persistent proof-cache store: `verify_all` checks it
+    /// before proving each target and writes verified outcomes back. A hit
+    /// is honoured only after every recorded dependency fingerprint is
+    /// re-checked against the current program, so soundness never rests on
+    /// the cache. With a cache attached, cache *misses* are proved serially
+    /// (the dependency-recording window is program-global); warm runs — the
+    /// point of the cache — skip proving entirely.
+    pub fn cache(mut self, store: Arc<dyn CacheStore>) -> Self {
+        self.cache = Some(store);
+        self
+    }
+
+    /// Convenience for [`SessionBuilder::cache`] with an on-disk
+    /// [`DirStore`] rooted at `dir`.
+    pub fn cache_dir(self, dir: impl Into<PathBuf>) -> Self {
+        self.cache(Arc::new(DirStore::new(dir)))
+    }
+
     /// Builds the session: interns the program, runs the spec closure and the
     /// extern-spec elaboration, compiles everything to GIL and resolves the
     /// target list. With no explicit targets, every specified (non-trusted)
@@ -651,14 +694,44 @@ impl SessionBuilder {
             })
             .max(1);
 
+        let namespace = session_namespace(&self.name, mode, &verifier.engine.opts);
         Ok(HybridSession {
             name: self.name,
             mode,
             workers,
             targets,
             verifier,
+            cache: self.cache,
+            namespace,
         })
     }
+}
+
+/// Fingerprint of the verification configuration a cached outcome is valid
+/// for: session name, mode, and every verdict-affecting engine option.
+/// Deliberately excludes the solver backend, worker counts and branch
+/// parallelism — those change *how fast* a verdict is reached, never the
+/// verdict itself (asserted by the ablation and branch-parallel benches) —
+/// so a cache warmed under one backend serves all of them.
+fn session_namespace(name: &str, mode: SpecMode, opts: &EngineOptions) -> u64 {
+    let mode = match mode {
+        SpecMode::TypeSafety => "type-safety",
+        SpecMode::FunctionalCorrectness => "functional-correctness",
+    };
+    namespace_fingerprint([
+        ("session", name.to_string()),
+        ("mode", mode.to_string()),
+        (
+            "auto_unfold_on_branch",
+            opts.auto_unfold_on_branch.to_string(),
+        ),
+        ("auto_recover", opts.auto_recover.to_string()),
+        ("max_recovery_steps", opts.max_recovery_steps.to_string()),
+        ("max_inline_depth", opts.max_inline_depth.to_string()),
+        ("max_steps", opts.max_steps.to_string()),
+        ("max_branch_unfolds", opts.max_branch_unfolds.to_string()),
+        ("panics_are_safe", opts.panics_are_safe.to_string()),
+    ])
 }
 
 /// With no explicit targets: every function of the program that carries a
@@ -706,6 +779,9 @@ pub struct HybridSession {
     workers: usize,
     targets: Vec<Target>,
     verifier: Verifier,
+    cache: Option<Arc<dyn CacheStore>>,
+    /// Cache namespace: fingerprint of the verdict-affecting configuration.
+    namespace: u64,
 }
 
 impl HybridSession {
@@ -768,6 +844,25 @@ impl HybridSession {
         self
     }
 
+    /// Attaches (or replaces) the persistent proof-cache store of an
+    /// already-built session. See [`SessionBuilder::cache`].
+    pub fn with_cache(mut self, store: Arc<dyn CacheStore>) -> Self {
+        self.cache = Some(store);
+        self
+    }
+
+    /// The attached proof-cache store, if any.
+    pub fn cache_store(&self) -> Option<&Arc<dyn CacheStore>> {
+        self.cache.as_ref()
+    }
+
+    /// The cache namespace: a stable fingerprint of the session name, mode
+    /// and verdict-affecting engine options. Records from other namespaces
+    /// are invisible to this session.
+    pub fn cache_namespace(&self) -> u64 {
+        self.namespace
+    }
+
     /// Access to the underlying verifier (escape hatch for existing code).
     pub fn verifier(&self) -> &Verifier {
         &self.verifier
@@ -816,6 +911,13 @@ impl HybridSession {
     /// deterministic modulo timing. The report's statistics cover this batch
     /// only (the engine's cumulative counters are snapshotted around it).
     pub fn verify_all(&self) -> VerificationReport {
+        match &self.cache {
+            None => self.verify_all_uncached(),
+            Some(store) => self.verify_all_cached(store.as_ref()),
+        }
+    }
+
+    fn verify_all_uncached(&self) -> VerificationReport {
         let start = Instant::now();
         let stats_before = self.verifier.stats();
         let solver_before = self.verifier.solver_stats();
@@ -833,6 +935,104 @@ impl HybridSession {
             stats: self.verifier.stats().since(stats_before),
             backend: self.verifier.backend_kind(),
             solver: self.verifier.solver_stats().since(solver_before),
+        }
+    }
+
+    /// The cache-aware batch: each target is answered from the store when a
+    /// record's target *and* dependency fingerprints all match the current
+    /// program, and re-proved otherwise. Verified re-proofs are written
+    /// back. Misses run serially — the dependency-recording window is
+    /// global to the program, so concurrent targets would bleed reads into
+    /// each other's records; warm runs (the point of the cache) skip
+    /// proving entirely.
+    fn verify_all_cached(&self, store: &dyn CacheStore) -> VerificationReport {
+        let start = Instant::now();
+        let stats_before = self.verifier.stats();
+        let solver_before = self.verifier.solver_stats();
+        let prog = &self.verifier.engine.prog;
+        let mut counters = RunCounters::default();
+        let mut cases = Vec::with_capacity(self.targets.len());
+        for t in &self.targets {
+            let tkey = proof_cache::target_key(self.namespace, t.kind.label(), &t.name);
+            let hit = store.lookup(tkey).into_iter().find(|rec| {
+                rec.namespace == self.namespace
+                    && rec.kind_label == t.kind.label()
+                    && rec.name == t.name
+                    && record_matches(rec, prog)
+            });
+            if let Some(rec) = hit {
+                counters.hits += 1;
+                cases.push(CaseOutcome {
+                    kind: t.kind,
+                    report: CaseReport {
+                        name: t.name.clone(),
+                        verified: true,
+                        // The cold proving time, so cached reports keep a
+                        // meaningful Table 1 "Time" column.
+                        elapsed: Duration::from_nanos(rec.elapsed_nanos),
+                        diagnostic: None,
+                    },
+                });
+                continue;
+            }
+            counters.misses += 1;
+            prog.begin_dep_recording();
+            let outcome = self.run_target(t);
+            let reads = prog.end_dep_recording();
+            if outcome.verified() {
+                store.insert(&self.record_of(t, &outcome, reads));
+                counters.writes += 1;
+            }
+            cases.push(outcome);
+        }
+        store.note_run(counters);
+        let mut solver = self.verifier.solver_stats().since(solver_before);
+        solver.disk_cache_hits = counters.hits;
+        solver.disk_cache_misses = counters.misses;
+        solver.disk_cache_writes = counters.writes;
+        VerificationReport {
+            session: self.name.clone(),
+            mode: self.mode,
+            // Misses run serially under the recording window.
+            workers: 1,
+            branch_parallelism: self.branch_parallelism(),
+            cases,
+            wall_time: start.elapsed(),
+            stats: self.verifier.stats().since(stats_before),
+            backend: self.verifier.backend_kind(),
+            solver,
+        }
+    }
+
+    /// Builds the persistent record of a freshly verified target from its
+    /// recorded read-set, with every fingerprint recomputed stably
+    /// (name-based) so it means the same thing in any process.
+    fn record_of(
+        &self,
+        target: &Target,
+        outcome: &CaseOutcome,
+        reads: Vec<(gillian_engine::gil::DepKind, Symbol)>,
+    ) -> CacheRecord {
+        let prog = &self.verifier.engine.prog;
+        let mut deps: Vec<DepEntry> = reads
+            .into_iter()
+            .map(|(kind, name)| DepEntry {
+                kind: kind.label().to_string(),
+                name: name.to_string(),
+                fingerprint: stable_fingerprint_key(prog, kind, name),
+            })
+            .collect();
+        // Sorted by (kind, name) for deterministic record contents: the
+        // recording sink orders by Symbol numeric id, which is
+        // interning-order-dependent.
+        deps.sort_by(|a, b| (&a.kind, &a.name).cmp(&(&b.kind, &b.name)));
+        CacheRecord {
+            namespace: self.namespace,
+            kind_label: target.kind.label().to_string(),
+            name: target.name.clone(),
+            target_fp: stable_target_fingerprint(prog, &target.name),
+            deps,
+            elapsed_nanos: outcome.report.elapsed.as_nanos() as u64,
         }
     }
 }
@@ -1027,5 +1227,84 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"session\":\"demo\""));
         assert!(json.contains("\"all_verified\":true"));
+    }
+
+    #[test]
+    fn cached_batch_hits_on_second_run_and_renders_counters() {
+        let store: Arc<dyn CacheStore> = Arc::new(MemStore::new());
+        let cold = demo_builder(true)
+            .cache(Arc::clone(&store))
+            .build()
+            .unwrap()
+            .verify_all();
+        assert!(cold.all_verified());
+        assert_eq!(cold.solver.disk_cache_hits, 0);
+        assert_eq!(cold.solver.disk_cache_misses, 2);
+        assert_eq!(cold.solver.disk_cache_writes, 2);
+        // A *fresh* session over the same program answers entirely from the
+        // store: no proving, only fingerprint checks.
+        let warm = demo_builder(true)
+            .cache(Arc::clone(&store))
+            .build()
+            .unwrap()
+            .verify_all();
+        assert!(warm.all_verified());
+        assert_eq!(warm.solver.disk_cache_hits, 2);
+        assert_eq!(warm.solver.disk_cache_misses, 0);
+        assert_eq!(warm.solver.queries(), 0, "a warm run runs no solver");
+        let text = warm.render_text();
+        assert!(
+            text.contains("disk cache 2 hit / 0 miss / 0 written"),
+            "{text}"
+        );
+        assert!(warm.to_json().contains("\"disk_cache_hits\":2"));
+    }
+
+    #[test]
+    fn cached_batch_invalidates_on_spec_change() {
+        let store: Arc<dyn CacheStore> = Arc::new(MemStore::new());
+        let cold = demo_builder(true)
+            .cache(Arc::clone(&store))
+            .build()
+            .unwrap()
+            .verify_all();
+        assert!(cold.all_verified());
+        // Same session name, different spec content (delta=2 fails `inc`):
+        // the changed spec must miss, and the unchanged `double` still hits.
+        let edited = demo_builder(false)
+            .cache(Arc::clone(&store))
+            .build()
+            .unwrap()
+            .verify_all();
+        assert_eq!(edited.solver.disk_cache_hits, 1);
+        assert_eq!(edited.solver.disk_cache_misses, 1);
+        assert!(!edited.all_verified());
+        // Failures are never written back.
+        assert_eq!(edited.solver.disk_cache_writes, 0);
+        let inc = edited.case("inc").unwrap();
+        assert!(
+            inc.diagnostic().is_some(),
+            "re-proved failure keeps its diagnostic"
+        );
+    }
+
+    #[test]
+    fn cache_namespace_excludes_speed_knobs_but_not_mode() {
+        let a = demo_builder(true).build().unwrap();
+        let b = demo_builder(true).workers(8).build().unwrap();
+        let c = demo_builder(true)
+            .backend(BackendKind::CachedIncremental)
+            .branch_parallelism(4)
+            .build()
+            .unwrap();
+        assert_eq!(a.cache_namespace(), b.cache_namespace());
+        assert_eq!(a.cache_namespace(), c.cache_namespace());
+        let ts = demo_builder(true)
+            .mode(SpecMode::TypeSafety)
+            .build()
+            .unwrap();
+        assert_ne!(a.cache_namespace(), ts.cache_namespace());
+        let baseline = demo_builder(true).baseline().build().unwrap();
+        assert_ne!(a.cache_namespace(), baseline.cache_namespace());
     }
 }

@@ -170,7 +170,8 @@ pub enum DepKind {
 }
 
 impl DepKind {
-    /// A stable machine-readable label (used by the daemon protocol).
+    /// A stable machine-readable label (used by the daemon protocol and the
+    /// on-disk proof-cache record format).
     pub fn label(self) -> &'static str {
         match self {
             DepKind::Proc => "proc",
@@ -180,6 +181,28 @@ impl DepKind {
             DepKind::ProcSig => "proc-sig",
         }
     }
+
+    /// Inverse of [`DepKind::label`]; `None` for unknown labels (e.g. a
+    /// cache record written by a future format).
+    pub fn from_label(label: &str) -> Option<DepKind> {
+        match label {
+            "proc" => Some(DepKind::Proc),
+            "pred" => Some(DepKind::Pred),
+            "spec" => Some(DepKind::Spec),
+            "lemma" => Some(DepKind::Lemma),
+            "proc-sig" => Some(DepKind::ProcSig),
+            _ => None,
+        }
+    }
+
+    /// All dependency kinds, in label order.
+    pub const ALL: [DepKind; 5] = [
+        DepKind::Proc,
+        DepKind::Pred,
+        DepKind::Spec,
+        DepKind::Lemma,
+        DepKind::ProcSig,
+    ];
 }
 
 /// Interior-mutability sink behind the dependency recording of a [`Prog`]:

@@ -13,7 +13,7 @@
 use gillian_engine::gil::{Cmd, DepKind, LogicCmd, Proc, Prog};
 use gillian_engine::{Asrt, Lemma, Pred, Spec};
 use gillian_solver::{Expr, Symbol, TermArena};
-use std::collections::hash_map::DefaultHasher;
+use proof_cache::StableHasher;
 use std::hash::{Hash, Hasher};
 
 /// Fingerprint of whatever currently sits behind `(kind, name)` in `prog`.
@@ -50,7 +50,7 @@ pub fn fingerprint_key(prog: &Prog, arena: &TermArena, kind: DepKind, name: Symb
 /// Fingerprint of a procedure's *signature* only (name + parameter list) —
 /// what a spec-call site actually reads. Body edits leave it unchanged.
 pub fn fingerprint_proc_sig(proc: &Proc) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = StableHasher::new();
     0xA4u8.hash(&mut h);
     proc.name.hash(&mut h);
     proc.params.hash(&mut h);
@@ -58,14 +58,14 @@ pub fn fingerprint_proc_sig(proc: &Proc) -> u64 {
 }
 
 fn absent(kind: DepKind) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = StableHasher::new();
     "absent".hash(&mut h);
     kind.hash(&mut h);
     h.finish()
 }
 
 pub fn fingerprint_spec(arena: &TermArena, spec: &Spec) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = StableHasher::new();
     0xA0u8.hash(&mut h);
     spec.name.hash(&mut h);
     spec.trusted.hash(&mut h);
@@ -78,7 +78,7 @@ pub fn fingerprint_spec(arena: &TermArena, spec: &Spec) -> u64 {
 }
 
 pub fn fingerprint_pred(arena: &TermArena, pred: &Pred) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = StableHasher::new();
     0xA1u8.hash(&mut h);
     pred.name.hash(&mut h);
     pred.params.hash(&mut h);
@@ -93,7 +93,7 @@ pub fn fingerprint_pred(arena: &TermArena, pred: &Pred) -> u64 {
 }
 
 pub fn fingerprint_lemma(arena: &TermArena, lemma: &Lemma) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = StableHasher::new();
     0xA2u8.hash(&mut h);
     lemma.name.hash(&mut h);
     lemma.params.hash(&mut h);
@@ -117,7 +117,7 @@ pub fn fingerprint_lemma(arena: &TermArena, lemma: &Lemma) -> u64 {
 }
 
 pub fn fingerprint_proc(arena: &TermArena, proc: &Proc) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = StableHasher::new();
     0xA3u8.hash(&mut h);
     proc.name.hash(&mut h);
     proc.params.hash(&mut h);
@@ -128,20 +128,20 @@ pub fn fingerprint_proc(arena: &TermArena, proc: &Proc) -> u64 {
     h.finish()
 }
 
-fn expr(h: &mut DefaultHasher, arena: &TermArena, e: &Expr) {
+fn expr(h: &mut StableHasher, arena: &TermArena, e: &Expr) {
     // The arena is the content-addressing scheme: equal expressions share an
     // id, and the id is stable for the lifetime of the session.
     arena.intern(e).hash(h);
 }
 
-fn exprs(h: &mut DefaultHasher, arena: &TermArena, es: &[Expr]) {
+fn exprs(h: &mut StableHasher, arena: &TermArena, es: &[Expr]) {
     es.len().hash(h);
     for e in es {
         expr(h, arena, e);
     }
 }
 
-fn asrt(h: &mut DefaultHasher, arena: &TermArena, a: &Asrt) {
+fn asrt(h: &mut StableHasher, arena: &TermArena, a: &Asrt) {
     match a {
         Asrt::Emp => 0u8.hash(h),
         Asrt::Star(items) => {
@@ -179,7 +179,7 @@ fn asrt(h: &mut DefaultHasher, arena: &TermArena, a: &Asrt) {
     }
 }
 
-fn logic_cmd(h: &mut DefaultHasher, arena: &TermArena, c: &LogicCmd) {
+fn logic_cmd(h: &mut StableHasher, arena: &TermArena, c: &LogicCmd) {
     match c {
         LogicCmd::Fold(name, args) => {
             0u8.hash(h);
@@ -230,7 +230,7 @@ fn logic_cmd(h: &mut DefaultHasher, arena: &TermArena, c: &LogicCmd) {
     }
 }
 
-fn cmd(h: &mut DefaultHasher, arena: &TermArena, c: &Cmd) {
+fn cmd(h: &mut StableHasher, arena: &TermArena, c: &Cmd) {
     match c {
         Cmd::Assign(x, e) => {
             0u8.hash(h);
@@ -336,6 +336,30 @@ mod tests {
         prog.add_spec(spec(1));
         let after = fingerprint_key(&prog, &arena, DepKind::Spec, name);
         assert_ne!(before, after);
+    }
+
+    #[test]
+    fn absent_sentinels_are_pinned_golden_values() {
+        // Cross-process stability contract: the daemon's fingerprints are now
+        // built on proof-cache's fixed-key StableHasher, so the pieces that do
+        // not depend on session-local state (arena TermIds, Symbol numbering)
+        // must reproduce bit-for-bit in every process. If this test fails, the
+        // hasher or the traversal changed — bump CACHE_FORMAT_VERSION in
+        // proof-cache and repin.
+        let got: Vec<String> = DepKind::ALL
+            .iter()
+            .map(|k| format!("{:016x}", absent(*k)))
+            .collect();
+        assert_eq!(
+            got,
+            [
+                "b630beacb61c4409",
+                "7a10678331b880b7",
+                "f60a15609fd13e0f",
+                "273af5c9417193e7",
+                "f05f3b261cfcc1b7",
+            ]
+        );
     }
 
     #[test]

@@ -32,4 +32,4 @@ pub use fingerprint::{
 };
 pub use json::{parse, JsonError, Value};
 pub use protocol::{parse_request, Envelope, Request};
-pub use server::{serve_stdio, ServerCore};
+pub use server::{serve_stdio, serve_stdio_with, ServerCore};

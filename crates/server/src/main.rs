@@ -1,13 +1,17 @@
 //! The `gillian` binary.
 //!
 //! ```text
-//! gillian serve                 # newline-delimited JSON over stdin/stdout
-//! gillian serve --socket PATH   # same protocol over a Unix domain socket
+//! gillian serve                     # newline-delimited JSON over stdin/stdout
+//! gillian serve --socket PATH       # same protocol over a Unix domain socket
+//! gillian serve --cache-dir PATH    # persist proofs across daemon restarts
+//! gillian cache stats|clear|gc ...  # inspect / maintain the on-disk cache
 //! ```
 
-use gillian_server::{serve_stdio, ServerCore};
+use gillian_server::{serve_stdio_with, ServerCore};
+use proof_cache::{resolve_cache_dir, CacheStore, DirStore};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -15,14 +19,25 @@ const USAGE: &str = "\
 gillian — the hybrid verification daemon
 
 USAGE:
-    gillian serve [--socket PATH]
+    gillian serve [--socket PATH] [--cache-dir PATH]
+    gillian cache stats [--dir PATH]
+    gillian cache clear [--dir PATH]
+    gillian cache gc --max-bytes N [--dir PATH]
 
 COMMANDS:
     serve    Run the verification daemon. Requests are newline-delimited
              JSON objects ({\"cmd\":\"load\"|\"verify\"|\"update_spec\"|
              \"update_fn\"|\"stats\"|\"shutdown\", ...}); one response line
              per request. Default transport is stdin/stdout; --socket PATH
-             listens on a Unix domain socket instead.
+             listens on a Unix domain socket instead. --cache-dir PATH (or
+             the GILLIAN_CACHE_DIR environment variable) attaches a
+             persistent proof cache: verified proofs survive restarts, and
+             a fresh daemon re-proves only what changed.
+    cache    Maintain the persistent proof cache. The directory is --dir
+             PATH, else GILLIAN_CACHE_DIR, else target/gillian-cache.
+             stats prints entry/byte counts and the last run's hit rate;
+             clear removes every record; gc --max-bytes N evicts
+             least-recently-used records until the store fits.
 ";
 
 fn main() {
@@ -30,6 +45,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") => {
             let mut socket: Option<String> = None;
+            let mut cache_dir: Option<PathBuf> = None;
             let mut rest = args[1..].iter();
             while let Some(arg) = rest.next() {
                 match arg.as_str() {
@@ -37,18 +53,35 @@ fn main() {
                         Some(path) => socket = Some(path.clone()),
                         None => die("--socket requires a path"),
                     },
+                    "--cache-dir" => match rest.next() {
+                        Some(path) => cache_dir = Some(PathBuf::from(path)),
+                        None => die("--cache-dir requires a path"),
+                    },
                     other => die(&format!("unknown argument `{other}`")),
                 }
             }
+            // The explicit flag wins; the environment variable (honoured by
+            // resolve_cache_dir) lets wrappers and CI opt in without
+            // touching the command line.
+            let cache_dir = cache_dir.or_else(|| {
+                std::env::var_os("GILLIAN_CACHE_DIR")
+                    .filter(|v| !v.is_empty())
+                    .map(|_| resolve_cache_dir())
+            });
+            let core = match cache_dir {
+                None => ServerCore::new(),
+                Some(dir) => ServerCore::with_cache_dir(dir),
+            };
             let result = match socket {
-                None => serve_stdio(),
-                Some(path) => serve_unix(&path),
+                None => serve_stdio_with(core),
+                Some(path) => serve_unix(&path, core),
             };
             if let Err(e) = result {
                 eprintln!("gillian serve: {e}");
                 std::process::exit(1);
             }
         }
+        Some("cache") => cache_command(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
         }
@@ -61,16 +94,89 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// `gillian cache stats|clear|gc` — maintenance of the on-disk proof cache.
+fn cache_command(args: &[String]) {
+    let action = match args.first() {
+        Some(a) => a.as_str(),
+        None => die("cache requires an action: stats, clear or gc"),
+    };
+    let mut dir: Option<PathBuf> = None;
+    let mut max_bytes: Option<u64> = None;
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--dir" => match rest.next() {
+                Some(path) => dir = Some(PathBuf::from(path)),
+                None => die("--dir requires a path"),
+            },
+            "--max-bytes" => match rest.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(n)) => max_bytes = Some(n),
+                _ => die("--max-bytes requires an integer byte count"),
+            },
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    let store = DirStore::new(dir.unwrap_or_else(resolve_cache_dir));
+    match action {
+        "stats" => {
+            let stats = store.stats();
+            println!("cache directory: {}", store.root().display());
+            println!("records:         {}", stats.entries);
+            println!("bytes:           {}", stats.bytes);
+            match store.last_run() {
+                None => println!("last run:        (none recorded)"),
+                Some(run) => {
+                    let lookups = run.hits + run.misses;
+                    let rate = if lookups == 0 {
+                        0.0
+                    } else {
+                        100.0 * run.hits as f64 / lookups as f64
+                    };
+                    println!(
+                        "last run:        {} hit / {} miss / {} written ({rate:.1}% hit rate)",
+                        run.hits, run.misses, run.writes
+                    );
+                }
+            }
+        }
+        "clear" => {
+            let before = store.stats();
+            store.clear();
+            println!(
+                "cleared {} record(s) ({} bytes) from {}",
+                before.entries,
+                before.bytes,
+                store.root().display()
+            );
+        }
+        "gc" => {
+            let max = match max_bytes {
+                Some(n) => n,
+                None => die("gc requires --max-bytes N"),
+            };
+            let (removed, freed) = store.gc(max);
+            let after = store.stats();
+            println!(
+                "evicted {removed} record(s) ({freed} bytes); {} record(s) ({} bytes) remain in {}",
+                after.entries,
+                after.bytes,
+                store.root().display()
+            );
+        }
+        other => die(&format!("unknown cache action `{other}`")),
+    }
+}
+
 /// Serves the daemon protocol on a Unix domain socket. Connections share
 /// one [`ServerCore`] (one loaded workload, one dependency tracker);
 /// requests are serialised through a mutex, so interleaved clients see a
 /// consistent warm state. A `shutdown` request stops the accept loop.
-fn serve_unix(path: &str) -> std::io::Result<()> {
+fn serve_unix(path: &str, core: ServerCore) -> std::io::Result<()> {
     // A stale socket file from a previous run would make bind fail.
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
     listener.set_nonblocking(true)?;
-    let core = Arc::new(Mutex::new(ServerCore::new()));
+    let core = Arc::new(Mutex::new(core));
     let done = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::new();
 

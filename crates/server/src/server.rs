@@ -18,15 +18,24 @@ use crate::protocol::{parse_request, Request};
 use creusot_lite::{elaborate, parse_term};
 use driver::{CaseOutcome, SolverStats, Target, TargetKind};
 use gillian_engine::gil::DepKind;
+use gillian_rust::verifier::CaseReport;
 use gillian_solver::Symbol;
+use proof_cache::{
+    record_matches, stable_fingerprint_key, stable_target_fingerprint, CacheRecord, CacheStore,
+    DepEntry, DirStore, RunCounters,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufRead, Write};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// One loaded workload plus its dependency tracker.
+/// One loaded workload plus its dependency tracker and the disk-cache
+/// counters accumulated over its lifetime (hits at hydration, misses and
+/// writes at verification).
 struct Loaded {
     db: ProgramDb,
     tracker: DepTracker,
+    disk: RunCounters,
 }
 
 /// The daemon state shared across requests.
@@ -42,6 +51,12 @@ pub struct ServerCore {
     requests_served: u64,
     started: Instant,
     shutting_down: bool,
+    /// Persistent proof-cache store, if the daemon was started with one
+    /// (`--cache-dir` or `GILLIAN_CACHE_DIR`). Hydrates dependency trackers
+    /// on `load`, absorbs verified proofs after each `verify`, and is
+    /// flushed once more on `shutdown` — so a restarted daemon re-proves
+    /// nothing that did not change.
+    store: Option<Arc<dyn CacheStore>>,
 }
 
 impl Default for ServerCore {
@@ -58,7 +73,20 @@ impl ServerCore {
             requests_served: 0,
             started: Instant::now(),
             shutting_down: false,
+            store: None,
         }
+    }
+
+    /// A core backed by a persistent proof-cache store.
+    pub fn with_store(store: Arc<dyn CacheStore>) -> ServerCore {
+        let mut core = ServerCore::new();
+        core.store = Some(store);
+        core
+    }
+
+    /// A core backed by an on-disk store rooted at `dir`.
+    pub fn with_cache_dir(dir: impl Into<std::path::PathBuf>) -> ServerCore {
+        ServerCore::with_store(Arc::new(DirStore::new(dir)))
     }
 
     /// Whether a `shutdown` request has been served.
@@ -109,6 +137,7 @@ impl ServerCore {
             Request::UpdateFn { func } => self.do_update_fn(&func),
             Request::Stats => Ok(self.do_stats()),
             Request::Shutdown => {
+                self.flush_all();
                 self.shutting_down = true;
                 Ok(vec![("bye".to_string(), Value::Bool(true))])
             }
@@ -147,10 +176,17 @@ impl ServerCore {
         // Re-loading a resident pair switches back to the warm session; the
         // workers/branch_parallelism of the original load stay in effect.
         let reused = self.sessions.contains_key(&key);
+        let mut hydrated: Vec<String> = Vec::new();
         if !reused {
             let db = ProgramDb::load(name, Some(mode), workers, branch_parallelism)?;
-            let tracker = DepTracker::new(db.session.targets().iter().map(|t| t.name.clone()));
-            self.sessions.insert(key.clone(), Loaded { db, tracker });
+            let mut tracker = DepTracker::new(db.session.targets().iter().map(|t| t.name.clone()));
+            let mut disk = RunCounters::default();
+            if let Some(store) = &self.store {
+                hydrated = hydrate(store.as_ref(), &db, &mut tracker);
+                disk.hits = hydrated.len() as u64;
+            }
+            self.sessions
+                .insert(key.clone(), Loaded { db, tracker, disk });
         }
         self.current = Some(key.clone());
 
@@ -181,6 +217,7 @@ impl ServerCore {
                 "smt_available".to_string(),
                 Value::Bool(loaded.db.session.verifier().engine.solver.smt_available()),
             ),
+            ("hydrated".to_string(), string_array(&hydrated)),
         ])
     }
 
@@ -189,6 +226,7 @@ impl ServerCore {
         targets: Option<Vec<String>>,
         force: bool,
     ) -> Result<Vec<(String, Value)>, String> {
+        let store = self.store.clone();
         let loaded = self.loaded()?;
         let all: Vec<Target> = loaded.db.session.targets().to_vec();
         let selected: Vec<Target> = match targets {
@@ -208,6 +246,7 @@ impl ServerCore {
         };
 
         let before = loaded.db.session.verifier().solver_stats();
+        let disk_before = loaded.disk;
         let wall = Instant::now();
         let mut reverified: Vec<String> = Vec::new();
         let mut cached: Vec<String> = Vec::new();
@@ -215,7 +254,16 @@ impl ServerCore {
 
         for t in &selected {
             if force || loaded.tracker.is_dirty(&t.name) {
-                let outcome = run_target(&mut loaded.db, &mut loaded.tracker, t);
+                let (outcome, reads) = run_target(&mut loaded.db, &mut loaded.tracker, t);
+                if let Some(store) = &store {
+                    loaded.disk.misses += 1;
+                    // Only verified outcomes persist: failures are always
+                    // re-proved, so their diagnostics are always fresh.
+                    if outcome.verified() {
+                        store.insert(&stable_record(&loaded.db, t, &outcome, reads));
+                        loaded.disk.writes += 1;
+                    }
+                }
                 reverified.push(t.name.clone());
                 cases.push((outcome, false));
             } else {
@@ -230,7 +278,13 @@ impl ServerCore {
         }
 
         let wall_seconds = wall.elapsed().as_secs_f64();
-        let delta = loaded.db.session.verifier().solver_stats().since(before);
+        let mut delta = loaded.db.session.verifier().solver_stats().since(before);
+        delta.disk_cache_hits = loaded.disk.hits - disk_before.hits;
+        delta.disk_cache_misses = loaded.disk.misses - disk_before.misses;
+        delta.disk_cache_writes = loaded.disk.writes - disk_before.writes;
+        if let Some(store) = &store {
+            store.note_run(loaded.disk);
+        }
         let all_verified = cases.iter().all(|(o, _)| o.verified());
         let case_values: Vec<Value> = cases
             .iter()
@@ -397,7 +451,11 @@ impl ServerCore {
                     "dirty_targets".to_string(),
                     Value::Int(loaded.tracker.dirty_count() as i64),
                 ));
-                body.push(("solver".to_string(), stats_value(verifier.solver_stats())));
+                let mut solver = verifier.solver_stats();
+                solver.disk_cache_hits = loaded.disk.hits;
+                solver.disk_cache_misses = loaded.disk.misses;
+                solver.disk_cache_writes = loaded.disk.writes;
+                body.push(("solver".to_string(), stats_value(solver)));
                 body.push((
                     "backend".to_string(),
                     Value::Str(verifier.backend_kind().to_string()),
@@ -410,10 +468,46 @@ impl ServerCore {
         }
         body
     }
+
+    /// Writes a stable record for every clean, verified target of every
+    /// resident session to the disk store. Eager write-back after each
+    /// `verify` already covers freshly proved targets; this shutdown sweep
+    /// additionally re-writes hydrated ones, refreshing their mtimes for
+    /// `cache gc`'s least-recently-used ordering.
+    fn flush_all(&mut self) {
+        let Some(store) = &self.store else { return };
+        for loaded in self.sessions.values() {
+            for t in loaded.db.session.targets() {
+                if loaded.tracker.is_dirty(&t.name) {
+                    continue;
+                }
+                let Some(outcome) = loaded.tracker.cached(&t.name) else {
+                    continue;
+                };
+                if !outcome.verified() {
+                    continue;
+                }
+                let Some(deps) = loaded.tracker.deps_of(&t.name) else {
+                    continue;
+                };
+                let reads: Vec<(DepKind, Symbol)> = deps
+                    .iter()
+                    .map(|((kind, name), _)| (*kind, Symbol::new(name)))
+                    .collect();
+                store.insert(&stable_record(&loaded.db, t, outcome, reads));
+            }
+        }
+    }
 }
 
 /// Runs one target with dependency recording and records the result.
-fn run_target(db: &mut ProgramDb, tracker: &mut DepTracker, target: &Target) -> CaseOutcome {
+/// Returns the outcome plus the raw read-set, so a caller holding a disk
+/// store can persist a stable record without re-running anything.
+fn run_target(
+    db: &mut ProgramDb,
+    tracker: &mut DepTracker,
+    target: &Target,
+) -> (CaseOutcome, Vec<(DepKind, Symbol)>) {
     let verifier = db.session.verifier();
     verifier.engine.prog.begin_dep_recording();
     let report = match target.kind {
@@ -423,8 +517,8 @@ fn run_target(db: &mut ProgramDb, tracker: &mut DepTracker, target: &Target) -> 
     let raw = verifier.engine.prog.end_dep_recording();
     let arena = verifier.engine.solver.arena();
     let reads: Vec<(DepKey, u64)> = raw
-        .into_iter()
-        .map(|(kind, name)| {
+        .iter()
+        .map(|&(kind, name)| {
             let fp = fingerprint_key(&verifier.engine.prog, arena, kind, name);
             ((kind, name.to_string()), fp)
         })
@@ -434,7 +528,85 @@ fn run_target(db: &mut ProgramDb, tracker: &mut DepTracker, target: &Target) -> 
         report,
     };
     tracker.record(&target.name, reads, outcome.clone());
-    outcome
+    (outcome, raw)
+}
+
+/// Builds the persistent, cross-process record of a freshly verified
+/// target: every fingerprint is recomputed with the *stable* (name-based,
+/// arena-independent) scheme — the session fingerprints in the tracker key
+/// off interned `TermId`s and mean nothing outside this process.
+fn stable_record(
+    db: &ProgramDb,
+    target: &Target,
+    outcome: &CaseOutcome,
+    reads: Vec<(DepKind, Symbol)>,
+) -> CacheRecord {
+    let prog = &db.session.verifier().engine.prog;
+    let mut deps: Vec<DepEntry> = reads
+        .into_iter()
+        .map(|(kind, name)| DepEntry {
+            kind: kind.label().to_string(),
+            name: name.to_string(),
+            fingerprint: stable_fingerprint_key(prog, kind, name),
+        })
+        .collect();
+    deps.sort_by(|a, b| (&a.kind, &a.name).cmp(&(&b.kind, &b.name)));
+    CacheRecord {
+        namespace: db.session.cache_namespace(),
+        kind_label: target.kind.label().to_string(),
+        name: target.name.clone(),
+        target_fp: stable_target_fingerprint(prog, &target.name),
+        deps,
+        elapsed_nanos: outcome.report.elapsed.as_nanos() as u64,
+    }
+}
+
+/// Seeds a fresh dependency tracker from the disk store: every target with
+/// a record whose target *and* dependency fingerprints all match the loaded
+/// program is marked clean with a synthetic verified outcome, and its
+/// read-set is re-fingerprinted with the session (arena-based) scheme so
+/// later `update_spec`/`update_fn` requests dirty the cone exactly as if
+/// this process had proved it. Returns the hydrated target names.
+fn hydrate(store: &dyn CacheStore, db: &ProgramDb, tracker: &mut DepTracker) -> Vec<String> {
+    let namespace = db.session.cache_namespace();
+    let verifier = db.session.verifier();
+    let prog = &verifier.engine.prog;
+    let arena = verifier.engine.solver.arena();
+    let mut hydrated = Vec::new();
+    for t in db.session.targets() {
+        let tkey = proof_cache::target_key(namespace, t.kind.label(), &t.name);
+        let hit = store.lookup(tkey).into_iter().find(|rec| {
+            rec.namespace == namespace
+                && rec.kind_label == t.kind.label()
+                && rec.name == t.name
+                && record_matches(rec, prog)
+        });
+        let Some(rec) = hit else { continue };
+        let reads: Vec<(DepKey, u64)> = rec
+            .deps
+            .iter()
+            .filter_map(|d| {
+                let kind = DepKind::from_label(&d.kind)?;
+                let name = Symbol::new(&d.name);
+                let fp = fingerprint_key(prog, arena, kind, name);
+                Some(((kind, d.name.clone()), fp))
+            })
+            .collect();
+        let outcome = CaseOutcome {
+            kind: t.kind,
+            report: CaseReport {
+                name: t.name.clone(),
+                verified: true,
+                // The cold proving time from the record, so reports keep a
+                // meaningful duration column.
+                elapsed: Duration::from_nanos(rec.elapsed_nanos),
+                diagnostic: None,
+            },
+        };
+        tracker.record(&t.name, reads, outcome);
+        hydrated.push(t.name.clone());
+    }
+    hydrated
 }
 
 fn case_value(outcome: &CaseOutcome, was_cached: bool) -> Value {
@@ -493,6 +665,18 @@ fn stats_value(s: SolverStats) -> Value {
             "kernel_nanos".to_string(),
             Value::Int(s.kernel_nanos as i64),
         ),
+        (
+            "disk_cache_hits".to_string(),
+            Value::Int(s.disk_cache_hits as i64),
+        ),
+        (
+            "disk_cache_misses".to_string(),
+            Value::Int(s.disk_cache_misses as i64),
+        ),
+        (
+            "disk_cache_writes".to_string(),
+            Value::Int(s.disk_cache_writes as i64),
+        ),
     ])
 }
 
@@ -503,9 +687,14 @@ fn string_array(names: &[String]) -> Value {
 /// Serves newline-delimited JSON over stdin/stdout until `shutdown` (or
 /// EOF). One request per line, one response per line.
 pub fn serve_stdio() -> std::io::Result<()> {
+    serve_stdio_with(ServerCore::new())
+}
+
+/// [`serve_stdio`] over a caller-configured core (e.g. one holding a
+/// persistent proof-cache store).
+pub fn serve_stdio_with(mut core: ServerCore) -> std::io::Result<()> {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    let mut core = ServerCore::new();
     for line in stdin.lock().lines() {
         let line = line?;
         if line.trim().is_empty() {
@@ -663,5 +852,91 @@ mod tests {
         let v = ok(&core.handle_line(r#"{"id":3,"cmd":"shutdown"}"#));
         assert_eq!(v.get("bye").and_then(Value::as_bool), Some(true));
         assert!(core.is_shutting_down());
+    }
+
+    fn delta_i64(v: &Value, field: &str) -> i64 {
+        v.get("solver_delta")
+            .and_then(|d| d.get(field))
+            .and_then(Value::as_i64)
+            .unwrap()
+    }
+
+    #[test]
+    fn daemon_restart_hydrates_from_the_store() {
+        let store: Arc<dyn CacheStore> = Arc::new(proof_cache::MemStore::new());
+
+        // First daemon lifetime: everything is proved cold and written back.
+        let mut core = ServerCore::with_store(Arc::clone(&store));
+        let v = ok(&core.handle_line(
+            r#"{"id":1,"cmd":"load","workload":"chain","workers":1,"branch_parallelism":1}"#,
+        ));
+        assert!(names(&v, "hydrated").is_empty());
+        let v = ok(&core.handle_line(r#"{"id":2,"cmd":"verify"}"#));
+        assert_eq!(names(&v, "reverified"), vec!["base", "inc", "inc2"]);
+        assert_eq!(delta_i64(&v, "disk_cache_misses"), 3);
+        assert_eq!(delta_i64(&v, "disk_cache_writes"), 3);
+        ok(&core.handle_line(r#"{"id":3,"cmd":"shutdown"}"#));
+
+        // Second daemon lifetime over the same store: the load hydrates the
+        // tracker, and the first verify answers everything warm — the
+        // restart-resilience contract of the persistent cache.
+        let mut core = ServerCore::with_store(Arc::clone(&store));
+        let v = ok(&core.handle_line(
+            r#"{"id":1,"cmd":"load","workload":"chain","workers":1,"branch_parallelism":1}"#,
+        ));
+        assert_eq!(names(&v, "hydrated"), vec!["base", "inc", "inc2"]);
+        let v = ok(&core.handle_line(r#"{"id":2,"cmd":"verify"}"#));
+        assert_eq!(v.get("all_verified").and_then(Value::as_bool), Some(true));
+        assert!(names(&v, "reverified").is_empty());
+        assert_eq!(names(&v, "cached"), vec!["base", "inc", "inc2"]);
+        assert_eq!(delta_i64(&v, "disk_cache_misses"), 0);
+
+        let v = ok(&core.handle_line(r#"{"id":3,"cmd":"stats"}"#));
+        let solver = v.get("solver").unwrap();
+        assert_eq!(
+            solver.get("disk_cache_hits").and_then(Value::as_i64),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn hydrated_sessions_keep_exact_cone_invalidation() {
+        let store: Arc<dyn CacheStore> = Arc::new(proof_cache::MemStore::new());
+        let mut core = ServerCore::with_store(Arc::clone(&store));
+        ok(&core.handle_line(
+            r#"{"id":1,"cmd":"load","workload":"chain","workers":1,"branch_parallelism":1}"#,
+        ));
+        ok(&core.handle_line(r#"{"id":2,"cmd":"verify"}"#));
+        ok(&core.handle_line(r#"{"id":3,"cmd":"shutdown"}"#));
+
+        // Restart, hydrate, then edit inc's spec: the hydrated read-sets
+        // must dirty exactly the reverse-dependency cone {inc, inc2}.
+        let mut core = ServerCore::with_store(Arc::clone(&store));
+        let v = ok(&core.handle_line(
+            r#"{"id":1,"cmd":"load","workload":"chain","workers":1,"branch_parallelism":1}"#,
+        ));
+        assert_eq!(names(&v, "hydrated"), vec!["base", "inc", "inc2"]);
+        let v = ok(&core.handle_line(
+            r#"{"id":2,"cmd":"update_spec","fn":"inc","requires":["x@ < 2000"],"ensures":["result@ == x@ + 1"]}"#,
+        ));
+        assert_eq!(names(&v, "dirtied"), vec!["inc", "inc2"]);
+        let v = ok(&core.handle_line(r#"{"id":3,"cmd":"verify"}"#));
+        assert_eq!(v.get("all_verified").and_then(Value::as_bool), Some(true));
+        assert_eq!(names(&v, "reverified"), vec!["inc", "inc2"]);
+        assert_eq!(names(&v, "cached"), vec!["base"]);
+        // The re-proofs under the edited spec were written back as *new*
+        // records (different read-set fingerprints), so both generations
+        // coexist in the store.
+        assert_eq!(delta_i64(&v, "disk_cache_writes"), 2);
+
+        // Third lifetime: the program is compiled back in its original
+        // form, and the first-generation records still match it — editing a
+        // spec and editing it back never loses warm state.
+        ok(&core.handle_line(r#"{"id":4,"cmd":"shutdown"}"#));
+        let mut core = ServerCore::with_store(Arc::clone(&store));
+        let v = ok(&core.handle_line(
+            r#"{"id":1,"cmd":"load","workload":"chain","workers":1,"branch_parallelism":1}"#,
+        ));
+        assert_eq!(names(&v, "hydrated"), vec!["base", "inc", "inc2"]);
     }
 }

@@ -70,6 +70,15 @@ pub struct SolverStats {
     /// state — no kernel re-run, no case split
     /// ([`BackendKind::IncrementalState`] and the backends wrapping it).
     pub incremental_hits: u64,
+    /// Verification targets answered from the persistent on-disk proof
+    /// cache without re-proving (filled by the driver/daemon, not the
+    /// solver: the whole proof was skipped, so no solver work occurred).
+    pub disk_cache_hits: u64,
+    /// Verification targets that consulted the persistent proof cache and
+    /// had to be (re-)proved.
+    pub disk_cache_misses: u64,
+    /// Verified outcomes written back to the persistent proof cache.
+    pub disk_cache_writes: u64,
 }
 
 impl SolverStats {
@@ -90,6 +99,13 @@ impl SolverStats {
             incremental_hits: self
                 .incremental_hits
                 .saturating_sub(earlier.incremental_hits),
+            disk_cache_hits: self.disk_cache_hits.saturating_sub(earlier.disk_cache_hits),
+            disk_cache_misses: self
+                .disk_cache_misses
+                .saturating_sub(earlier.disk_cache_misses),
+            disk_cache_writes: self
+                .disk_cache_writes
+                .saturating_sub(earlier.disk_cache_writes),
         }
     }
 
@@ -126,6 +142,11 @@ impl AtomicSolverStats {
             smt_failures: self.smt_failures.load(Ordering::Relaxed),
             kernel_nanos: self.kernel_nanos.load(Ordering::Relaxed),
             incremental_hits: self.incremental_hits.load(Ordering::Relaxed),
+            // Disk-cache counters live at the driver/daemon layer, not in
+            // the solver hub: a disk hit means no solver ever ran.
+            disk_cache_hits: 0,
+            disk_cache_misses: 0,
+            disk_cache_writes: 0,
         }
     }
 

@@ -453,6 +453,90 @@ impl Expr {
             _ => e,
         })
     }
+
+    // ---- stable hashing ------------------------------------------------
+
+    /// Feeds a *cross-process stable* encoding of the expression into `h`:
+    /// structural tags plus interned **names** (never `Symbol`/`TermId`
+    /// numeric identity, which depends on session interning order), with
+    /// operators encoded by declaration-order discriminant. Two structurally
+    /// equal expressions produce the same byte stream in any process.
+    pub fn stable_hash_into<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        fn slice<H: std::hash::Hasher>(items: &[Expr], h: &mut H) {
+            h.write_u64(items.len() as u64);
+            for e in items {
+                e.stable_hash_into(h);
+            }
+        }
+        match self {
+            Expr::Var(SVar(v)) => {
+                h.write_u8(0);
+                h.write_u64(*v);
+            }
+            Expr::LVar(s) => {
+                h.write_u8(1);
+                s.as_str().hash(h);
+            }
+            Expr::PVar(s) => {
+                h.write_u8(2);
+                s.as_str().hash(h);
+            }
+            Expr::Int(i) => {
+                h.write_u8(3);
+                h.write_i128(*i);
+            }
+            Expr::Bool(b) => {
+                h.write_u8(4);
+                h.write_u8(u8::from(*b));
+            }
+            Expr::Loc(l) => {
+                h.write_u8(5);
+                h.write_u64(*l);
+            }
+            Expr::Unit => h.write_u8(6),
+            Expr::Ctor(tag, args) => {
+                h.write_u8(7);
+                tag.as_str().hash(h);
+                slice(args, h);
+            }
+            Expr::Tuple(args) => {
+                h.write_u8(8);
+                slice(args, h);
+            }
+            Expr::SeqLit(args) => {
+                h.write_u8(9);
+                slice(args, h);
+            }
+            Expr::UnOp(op, a) => {
+                h.write_u8(10);
+                h.write_u8(*op as u8);
+                a.stable_hash_into(h);
+            }
+            Expr::BinOp(op, a, b) => {
+                h.write_u8(11);
+                h.write_u8(*op as u8);
+                a.stable_hash_into(h);
+                b.stable_hash_into(h);
+            }
+            Expr::NOp(op, args) => {
+                h.write_u8(12);
+                h.write_u8(*op as u8);
+                slice(args, h);
+            }
+            Expr::Ite(c, t, e) => {
+                h.write_u8(13);
+                c.stable_hash_into(h);
+                t.stable_hash_into(h);
+                e.stable_hash_into(h);
+            }
+            Expr::App(name, args) => {
+                h.write_u8(14);
+                name.as_str().hash(h);
+                slice(args, h);
+            }
+        }
+    }
 }
 
 impl fmt::Debug for Expr {

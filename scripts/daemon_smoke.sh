@@ -7,7 +7,9 @@
 #   * the second (warm, unchanged) `verify` re-proves NOTHING,
 #   * an `update_spec` on `inc` dirties exactly its dependency cone
 #     (`inc` itself plus its spec-caller `inc2` — never `base`),
-#   * the daemon answers `stats` and exits cleanly on `shutdown`.
+#   * the daemon answers `stats` and exits cleanly on `shutdown`,
+#   * restart leg: a NEW daemon process over the same --cache-dir hydrates
+#     every target from disk and its first `verify` re-proves nothing.
 #
 # Usage: scripts/daemon_smoke.sh  (from the workspace root)
 # Env:   GILLIAN_BIN — path to the binary (default target/release/gillian).
@@ -62,4 +64,38 @@ line 5 | grep -q '"all_verified":true' || fail "the loosened contract still prov
 line 6 | grep -q '"requests_served":6' || fail "stats counts requests"
 line 7 | grep -q '"bye":true' || fail "shutdown acknowledged"
 
-echo "daemon_smoke: OK"
+# ---- Restart leg: proofs survive the death of the daemon. -------------------
+# Two full daemon lifetimes over one cache directory: the first proves cold
+# and persists on shutdown; the second — a fresh process — hydrates from
+# disk at `load` and answers its first `verify` without a single re-proof.
+
+CACHE_DIR="$(mktemp -d "${TMPDIR:-/tmp}/gillian-smoke-cache.XXXXXX")"
+trap 'rm -rf "$CACHE_DIR"' EXIT
+
+REQS="$(printf '%s\n' \
+    '{"id":1,"cmd":"load","workload":"chain","workers":1,"branch_parallelism":1}' \
+    '{"id":2,"cmd":"verify"}' \
+    '{"id":3,"cmd":"shutdown"}')"
+
+OUT1="$("$BIN" serve --cache-dir "$CACHE_DIR" <<<"$REQS")"
+grep -q '"ok":false' <<<"$OUT1" && fail "restart leg: a cold request errored"
+sed -n 2p <<<"$OUT1" | grep -q '"reverified":\["base","inc","inc2"\]' \
+    || fail "restart leg: cold daemon re-proves every target"
+
+# The first daemon is dead; its proofs are on disk.
+[[ -n "$(ls "$CACHE_DIR"/*.rec 2>/dev/null)" ]] \
+    || fail "restart leg: shutdown left no records in $CACHE_DIR"
+
+OUT2="$("$BIN" serve --cache-dir "$CACHE_DIR" <<<"$REQS")"
+grep -q '"ok":false' <<<"$OUT2" && fail "restart leg: a warm request errored"
+sed -n 1p <<<"$OUT2" | grep -q '"hydrated":\["base","inc","inc2"\]' \
+    || fail "restart leg: new daemon hydrates every target from disk"
+sed -n 2p <<<"$OUT2" | grep -q '"reverified":\[\]' \
+    || fail "restart leg: warm daemon re-proves nothing after restart"
+sed -n 2p <<<"$OUT2" | grep -q '"cached":\["base","inc","inc2"\]' \
+    || fail "restart leg: warm daemon answers every target from hydrated state"
+
+"$BIN" cache stats --dir "$CACHE_DIR" \
+    | grep -q '3 hit / 0 miss' || fail "restart leg: cache stats shows the warm run"
+
+echo "daemon_smoke: OK (including restart leg)"

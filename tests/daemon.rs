@@ -172,7 +172,11 @@ fn identical_requests_report_identical_solver_deltas() {
     let first = delta(&core.handle_line(r#"{"cmd":"verify","force":true}"#));
     let second = delta(&core.handle_line(r#"{"cmd":"verify","force":true}"#));
     assert_eq!(first, second, "identical requests, identical solver work");
-    assert_eq!(first.len(), 8, "all non-timing counters are compared");
+    assert_eq!(
+        first.len(),
+        11,
+        "all non-timing counters are compared (incl. the disk-cache trio)"
+    );
 
     // A cache-served verify does no solver work at all.
     let warm = delta(&core.handle_line(r#"{"cmd":"verify"}"#));
