@@ -72,6 +72,9 @@ pub enum VerifyDiagnostic {
     MissingSpec { message: String },
     /// Any other engine-level failure (reachable panic, unknown predicate…).
     Engine { message: String },
+    /// A static-analysis (lint) error blocked verification before any proof
+    /// search started.
+    Lint { message: String },
 }
 
 impl VerifyDiagnostic {
@@ -83,7 +86,8 @@ impl VerifyDiagnostic {
             | VerifyDiagnostic::CompileError { message }
             | VerifyDiagnostic::Timeout { message }
             | VerifyDiagnostic::MissingSpec { message }
-            | VerifyDiagnostic::Engine { message } => message,
+            | VerifyDiagnostic::Engine { message }
+            | VerifyDiagnostic::Lint { message } => message,
         }
     }
 
@@ -105,6 +109,7 @@ impl VerifyDiagnostic {
             VerifyDiagnostic::Timeout { .. } => "timeout",
             VerifyDiagnostic::MissingSpec { .. } => "missing-spec",
             VerifyDiagnostic::Engine { .. } => "engine",
+            VerifyDiagnostic::Lint { .. } => "lint",
         }
     }
 

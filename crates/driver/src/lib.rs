@@ -47,6 +47,7 @@
 
 pub use creusot_lite::ExternSpecs;
 pub use gillian_engine::{EngineOptions, EngineStats};
+pub use gillian_lint::{LintDiagnostic, LintOptions, LintReport, Severity as LintSeverity};
 pub use gillian_rust::verifier::VerifyDiagnostic;
 pub use gillian_solver::{BackendKind, SolverStats};
 pub use proof_cache::{CacheStore, DirStore, MemStore};
@@ -195,6 +196,11 @@ pub struct VerificationReport {
     pub backend: BackendKind,
     /// Solver statistics (query/hit counts) accumulated over the batch.
     pub solver: SolverStats,
+    /// Static-analysis findings from the lint-before-verify pass (empty when
+    /// linting is disabled or the program is clean). Lint *errors* fail the
+    /// batch fast — every case reports unverified with a lint diagnostic and
+    /// no proof search runs; warnings ride along informationally.
+    pub lints: Vec<LintDiagnostic>,
 }
 
 impl VerificationReport {
@@ -270,6 +276,9 @@ impl VerificationReport {
             self.solver.incremental_hits,
             self.solver.kernel_nanos as f64 / 1e9,
         );
+        for d in &self.lints {
+            out.push_str(&format!("  lint {d}\n"));
+        }
         for c in &self.cases {
             out.push_str(&format!(
                 "  {:<5} {:<20} verified={:<5} time={:.3}s",
@@ -338,6 +347,20 @@ impl VerificationReport {
             self.stats.branches_stolen,
             self.stats.max_live_branches,
         ));
+        out.push_str("\"lints\":[");
+        for (i, d) in self.lints.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"span\":{},\"message\":{}}}",
+                d.code,
+                d.severity.label(),
+                json_str(&d.span.to_string()),
+                json_str(&d.message),
+            ));
+        }
+        out.push_str("],");
         out.push_str("\"cases\":[");
         for (i, c) in self.cases.iter().enumerate() {
             if i > 0 {
@@ -428,6 +451,9 @@ pub struct SessionBuilder {
     extern_specs: Vec<ExternSpecs>,
     targets: Vec<Target>,
     cache: Option<Arc<dyn CacheStore>>,
+    lint: bool,
+    lint_deny_warnings: bool,
+    lint_allow: Vec<String>,
 }
 
 impl Default for SessionBuilder {
@@ -447,6 +473,9 @@ impl Default for SessionBuilder {
             extern_specs: Vec::new(),
             targets: Vec::new(),
             cache: None,
+            lint: true,
+            lint_deny_warnings: false,
+            lint_allow: Vec::new(),
         }
     }
 }
@@ -591,6 +620,34 @@ impl SessionBuilder {
         self.cache(Arc::new(DirStore::new(dir)))
     }
 
+    /// Enables or disables the lint-before-verify pass (on by default). With
+    /// linting on, [`HybridSession::verify_all`] refuses to start proof
+    /// search when the compiled program has lint *errors*: every case fails
+    /// fast with a lint diagnostic. Warnings are reported on the
+    /// [`VerificationReport`] but do not block.
+    pub fn lint(mut self, enabled: bool) -> Self {
+        self.lint = enabled;
+        self
+    }
+
+    /// Promotes lint warnings to batch-blocking findings (`-D warnings` for
+    /// the static analyzer): with this set, any diagnostic — not just errors
+    /// — makes [`HybridSession::verify_all`] fail fast.
+    pub fn lint_deny(mut self) -> Self {
+        self.lint_deny_warnings = true;
+        self
+    }
+
+    /// Suppresses specific lint codes (e.g. `["GL012"]`).
+    pub fn lint_allow<I, S>(mut self, codes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.lint_allow.extend(codes.into_iter().map(Into::into));
+        self
+    }
+
     /// Builds the session: interns the program, runs the spec closure and the
     /// extern-spec elaboration, compiles everything to GIL and resolves the
     /// target list. With no explicit targets, every specified (non-trusted)
@@ -694,6 +751,26 @@ impl SessionBuilder {
             })
             .max(1);
 
+        // Lint-before-verify: the five static passes over the compiled GIL.
+        // The report is computed once here and carried by the session; the
+        // fail-fast decision happens in `verify_all`, so callers can still
+        // inspect a linted session freely.
+        let lint = if self.lint {
+            let opts = LintOptions {
+                known_tactics: verifier
+                    .engine
+                    .tactics
+                    .keys()
+                    .map(|s| s.as_str().to_string())
+                    .collect(),
+                allow: self.lint_allow.into_iter().collect(),
+                ..LintOptions::default()
+            };
+            Some(gillian_lint::lint_prog(&verifier.engine.prog, &opts))
+        } else {
+            None
+        };
+
         let namespace = session_namespace(&self.name, mode, &verifier.engine.opts);
         Ok(HybridSession {
             name: self.name,
@@ -703,6 +780,8 @@ impl SessionBuilder {
             verifier,
             cache: self.cache,
             namespace,
+            lint,
+            lint_deny_warnings: self.lint_deny_warnings,
         })
     }
 }
@@ -782,6 +861,10 @@ pub struct HybridSession {
     cache: Option<Arc<dyn CacheStore>>,
     /// Cache namespace: fingerprint of the verdict-affecting configuration.
     namespace: u64,
+    /// The lint-before-verify report (`None` when linting was disabled).
+    lint: Option<LintReport>,
+    /// Treat lint warnings as batch-blocking (`-D warnings`).
+    lint_deny_warnings: bool,
 }
 
 impl HybridSession {
@@ -863,6 +946,57 @@ impl HybridSession {
         self.namespace
     }
 
+    /// The lint-before-verify report, when linting was enabled at build time
+    /// (the default). Recomputed only on [`HybridSession::relint`].
+    pub fn lint_report(&self) -> Option<&LintReport> {
+        self.lint.as_ref()
+    }
+
+    /// Re-runs the lint passes against the *current* compiled program. The
+    /// daemon calls this after swapping a spec or function body in place, so
+    /// the carried report never goes stale across edits.
+    pub fn relint(&mut self) {
+        if self.lint.is_none() {
+            return;
+        }
+        let opts = self.lint_options();
+        self.lint = Some(gillian_lint::lint_prog(&self.verifier.engine.prog, &opts));
+    }
+
+    /// The lint options this session lints with: tactic registry from the
+    /// engine, defaults elsewhere (allow-lists are applied at build time and
+    /// folded into the carried report, not re-derivable here).
+    pub fn lint_options(&self) -> LintOptions {
+        LintOptions {
+            known_tactics: self
+                .verifier
+                .engine
+                .tactics
+                .keys()
+                .map(|s| s.as_str().to_string())
+                .collect(),
+            ..LintOptions::default()
+        }
+    }
+
+    /// The lint diagnostics attached to every report from this session.
+    fn lint_diagnostics(&self) -> Vec<LintDiagnostic> {
+        self.lint
+            .as_ref()
+            .map(|r| r.diagnostics.clone())
+            .unwrap_or_default()
+    }
+
+    /// The diagnostics that block verification: errors always, warnings too
+    /// under [`SessionBuilder::lint_deny`].
+    fn lint_blockers(&self) -> Vec<&LintDiagnostic> {
+        match &self.lint {
+            None => Vec::new(),
+            Some(r) if self.lint_deny_warnings => r.diagnostics.iter().collect(),
+            Some(r) => r.errors().collect(),
+        }
+    }
+
     /// Access to the underlying verifier (escape hatch for existing code).
     pub fn verifier(&self) -> &Verifier {
         &self.verifier
@@ -911,9 +1045,54 @@ impl HybridSession {
     /// deterministic modulo timing. The report's statistics cover this batch
     /// only (the engine's cumulative counters are snapshotted around it).
     pub fn verify_all(&self) -> VerificationReport {
+        // Lint gate: errors (and warnings under `lint_deny`) mean the program
+        // is malformed or the specs are meaningless — starting proof search
+        // would waste time or, worse, verify vacuously. Fail every case fast.
+        let blockers = self.lint_blockers();
+        if !blockers.is_empty() {
+            return self.lint_failfast_report(&blockers);
+        }
         match &self.cache {
             None => self.verify_all_uncached(),
             Some(store) => self.verify_all_cached(store.as_ref()),
+        }
+    }
+
+    /// The report `verify_all` returns when the lint gate blocks the batch:
+    /// every target unverified, zero proof-search time, each case carrying a
+    /// lint diagnostic summarising the blocking findings.
+    fn lint_failfast_report(&self, blockers: &[&LintDiagnostic]) -> VerificationReport {
+        let summary = format!(
+            "lint gate: {} blocking finding(s), first: {}",
+            blockers.len(),
+            blockers[0]
+        );
+        let cases = self
+            .targets
+            .iter()
+            .map(|t| CaseOutcome {
+                kind: t.kind,
+                report: CaseReport {
+                    name: t.name.clone(),
+                    verified: false,
+                    elapsed: Duration::ZERO,
+                    diagnostic: Some(VerifyDiagnostic::Lint {
+                        message: summary.clone(),
+                    }),
+                },
+            })
+            .collect();
+        VerificationReport {
+            session: self.name.clone(),
+            mode: self.mode,
+            workers: self.workers,
+            branch_parallelism: self.branch_parallelism(),
+            cases,
+            wall_time: Duration::ZERO,
+            stats: EngineStats::default(),
+            backend: self.verifier.backend_kind(),
+            solver: SolverStats::default(),
+            lints: self.lint_diagnostics(),
         }
     }
 
@@ -935,6 +1114,7 @@ impl HybridSession {
             stats: self.verifier.stats().since(stats_before),
             backend: self.verifier.backend_kind(),
             solver: self.verifier.solver_stats().since(solver_before),
+            lints: self.lint_diagnostics(),
         }
     }
 
@@ -1001,6 +1181,7 @@ impl HybridSession {
             stats: self.verifier.stats().since(stats_before),
             backend: self.verifier.backend_kind(),
             solver,
+            lints: self.lint_diagnostics(),
         }
     }
 

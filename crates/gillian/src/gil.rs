@@ -44,6 +44,33 @@ pub enum LogicCmd {
     Tactic(Symbol, Vec<Expr>),
 }
 
+impl fmt::Display for LogicCmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn call(f: &mut fmt::Formatter<'_>, kw: &str, name: &Symbol, args: &[Expr]) -> fmt::Result {
+            write!(f, "{kw} {name}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")
+        }
+        match self {
+            LogicCmd::Fold(name, args) => call(f, "fold", name, args),
+            LogicCmd::Unfold(name, args) => call(f, "unfold", name, args),
+            LogicCmd::UnfoldGuarded(name, args) => call(f, "open", name, args),
+            LogicCmd::FoldGuarded(name, args) => call(f, "close", name, args),
+            LogicCmd::ApplyLemma(name, args) => call(f, "apply", name, args),
+            LogicCmd::Assert(a) => write!(f, "assert {a}"),
+            LogicCmd::Assume(e) => write!(f, "assume {e}"),
+            LogicCmd::Produce(a) => write!(f, "produce {a}"),
+            LogicCmd::Consume(a) => write!(f, "consume {a}"),
+            LogicCmd::Tactic(name, args) => call(f, "tactic", name, args),
+        }
+    }
+}
+
 /// A GIL command.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Cmd {
@@ -112,7 +139,7 @@ impl fmt::Display for Cmd {
                 }
                 write!(f, ")")
             }
-            Cmd::Logic(l) => write!(f, "logic {l:?}"),
+            Cmd::Logic(l) => write!(f, "logic {l}"),
             Cmd::Return(e) => write!(f, "return {e}"),
             Cmd::Fail(msg) => write!(f, "fail \"{msg}\""),
             Cmd::Skip => write!(f, "skip"),
@@ -325,6 +352,53 @@ mod tests {
             args: vec![Expr::pvar("p")],
         };
         assert_eq!(format!("{c}"), "v := [load](p)");
+    }
+
+    #[test]
+    fn display_of_every_logic_command_variant() {
+        let args = || vec![Expr::pvar("p"), Expr::lvar("x")];
+        let pred_atom = Asrt::Pred {
+            name: Symbol::new("own"),
+            args: vec![Expr::pvar("p")],
+        };
+        let cases: Vec<(LogicCmd, &str)> = vec![
+            (
+                LogicCmd::Fold(Symbol::new("dll_seg"), args()),
+                "fold dll_seg(p, #x)",
+            ),
+            (
+                LogicCmd::Unfold(Symbol::new("dll_seg"), args()),
+                "unfold dll_seg(p, #x)",
+            ),
+            (
+                LogicCmd::UnfoldGuarded(Symbol::new("mutref"), args()),
+                "open mutref(p, #x)",
+            ),
+            (
+                LogicCmd::FoldGuarded(Symbol::new("mutref"), args()),
+                "close mutref(p, #x)",
+            ),
+            (
+                LogicCmd::ApplyLemma(Symbol::new("extract"), vec![Expr::lvar("x")]),
+                "apply extract(#x)",
+            ),
+            (LogicCmd::Assert(pred_atom.clone()), "assert own(p)"),
+            (LogicCmd::Assume(Expr::pvar("b")), "assume b"),
+            (LogicCmd::Produce(pred_atom.clone()), "produce own(p)"),
+            (
+                LogicCmd::Consume(Asrt::Pure(Expr::lvar("x"))),
+                "consume (#x)",
+            ),
+            (
+                LogicCmd::Tactic(Symbol::new("mutref_auto_resolve"), vec![]),
+                "tactic mutref_auto_resolve()",
+            ),
+        ];
+        for (cmd, expected) in cases {
+            assert_eq!(format!("{cmd}"), expected);
+            // `Cmd::Logic` must use the same rendering (not debug format).
+            assert_eq!(format!("{}", Cmd::Logic(cmd)), format!("logic {expected}"));
+        }
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! Pass 1 + 2: CFG construction and def-use dataflow over procedure bodies.
+//!
+//! GIL control flow is fully determined by command indices: `Goto`/`GotoIf`
+//! jump, `Return`/`Fail` terminate, everything else falls through. That makes
+//! the CFG trivial to build and the two classic dataflow analyses (forward
+//! definite-assignment, backward liveness) cheap enough to run on every
+//! `load`/`update_fn` request.
+
+use crate::{ItemKind, LintDiagnostic, LintSpan, Severity};
+use gillian_engine::gil::{Cmd, LogicCmd, Proc};
+use gillian_solver::{Expr, Symbol};
+use std::collections::BTreeSet;
+
+/// Successor indices of the command at `i`, with out-of-range targets kept
+/// (the caller reports GL001 and clamps before running dataflow).
+fn successors(i: usize, cmd: &Cmd) -> Vec<usize> {
+    match cmd {
+        Cmd::Goto(t) => vec![*t],
+        Cmd::GotoIf {
+            then_target,
+            else_target,
+            ..
+        } => vec![*then_target, *else_target],
+        Cmd::Return(_) | Cmd::Fail(_) => vec![],
+        _ => vec![i + 1],
+    }
+}
+
+pub(crate) fn visit_logic_cmd_exprs(l: &LogicCmd, f: &mut impl FnMut(&Expr)) {
+    match l {
+        LogicCmd::Fold(_, args)
+        | LogicCmd::Unfold(_, args)
+        | LogicCmd::UnfoldGuarded(_, args)
+        | LogicCmd::FoldGuarded(_, args)
+        | LogicCmd::ApplyLemma(_, args)
+        | LogicCmd::Tactic(_, args) => {
+            for a in args {
+                f(a);
+            }
+        }
+        LogicCmd::Assert(a) | LogicCmd::Produce(a) | LogicCmd::Consume(a) => {
+            a.visit_exprs(f);
+        }
+        LogicCmd::Assume(e) => f(e),
+    }
+}
+
+/// Program variables read by a command. `Return` additionally reads every
+/// parameter: specification postconditions are evaluated against the final
+/// variable store, so parameter values stay observable to the end.
+fn reads(cmd: &Cmd, params: &[Symbol]) -> BTreeSet<Symbol> {
+    let mut out = BTreeSet::new();
+    let mut add = |e: &Expr| out.extend(e.pvars());
+    match cmd {
+        Cmd::Assign(_, e) => add(e),
+        Cmd::Action { args, .. } | Cmd::Call { args, .. } => {
+            for a in args {
+                add(a);
+            }
+        }
+        Cmd::GotoIf { guard, .. } => add(guard),
+        Cmd::Logic(l) => visit_logic_cmd_exprs(l, &mut |e| out.extend(e.pvars())),
+        Cmd::Return(e) => {
+            add(e);
+            out.extend(params.iter().copied());
+        }
+        Cmd::Goto(_) | Cmd::Fail(_) | Cmd::Skip => {}
+    }
+    out
+}
+
+/// The program variable a command assigns, if any.
+fn def(cmd: &Cmd) -> Option<Symbol> {
+    match cmd {
+        Cmd::Assign(x, _) => Some(*x),
+        Cmd::Action { lhs, .. } | Cmd::Call { lhs, .. } => Some(*lhs),
+        _ => None,
+    }
+}
+
+/// Runs the control-flow and def-use passes over one procedure.
+pub(crate) fn lint_proc_flow(proc: &Proc) -> Vec<LintDiagnostic> {
+    let name = proc.name.as_str();
+    let len = proc.body.len();
+    let mut diags = Vec::new();
+
+    if len == 0 {
+        diags.push(LintDiagnostic::new(
+            "GL003",
+            Severity::Error,
+            LintSpan::item(ItemKind::Proc, name),
+            "procedure body is empty; control falls off the end",
+        ));
+        return diags;
+    }
+
+    // GL001: out-of-range targets. Invalid edges are dropped for the
+    // reachability and dataflow passes below.
+    let mut succs: Vec<Vec<usize>> = Vec::with_capacity(len);
+    for (i, cmd) in proc.body.iter().enumerate() {
+        let raw = successors(i, cmd);
+        let mut valid = Vec::with_capacity(raw.len());
+        for t in raw {
+            // A fall-through edge to `len` is handled by GL003, not GL001.
+            let explicit = matches!(cmd, Cmd::Goto(_) | Cmd::GotoIf { .. });
+            if t < len {
+                valid.push(t);
+            } else if explicit {
+                diags.push(LintDiagnostic::new(
+                    "GL001",
+                    Severity::Error,
+                    LintSpan::at(ItemKind::Proc, name, i),
+                    format!("goto target {t} is out of range (body has {len} commands)"),
+                ));
+            }
+        }
+        valid.sort_unstable();
+        valid.dedup();
+        succs.push(valid);
+    }
+
+    // Reachability from the entry command.
+    let mut reachable = vec![false; len];
+    let mut stack = vec![0usize];
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut reachable[i], true) {
+            continue;
+        }
+        stack.extend(succs[i].iter().copied());
+    }
+
+    // GL002: unreachable commands, reported as maximal runs.
+    let mut i = 0;
+    while i < len {
+        if reachable[i] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < len && !reachable[i] {
+            i += 1;
+        }
+        let msg = if i - start == 1 {
+            format!("command {start} is unreachable ({})", proc.body[start])
+        } else {
+            format!("commands {start}..{} are unreachable", i - 1)
+        };
+        diags.push(LintDiagnostic::new(
+            "GL002",
+            Severity::Warning,
+            LintSpan::at(ItemKind::Proc, name, start),
+            msg,
+        ));
+    }
+
+    // GL003: a reachable command that falls through past the end.
+    for (i, cmd) in proc.body.iter().enumerate() {
+        let falls_through = !matches!(
+            cmd,
+            Cmd::Goto(_) | Cmd::GotoIf { .. } | Cmd::Return(_) | Cmd::Fail(_)
+        );
+        if reachable[i] && falls_through && i + 1 == len {
+            diags.push(LintDiagnostic::new(
+                "GL003",
+                Severity::Error,
+                LintSpan::at(ItemKind::Proc, name, i),
+                format!("control falls off the end of the procedure after `{cmd}`"),
+            ));
+        }
+    }
+
+    // Predecessor lists for the forward pass.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); len];
+    for (i, ss) in succs.iter().enumerate() {
+        for &s in ss {
+            preds[s].push(i);
+        }
+    }
+
+    // Forward definite-assignment: in[i] = ∩ out[p] over predecessors,
+    // out[i] = in[i] ∪ def(i); the entry is seeded with the parameters.
+    // Bodies are small (tens of commands), so a dense fixpoint is fine.
+    let params: BTreeSet<Symbol> = proc.params.iter().copied().collect();
+    let all_vars: BTreeSet<Symbol> = {
+        let mut vs = params.clone();
+        vs.extend(proc.body.iter().filter_map(def));
+        vs
+    };
+    let mut assigned_in: Vec<BTreeSet<Symbol>> = vec![all_vars.clone(); len];
+    assigned_in[0] = params.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..len {
+            if !reachable[i] {
+                continue;
+            }
+            let mut inn: Option<BTreeSet<Symbol>> =
+                if i == 0 { Some(params.clone()) } else { None };
+            for &p in &preds[i] {
+                if !reachable[p] {
+                    continue;
+                }
+                let mut out_p = assigned_in[p].clone();
+                out_p.extend(def(&proc.body[p]));
+                inn = Some(match inn {
+                    None => out_p,
+                    Some(acc) => acc.intersection(&out_p).copied().collect(),
+                });
+            }
+            let inn = inn.unwrap_or_else(|| params.clone());
+            if inn != assigned_in[i] {
+                assigned_in[i] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    // GL011: reads not definitely assigned.
+    for (i, cmd) in proc.body.iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        let read_here = reads(cmd, &proc.params);
+        let mut unassigned: Vec<&str> = read_here
+            .difference(&assigned_in[i])
+            .map(|s| s.as_str())
+            .collect();
+        unassigned.sort_unstable();
+        for v in unassigned {
+            diags.push(LintDiagnostic::new(
+                "GL011",
+                Severity::Error,
+                LintSpan::at(ItemKind::Proc, name, i),
+                format!("variable `{v}` may be used before assignment in `{cmd}`"),
+            ));
+        }
+    }
+
+    // Backward liveness for GL012. Only pure `Assign` commands are
+    // candidates: `Action`/`Call` left-hand sides carry effects regardless of
+    // whether the result is read. Underscore-prefixed names opt out, matching
+    // the compiler's convention for intentionally-unused locals.
+    let mut live_in: Vec<BTreeSet<Symbol>> = vec![BTreeSet::new(); len];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..len).rev() {
+            let mut live: BTreeSet<Symbol> = BTreeSet::new();
+            for &s in &succs[i] {
+                live.extend(live_in[s].iter().copied());
+            }
+            if let Some(d) = def(&proc.body[i]) {
+                live.remove(&d);
+            }
+            live.extend(reads(&proc.body[i], &proc.params));
+            if live != live_in[i] {
+                live_in[i] = live;
+                changed = true;
+            }
+        }
+    }
+    for (i, cmd) in proc.body.iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        if let Cmd::Assign(x, _) = cmd {
+            if x.as_str().starts_with('_') {
+                continue;
+            }
+            let live_out = succs[i].iter().any(|&s| live_in[s].contains(x));
+            if !live_out {
+                diags.push(LintDiagnostic::new(
+                    "GL012",
+                    Severity::Warning,
+                    LintSpan::at(ItemKind::Proc, name, i),
+                    format!("value assigned to `{x}` is never read"),
+                ));
+            }
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(proc: &Proc) -> Vec<&'static str> {
+        lint_proc_flow(proc).into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn out_of_range_goto_is_gl001() {
+        let p = Proc::new("f", &[], vec![Cmd::Goto(9)]);
+        let diags = lint_proc_flow(&p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "GL001");
+        assert_eq!(diags[0].span.index, Some(0));
+    }
+
+    #[test]
+    fn unreachable_run_is_gl002() {
+        let p = Proc::new(
+            "f",
+            &[],
+            vec![
+                Cmd::Return(Expr::Int(0)),
+                Cmd::Skip,
+                Cmd::Return(Expr::Int(1)),
+            ],
+        );
+        let diags = lint_proc_flow(&p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "GL002");
+        assert_eq!(diags[0].span.index, Some(1));
+    }
+
+    #[test]
+    fn fall_off_the_end_is_gl003() {
+        let p = Proc::new("f", &["x"], vec![Cmd::Skip]);
+        assert_eq!(codes(&p), vec!["GL003"]);
+        let empty = Proc::new("g", &[], vec![]);
+        assert_eq!(codes(&empty), vec!["GL003"]);
+    }
+
+    #[test]
+    fn use_before_assign_is_gl011_but_params_are_seeded() {
+        let bad = Proc::new("f", &[], vec![Cmd::Return(Expr::pvar("y"))]);
+        assert_eq!(codes(&bad), vec!["GL011"]);
+        let ok = Proc::new("g", &["y"], vec![Cmd::Return(Expr::pvar("y"))]);
+        assert!(codes(&ok).is_empty());
+    }
+
+    #[test]
+    fn branch_join_requires_assignment_on_all_paths() {
+        // if (c) { t := 1 } ; return t — t unassigned on the else path.
+        let p = Proc::new(
+            "f",
+            &["c"],
+            vec![
+                Cmd::GotoIf {
+                    guard: Expr::pvar("c"),
+                    then_target: 1,
+                    else_target: 2,
+                },
+                Cmd::Assign(Symbol::new("t"), Expr::Int(1)),
+                Cmd::Return(Expr::pvar("t")),
+            ],
+        );
+        let diags = lint_proc_flow(&p);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "GL011" && d.span.index == Some(2)),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dead_assignment_is_gl012_and_params_stay_live_to_return() {
+        let dead = Proc::new(
+            "f",
+            &[],
+            vec![
+                Cmd::Assign(Symbol::new("t"), Expr::Int(1)),
+                Cmd::Return(Expr::Int(0)),
+            ],
+        );
+        assert_eq!(codes(&dead), vec!["GL012"]);
+        // Assigning a *parameter* before return is not dead: postconditions
+        // read the final store.
+        let to_param = Proc::new(
+            "g",
+            &["x"],
+            vec![
+                Cmd::Assign(Symbol::new("x"), Expr::Int(1)),
+                Cmd::Return(Expr::Int(0)),
+            ],
+        );
+        assert!(codes(&to_param).is_empty());
+        // Underscore-prefixed locals opt out.
+        let underscore = Proc::new(
+            "h",
+            &[],
+            vec![
+                Cmd::Assign(Symbol::new("_t"), Expr::Int(1)),
+                Cmd::Return(Expr::Int(0)),
+            ],
+        );
+        assert!(codes(&underscore).is_empty());
+    }
+
+    #[test]
+    fn loops_are_handled() {
+        // while-like loop: i := 0; if (i) exit else body; body: i := 1; goto test
+        let p = Proc::new(
+            "f",
+            &[],
+            vec![
+                Cmd::Assign(Symbol::new("i"), Expr::Int(0)),
+                Cmd::GotoIf {
+                    guard: Expr::pvar("i"),
+                    then_target: 4,
+                    else_target: 2,
+                },
+                Cmd::Assign(Symbol::new("i"), Expr::Int(1)),
+                Cmd::Goto(1),
+                Cmd::Return(Expr::pvar("i")),
+            ],
+        );
+        assert!(codes(&p).is_empty(), "{:?}", lint_proc_flow(&p));
+    }
+}

@@ -1,0 +1,321 @@
+//! Pass 4: predicate well-foundedness.
+//!
+//! Recursive predicates are the workhorse of the case studies (`dll_seg`),
+//! and the engine unfolds them on demand — a recursive definition with no
+//! base case, or whose self-reference is not pinned down by *any* resource or
+//! pure condition, sends the prover into an unbounded unfold chain. The check
+//! is a heuristic (true well-foundedness is undecidable) tuned to accept the
+//! shipped predicate shapes: a strongly-connected component of the
+//! predicate-reference graph must contain a disjunct that leaves the
+//! component (GL031), and every recursive disjunct must carry a core
+//! (resource) atom or a pure guard (GL032).
+
+use crate::{ItemKind, LintDiagnostic, LintSpan, Severity};
+use gillian_engine::asrt::Asrt;
+use gillian_engine::gil::Prog;
+use gillian_solver::Symbol;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Predicate names referenced by an assertion (plain and guarded atoms).
+fn referenced_preds(asrt: &Asrt) -> BTreeSet<Symbol> {
+    let mut out = BTreeSet::new();
+    for atom in asrt.atoms() {
+        match &atom {
+            Asrt::Pred { name, .. } | Asrt::Guarded { name, .. } => {
+                out.insert(*name);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Strongly-connected components of the predicate-reference graph, via
+/// iterative Tarjan. Only components that actually contain a cycle (size > 1,
+/// or a self-loop) are returned.
+fn recursive_sccs(graph: &BTreeMap<Symbol, BTreeSet<Symbol>>) -> Vec<BTreeSet<Symbol>> {
+    #[derive(Default, Clone)]
+    struct NodeState {
+        index: Option<usize>,
+        lowlink: usize,
+        on_stack: bool,
+    }
+    let mut state: BTreeMap<Symbol, NodeState> =
+        graph.keys().map(|&k| (k, NodeState::default())).collect();
+    let mut next_index = 0usize;
+    let mut stack: Vec<Symbol> = Vec::new();
+    let mut sccs: Vec<BTreeSet<Symbol>> = Vec::new();
+
+    enum Frame {
+        Enter(Symbol),
+        Resume(Symbol, Vec<Symbol>, usize),
+    }
+    for &root in graph.keys() {
+        if state[&root].index.is_some() {
+            continue;
+        }
+        let mut work = vec![Frame::Enter(root)];
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    if state[&v].index.is_some() {
+                        continue;
+                    }
+                    let st = state.get_mut(&v).unwrap();
+                    st.index = Some(next_index);
+                    st.lowlink = next_index;
+                    st.on_stack = true;
+                    next_index += 1;
+                    stack.push(v);
+                    let succs: Vec<Symbol> = graph
+                        .get(&v)
+                        .map(|s| {
+                            s.iter()
+                                .copied()
+                                .filter(|t| graph.contains_key(t))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    work.push(Frame::Resume(v, succs, 0));
+                }
+                Frame::Resume(v, succs, mut i) => {
+                    // Descend into the first unvisited child, resuming here
+                    // once it completes.
+                    let mut descended = false;
+                    while i < succs.len() {
+                        let w = succs[i];
+                        if state[&w].index.is_none() {
+                            work.push(Frame::Resume(v, succs.clone(), i + 1));
+                            work.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        }
+                        i += 1;
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // All children done: fold their lowlinks (the on-stack
+                    // lowlink variant of Tarjan — equivalent to the classic
+                    // index rule for back edges).
+                    for &w in &succs {
+                        if state[&w].on_stack {
+                            let low = state[&v].lowlink.min(state[&w].lowlink);
+                            state.get_mut(&v).unwrap().lowlink = low;
+                        }
+                    }
+                    if state[&v].lowlink == state[&v].index.unwrap() {
+                        let mut scc = BTreeSet::new();
+                        while let Some(w) = stack.pop() {
+                            state.get_mut(&w).unwrap().on_stack = false;
+                            scc.insert(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        let cyclic = scc.len() > 1
+                            || scc
+                                .iter()
+                                .any(|m| graph.get(m).is_some_and(|s| s.contains(m)));
+                        if cyclic {
+                            sccs.push(scc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Runs the well-foundedness pass over every concrete predicate.
+pub(crate) fn lint_well_foundedness(prog: &Prog) -> Vec<LintDiagnostic> {
+    let mut graph: BTreeMap<Symbol, BTreeSet<Symbol>> = BTreeMap::new();
+    for (name, pred) in &prog.preds {
+        let mut refs = BTreeSet::new();
+        for def in &pred.definitions {
+            refs.extend(referenced_preds(def));
+        }
+        graph.insert(*name, refs);
+    }
+
+    let mut diags = Vec::new();
+    for scc in recursive_sccs(&graph) {
+        // GL031: some disjunct of some member must leave the component.
+        let has_base = scc.iter().any(|m| {
+            prog.preds[m]
+                .definitions
+                .iter()
+                .any(|def| referenced_preds(def).is_disjoint(&scc))
+        });
+        let members: Vec<&str> = scc.iter().map(|s| s.as_str()).collect();
+        if !has_base {
+            let first = *members.iter().min().unwrap();
+            diags.push(LintDiagnostic::new(
+                "GL031",
+                Severity::Warning,
+                LintSpan::item(ItemKind::Pred, first),
+                format!(
+                    "recursive predicate cycle {{{}}} has no base-case disjunct; unfolding cannot terminate",
+                    members.join(", ")
+                ),
+            ));
+        }
+        // GL032: every recursive disjunct needs a guard — a core (resource)
+        // atom that shrinks the heap, or a pure condition that can prune the
+        // unfold.
+        for m in &scc {
+            let pred = &prog.preds[m];
+            for (i, def) in pred.definitions.iter().enumerate() {
+                if referenced_preds(def).is_disjoint(&scc) {
+                    continue;
+                }
+                let guarded = def
+                    .atoms()
+                    .iter()
+                    .any(|a| matches!(a, Asrt::Core { .. } | Asrt::Pure(_) | Asrt::Observation(_)));
+                if !guarded {
+                    diags.push(LintDiagnostic::new(
+                        "GL032",
+                        Severity::Warning,
+                        LintSpan::at(ItemKind::Pred, m.as_str(), i),
+                        format!(
+                            "disjunct {i} of recursive predicate `{m}` recurses with no resource atom or pure guard"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    // Deterministic order regardless of symbol interning.
+    diags.sort_by(|a, b| {
+        (a.span.item.as_str(), a.span.index, a.code).cmp(&(
+            b.span.item.as_str(),
+            b.span.index,
+            b.code,
+        ))
+    });
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillian_engine::asrt::Pred;
+    use gillian_solver::Expr;
+
+    fn pred_atom(name: &str, args: Vec<Expr>) -> Asrt {
+        Asrt::Pred {
+            name: Symbol::new(name),
+            args,
+        }
+    }
+
+    fn codes(prog: &Prog) -> Vec<&'static str> {
+        lint_well_foundedness(prog)
+            .into_iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn dll_seg_shape_is_clean() {
+        // Base case: all pure. Recursive case: resource + recursion.
+        let mut prog = Prog::new();
+        prog.add_pred(Pred::new(
+            "seg",
+            &["h", "t"],
+            1,
+            vec![
+                Asrt::Pure(Expr::eq(Expr::lvar("h"), Expr::lvar("t"))),
+                Asrt::Star(vec![
+                    Asrt::Core {
+                        name: Symbol::new("pt"),
+                        ins: vec![Expr::lvar("h")],
+                        outs: vec![Expr::lvar("n")],
+                    },
+                    pred_atom("seg", vec![Expr::lvar("n"), Expr::lvar("t")]),
+                ]),
+            ],
+        ));
+        assert!(codes(&prog).is_empty());
+    }
+
+    #[test]
+    fn no_base_case_is_gl031() {
+        let mut prog = Prog::new();
+        prog.add_pred(Pred::new(
+            "omega",
+            &["x"],
+            1,
+            vec![Asrt::Star(vec![
+                Asrt::Core {
+                    name: Symbol::new("pt"),
+                    ins: vec![Expr::lvar("x")],
+                    outs: vec![],
+                },
+                pred_atom("omega", vec![Expr::lvar("x")]),
+            ])],
+        ));
+        assert_eq!(codes(&prog), vec!["GL031"]);
+    }
+
+    #[test]
+    fn unguarded_recursion_is_gl032() {
+        let mut prog = Prog::new();
+        prog.add_pred(Pred::new(
+            "loopy",
+            &["x"],
+            1,
+            vec![Asrt::Emp, pred_atom("loopy", vec![Expr::lvar("x")])],
+        ));
+        assert_eq!(codes(&prog), vec!["GL032"]);
+    }
+
+    #[test]
+    fn mutual_recursion_without_escape_is_flagged_once() {
+        let mut prog = Prog::new();
+        prog.add_pred(Pred::new(
+            "a",
+            &["x"],
+            1,
+            vec![Asrt::Star(vec![
+                Asrt::Pure(Expr::lvar("x")),
+                pred_atom("b", vec![Expr::lvar("x")]),
+            ])],
+        ));
+        prog.add_pred(Pred::new(
+            "b",
+            &["x"],
+            1,
+            vec![Asrt::Star(vec![
+                Asrt::Pure(Expr::lvar("x")),
+                pred_atom("a", vec![Expr::lvar("x")]),
+            ])],
+        ));
+        let diags = lint_well_foundedness(&prog);
+        assert_eq!(
+            diags.iter().filter(|d| d.code == "GL031").count(),
+            1,
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn non_recursive_references_are_fine() {
+        let mut prog = Prog::new();
+        prog.add_pred(Pred::new(
+            "outer",
+            &["x"],
+            1,
+            vec![pred_atom("inner", vec![Expr::lvar("x")])],
+        ));
+        prog.add_pred(Pred::new(
+            "inner",
+            &["x"],
+            1,
+            vec![Asrt::Pure(Expr::lvar("x"))],
+        ));
+        assert!(codes(&prog).is_empty());
+    }
+}

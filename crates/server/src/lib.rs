@@ -24,7 +24,7 @@ pub mod json;
 pub mod protocol;
 pub mod server;
 
-pub use db::{chain_program, parse_mode, workload, ProgramDb, Workload, WORKLOADS};
+pub use db::{chain_program, mode_label, parse_mode, workload, ProgramDb, Workload, WORKLOADS};
 pub use depgraph::{DepKey, DepTracker};
 pub use fingerprint::{
     fingerprint_key, fingerprint_lemma, fingerprint_pred, fingerprint_proc, fingerprint_proc_sig,
@@ -32,4 +32,4 @@ pub use fingerprint::{
 };
 pub use json::{parse, JsonError, Value};
 pub use protocol::{parse_request, Envelope, Request};
-pub use server::{serve_stdio, serve_stdio_with, ServerCore};
+pub use server::{serve_stdio, serve_stdio_with, DispatchError, ServerCore};

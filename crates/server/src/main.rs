@@ -7,7 +7,9 @@
 //! gillian cache stats|clear|gc ...  # inspect / maintain the on-disk cache
 //! ```
 
-use gillian_server::{serve_stdio_with, ServerCore};
+use gillian_server::{
+    mode_label, parse_mode, serve_stdio_with, workload, ProgramDb, ServerCore, WORKLOADS,
+};
 use proof_cache::{resolve_cache_dir, CacheStore, DirStore};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixListener;
@@ -20,6 +22,7 @@ gillian — the hybrid verification daemon
 
 USAGE:
     gillian serve [--socket PATH] [--cache-dir PATH]
+    gillian lint [WORKLOAD ...] [--mode ts|fc] [--deny-warnings] [--json]
     gillian cache stats [--dir PATH]
     gillian cache clear [--dir PATH]
     gillian cache gc --max-bytes N [--dir PATH]
@@ -27,12 +30,19 @@ USAGE:
 COMMANDS:
     serve    Run the verification daemon. Requests are newline-delimited
              JSON objects ({\"cmd\":\"load\"|\"verify\"|\"update_spec\"|
-             \"update_fn\"|\"stats\"|\"shutdown\", ...}); one response line
-             per request. Default transport is stdin/stdout; --socket PATH
-             listens on a Unix domain socket instead. --cache-dir PATH (or
-             the GILLIAN_CACHE_DIR environment variable) attaches a
-             persistent proof cache: verified proofs survive restarts, and
-             a fresh daemon re-proves only what changed.
+             \"update_fn\"|\"lint\"|\"stats\"|\"shutdown\", ...}); one
+             response line per request. Default transport is stdin/stdout;
+             --socket PATH listens on a Unix domain socket instead.
+             --cache-dir PATH (or the GILLIAN_CACHE_DIR environment
+             variable) attaches a persistent proof cache: verified proofs
+             survive restarts, and a fresh daemon re-proves only what
+             changed.
+    lint     Run the static analyzer (control flow, def-use, symbol
+             resolution, predicate well-foundedness, precondition vacuity)
+             over the named workloads — all of them by default — without
+             any proof search. Exit 0 when nothing blocks, 1 when lint
+             errors (or, with --deny-warnings, any finding) are present.
+             --json emits one JSON object per workload.
     cache    Maintain the persistent proof cache. The directory is --dir
              PATH, else GILLIAN_CACHE_DIR, else target/gillian-cache.
              stats prints entry/byte counts and the last run's hit rate;
@@ -81,6 +91,7 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("lint") => lint_command(&args[1..]),
         Some("cache") => cache_command(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
@@ -92,6 +103,96 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("gillian: {msg}\n\n{USAGE}");
     std::process::exit(2);
+}
+
+/// `gillian lint` — the static-analysis gate over the in-repo workloads.
+/// Builds each selected workload (compilation + spec elaboration, no proof
+/// search) and reports the analyzer's findings; the exit code makes it a CI
+/// step.
+fn lint_command(args: &[String]) {
+    let mut names: Vec<String> = Vec::new();
+    let mut mode: Option<String> = None;
+    let mut deny_warnings = false;
+    let mut json = false;
+    let mut rest = args.iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--mode" => match rest.next() {
+                Some(m) => mode = Some(m.clone()),
+                None => die("--mode requires ts or fc"),
+            },
+            "--deny-warnings" => deny_warnings = true,
+            "--json" => json = true,
+            flag if flag.starts_with('-') => die(&format!("unknown argument `{flag}`")),
+            name => names.push(name.to_string()),
+        }
+    }
+    let mode = mode.map(|s| match parse_mode(&s) {
+        Some(m) => m,
+        None => die(&format!("unknown mode `{s}` (use \"ts\" or \"fc\")")),
+    });
+    let selected: Vec<&str> = if names.is_empty() {
+        WORKLOADS.iter().map(|w| w.name).collect()
+    } else {
+        names
+            .iter()
+            .map(|n| match workload(n) {
+                Some(w) => w.name,
+                None => die(&format!("unknown workload `{n}`")),
+            })
+            .collect()
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for name in selected {
+        let db = match ProgramDb::load(name, mode, Some(1), Some(1)) {
+            Ok(db) => db,
+            Err(e) => die(&e),
+        };
+        let report = db
+            .session
+            .lint_report()
+            .cloned()
+            .expect("sessions lint at build time");
+        let mode = mode_label(db.mode);
+        let e = report.errors().count();
+        let w = report.warnings().count();
+        errors += e;
+        warnings += w;
+        if json {
+            let diags: Vec<String> = report
+                .diagnostics
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{{\"code\":\"{}\",\"severity\":\"{}\",\"span\":{},\"message\":{}}}",
+                        d.code,
+                        d.severity.label(),
+                        driver::json_escape(&d.span.to_string()),
+                        driver::json_escape(&d.message),
+                    )
+                })
+                .collect();
+            println!(
+                "{{\"workload\":\"{name}\",\"mode\":\"{mode}\",\"errors\":{e},\"warnings\":{w},\"lints\":[{}]}}",
+                diags.join(",")
+            );
+        } else {
+            let verdict = if e + w == 0 {
+                "clean".to_string()
+            } else {
+                format!("{e} error(s), {w} warning(s)")
+            };
+            println!("{name} ({mode}): {verdict}");
+            for d in &report.diagnostics {
+                println!("  {d}");
+            }
+        }
+    }
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        std::process::exit(1);
+    }
 }
 
 /// `gillian cache stats|clear|gc` — maintenance of the on-disk proof cache.

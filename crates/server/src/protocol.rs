@@ -37,6 +37,9 @@ pub enum Request {
     UpdateFn {
         func: String,
     },
+    /// Runs the static analyzer over the loaded program and returns every
+    /// finding (no proof search).
+    Lint,
     Stats,
     Shutdown,
 }
@@ -112,10 +115,11 @@ fn decode(value: &Value) -> Result<Request, String> {
         "update_fn" => Ok(Request::UpdateFn {
             func: required_str(value, "fn")?,
         }),
+        "lint" => Ok(Request::Lint),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown cmd `{other}` (known: load, verify, update_spec, update_fn, stats, shutdown)"
+            "unknown cmd `{other}` (known: load, verify, update_spec, update_fn, lint, stats, shutdown)"
         )),
     }
 }
@@ -218,6 +222,13 @@ mod tests {
                 ensures: vec!["result@ == x@ + 1".to_string()],
             }
         );
+    }
+
+    #[test]
+    fn lint_decodes() {
+        let env = parse_request(r#"{"id":7,"cmd":"lint"}"#);
+        assert_eq!(env.id, Some(7));
+        assert_eq!(env.request.unwrap(), Request::Lint);
     }
 
     #[test]

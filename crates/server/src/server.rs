@@ -18,6 +18,7 @@ use crate::protocol::{parse_request, Request};
 use creusot_lite::{elaborate, parse_term};
 use driver::{CaseOutcome, SolverStats, Target, TargetKind};
 use gillian_engine::gil::DepKind;
+use gillian_lint::{LintDiagnostic, Severity};
 use gillian_rust::verifier::CaseReport;
 use gillian_solver::Symbol;
 use proof_cache::{
@@ -28,6 +29,25 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A failed request: the error message, plus the lint findings behind it
+/// when the failure came from the static-analysis gate (an edit rejected by
+/// `update_spec`/`update_fn`). Plain `String` errors convert losslessly, so
+/// every pre-existing `?` site keeps working.
+#[derive(Debug)]
+pub struct DispatchError {
+    pub message: String,
+    pub lints: Vec<LintDiagnostic>,
+}
+
+impl From<String> for DispatchError {
+    fn from(message: String) -> Self {
+        DispatchError {
+            message,
+            lints: Vec::new(),
+        }
+    }
+}
 
 /// One loaded workload plus its dependency tracker and the disk-cache
 /// counters accumulated over its lifetime (hits at hydration, misses and
@@ -99,7 +119,7 @@ impl ServerCore {
         self.requests_served += 1;
         let envelope = parse_request(line);
         let result = match envelope.request {
-            Err(e) => Err(e),
+            Err(e) => Err(DispatchError::from(e)),
             Ok(req) => self.dispatch(req),
         };
         let mut fields: Vec<(String, Value)> = Vec::new();
@@ -114,13 +134,16 @@ impl ServerCore {
             }
             Err(e) => {
                 fields.push(("ok".to_string(), Value::Bool(false)));
-                fields.push(("error".to_string(), Value::Str(e)));
+                fields.push(("error".to_string(), Value::Str(e.message)));
+                if !e.lints.is_empty() {
+                    fields.push(("lints".to_string(), lint_array(&e.lints)));
+                }
             }
         }
         Value::Object(fields).to_string()
     }
 
-    fn dispatch(&mut self, req: Request) -> Result<Vec<(String, Value)>, String> {
+    fn dispatch(&mut self, req: Request) -> Result<Vec<(String, Value)>, DispatchError> {
         match req {
             Request::Load {
                 workload,
@@ -135,6 +158,7 @@ impl ServerCore {
                 ensures,
             } => self.do_update_spec(&func, &requires, &ensures),
             Request::UpdateFn { func } => self.do_update_fn(&func),
+            Request::Lint => self.do_lint(),
             Request::Stats => Ok(self.do_stats()),
             Request::Shutdown => {
                 self.flush_all();
@@ -161,7 +185,7 @@ impl ServerCore {
         mode: Option<&str>,
         workers: Option<usize>,
         branch_parallelism: Option<usize>,
-    ) -> Result<Vec<(String, Value)>, String> {
+    ) -> Result<Vec<(String, Value)>, DispatchError> {
         let mode = match mode {
             None => None,
             Some(s) => Some(
@@ -218,6 +242,20 @@ impl ServerCore {
                 Value::Bool(loaded.db.session.verifier().engine.solver.smt_available()),
             ),
             ("hydrated".to_string(), string_array(&hydrated)),
+            // Automatic linting on load: the findings of the build-time
+            // analysis ride along (shipped workloads are clean, so this is
+            // `[]` unless someone adds a defective workload).
+            (
+                "lints".to_string(),
+                lint_array(
+                    loaded
+                        .db
+                        .session
+                        .lint_report()
+                        .map(|r| r.diagnostics.as_slice())
+                        .unwrap_or(&[]),
+                ),
+            ),
         ])
     }
 
@@ -225,7 +263,7 @@ impl ServerCore {
         &mut self,
         targets: Option<Vec<String>>,
         force: bool,
-    ) -> Result<Vec<(String, Value)>, String> {
+    ) -> Result<Vec<(String, Value)>, DispatchError> {
         let store = self.store.clone();
         let loaded = self.loaded()?;
         let all: Vec<Target> = loaded.db.session.targets().to_vec();
@@ -310,7 +348,7 @@ impl ServerCore {
         func: &str,
         requires: &[String],
         ensures: &[String],
-    ) -> Result<Vec<(String, Value)>, String> {
+    ) -> Result<Vec<(String, Value)>, DispatchError> {
         let loaded = self.loaded()?;
 
         let parse_clauses = |clauses: &[String], what: &str| {
@@ -339,6 +377,34 @@ impl ServerCore {
         // Re-elaborate against the retained side context: own-predicates are
         // created on demand there, so they may need syncing into the engine.
         let spec = loaded.db.side_ctx.fn_spec(&fndef, req_exprs, ens_exprs);
+
+        // Lint the candidate spec on a scratch copy of the engine program
+        // *before* any retained state changes: a rejected edit must leave
+        // the warm session — engine program, spec tables, dependency cone —
+        // exactly as it was. Lint errors (unknown predicate, unsatisfiable
+        // precondition, …) reject the edit with the findings on the wire;
+        // warnings ride along on the success response.
+        let lint_findings = {
+            let mut candidate = loaded.db.session.verifier().engine.prog.clone();
+            for (name, pred) in &loaded.db.side_ctx.prog.preds {
+                if !candidate.preds.contains_key(name) {
+                    candidate.add_pred(pred.clone());
+                }
+            }
+            candidate.add_spec(spec.clone());
+            gillian_lint::lint_spec(&candidate, func, &loaded.db.session.lint_options())
+        };
+        if lint_findings.iter().any(|d| d.severity == Severity::Error) {
+            let first = lint_findings
+                .iter()
+                .find(|d| d.severity == Severity::Error)
+                .expect("an error exists");
+            return Err(DispatchError {
+                message: format!("update_spec rejected by lint: {first}"),
+                lints: lint_findings,
+            });
+        }
+
         loaded.db.side_ctx.add_spec(spec.clone());
 
         let arena = loaded.db.session.verifier().engine.solver.arena().clone();
@@ -383,15 +449,23 @@ impl ServerCore {
             );
         }
 
+        if changed {
+            // Keep the session's carried lint report in sync with the
+            // mutated program, so `lint` requests and future reports never
+            // describe a stale spec table.
+            loaded.db.session.relint();
+        }
+
         let dirtied: Vec<String> = dirtied.into_iter().collect();
         Ok(vec![
             ("fn".to_string(), Value::Str(func.to_string())),
             ("changed".to_string(), Value::Bool(changed)),
             ("dirtied".to_string(), string_array(&dirtied)),
+            ("lints".to_string(), lint_array(&lint_findings)),
         ])
     }
 
-    fn do_update_fn(&mut self, func: &str) -> Result<Vec<(String, Value)>, String> {
+    fn do_update_fn(&mut self, func: &str) -> Result<Vec<(String, Value)>, DispatchError> {
         let loaded = self.loaded()?;
         let sym = Symbol::new(func);
         if !loaded
@@ -403,7 +477,25 @@ impl ServerCore {
             .procs
             .contains_key(&sym)
         {
-            return Err(format!("unknown function `{func}`"));
+            return Err(format!("unknown function `{func}`").into());
+        }
+        // Automatic linting on the touched procedure: errors reject the
+        // invalidation (a malformed body can only waste re-proof work),
+        // warnings are attached to the response.
+        let lint_findings = gillian_lint::lint_proc(
+            &loaded.db.session.verifier().engine.prog,
+            func,
+            &loaded.db.session.lint_options(),
+        );
+        if lint_findings.iter().any(|d| d.severity == Severity::Error) {
+            let first = lint_findings
+                .iter()
+                .find(|d| d.severity == Severity::Error)
+                .expect("an error exists");
+            return Err(DispatchError {
+                message: format!("update_fn rejected by lint: {first}"),
+                lints: lint_findings,
+            });
         }
         // The body itself cannot be edited over the wire (programs are
         // compiled in), so an `update_fn` conservatively invalidates every
@@ -414,6 +506,34 @@ impl ServerCore {
         Ok(vec![
             ("fn".to_string(), Value::Str(func.to_string())),
             ("dirtied".to_string(), string_array(&dirtied)),
+            ("lints".to_string(), lint_array(&lint_findings)),
+        ])
+    }
+
+    /// `lint` — runs the full static analysis over the loaded program and
+    /// returns every finding, without touching the dependency tracker or
+    /// starting any proof search.
+    fn do_lint(&mut self) -> Result<Vec<(String, Value)>, DispatchError> {
+        let loaded = self.loaded()?;
+        let report = gillian_lint::lint_prog(
+            &loaded.db.session.verifier().engine.prog,
+            &loaded.db.session.lint_options(),
+        );
+        Ok(vec![
+            ("lints".to_string(), lint_array(&report.diagnostics)),
+            (
+                "errors".to_string(),
+                Value::Int(report.errors().count() as i64),
+            ),
+            (
+                "warnings".to_string(),
+                Value::Int(report.warnings().count() as i64),
+            ),
+            ("clean".to_string(), Value::Bool(report.is_clean())),
+            (
+                "vacuity_seconds".to_string(),
+                Value::Float(report.vacuity_time.as_secs_f64()),
+            ),
         ])
     }
 
@@ -680,6 +800,24 @@ fn stats_value(s: SolverStats) -> Value {
     ])
 }
 
+/// One lint diagnostic as a wire object: stable code, severity, span text
+/// and message.
+fn lint_value(d: &LintDiagnostic) -> Value {
+    Value::Object(vec![
+        ("code".to_string(), Value::Str(d.code.to_string())),
+        (
+            "severity".to_string(),
+            Value::Str(d.severity.label().to_string()),
+        ),
+        ("span".to_string(), Value::Str(d.span.to_string())),
+        ("message".to_string(), Value::Str(d.message.clone())),
+    ])
+}
+
+fn lint_array(diags: &[LintDiagnostic]) -> Value {
+    Value::Array(diags.iter().map(lint_value).collect())
+}
+
 fn string_array(names: &[String]) -> Value {
     Value::Array(names.iter().map(|n| Value::Str(n.clone())).collect())
 }
@@ -852,6 +990,92 @@ mod tests {
         let v = ok(&core.handle_line(r#"{"id":3,"cmd":"shutdown"}"#));
         assert_eq!(v.get("bye").and_then(Value::as_bool), Some(true));
         assert!(core.is_shutting_down());
+    }
+
+    #[test]
+    fn update_spec_with_unsat_pre_is_rejected_and_dirties_nothing() {
+        let mut core = ServerCore::new();
+        ok(&core.handle_line(
+            r#"{"id":1,"cmd":"load","workload":"chain","workers":1,"branch_parallelism":1}"#,
+        ));
+        ok(&core.handle_line(r#"{"id":2,"cmd":"verify"}"#));
+
+        // `x@ < 5` and `5 < x@` cannot both hold: the vacuity pass refutes
+        // the precondition and the edit is rejected with the finding on the
+        // wire, before any retained state is touched.
+        let resp = core.handle_line(
+            r#"{"id":3,"cmd":"update_spec","fn":"inc","requires":["x@ < 5","5 < x@"],"ensures":["result@ == x@ + 1"]}"#,
+        );
+        let v = parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{resp}");
+        assert!(v
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("GL041"));
+        let lints = v.get("lints").and_then(Value::as_array).unwrap();
+        assert!(lints
+            .iter()
+            .any(|l| l.get("code").and_then(Value::as_str) == Some("GL041")));
+
+        // The rejected edit did NOT dirty the dependency cone: the next
+        // verify answers everything from the warm outcome cache.
+        let v = ok(&core.handle_line(r#"{"id":4,"cmd":"verify"}"#));
+        assert_eq!(v.get("all_verified").and_then(Value::as_bool), Some(true));
+        assert!(names(&v, "reverified").is_empty(), "{resp}");
+        assert_eq!(names(&v, "cached"), vec!["base", "inc", "inc2"]);
+    }
+
+    #[test]
+    fn warn_only_update_spec_passes_with_lints_on_the_wire() {
+        let mut core = ServerCore::new();
+        ok(&core.handle_line(
+            r#"{"id":1,"cmd":"load","workload":"chain","workers":1,"branch_parallelism":1}"#,
+        ));
+        ok(&core.handle_line(r#"{"id":2,"cmd":"verify"}"#));
+
+        // `y@` names no parameter: `#y_repr` appears exactly once in the
+        // precondition — an orphaned logical variable, a warning (GL028),
+        // not an error. The edit goes through, findings attached. Editing
+        // `inc2` (the top of the call chain — no caller consumes its spec)
+        // keeps every proof green: its own proof merely *assumes* the
+        // orphaned pure.
+        let v = ok(&core.handle_line(
+            r#"{"id":3,"cmd":"update_spec","fn":"inc2","requires":["x@ < 900","y@ < 5"],"ensures":["result@ == x@ + 2"]}"#,
+        ));
+        assert_eq!(v.get("changed").and_then(Value::as_bool), Some(true));
+        assert_eq!(names(&v, "dirtied"), vec!["inc2"]);
+        let lints = v.get("lints").and_then(Value::as_array).unwrap();
+        assert!(
+            lints
+                .iter()
+                .any(|l| l.get("code").and_then(Value::as_str) == Some("GL028")),
+            "{lints:?}"
+        );
+
+        // And the weakened-but-satisfiable contract still verifies.
+        let v = ok(&core.handle_line(r#"{"id":4,"cmd":"verify"}"#));
+        assert_eq!(v.get("all_verified").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn lint_request_reports_a_clean_loaded_workload() {
+        let mut core = ServerCore::new();
+        let v = parse(&core.handle_line(r#"{"id":1,"cmd":"lint"}"#)).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+
+        ok(&core.handle_line(
+            r#"{"id":2,"cmd":"load","workload":"chain","workers":1,"branch_parallelism":1}"#,
+        ));
+        let v = ok(&core.handle_line(r#"{"id":3,"cmd":"lint"}"#));
+        assert_eq!(v.get("clean").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("errors").and_then(Value::as_i64), Some(0));
+        assert_eq!(v.get("warnings").and_then(Value::as_i64), Some(0));
+        assert!(v.get("lints").and_then(Value::as_array).unwrap().is_empty());
+
+        // `load` responses carry the build-time findings too (empty here).
+        let v = ok(&core.handle_line(r#"{"id":4,"cmd":"load","workload":"chain"}"#));
+        assert!(v.get("lints").and_then(Value::as_array).unwrap().is_empty());
     }
 
     fn delta_i64(v: &Value, field: &str) -> i64 {

@@ -8,6 +8,10 @@
 #   * an `update_spec` on `inc` dirties exactly its dependency cone
 #     (`inc` itself plus its spec-caller `inc2` — never `base`),
 #   * the daemon answers `stats` and exits cleanly on `shutdown`,
+#   * lint leg: an `update_spec` with an unsatisfiable precondition is
+#     rejected with the GL041 finding on the wire and dirties NOTHING, a
+#     warn-only edit is accepted with its findings attached, and a `lint`
+#     request reports the program's findings without proof search,
 #   * restart leg: a NEW daemon process over the same --cache-dir hydrates
 #     every target from disk and its first `verify` re-proves nothing.
 #
@@ -63,6 +67,47 @@ line 5 | grep -q '"cached":\["base"\]' || fail "base stays cached across the edi
 line 5 | grep -q '"all_verified":true' || fail "the loosened contract still proves"
 line 6 | grep -q '"requests_served":6' || fail "stats counts requests"
 line 7 | grep -q '"bye":true' || fail "shutdown acknowledged"
+
+# ---- Lint leg: the static analyzer gates edits on the wire. -----------------
+# An unsatisfiable precondition (`x@ < 5` and `5 < x@`) is a lint error: the
+# edit is rejected with the GL041 finding attached and the dependency cone is
+# untouched — the follow-up verify answers everything warm. A warn-only edit
+# (an orphaned logical variable in inc2's precondition, GL028) goes through
+# with its findings on the wire.
+
+LINT_OUT="$(printf '%s\n' \
+    '{"id":1,"cmd":"load","workload":"chain","workers":1,"branch_parallelism":1}' \
+    '{"id":2,"cmd":"verify"}' \
+    '{"id":3,"cmd":"update_spec","fn":"inc","requires":["x@ < 5","5 < x@"],"ensures":["result@ == x@ + 1"]}' \
+    '{"id":4,"cmd":"verify"}' \
+    '{"id":5,"cmd":"update_spec","fn":"inc2","requires":["x@ < 900","y@ < 5"],"ensures":["result@ == x@ + 2"]}' \
+    '{"id":6,"cmd":"lint"}' \
+    '{"id":7,"cmd":"shutdown"}' \
+    | "$BIN" serve)"
+
+echo "$LINT_OUT"
+lline() { sed -n "${1}p" <<<"$LINT_OUT"; }
+
+lline 1 | grep -q '"lints":\[\]' || fail "lint leg: load reports a clean workload"
+lline 3 | grep -q '"ok":false' || fail "lint leg: unsat-pre edit must be rejected"
+lline 3 | grep -q '"code":"GL041"' \
+    || fail "lint leg: rejection carries the GL041 finding"
+lline 4 | grep -q '"reverified":\[\]' \
+    || fail "lint leg: rejected edit must not dirty the dependency cone"
+lline 4 | grep -q '"all_verified":true' \
+    || fail "lint leg: session stays green after a rejected edit"
+lline 5 | grep -q '"ok":true' || fail "lint leg: warn-only edit must be accepted"
+lline 5 | grep -q '"code":"GL028"' \
+    || fail "lint leg: warn-only edit carries its findings"
+lline 6 | grep -q '"errors":0' || fail "lint leg: lint request reports no errors"
+lline 6 | grep -q '"code":"GL028"' \
+    || fail "lint leg: lint request sees the orphaned variable"
+lline 7 | grep -q '"bye":true' || fail "lint leg: shutdown acknowledged"
+
+# The CLI gate over the shipped workloads stays spotless (exit 1 on any
+# finding, including warnings).
+"$BIN" lint --deny-warnings >/dev/null \
+    || fail "lint leg: gillian lint found something in a shipped workload"
 
 # ---- Restart leg: proofs survive the death of the daemon. -------------------
 # Two full daemon lifetimes over one cache directory: the first proves cold
