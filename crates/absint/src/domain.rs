@@ -1,0 +1,633 @@
+//! The abstract value domain: a reduced product of value class, integer
+//! interval, constancy and constructor shape.
+//!
+//! GIL is untyped, so the lattice first tracks which value *class* a
+//! variable must inhabit (integer, boolean, unit, a datatype constructor)
+//! and then the class-specific refinement: an interval for integers
+//! (constancy is the singleton case), three-valued truth for booleans, the
+//! constructor tag plus abstract fields for ADT values (nullness is exactly
+//! the `None`/`Some` tag). Anything else — sequences, locations, symbolic
+//! variables — is `Top`.
+
+use gillian_solver::{Expr, Symbol};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A (possibly unbounded) integer interval. `None` bounds are −∞/+∞. The
+/// empty interval is never represented — operations that would produce it
+/// return `None` at the call site (bottom propagates as state
+/// unreachability, not as a value).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    pub lo: Option<i128>,
+    pub hi: Option<i128>,
+}
+
+// The arithmetic methods intentionally shadow the `std::ops` names: they
+// take `self` by value like the traits but return widened abstractions, so
+// implementing the traits themselves would be misleading.
+#[allow(clippy::should_implement_trait)]
+impl Interval {
+    pub const TOP: Interval = Interval { lo: None, hi: None };
+
+    pub fn constant(c: i128) -> Interval {
+        Interval {
+            lo: Some(c),
+            hi: Some(c),
+        }
+    }
+
+    pub fn bounded(lo: i128, hi: i128) -> Interval {
+        Interval {
+            lo: Some(lo),
+            hi: Some(hi),
+        }
+    }
+
+    /// The exact value, if the interval is a singleton.
+    pub fn as_const(self) -> Option<i128> {
+        match (self.lo, self.hi) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: match (self.lo, other.lo) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                _ => None,
+            },
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Standard interval widening: a bound that grew since `self` jumps to
+    /// infinity, so ascending chains stabilise.
+    pub fn widen(self, next: Interval) -> Interval {
+        Interval {
+            lo: match (self.lo, next.lo) {
+                (Some(a), Some(b)) if b >= a => Some(a),
+                _ => None,
+            },
+            hi: match (self.hi, next.hi) {
+                (Some(a), Some(b)) if b <= a => Some(a),
+                _ => None,
+            },
+        }
+    }
+
+    /// Intersection; `None` when empty.
+    pub fn meet(self, other: Interval) -> Option<Interval> {
+        let lo = match (self.lo, other.lo) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        let hi = match (self.hi, other.hi) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if let (Some(a), Some(b)) = (lo, hi) {
+            if a > b {
+                return None;
+            }
+        }
+        Some(Interval { lo, hi })
+    }
+
+    pub fn neg(self) -> Interval {
+        Interval {
+            lo: self.hi.and_then(|h| h.checked_neg()),
+            hi: self.lo.and_then(|l| l.checked_neg()),
+        }
+    }
+
+    pub fn add(self, other: Interval) -> Interval {
+        let bound =
+            |a: Option<i128>, b: Option<i128>| a.and_then(|a| b.and_then(|b| a.checked_add(b)));
+        Interval {
+            lo: bound(self.lo, other.lo),
+            hi: bound(self.hi, other.hi),
+        }
+    }
+
+    pub fn sub(self, other: Interval) -> Interval {
+        let bound =
+            |a: Option<i128>, b: Option<i128>| a.and_then(|a| b.and_then(|b| a.checked_sub(b)));
+        Interval {
+            lo: bound(self.lo, other.hi),
+            hi: bound(self.hi, other.lo),
+        }
+    }
+
+    pub fn mul(self, other: Interval) -> Interval {
+        let (Some(al), Some(ah), Some(bl), Some(bh)) = (self.lo, self.hi, other.lo, other.hi)
+        else {
+            return Interval::TOP;
+        };
+        let mut lo: Option<i128> = None;
+        let mut hi: Option<i128> = None;
+        let mut overflow = false;
+        for p in [
+            al.checked_mul(bl),
+            al.checked_mul(bh),
+            ah.checked_mul(bl),
+            ah.checked_mul(bh),
+        ] {
+            match p {
+                Some(v) => {
+                    lo = Some(lo.map_or(v, |l: i128| l.min(v)));
+                    hi = Some(hi.map_or(v, |h: i128| h.max(v)));
+                }
+                None => overflow = true,
+            }
+        }
+        if overflow {
+            Interval::TOP
+        } else {
+            Interval { lo, hi }
+        }
+    }
+
+    /// Truncating division; sound only when the divisor interval excludes
+    /// zero, otherwise `TOP` (the division-by-zero case is a lint, not a
+    /// value).
+    pub fn div(self, other: Interval) -> Interval {
+        let (Some(al), Some(ah), Some(bl), Some(bh)) = (self.lo, self.hi, other.lo, other.hi)
+        else {
+            return Interval::TOP;
+        };
+        if bl <= 0 && bh >= 0 {
+            return Interval::TOP;
+        }
+        let mut lo: Option<i128> = None;
+        let mut hi: Option<i128> = None;
+        for q in [
+            al.checked_div(bl),
+            al.checked_div(bh),
+            ah.checked_div(bl),
+            ah.checked_div(bh),
+        ] {
+            let Some(v) = q else { return Interval::TOP };
+            lo = Some(lo.map_or(v, |l: i128| l.min(v)));
+            hi = Some(hi.map_or(v, |h: i128| h.max(v)));
+        }
+        Interval { lo, hi }
+    }
+
+    /// Remainder: bounded by the divisor's magnitude, sign follows the
+    /// dividend (Rust semantics).
+    pub fn rem(self, other: Interval) -> Interval {
+        let (Some(bl), Some(bh)) = (other.lo, other.hi) else {
+            return Interval::TOP;
+        };
+        if bl <= 0 && bh >= 0 {
+            return Interval::TOP;
+        }
+        let mag = bl.unsigned_abs().max(bh.unsigned_abs());
+        if mag > i128::MAX as u128 {
+            return Interval::TOP;
+        }
+        let m = mag as i128 - 1;
+        let lo = if matches!(self.lo, Some(l) if l >= 0) {
+            0
+        } else {
+            -m
+        };
+        Interval::bounded(lo, m)
+    }
+
+    /// Three-valued `self < other`.
+    pub fn lt(self, other: Interval) -> Option<bool> {
+        if let (Some(ah), Some(bl)) = (self.hi, other.lo) {
+            if ah < bl {
+                return Some(true);
+            }
+        }
+        if let (Some(al), Some(bh)) = (self.lo, other.hi) {
+            if al >= bh {
+                return Some(false);
+            }
+        }
+        None
+    }
+
+    /// Three-valued `self <= other`.
+    pub fn le(self, other: Interval) -> Option<bool> {
+        if let (Some(ah), Some(bl)) = (self.hi, other.lo) {
+            if ah <= bl {
+                return Some(true);
+            }
+        }
+        if let (Some(al), Some(bh)) = (self.lo, other.hi) {
+            if al > bh {
+                return Some(false);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.lo, self.hi) {
+            (Some(a), Some(b)) if a == b => write!(f, "{a}"),
+            (lo, hi) => {
+                write!(f, "[")?;
+                match lo {
+                    Some(a) => write!(f, "{a}")?,
+                    None => write!(f, "-inf")?,
+                }
+                write!(f, ", ")?;
+                match hi {
+                    Some(b) => write!(f, "{b}")?,
+                    None => write!(f, "+inf")?,
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// Maximum constructor nesting tracked before widening to `Top` (bounds the
+/// lattice height for values built up around loops, e.g. `x := Some(x)`).
+const MAX_CTOR_DEPTH: usize = 4;
+
+/// An abstract value. See the module documentation for the lattice reading.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbsVal {
+    /// No information.
+    Top,
+    /// An integer in the interval.
+    Int(Interval),
+    /// A boolean; `None` means unknown truth.
+    Bool(Option<bool>),
+    /// The unit value.
+    Unit,
+    /// A datatype value carrying this constructor tag, with abstract fields.
+    Ctor(Symbol, Vec<AbsVal>),
+}
+
+impl AbsVal {
+    pub fn constant_int(c: i128) -> AbsVal {
+        AbsVal::Int(Interval::constant(c))
+    }
+
+    /// The interval view, if this is (known to be) an integer.
+    pub fn interval(&self) -> Option<Interval> {
+        match self {
+            AbsVal::Int(iv) => Some(*iv),
+            _ => None,
+        }
+    }
+
+    /// Three-valued truth, if this is (known to be) a boolean.
+    pub fn truth(&self) -> Option<bool> {
+        match self {
+            AbsVal::Bool(b) => *b,
+            _ => None,
+        }
+    }
+
+    /// The exact literal expression, if the value is a known constant.
+    pub fn as_const(&self) -> Option<Expr> {
+        match self {
+            AbsVal::Int(iv) => iv.as_const().map(Expr::Int),
+            AbsVal::Bool(Some(b)) => Some(Expr::Bool(*b)),
+            AbsVal::Unit => Some(Expr::Unit),
+            AbsVal::Ctor(tag, fields) => {
+                let consts: Option<Vec<Expr>> = fields.iter().map(|f| f.as_const()).collect();
+                consts.map(|args| Expr::Ctor(*tag, args))
+            }
+            _ => None,
+        }
+    }
+
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Int(a), AbsVal::Int(b)) => AbsVal::Int(a.join(*b)),
+            (AbsVal::Bool(a), AbsVal::Bool(b)) => AbsVal::Bool(if a == b { *a } else { None }),
+            (AbsVal::Unit, AbsVal::Unit) => AbsVal::Unit,
+            (AbsVal::Ctor(t, fs), AbsVal::Ctor(u, gs)) if t == u && fs.len() == gs.len() => {
+                AbsVal::Ctor(*t, fs.iter().zip(gs).map(|(a, b)| a.join(b)).collect())
+            }
+            _ => AbsVal::Top,
+        }
+    }
+
+    pub fn widen(&self, next: &AbsVal) -> AbsVal {
+        self.widen_depth(next, MAX_CTOR_DEPTH)
+    }
+
+    fn widen_depth(&self, next: &AbsVal, depth: usize) -> AbsVal {
+        match (self, next) {
+            (AbsVal::Int(a), AbsVal::Int(b)) => AbsVal::Int(a.widen(*b)),
+            (AbsVal::Ctor(t, fs), AbsVal::Ctor(u, gs)) if t == u && fs.len() == gs.len() => {
+                if depth == 0 {
+                    if self == next {
+                        self.clone()
+                    } else {
+                        AbsVal::Top
+                    }
+                } else {
+                    AbsVal::Ctor(
+                        *t,
+                        fs.iter()
+                            .zip(gs)
+                            .map(|(a, b)| a.widen_depth(b, depth - 1))
+                            .collect(),
+                    )
+                }
+            }
+            // The remaining classes form finite lattices: join suffices.
+            _ => self.join(next),
+        }
+    }
+
+    /// Intersection of the denoted value sets; `None` when provably empty
+    /// (the refining condition is infeasible).
+    pub fn meet(&self, other: &AbsVal) -> Option<AbsVal> {
+        match (self, other) {
+            (AbsVal::Top, v) | (v, AbsVal::Top) => Some(v.clone()),
+            (AbsVal::Int(a), AbsVal::Int(b)) => a.meet(*b).map(AbsVal::Int),
+            (AbsVal::Bool(None), v @ AbsVal::Bool(_))
+            | (v @ AbsVal::Bool(_), AbsVal::Bool(None)) => Some(v.clone()),
+            (AbsVal::Bool(Some(a)), AbsVal::Bool(Some(b))) => {
+                (a == b).then_some(AbsVal::Bool(Some(*a)))
+            }
+            (AbsVal::Unit, AbsVal::Unit) => Some(AbsVal::Unit),
+            (AbsVal::Ctor(t, fs), AbsVal::Ctor(u, gs)) if t == u && fs.len() == gs.len() => {
+                let fields: Option<Vec<AbsVal>> =
+                    fs.iter().zip(gs).map(|(a, b)| a.meet(b)).collect();
+                fields.map(|fields| AbsVal::Ctor(*t, fields))
+            }
+            // Distinct constructors or distinct value classes denote
+            // disjoint sets.
+            _ => None,
+        }
+    }
+
+    /// Three-valued equality of two abstract values.
+    pub fn decide_eq(&self, other: &AbsVal) -> Option<bool> {
+        match (self, other) {
+            (AbsVal::Int(a), AbsVal::Int(b)) => match (a.as_const(), b.as_const()) {
+                (Some(x), Some(y)) => Some(x == y),
+                _ => {
+                    if a.meet(*b).is_none() {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                }
+            },
+            (AbsVal::Bool(Some(a)), AbsVal::Bool(Some(b))) => Some(a == b),
+            (AbsVal::Unit, AbsVal::Unit) => Some(true),
+            (AbsVal::Ctor(t, fs), AbsVal::Ctor(u, gs)) => {
+                if t != u {
+                    return Some(false);
+                }
+                if fs.len() != gs.len() {
+                    return None;
+                }
+                let mut all_true = true;
+                for (a, b) in fs.iter().zip(gs) {
+                    match a.decide_eq(b) {
+                        Some(false) => return Some(false),
+                        Some(true) => {}
+                        None => all_true = false,
+                    }
+                }
+                if all_true {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AbsVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsVal::Top => write!(f, "T"),
+            AbsVal::Int(iv) => write!(f, "{iv}"),
+            AbsVal::Bool(None) => write!(f, "bool"),
+            AbsVal::Bool(Some(b)) => write!(f, "{b}"),
+            AbsVal::Unit => write!(f, "()"),
+            AbsVal::Ctor(tag, fields) => {
+                write!(f, "{tag}")?;
+                if !fields.is_empty() {
+                    write!(f, "(")?;
+                    for (i, v) in fields.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{v}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// An abstract store: one [`AbsVal`] per program variable. Variables absent
+/// from the map are `Top`, so the map only ever holds useful facts.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct AbsState {
+    vars: BTreeMap<Symbol, AbsVal>,
+}
+
+impl AbsState {
+    pub fn new() -> AbsState {
+        AbsState::default()
+    }
+
+    pub fn get(&self, x: Symbol) -> AbsVal {
+        self.vars.get(&x).cloned().unwrap_or(AbsVal::Top)
+    }
+
+    pub fn set(&mut self, x: Symbol, v: AbsVal) {
+        if v == AbsVal::Top {
+            self.vars.remove(&x);
+        } else {
+            self.vars.insert(x, v);
+        }
+    }
+
+    /// Refines `x` by intersection; `None` when the refinement is
+    /// infeasible.
+    pub fn meet_var(mut self, x: Symbol, v: &AbsVal) -> Option<AbsState> {
+        let cur = self.get(x);
+        let met = cur.meet(v)?;
+        self.set(x, met);
+        Some(self)
+    }
+
+    pub fn join(&self, other: &AbsState) -> AbsState {
+        let mut out = AbsState::new();
+        for (x, v) in &self.vars {
+            if let Some(w) = other.vars.get(x) {
+                out.set(*x, v.join(w));
+            }
+            // Absent in `other` means Top there; the join is Top (absent).
+        }
+        out
+    }
+
+    pub fn widen(&self, next: &AbsState) -> AbsState {
+        let mut out = AbsState::new();
+        for (x, v) in &self.vars {
+            if let Some(w) = next.vars.get(x) {
+                out.set(*x, v.widen(w));
+            }
+        }
+        out
+    }
+
+    /// Deterministic iteration in variable-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Symbol, &AbsVal)> {
+        self.vars.iter()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Canonical one-line rendering (name order), used for fingerprints and
+    /// the `gillian analyze` dump.
+    pub fn render(&self) -> String {
+        let mut entries: Vec<(&str, &AbsVal)> =
+            self.vars.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        let parts: Vec<String> = entries
+            .into_iter()
+            .map(|(k, v)| match v {
+                AbsVal::Int(iv) if iv.as_const().is_none() => format!("{k} in {iv}"),
+                _ => format!("{k} = {v}"),
+            })
+            .collect();
+        parts.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_arithmetic_and_comparisons() {
+        let a = Interval::bounded(0, 10);
+        let b = Interval::bounded(5, 7);
+        assert_eq!(a.add(b), Interval::bounded(5, 17));
+        assert_eq!(a.sub(b), Interval::bounded(-7, 5));
+        assert_eq!(a.mul(b), Interval::bounded(0, 70));
+        assert_eq!(
+            Interval::bounded(10, 20).div(Interval::constant(5)),
+            Interval::bounded(2, 4)
+        );
+        assert_eq!(a.rem(Interval::constant(4)), Interval::bounded(0, 3));
+        assert_eq!(
+            Interval::bounded(0, 4).lt(Interval::bounded(5, 9)),
+            Some(true)
+        );
+        assert_eq!(
+            Interval::bounded(5, 9).lt(Interval::bounded(0, 5)),
+            Some(false)
+        );
+        assert_eq!(a.lt(b), None);
+        assert_eq!(
+            Interval::bounded(0, 5).le(Interval::bounded(5, 9)),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_spanning_interval_is_top() {
+        assert_eq!(
+            Interval::bounded(1, 2).div(Interval::bounded(-1, 1)),
+            Interval::TOP
+        );
+        assert_eq!(
+            Interval::bounded(1, 2).rem(Interval::constant(0)),
+            Interval::TOP
+        );
+    }
+
+    #[test]
+    fn widening_jumps_growing_bounds_to_infinity() {
+        let prev = Interval::bounded(0, 10);
+        let grown = prev.join(Interval::bounded(0, 20));
+        let w = prev.widen(grown);
+        assert_eq!(
+            w,
+            Interval {
+                lo: Some(0),
+                hi: None
+            }
+        );
+        // Stable bounds stay.
+        assert_eq!(prev.widen(prev), prev);
+    }
+
+    #[test]
+    fn value_join_meet_and_equality() {
+        let some3 = AbsVal::Ctor(Symbol::new("Some"), vec![AbsVal::constant_int(3)]);
+        let none = AbsVal::Ctor(Symbol::new("None"), vec![]);
+        assert_eq!(some3.decide_eq(&none), Some(false));
+        assert_eq!(some3.join(&none), AbsVal::Top);
+        assert!(some3.meet(&none).is_none());
+        assert_eq!(some3.decide_eq(&some3.clone()), Some(true));
+        assert_eq!(
+            AbsVal::constant_int(3).meet(&AbsVal::Int(Interval::bounded(0, 5))),
+            Some(AbsVal::constant_int(3))
+        );
+        assert!(AbsVal::constant_int(9)
+            .meet(&AbsVal::Int(Interval::bounded(0, 5)))
+            .is_none());
+        assert_eq!(
+            AbsVal::Bool(Some(true)).meet(&AbsVal::Bool(None)),
+            Some(AbsVal::Bool(Some(true)))
+        );
+    }
+
+    #[test]
+    fn ctor_widening_caps_nesting_depth() {
+        // x := Some(x) around a loop grows a Some-chain; widening must stop it.
+        let mut v = AbsVal::Unit;
+        for _ in 0..MAX_CTOR_DEPTH + 2 {
+            v = AbsVal::Ctor(Symbol::new("Some"), vec![v]);
+        }
+        let deeper = AbsVal::Ctor(Symbol::new("Some"), vec![v.clone()]);
+        let w = v.widen(&deeper);
+        // The result is finite and no deeper than the cap allows.
+        fn depth(v: &AbsVal) -> usize {
+            match v {
+                AbsVal::Ctor(_, fs) => 1 + fs.iter().map(depth).max().unwrap_or(0),
+                _ => 0,
+            }
+        }
+        assert!(depth(&w) <= MAX_CTOR_DEPTH + 1, "depth {}", depth(&w));
+    }
+
+    #[test]
+    fn state_join_keeps_only_agreeing_facts() {
+        let x = Symbol::new("x");
+        let y = Symbol::new("y");
+        let mut a = AbsState::new();
+        a.set(x, AbsVal::constant_int(1));
+        a.set(y, AbsVal::Bool(Some(true)));
+        let mut b = AbsState::new();
+        b.set(x, AbsVal::constant_int(4));
+        let j = a.join(&b);
+        assert_eq!(j.get(x), AbsVal::Int(Interval::bounded(1, 4)));
+        assert_eq!(j.get(y), AbsVal::Top);
+        assert_eq!(j.render(), "x in [1, 4]");
+    }
+}

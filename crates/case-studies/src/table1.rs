@@ -105,10 +105,22 @@ pub fn table1_cases(workers: usize) -> Vec<Table1Case> {
 /// the obligations of each row, `branch_parallelism` spreads the branches of
 /// each obligation over the engine's work-stealing scheduler.
 pub fn table1_cases_with(workers: usize, branch_parallelism: usize) -> Vec<Table1Case> {
+    table1_cases_with_prune(workers, branch_parallelism, true)
+}
+
+/// Same entries with the static-pruning oracle toggled explicitly: the
+/// differential tests and the absint bench run the suite once pruned and
+/// once unpruned and require identical verdicts and diagnostics.
+pub fn table1_cases_with_prune(
+    workers: usize,
+    branch_parallelism: usize,
+    static_prune: bool,
+) -> Vec<Table1Case> {
     use SpecMode::{FunctionalCorrectness as FC, TypeSafety as TS};
     let sess = move |s: HybridSession| {
         s.with_workers(workers)
             .with_branch_parallelism(branch_parallelism)
+            .with_static_prune(static_prune)
     };
     vec![
         Table1Case::new("EvenInt", "TS/FC", even_int::ALOC, move || {

@@ -46,6 +46,7 @@
 //! JSON.
 
 pub use creusot_lite::ExternSpecs;
+pub use gillian_absint::{AnalysisOptions, InvariantTable, ProcInvariants};
 pub use gillian_engine::{EngineOptions, EngineStats};
 pub use gillian_lint::{LintDiagnostic, LintOptions, LintReport, Severity as LintSeverity};
 pub use gillian_rust::verifier::VerifyDiagnostic;
@@ -53,6 +54,8 @@ pub use gillian_solver::{BackendKind, SolverStats};
 pub use proof_cache::{CacheStore, DirStore, MemStore};
 
 use creusot_lite::elaborate;
+use gillian_absint::{analyze_prog, ActionBounds};
+use gillian_engine::engine::StaticOracle;
 use gillian_rust::compile::CompileError;
 use gillian_rust::gilsonite::{GilsoniteCtx, SpecMode};
 use gillian_rust::types::{TypeRegistry, Types};
@@ -62,7 +65,7 @@ use proof_cache::{
     namespace_fingerprint, record_matches, stable_fingerprint_key, stable_target_fingerprint,
     CacheRecord, DepEntry, RunCounters,
 };
-use rust_ir::{LayoutOracle, Program};
+use rust_ir::{LayoutOracle, Program, Ty};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -259,8 +262,16 @@ impl VerificationReport {
         } else {
             String::new()
         };
+        let absint = if self.solver.branches_pruned_static + self.solver.absint_facts_seeded > 0 {
+            format!(
+                ", absint {} branches pruned / {} facts seeded",
+                self.solver.branches_pruned_static, self.solver.absint_facts_seeded,
+            )
+        } else {
+            String::new()
+        };
         let mut out = format!(
-            "== {} ({mode}) — {}/{} verified, wall {:.3}s, cpu {:.3}s, {} worker(s), {} branch worker(s) ({} stolen, {} max live), solver {} ({} queries, {} cache hits, {} incremental hits, kernel {:.3}s{smt}{disk}) ==\n",
+            "== {} ({mode}) — {}/{} verified, wall {:.3}s, cpu {:.3}s, {} worker(s), {} branch worker(s) ({} stolen, {} max live), solver {} ({} queries, {} cache hits, {} incremental hits, kernel {:.3}s{smt}{disk}{absint}) ==\n",
             self.session,
             self.verified_count(),
             self.cases.len(),
@@ -321,7 +332,7 @@ impl VerificationReport {
         ));
         out.push_str(&format!("\"backend\":\"{}\",", self.backend));
         out.push_str(&format!(
-            "\"solver\":{{\"unsat_queries\":{},\"entailment_queries\":{},\"cases_explored\":{},\"cache_hits\":{},\"incremental_hits\":{},\"kernel_nanos\":{},\"smt_queries\":{},\"smt_unsat\":{},\"smt_failures\":{},\"disk_cache_hits\":{},\"disk_cache_misses\":{},\"disk_cache_writes\":{}}},",
+            "\"solver\":{{\"unsat_queries\":{},\"entailment_queries\":{},\"cases_explored\":{},\"cache_hits\":{},\"incremental_hits\":{},\"kernel_nanos\":{},\"smt_queries\":{},\"smt_unsat\":{},\"smt_failures\":{},\"disk_cache_hits\":{},\"disk_cache_misses\":{},\"disk_cache_writes\":{},\"branches_pruned_static\":{},\"absint_facts_seeded\":{}}},",
             self.solver.unsat_queries,
             self.solver.entailment_queries,
             self.solver.cases_explored,
@@ -334,6 +345,8 @@ impl VerificationReport {
             self.solver.disk_cache_hits,
             self.solver.disk_cache_misses,
             self.solver.disk_cache_writes,
+            self.solver.branches_pruned_static,
+            self.solver.absint_facts_seeded,
         ));
         out.push_str(&format!(
             "\"stats\":{{\"commands\":{},\"folds\":{},\"unfolds\":{},\"borrow_opens\":{},\"borrow_closes\":{},\"recoveries\":{},\"branches\":{},\"branches_stolen\":{},\"max_live_branches\":{}}},",
@@ -454,6 +467,7 @@ pub struct SessionBuilder {
     lint: bool,
     lint_deny_warnings: bool,
     lint_allow: Vec<String>,
+    static_prune: Option<bool>,
 }
 
 impl Default for SessionBuilder {
@@ -476,6 +490,7 @@ impl Default for SessionBuilder {
             lint: true,
             lint_deny_warnings: false,
             lint_allow: Vec::new(),
+            static_prune: None,
         }
     }
 }
@@ -638,6 +653,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables or disables static branch pruning (on by default): the
+    /// abstract-interpretation invariants computed at build time let the
+    /// engine skip statically-infeasible `GotoIf` sides and seed interval
+    /// facts into branch solver contexts. Verdict-preserving — the knob
+    /// exists for the differential tests and the ablation bench.
+    pub fn static_prune(mut self, enabled: bool) -> Self {
+        self.static_prune = Some(enabled);
+        self
+    }
+
     /// Suppresses specific lint codes (e.g. `["GL012"]`).
     pub fn lint_allow<I, S>(mut self, codes: I) -> Self
     where
@@ -708,8 +733,11 @@ impl SessionBuilder {
         if let Some(n) = self.branch_parallelism {
             engine_opts.branch_parallelism = n;
         }
+        if let Some(b) = self.static_prune {
+            engine_opts.static_prune = b;
+        }
 
-        let verifier = Verifier::new(
+        let mut verifier = Verifier::new(
             types,
             gilsonite,
             VerifierOptions {
@@ -717,6 +745,20 @@ impl SessionBuilder {
                 engine: engine_opts,
             },
         )?;
+
+        // Abstract interpretation over the compiled GIL. The type registry
+        // supplies machine-integer bounds for typed loads (the memory model
+        // enforces exactly these ranges, so the hook adds no assumption the
+        // engine does not already make); everything else stays Top. The
+        // resulting table doubles as the engine's static oracle.
+        let absint_opts = AnalysisOptions {
+            action_bounds: Some(typed_load_bounds(verifier.types.clone())),
+            ..AnalysisOptions::default()
+        };
+        let invariants = Arc::new(analyze_prog(&verifier.engine.prog, &absint_opts));
+        verifier
+            .engine
+            .set_static_oracle(Some(invariants.clone() as Arc<dyn StaticOracle>));
 
         let mut targets = self.targets;
         if targets.is_empty() {
@@ -782,16 +824,34 @@ impl SessionBuilder {
             namespace,
             lint,
             lint_deny_warnings: self.lint_deny_warnings,
+            invariants,
+            absint_opts,
         })
     }
 }
 
+/// The driver-level [`ActionBounds`] hook: `load`/`load_move` actions carry
+/// the loaded type as their second argument, and integer loads are bounded
+/// by the machine-integer range of that type.
+fn typed_load_bounds(types: Types) -> ActionBounds {
+    Arc::new(move |name, args| {
+        if !matches!(name.as_str(), "load" | "load_move") {
+            return None;
+        }
+        match types.resolve_expr(args.get(1)?)? {
+            Ty::Int(i) => Some((i.min(), i.max())),
+            _ => None,
+        }
+    })
+}
+
 /// Fingerprint of the verification configuration a cached outcome is valid
 /// for: session name, mode, and every verdict-affecting engine option.
-/// Deliberately excludes the solver backend, worker counts and branch
-/// parallelism — those change *how fast* a verdict is reached, never the
-/// verdict itself (asserted by the ablation and branch-parallel benches) —
-/// so a cache warmed under one backend serves all of them.
+/// Deliberately excludes the solver backend, worker counts, branch
+/// parallelism and `static_prune` — those change *how fast* a verdict is
+/// reached, never the verdict itself (asserted by the ablation,
+/// branch-parallel and static-prune differential benches) — so a cache
+/// warmed under one configuration serves all of them.
 fn session_namespace(name: &str, mode: SpecMode, opts: &EngineOptions) -> u64 {
     let mode = match mode {
         SpecMode::TypeSafety => "type-safety",
@@ -865,6 +925,12 @@ pub struct HybridSession {
     lint: Option<LintReport>,
     /// Treat lint warnings as batch-blocking (`-D warnings`).
     lint_deny_warnings: bool,
+    /// Abstract-interpretation invariants over the compiled GIL; also
+    /// installed on the engine as its static oracle.
+    invariants: Arc<InvariantTable>,
+    /// The analysis configuration the table was computed with (kept for
+    /// per-procedure refreshes on daemon edits).
+    absint_opts: AnalysisOptions,
 }
 
 impl HybridSession {
@@ -910,6 +976,20 @@ impl HybridSession {
     /// branch-parallel bench re-runs the suite at several widths).
     pub fn with_branch_parallelism(mut self, workers: usize) -> Self {
         self.verifier.engine.opts.branch_parallelism = workers.max(1);
+        self
+    }
+
+    /// Whether the engine consults the static value analysis at branches.
+    pub fn static_prune_enabled(&self) -> bool {
+        self.verifier.engine.opts.static_prune
+    }
+
+    /// Toggles static branch pruning on an already-built session (the
+    /// compiled program, invariant table and cache are reused — this is how
+    /// the differential tests and the absint bench compare pruned against
+    /// unpruned runs of the same suite).
+    pub fn with_static_prune(mut self, enabled: bool) -> Self {
+        self.verifier.engine.opts.static_prune = enabled;
         self
     }
 
@@ -995,6 +1075,28 @@ impl HybridSession {
             Some(r) if self.lint_deny_warnings => r.diagnostics.iter().collect(),
             Some(r) => r.errors().collect(),
         }
+    }
+
+    /// The abstract-interpretation invariants computed over the compiled
+    /// GIL at build time (and refreshed per procedure on daemon edits).
+    pub fn invariants(&self) -> &InvariantTable {
+        &self.invariants
+    }
+
+    /// Recomputes the invariants of a single procedure against the current
+    /// compiled program and refreshes the engine's static oracle — the
+    /// daemon's `update_fn` companion to [`HybridSession::relint`]. A name
+    /// with no compiled procedure drops any stale entry.
+    pub fn refresh_invariants_for(&mut self, name: &str) {
+        let sym = Symbol::new(name);
+        let table = Arc::make_mut(&mut self.invariants);
+        match self.verifier.engine.prog.procs.get(&sym) {
+            Some(proc) => table.refresh_proc(proc, &self.absint_opts),
+            None => table.remove_proc(sym),
+        }
+        self.verifier
+            .engine
+            .set_static_oracle(Some(self.invariants.clone() as Arc<dyn StaticOracle>));
     }
 
     /// Access to the underlying verifier (escape hatch for existing code).

@@ -44,6 +44,29 @@ pub enum LogicCmd {
     Tactic(Symbol, Vec<Expr>),
 }
 
+impl LogicCmd {
+    /// Visits every expression mentioned by the ghost command (arguments of
+    /// folds/unfolds/lemmas/tactics, the pure parts of assertions).
+    pub fn visit_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        match self {
+            LogicCmd::Fold(_, args)
+            | LogicCmd::Unfold(_, args)
+            | LogicCmd::UnfoldGuarded(_, args)
+            | LogicCmd::FoldGuarded(_, args)
+            | LogicCmd::ApplyLemma(_, args)
+            | LogicCmd::Tactic(_, args) => {
+                for a in args {
+                    f(a);
+                }
+            }
+            LogicCmd::Assert(a) | LogicCmd::Produce(a) | LogicCmd::Consume(a) => {
+                a.visit_exprs(f);
+            }
+            LogicCmd::Assume(e) => f(e),
+        }
+    }
+}
+
 impl fmt::Display for LogicCmd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn call(f: &mut fmt::Formatter<'_>, kw: &str, name: &Symbol, args: &[Expr]) -> fmt::Result {
@@ -107,6 +130,23 @@ pub enum Cmd {
     Fail(String),
     /// Do nothing.
     Skip,
+}
+
+impl Cmd {
+    /// Visits every expression mentioned by the command.
+    pub fn visit_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        match self {
+            Cmd::Assign(_, e) | Cmd::Return(e) => f(e),
+            Cmd::Action { args, .. } | Cmd::Call { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Cmd::GotoIf { guard, .. } => f(guard),
+            Cmd::Logic(l) => l.visit_exprs(f),
+            Cmd::Goto(_) | Cmd::Fail(_) | Cmd::Skip => {}
+        }
+    }
 }
 
 impl fmt::Display for Cmd {

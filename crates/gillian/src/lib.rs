@@ -34,6 +34,7 @@
 //! ```
 
 pub mod asrt;
+pub mod cfg;
 pub mod config;
 pub mod engine;
 pub mod gil;
@@ -41,10 +42,11 @@ pub mod schedule;
 pub mod state;
 
 pub use asrt::{Asrt, Lemma, Pred, Spec};
+pub use cfg::Cfg;
 pub use config::{Bindings, ClosingToken, Config, FoldedPred, GuardedPred};
 pub use engine::{
-    debug_enabled, fresh_lvar_name, Engine, EngineOptions, EngineStats, ProcReport, TacticFn,
-    VerError, VerErrorKind, LFT_TOKEN, RET_VAR,
+    debug_enabled, fresh_lvar_name, BranchAdvice, Engine, EngineOptions, EngineStats, ProcReport,
+    StaticOracle, TacticFn, VerError, VerErrorKind, LFT_TOKEN, RET_VAR,
 };
 pub use gil::{Cmd, DepKind, LogicCmd, Proc, Prog};
 pub use schedule::{ForkPath, WorkItem, WorkQueue};

@@ -7,42 +7,13 @@
 //! `load`/`update_fn` request.
 
 use crate::{ItemKind, LintDiagnostic, LintSpan, Severity};
+use gillian_engine::cfg::Cfg;
 use gillian_engine::gil::{Cmd, LogicCmd, Proc};
 use gillian_solver::{Expr, Symbol};
 use std::collections::BTreeSet;
 
-/// Successor indices of the command at `i`, with out-of-range targets kept
-/// (the caller reports GL001 and clamps before running dataflow).
-fn successors(i: usize, cmd: &Cmd) -> Vec<usize> {
-    match cmd {
-        Cmd::Goto(t) => vec![*t],
-        Cmd::GotoIf {
-            then_target,
-            else_target,
-            ..
-        } => vec![*then_target, *else_target],
-        Cmd::Return(_) | Cmd::Fail(_) => vec![],
-        _ => vec![i + 1],
-    }
-}
-
 pub(crate) fn visit_logic_cmd_exprs(l: &LogicCmd, f: &mut impl FnMut(&Expr)) {
-    match l {
-        LogicCmd::Fold(_, args)
-        | LogicCmd::Unfold(_, args)
-        | LogicCmd::UnfoldGuarded(_, args)
-        | LogicCmd::FoldGuarded(_, args)
-        | LogicCmd::ApplyLemma(_, args)
-        | LogicCmd::Tactic(_, args) => {
-            for a in args {
-                f(a);
-            }
-        }
-        LogicCmd::Assert(a) | LogicCmd::Produce(a) | LogicCmd::Consume(a) => {
-            a.visit_exprs(f);
-        }
-        LogicCmd::Assume(e) => f(e),
-    }
+    l.visit_exprs(f)
 }
 
 /// Program variables read by a command. `Return` additionally reads every
@@ -94,40 +65,20 @@ pub(crate) fn lint_proc_flow(proc: &Proc) -> Vec<LintDiagnostic> {
         return diags;
     }
 
-    // GL001: out-of-range targets. Invalid edges are dropped for the
-    // reachability and dataflow passes below.
-    let mut succs: Vec<Vec<usize>> = Vec::with_capacity(len);
-    for (i, cmd) in proc.body.iter().enumerate() {
-        let raw = successors(i, cmd);
-        let mut valid = Vec::with_capacity(raw.len());
-        for t in raw {
-            // A fall-through edge to `len` is handled by GL003, not GL001.
-            let explicit = matches!(cmd, Cmd::Goto(_) | Cmd::GotoIf { .. });
-            if t < len {
-                valid.push(t);
-            } else if explicit {
-                diags.push(LintDiagnostic::new(
-                    "GL001",
-                    Severity::Error,
-                    LintSpan::at(ItemKind::Proc, name, i),
-                    format!("goto target {t} is out of range (body has {len} commands)"),
-                ));
-            }
-        }
-        valid.sort_unstable();
-        valid.dedup();
-        succs.push(valid);
+    // GL001: out-of-range targets. The shared CFG builder records and drops
+    // invalid edges, so the reachability and dataflow passes below always
+    // run on a well-formed graph.
+    let cfg = Cfg::new(&proc.body);
+    for &(i, t) in &cfg.out_of_range {
+        diags.push(LintDiagnostic::new(
+            "GL001",
+            Severity::Error,
+            LintSpan::at(ItemKind::Proc, name, i),
+            format!("goto target {t} is out of range (body has {len} commands)"),
+        ));
     }
-
-    // Reachability from the entry command.
-    let mut reachable = vec![false; len];
-    let mut stack = vec![0usize];
-    while let Some(i) = stack.pop() {
-        if std::mem::replace(&mut reachable[i], true) {
-            continue;
-        }
-        stack.extend(succs[i].iter().copied());
-    }
+    let succs = &cfg.succs;
+    let reachable = &cfg.reachable;
 
     // GL002: unreachable commands, reported as maximal runs.
     let mut i = 0;
@@ -170,12 +121,7 @@ pub(crate) fn lint_proc_flow(proc: &Proc) -> Vec<LintDiagnostic> {
     }
 
     // Predecessor lists for the forward pass.
-    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); len];
-    for (i, ss) in succs.iter().enumerate() {
-        for &s in ss {
-            preds[s].push(i);
-        }
-    }
+    let preds = cfg.preds();
 
     // Forward definite-assignment: in[i] = ∩ out[p] over predecessors,
     // out[i] = in[i] ∪ def(i); the entry is seeded with the parameters.

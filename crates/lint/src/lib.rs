@@ -7,7 +7,7 @@
 //! surfaces as a confusing mid-proof engine failure, and an unsatisfiable
 //! precondition is worse — the spec *verifies vacuously* and looks green.
 //! This crate catches those defects statically, in milliseconds, before any
-//! proof search starts. Five passes:
+//! proof search starts. Six passes:
 //!
 //! 1. **Control flow** ([`flow`]): CFG construction over `Cmd` — out-of-range
 //!    jump targets (GL001), unreachable commands (GL002), control falling off
@@ -24,6 +24,11 @@
 //! 5. **Vacuity** ([`vacuity`]): the pure part of each precondition is
 //!    asserted into a fresh kernel-only solver (`check_unsat`, time-boxed, no
 //!    SMT process); unsat preconditions are flagged as vacuous specs (GL041).
+//! 6. **Semantic value analysis** ([`semantic`]): `gillian-absint`'s
+//!    abstract interpreter proves defects from the GIL text alone —
+//!    guaranteed overflow (GL051), division by zero (GL052), statically
+//!    false asserts (GL053), constant branch guards (GL054) and loop exit
+//!    guards that never change (GL055).
 //!
 //! Entry points: [`lint_prog`] (whole program), [`lint_spec`] (one candidate
 //! spec — the daemon's `update_spec` gate), [`lint_proc`] (one procedure —
@@ -36,6 +41,7 @@ use std::time::Duration;
 
 mod flow;
 mod resolve;
+mod semantic;
 mod vacuity;
 mod wf;
 
@@ -206,6 +212,27 @@ pub const CODES: &[(&str, Severity, &str)] = &[
         Severity::Error,
         "unsatisfiable precondition (spec verifies vacuously)",
     ),
+    (
+        "GL051",
+        Severity::Error,
+        "arithmetic always overflows or underflows",
+    ),
+    (
+        "GL052",
+        Severity::Error,
+        "division or remainder by zero always occurs",
+    ),
+    ("GL053", Severity::Error, "assertion is statically false"),
+    (
+        "GL054",
+        Severity::Warning,
+        "branch guard is constant (dead arm)",
+    ),
+    (
+        "GL055",
+        Severity::Warning,
+        "loop exit guard variables are never reassigned in the loop",
+    ),
 ];
 
 /// Knobs for a lint run.
@@ -307,6 +334,7 @@ pub fn lint_prog(prog: &Prog, opts: &LintOptions) -> LintReport {
     for proc in sorted_names(&prog.procs) {
         diags.extend(flow::lint_proc_flow(proc));
         diags.extend(resolve::check_proc(prog, proc, opts));
+        diags.extend(semantic::lint_proc_semantic(proc));
     }
     for pred in sorted_names(&prog.preds) {
         diags.extend(resolve::check_pred(prog, pred));
@@ -355,6 +383,7 @@ pub fn lint_proc(prog: &Prog, name: &str, opts: &LintOptions) -> Vec<LintDiagnos
     };
     let mut diags = flow::lint_proc_flow(proc);
     diags.extend(resolve::check_proc(prog, proc, opts));
+    diags.extend(semantic::lint_proc_semantic(proc));
     apply_allow(diags, opts)
 }
 

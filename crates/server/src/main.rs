@@ -23,6 +23,8 @@ gillian — the hybrid verification daemon
 USAGE:
     gillian serve [--socket PATH] [--cache-dir PATH]
     gillian lint [WORKLOAD ...] [--mode ts|fc] [--deny-warnings] [--json]
+                 [--allow CODE ...] [--list-codes]
+    gillian analyze [WORKLOAD ...] [--mode ts|fc] [--json]
     gillian cache stats [--dir PATH]
     gillian cache clear [--dir PATH]
     gillian cache gc --max-bytes N [--dir PATH]
@@ -42,7 +44,14 @@ COMMANDS:
              over the named workloads — all of them by default — without
              any proof search. Exit 0 when nothing blocks, 1 when lint
              errors (or, with --deny-warnings, any finding) are present.
-             --json emits one JSON object per workload.
+             --json emits one JSON object per workload. --allow CODE
+             (repeatable) suppresses specific codes; --list-codes prints
+             the full GLxxx code table with severities and exits.
+    analyze  Run the abstract interpreter (interval/constancy/shape value
+             analysis) over the named workloads — all of them by default —
+             and dump the per-command invariants of every compiled
+             procedure, with stable fingerprints. --json emits one JSON
+             object per workload.
     cache    Maintain the persistent proof cache. The directory is --dir
              PATH, else GILLIAN_CACHE_DIR, else target/gillian-cache.
              stats prints entry/byte counts and the last run's hit rate;
@@ -92,6 +101,7 @@ fn main() {
             }
         }
         Some("lint") => lint_command(&args[1..]),
+        Some("analyze") => analyze_command(&args[1..]),
         Some("cache") => cache_command(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
@@ -114,6 +124,7 @@ fn lint_command(args: &[String]) {
     let mut mode: Option<String> = None;
     let mut deny_warnings = false;
     let mut json = false;
+    let mut allow: Vec<String> = Vec::new();
     let mut rest = args.iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -123,6 +134,16 @@ fn lint_command(args: &[String]) {
             },
             "--deny-warnings" => deny_warnings = true,
             "--json" => json = true,
+            "--allow" => match rest.next() {
+                Some(code) => allow.push(code.clone()),
+                None => die("--allow requires a lint code (e.g. GL012)"),
+            },
+            "--list-codes" => {
+                for (code, severity, description) in gillian_lint::CODES {
+                    println!("{code}  {:<7} {description}", severity.label());
+                }
+                return;
+            }
             flag if flag.starts_with('-') => die(&format!("unknown argument `{flag}`")),
             name => names.push(name.to_string()),
         }
@@ -150,11 +171,18 @@ fn lint_command(args: &[String]) {
             Ok(db) => db,
             Err(e) => die(&e),
         };
-        let report = db
+        let mut report = db
             .session
             .lint_report()
             .cloned()
             .expect("sessions lint at build time");
+        // --allow mirrors LintOptions::allow: suppressed codes vanish from
+        // the report before counting.
+        if !allow.is_empty() {
+            report
+                .diagnostics
+                .retain(|d| !allow.iter().any(|a| a == d.code));
+        }
         let mode = mode_label(db.mode);
         let e = report.errors().count();
         let w = report.warnings().count();
@@ -192,6 +220,98 @@ fn lint_command(args: &[String]) {
     }
     if errors > 0 || (deny_warnings && warnings > 0) {
         std::process::exit(1);
+    }
+}
+
+/// `gillian analyze` — dump the abstract-interpretation invariants of each
+/// selected workload's compiled procedures. Like `lint`, this builds the
+/// session (compilation + spec elaboration, no proof search); the
+/// invariants themselves are computed by the session builder.
+fn analyze_command(args: &[String]) {
+    let mut names: Vec<String> = Vec::new();
+    let mut mode: Option<String> = None;
+    let mut json = false;
+    let mut rest = args.iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--mode" => match rest.next() {
+                Some(m) => mode = Some(m.clone()),
+                None => die("--mode requires ts or fc"),
+            },
+            "--json" => json = true,
+            flag if flag.starts_with('-') => die(&format!("unknown argument `{flag}`")),
+            name => names.push(name.to_string()),
+        }
+    }
+    let mode = mode.map(|s| match parse_mode(&s) {
+        Some(m) => m,
+        None => die(&format!("unknown mode `{s}` (use \"ts\" or \"fc\")")),
+    });
+    let selected: Vec<&str> = if names.is_empty() {
+        WORKLOADS.iter().map(|w| w.name).collect()
+    } else {
+        names
+            .iter()
+            .map(|n| match workload(n) {
+                Some(w) => w.name,
+                None => die(&format!("unknown workload `{n}`")),
+            })
+            .collect()
+    };
+
+    for name in selected {
+        let db = match ProgramDb::load(name, mode, Some(1), Some(1)) {
+            Ok(db) => db,
+            Err(e) => die(&e),
+        };
+        let table = db.session.invariants();
+        let mode = mode_label(db.mode);
+        if json {
+            let mut procs: Vec<String> = Vec::new();
+            let mut sorted: Vec<_> = table.procs.values().collect();
+            sorted.sort_by_key(|p| p.name.as_str());
+            for p in sorted {
+                let entries: Vec<String> = p
+                    .entry
+                    .iter()
+                    .map(|s| match s {
+                        None => "null".to_string(),
+                        Some(s) if s.is_empty() => driver::json_escape("top"),
+                        Some(s) => driver::json_escape(&s.render()),
+                    })
+                    .collect();
+                procs.push(format!(
+                    "{{\"name\":{},\"fingerprint\":\"{:016x}\",\"invariants\":[{}]}}",
+                    driver::json_escape(p.name.as_str()),
+                    p.fingerprint,
+                    entries.join(",")
+                ));
+            }
+            println!(
+                "{{\"workload\":\"{name}\",\"mode\":\"{mode}\",\"fingerprint\":\"{:016x}\",\"procs\":[{}]}}",
+                table.fingerprint,
+                procs.join(",")
+            );
+        } else {
+            println!(
+                "{name} ({mode}): {} proc(s), fingerprint {:016x}",
+                table.procs.len(),
+                table.fingerprint
+            );
+            let mut sorted: Vec<_> = table.procs.values().collect();
+            sorted.sort_by_key(|p| p.name.as_str());
+            for p in sorted {
+                println!("  proc {} [{:016x}]:", p.name, p.fingerprint);
+                for (i, s) in p.entry.iter().enumerate() {
+                    let line = match s {
+                        None => "unreachable".to_string(),
+                        Some(s) if s.is_empty() => "top".to_string(),
+                        Some(s) => s.render(),
+                    };
+                    println!("    {i}: {line}");
+                }
+            }
+        }
     }
 }
 

@@ -242,6 +242,15 @@ impl ServerCore {
                 Value::Bool(loaded.db.session.verifier().engine.solver.smt_available()),
             ),
             ("hydrated".to_string(), string_array(&hydrated)),
+            // Invariants are computed by the session builder; surface the
+            // table fingerprint so clients can detect analysis drift.
+            (
+                "invariants_fingerprint".to_string(),
+                Value::Str(format!(
+                    "{:016x}",
+                    loaded.db.session.invariants().fingerprint
+                )),
+            ),
             // Automatic linting on load: the findings of the build-time
             // analysis ride along (shipped workloads are clean, so this is
             // `[]` unless someone adds a defective workload).
@@ -503,10 +512,21 @@ impl ServerCore {
         // inlined it for lack of a spec.
         let key: DepKey = (DepKind::Proc, func.to_string());
         let dirtied = loaded.tracker.dirty_key_force(&key);
+        // The abstract-interpretation invariants follow the same per-proc
+        // granularity: recompute just the touched procedure and refresh the
+        // engine's static oracle.
+        loaded.db.session.refresh_invariants_for(func);
         Ok(vec![
             ("fn".to_string(), Value::Str(func.to_string())),
             ("dirtied".to_string(), string_array(&dirtied)),
             ("lints".to_string(), lint_array(&lint_findings)),
+            (
+                "invariants_fingerprint".to_string(),
+                Value::Str(format!(
+                    "{:016x}",
+                    loaded.db.session.invariants().fingerprint
+                )),
+            ),
         ])
     }
 
@@ -796,6 +816,14 @@ fn stats_value(s: SolverStats) -> Value {
         (
             "disk_cache_writes".to_string(),
             Value::Int(s.disk_cache_writes as i64),
+        ),
+        (
+            "branches_pruned_static".to_string(),
+            Value::Int(s.branches_pruned_static as i64),
+        ),
+        (
+            "absint_facts_seeded".to_string(),
+            Value::Int(s.absint_facts_seeded as i64),
         ),
     ])
 }

@@ -1,0 +1,412 @@
+//! Integration tests for `gillian analyze`: the GL05x seeded-defect corpus
+//! (every semantic defect class caught with a stable code and span in a real
+//! Table 1 program), the clean-sweep false-positive guard (zero GL05x on
+//! every shipped workload in both modes), and the differential pruning
+//! guarantee (static branch pruning is invisible in verdicts and diagnostics
+//! and only ever removes solver work).
+
+use case_studies::table1::{table1_cases, table1_cases_with_prune, Table1Row};
+use case_studies::SpecMode;
+use driver::SolverStats;
+use gillian_engine::asrt::Asrt;
+use gillian_engine::gil::{Cmd, LogicCmd, Prog};
+use gillian_lint::{lint_prog, ItemKind, LintOptions, LintReport, Severity};
+use gillian_server::{ProgramDb, WORKLOADS};
+use gillian_solver::{BinOp, Expr, Symbol};
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------------
+// Shared plumbing (mirrors tests/lint.rs)
+// ---------------------------------------------------------------------------
+
+fn opts_for(tactics: impl IntoIterator<Item = String>) -> LintOptions {
+    LintOptions {
+        known_tactics: tactics.into_iter().collect(),
+        ..LintOptions::default()
+    }
+}
+
+fn lint_session(session: &driver::HybridSession) -> LintReport {
+    let engine = &session.verifier().engine;
+    let tactics: BTreeSet<String> = engine
+        .tactics
+        .keys()
+        .map(|s| s.as_str().to_string())
+        .collect();
+    lint_prog(&engine.prog, &opts_for(tactics))
+}
+
+/// A linked-list FC program to mutate: the same seed the lint corpus uses,
+/// so the GL05x defects are planted in a real Table 1 workload.
+fn seed_prog() -> (Prog, BTreeSet<String>) {
+    let session = case_studies::linked_list::session(SpecMode::FunctionalCorrectness);
+    let engine = &session.verifier().engine;
+    let tactics = engine
+        .tactics
+        .keys()
+        .map(|s| s.as_str().to_string())
+        .collect();
+    (engine.prog.clone(), tactics)
+}
+
+/// Asserts that linting `prog` yields `code` on proc `item` at command
+/// `index` with the expected severity (tolerating co-diagnostics the
+/// mutation may also cause).
+fn assert_gl05(
+    prog: &Prog,
+    tactics: &BTreeSet<String>,
+    code: &str,
+    item: &str,
+    index: usize,
+    severity: Severity,
+) {
+    let report = lint_prog(prog, &opts_for(tactics.iter().cloned()));
+    let hit = report.diagnostics.iter().find(|d| {
+        d.code == code
+            && d.span.kind == ItemKind::Proc
+            && d.span.item == item
+            && d.span.index == Some(index)
+    });
+    match hit {
+        Some(d) => assert_eq!(d.severity, severity, "severity of {code}: {}", d.message),
+        None => panic!(
+            "expected {code} on proc {item} at command {index}; got:\n{}",
+            report.render_text()
+        ),
+    }
+}
+
+fn pvar(s: &str) -> Expr {
+    Expr::pvar(s)
+}
+
+fn sym(s: &str) -> Symbol {
+    Symbol::new(s)
+}
+
+// ---------------------------------------------------------------------------
+// Seeded-defect corpus: one test per GL05x code
+// ---------------------------------------------------------------------------
+
+/// GL051: a compiled overflow check whose guard the fixpoint decides towards
+/// the `Fail` arm — `u64::MAX + 1` can never pass `result <= u64::MAX`.
+#[test]
+fn seeded_defect_guaranteed_overflow_is_gl051() {
+    let (mut prog, tactics) = seed_prog();
+    let max = u64::MAX as i128;
+    prog.procs.get_mut(&sym("new")).unwrap().body = vec![
+        Cmd::Assign(sym("n"), Expr::Int(max)),
+        Cmd::GotoIf {
+            guard: Expr::le(Expr::add(pvar("n"), Expr::Int(1)), Expr::Int(max)),
+            then_target: 2,
+            else_target: 3,
+        },
+        Cmd::Return(Expr::Unit),
+        Cmd::Fail("attempt to add with overflow".into()),
+    ];
+    assert_gl05(&prog, &tactics, "GL051", "new", 1, Severity::Error);
+}
+
+/// GL052: a division whose divisor is the constant zero on a reachable path.
+#[test]
+fn seeded_defect_division_by_zero_is_gl052() {
+    let (mut prog, tactics) = seed_prog();
+    let body = &mut prog.procs.get_mut(&sym("new")).unwrap().body;
+    body[0] = Cmd::Assign(
+        sym("q"),
+        Expr::BinOp(BinOp::Div, Box::new(Expr::Int(1)), Box::new(Expr::Int(0))),
+    );
+    assert_gl05(&prog, &tactics, "GL052", "new", 0, Severity::Error);
+
+    // Remainder is covered by the same code, through a flowed constant.
+    let (mut prog, tactics) = seed_prog();
+    let body = &mut prog.procs.get_mut(&sym("new")).unwrap().body;
+    body[0] = Cmd::Assign(sym("d"), Expr::Int(0));
+    body[1] = Cmd::Assign(
+        sym("r"),
+        Expr::BinOp(BinOp::Rem, Box::new(Expr::Int(7)), Box::new(pvar("d"))),
+    );
+    assert_gl05(&prog, &tactics, "GL052", "new", 1, Severity::Error);
+}
+
+/// GL053: a ghost assertion whose pure part the fixpoint proves false.
+#[test]
+fn seeded_defect_statically_false_assert_is_gl053() {
+    let (mut prog, tactics) = seed_prog();
+    let body = &mut prog.procs.get_mut(&sym("new")).unwrap().body;
+    body[0] = Cmd::Assign(sym("n"), Expr::Int(3));
+    body[1] = Cmd::Logic(LogicCmd::Assert(Asrt::pure(Expr::lt(
+        pvar("n"),
+        Expr::Int(2),
+    ))));
+    assert_gl05(&prog, &tactics, "GL053", "new", 1, Severity::Error);
+}
+
+/// GL054: a branch guard decided by the analysis where neither arm is a
+/// compiled check (`Fail`) — the untaken arm is dead code.
+#[test]
+fn seeded_defect_constant_branch_guard_is_gl054() {
+    let (mut prog, tactics) = seed_prog();
+    prog.procs.get_mut(&sym("new")).unwrap().body = vec![
+        Cmd::Assign(sym("flag"), Expr::Bool(true)),
+        Cmd::GotoIf {
+            guard: pvar("flag"),
+            then_target: 2,
+            else_target: 3,
+        },
+        Cmd::Return(Expr::Unit),
+        Cmd::Return(Expr::Unit),
+    ];
+    assert_gl05(&prog, &tactics, "GL054", "new", 1, Severity::Warning);
+}
+
+/// GL055: a loop whose every exit guard reads only variables the loop body
+/// never reassigns — the loop cannot terminate by normal control flow.
+#[test]
+fn seeded_defect_frozen_loop_guard_is_gl055() {
+    let (mut prog, tactics) = seed_prog();
+    prog.procs.get_mut(&sym("new")).unwrap().body = vec![
+        Cmd::Assign(sym("i"), Expr::Int(0)),
+        Cmd::GotoIf {
+            guard: Expr::lt(pvar("i"), pvar("n")),
+            then_target: 2,
+            else_target: 4,
+        },
+        Cmd::Skip,
+        Cmd::Goto(1),
+        Cmd::Return(Expr::Unit),
+    ];
+    assert_gl05(&prog, &tactics, "GL055", "new", 1, Severity::Warning);
+}
+
+// ---------------------------------------------------------------------------
+// Clean sweep: zero GL05x on every shipped workload, both modes
+// ---------------------------------------------------------------------------
+
+fn assert_no_gl05(report: &LintReport, context: &str) {
+    let hits: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code.starts_with("GL05"))
+        .collect();
+    assert!(
+        hits.is_empty(),
+        "semantic findings on shipped workload {context}:\n{}",
+        report.render_text()
+    );
+}
+
+/// Every Table 1 configuration (both modes where applicable) is free of
+/// semantic findings: the GL05x family is only trustworthy as a CI gate if
+/// the baseline is spotless.
+#[test]
+fn clean_sweep_table1_has_no_gl05x() {
+    for case in table1_cases(1) {
+        let name = case.name;
+        let property = case.property;
+        let session = case.session();
+        assert_no_gl05(&lint_session(&session), &format!("{name} ({property})"));
+    }
+}
+
+/// Same sweep over the daemon's workload registry (includes `chain`), in
+/// both spec modes explicitly.
+#[test]
+fn clean_sweep_daemon_workloads_have_no_gl05x() {
+    for w in WORKLOADS {
+        for mode in [SpecMode::TypeSafety, SpecMode::FunctionalCorrectness] {
+            let db = ProgramDb::load(w.name, Some(mode), Some(1), Some(1)).expect("load");
+            let label = format!("{} ({:?})", w.name, mode);
+            assert_no_gl05(&lint_session(&db.session), &label);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential pruning: verdict-preserving, work-reducing
+// ---------------------------------------------------------------------------
+
+/// Runs the full Table 1 suite with the static-pruning oracle toggled,
+/// returning each row plus its per-session solver statistics.
+fn run_table1_prune(branch_parallelism: usize, prune: bool) -> Vec<(Table1Row, SolverStats)> {
+    table1_cases_with_prune(1, branch_parallelism, prune)
+        .into_iter()
+        .map(|case| {
+            let (name, property, aloc) = (case.name, case.property, case.aloc);
+            let session = case.session();
+            let eloc = session.verifier().types.program.executable_lines();
+            let report = session.verify_all();
+            let solver = report.solver;
+            (
+                Table1Row::from_report(name, property, eloc, aloc, report),
+                solver,
+            )
+        })
+        .collect()
+}
+
+/// Verdicts and diagnostic fingerprints must agree row by row and case by
+/// case (leaf counts are deliberately *not* compared: pruning changes work,
+/// never answers).
+fn assert_rows_identical(a: &[(Table1Row, SolverStats)], b: &[(Table1Row, SolverStats)]) {
+    assert_eq!(a.len(), b.len());
+    for ((ra, _), (rb, _)) in a.iter().zip(b.iter()) {
+        assert_eq!(ra.name, rb.name);
+        assert_eq!(ra.property, rb.property);
+        assert_eq!(
+            ra.all_verified, rb.all_verified,
+            "verdict of row {} ({})",
+            ra.name, ra.property
+        );
+        assert_eq!(ra.reports.len(), rb.reports.len());
+        for (ca, cb) in ra.reports.iter().zip(rb.reports.iter()) {
+            assert_eq!(ca.name, cb.name);
+            assert_eq!(
+                ca.verified, cb.verified,
+                "case {} of row {}",
+                ca.name, ra.name
+            );
+            let fp = |c: &gillian_rust::verifier::CaseReport| {
+                c.diagnostic.as_ref().map(|d| d.fingerprint())
+            };
+            assert_eq!(fp(ca), fp(cb), "diagnostic of {} / {}", ra.name, ca.name);
+        }
+    }
+}
+
+/// The acceptance matrix: static pruning on/off at branch widths 1 and 4.
+/// Pruning never changes a verdict or a diagnostic, never *adds* solver
+/// work, strictly removes work on at least one LinkedList proof, and its
+/// counters are live exactly when the oracle is on.
+#[test]
+fn table1_pruning_is_verdict_preserving_and_work_reducing() {
+    let on1 = run_table1_prune(1, true);
+    let off1 = run_table1_prune(1, false);
+    let on4 = run_table1_prune(4, true);
+    let off4 = run_table1_prune(4, false);
+
+    // Verdicts and diagnostics: identical across the whole matrix.
+    assert_rows_identical(&on1, &off1);
+    assert_rows_identical(&on4, &off4);
+    assert_rows_identical(&on1, &on4);
+
+    // Every row still verifies.
+    for (row, _) in &on1 {
+        assert!(row.all_verified, "row {} ({})", row.name, row.property);
+    }
+
+    // Leaf-case counts are branch-width-invariant with pruning off (the
+    // original branch_parallel identity) *and* with pruning on (the oracle
+    // consults only per-command invariants, never scheduler state).
+    for ((ra, sa), (_, sb)) in off1.iter().zip(off4.iter()) {
+        assert_eq!(
+            sa.cases_explored, sb.cases_explored,
+            "prune-off leaf cases of row {} ({})",
+            ra.name, ra.property
+        );
+    }
+    for ((ra, sa), (_, sb)) in on1.iter().zip(on4.iter()) {
+        assert_eq!(
+            sa.cases_explored, sb.cases_explored,
+            "pruned leaf cases of row {} ({})",
+            ra.name, ra.property
+        );
+    }
+
+    // Pruning only ever removes work, and the counters prove the oracle ran.
+    let mut oracle_active = false;
+    let mut any_strict = false;
+    for ((ra, s_on), (_, s_off)) in on1.iter().zip(off1.iter()) {
+        assert!(
+            s_on.cases_explored <= s_off.cases_explored,
+            "pruning added work on row {} ({}): {} > {}",
+            ra.name,
+            ra.property,
+            s_on.cases_explored,
+            s_off.cases_explored
+        );
+        assert_eq!(
+            s_off.branches_pruned_static, 0,
+            "prune-off run counted pruned branches on {}",
+            ra.name
+        );
+        assert_eq!(
+            s_off.absint_facts_seeded, 0,
+            "prune-off run counted seeded facts on {}",
+            ra.name
+        );
+        if s_on.branches_pruned_static + s_on.absint_facts_seeded > 0 {
+            oracle_active = true;
+        }
+        if s_on.cases_explored < s_off.cases_explored {
+            any_strict = true;
+        }
+    }
+    assert!(
+        oracle_active,
+        "the static oracle never pruned a branch or seeded a fact on any row"
+    );
+    assert!(
+        any_strict,
+        "expected strictly fewer leaf cases on at least one Table 1 row"
+    );
+}
+
+/// The acceptance row the paper cares about: on the *full* LinkedList
+/// function set (`push_front`/`pop_front` carry the compiled overflow
+/// checks), the oracle residualises the half-proven conjunctive guards and
+/// the kernel explores strictly fewer leaf cases — with identical verdicts.
+#[test]
+fn full_linked_list_pruning_strictly_reduces_leaf_cases() {
+    let run = |prune: bool| {
+        case_studies::linked_list::session_for(
+            SpecMode::FunctionalCorrectness,
+            case_studies::linked_list::FUNCTIONS_FULL,
+        )
+        .with_static_prune(prune)
+        .verify_all()
+    };
+    let pruned = run(true);
+    let unpruned = run(false);
+    assert!(pruned.all_verified(), "{}", pruned.render_text());
+    assert!(unpruned.all_verified(), "{}", unpruned.render_text());
+    assert_eq!(pruned.cases.len(), unpruned.cases.len());
+    for (p, u) in pruned.cases.iter().zip(unpruned.cases.iter()) {
+        assert_eq!(p.name(), u.name());
+        assert_eq!(p.verified(), u.verified(), "verdict of {}", p.name());
+    }
+    assert!(
+        pruned.solver.absint_facts_seeded > 0,
+        "no facts seeded on the full LinkedList set"
+    );
+    assert_eq!(unpruned.solver.absint_facts_seeded, 0);
+    assert!(
+        pruned.solver.cases_explored < unpruned.solver.cases_explored,
+        "expected strictly fewer leaf cases with pruning: {} vs {}",
+        pruned.solver.cases_explored,
+        unpruned.solver.cases_explored
+    );
+}
+
+/// The invariant table is exposed on the session, covers every proc of the
+/// compiled program, and its fingerprint is stable across rebuilds of the
+/// same workload (content-addressed: interning order must not leak in).
+#[test]
+fn session_invariants_are_stable_across_rebuilds() {
+    let fp = |db: &ProgramDb| db.session.invariants().fingerprint;
+    let a = ProgramDb::load("linked_list", None, Some(1), Some(1)).expect("load");
+    let b = ProgramDb::load("linked_list", None, Some(1), Some(1)).expect("load");
+    assert_eq!(fp(&a), fp(&b), "invariant fingerprint is not deterministic");
+    assert!(
+        !a.session.invariants().procs.is_empty(),
+        "no procedures analyzed"
+    );
+    for (name, proc_inv) in &a.session.invariants().procs {
+        assert_eq!(name, &proc_inv.name);
+        assert!(
+            proc_inv.entry.iter().any(|s| s.is_some()),
+            "proc {} has no reachable command",
+            name.as_str()
+        );
+    }
+}

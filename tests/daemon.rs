@@ -174,8 +174,8 @@ fn identical_requests_report_identical_solver_deltas() {
     assert_eq!(first, second, "identical requests, identical solver work");
     assert_eq!(
         first.len(),
-        11,
-        "all non-timing counters are compared (incl. the disk-cache trio)"
+        13,
+        "all non-timing counters are compared (incl. the disk-cache trio and the absint pair)"
     );
 
     // A cache-served verify does no solver work at all.
