@@ -75,6 +75,12 @@ pub enum VerifyDiagnostic {
     /// A static-analysis (lint) error blocked verification before any proof
     /// search started.
     Lint { message: String },
+    /// The verification *process* panicked mid-proof (an engine bug or an
+    /// injected fault, not a property of the program). The target is
+    /// reported as unverified-with-cause so the rest of the batch — or the
+    /// resident daemon — keeps going; the verdict is explicitly incomplete,
+    /// never flipped.
+    Panic { message: String },
 }
 
 impl VerifyDiagnostic {
@@ -87,7 +93,8 @@ impl VerifyDiagnostic {
             | VerifyDiagnostic::Timeout { message }
             | VerifyDiagnostic::MissingSpec { message }
             | VerifyDiagnostic::Engine { message }
-            | VerifyDiagnostic::Lint { message } => message,
+            | VerifyDiagnostic::Lint { message }
+            | VerifyDiagnostic::Panic { message } => message,
         }
     }
 
@@ -110,6 +117,7 @@ impl VerifyDiagnostic {
             VerifyDiagnostic::MissingSpec { .. } => "missing-spec",
             VerifyDiagnostic::Engine { .. } => "engine",
             VerifyDiagnostic::Lint { .. } => "lint",
+            VerifyDiagnostic::Panic { .. } => "panic",
         }
     }
 
@@ -131,6 +139,20 @@ impl VerifyDiagnostic {
             }
         }
         format!("{}: {msg}", self.category())
+    }
+
+    /// Builds a [`VerifyDiagnostic::Panic`] from a `catch_unwind` payload
+    /// (the driver and the daemon both isolate per-target panics and report
+    /// them through this constructor).
+    pub fn from_panic(payload: &(dyn std::any::Any + Send)) -> VerifyDiagnostic {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        VerifyDiagnostic::Panic {
+            message: format!("verification panicked mid-proof: {message}"),
+        }
     }
 }
 

@@ -241,8 +241,13 @@ impl VerificationReport {
             SpecMode::FunctionalCorrectness => "FC",
         };
         let smt = if self.solver.smt_queries > 0 || self.solver.smt_failures > 0 {
+            let reenabled = if self.solver.smt_reenabled > 0 {
+                format!(" / {} re-enabled", self.solver.smt_reenabled)
+            } else {
+                String::new()
+            };
             format!(
-                ", smt {} asked / {} unsat / {} failed",
+                ", smt {} asked / {} unsat / {} failed{reenabled}",
                 self.solver.smt_queries, self.solver.smt_unsat, self.solver.smt_failures,
             )
         } else {
@@ -332,7 +337,7 @@ impl VerificationReport {
         ));
         out.push_str(&format!("\"backend\":\"{}\",", self.backend));
         out.push_str(&format!(
-            "\"solver\":{{\"unsat_queries\":{},\"entailment_queries\":{},\"cases_explored\":{},\"cache_hits\":{},\"incremental_hits\":{},\"kernel_nanos\":{},\"smt_queries\":{},\"smt_unsat\":{},\"smt_failures\":{},\"disk_cache_hits\":{},\"disk_cache_misses\":{},\"disk_cache_writes\":{},\"branches_pruned_static\":{},\"absint_facts_seeded\":{}}},",
+            "\"solver\":{{\"unsat_queries\":{},\"entailment_queries\":{},\"cases_explored\":{},\"cache_hits\":{},\"incremental_hits\":{},\"kernel_nanos\":{},\"smt_queries\":{},\"smt_unsat\":{},\"smt_failures\":{},\"smt_reenabled\":{},\"disk_cache_hits\":{},\"disk_cache_misses\":{},\"disk_cache_writes\":{},\"branches_pruned_static\":{},\"absint_facts_seeded\":{}}},",
             self.solver.unsat_queries,
             self.solver.entailment_queries,
             self.solver.cases_explored,
@@ -342,6 +347,7 @@ impl VerificationReport {
             self.solver.smt_queries,
             self.solver.smt_unsat,
             self.solver.smt_failures,
+            self.solver.smt_reenabled,
             self.solver.disk_cache_hits,
             self.solver.disk_cache_misses,
             self.solver.disk_cache_writes,
@@ -468,6 +474,7 @@ pub struct SessionBuilder {
     lint_deny_warnings: bool,
     lint_allow: Vec<String>,
     static_prune: Option<bool>,
+    target_timeout: Option<Duration>,
 }
 
 impl Default for SessionBuilder {
@@ -491,6 +498,7 @@ impl Default for SessionBuilder {
             lint_deny_warnings: false,
             lint_allow: Vec::new(),
             static_prune: None,
+            target_timeout: None,
         }
     }
 }
@@ -663,6 +671,20 @@ impl SessionBuilder {
         self
     }
 
+    /// Caps the wall-clock budget of each individual target. The engine
+    /// checks the deadline cooperatively (once per symbolic step, on every
+    /// branch worker), so a runaway proof fails with a structured
+    /// [`VerifyDiagnostic`] of category `timeout` instead of hanging the
+    /// batch. A timed-out target is explicitly *incomplete* — reported
+    /// unverified, never written to the proof cache — and the rest of the
+    /// batch proceeds normally. Deliberately excluded from the cache
+    /// namespace: only verified outcomes are cached, and the budget cannot
+    /// change what "verified" means.
+    pub fn target_timeout(mut self, budget: Duration) -> Self {
+        self.target_timeout = Some(budget);
+        self
+    }
+
     /// Suppresses specific lint codes (e.g. `["GL012"]`).
     pub fn lint_allow<I, S>(mut self, codes: I) -> Self
     where
@@ -735,6 +757,9 @@ impl SessionBuilder {
         }
         if let Some(b) = self.static_prune {
             engine_opts.static_prune = b;
+        }
+        if let Some(budget) = self.target_timeout {
+            engine_opts.target_timeout = Some(budget);
         }
 
         let mut verifier = Verifier::new(
@@ -1127,10 +1152,38 @@ impl HybridSession {
         self.verifier.verify_lemma(name)
     }
 
+    /// Per-target wall-clock budget, when one was configured at build time.
+    pub fn target_timeout(&self) -> Option<Duration> {
+        self.verifier.engine.opts.target_timeout
+    }
+
+    /// Changes the per-target budget of an already-built session (see
+    /// [`SessionBuilder::target_timeout`]; the compiled program and caches
+    /// are reused).
+    pub fn with_target_timeout(mut self, budget: Option<Duration>) -> Self {
+        self.verifier.engine.opts.target_timeout = budget;
+        self
+    }
+
+    /// Runs one target with panic isolation: a panic inside proof search
+    /// (an engine bug, or an injected fault in the chaos tests) is caught
+    /// here and folded into a structured unverified [`CaseReport`] of
+    /// category `panic`, so one poisoned proof never aborts the batch or
+    /// the daemon.
     fn run_target(&self, t: &Target) -> CaseOutcome {
-        let report = match t.kind {
+        let start = Instant::now();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match t.kind {
             TargetKind::Function => self.verifier.verify_fn(&t.name),
             TargetKind::Lemma => self.verifier.verify_lemma(&t.name),
+        }));
+        let report = match attempt {
+            Ok(report) => report,
+            Err(payload) => CaseReport {
+                name: t.name.clone(),
+                verified: false,
+                elapsed: start.elapsed(),
+                diagnostic: Some(VerifyDiagnostic::from_panic(payload.as_ref())),
+            },
         };
         CaseOutcome {
             kind: t.kind,

@@ -1,0 +1,415 @@
+//! Deterministic, seeded fault injection for the verification pipeline.
+//!
+//! The pipeline crosses a chain of failure-prone boundaries — the on-disk
+//! proof cache, external SMT child processes, the daemon's request loop,
+//! the engine's step loop. Each boundary declares a *named fault point*
+//! (`cache.read`, `smt.spawn`, …) by calling [`hit`] at the top of the
+//! fallible operation. A [`FaultPlan`] maps fault points to *nth-hit
+//! actions*: the plan `cache.write@2=err` makes the second write to the
+//! proof-cache store fail with an I/O error, every other hit is untouched.
+//!
+//! Determinism is the whole design: a plan is a finite list of
+//! `(point, nth, action)` rules, hit counters are global and start at zero
+//! when the plan is installed, and [`FaultPlan::seeded`] derives a schedule
+//! from a `u64` seed with a fixed xorshift generator — the same seed always
+//! yields the same faults at the same operations. That is what lets the
+//! chaos suite assert a *differential* invariant: run the same workload
+//! with and without the plan and compare verdicts case by case.
+//!
+//! # Zero cost when disabled
+//!
+//! Everything here is behind the `injection` cargo feature. Without it
+//! [`hit`] is an empty `#[inline(always)]` function and [`install`] /
+//! [`clear`] are no-ops: the fault points woven through the other crates
+//! compile to nothing. With the feature on, a plan is taken either from
+//! [`install`] (tests) or from the `GILLIAN_FAULTS` environment variable
+//! (read once, on the first hit — lets `daemon_smoke.sh` and CI inject
+//! faults into a release binary without recompiling callers).
+//!
+//! # Plan syntax
+//!
+//! `GILLIAN_FAULTS` and [`FaultPlan::parse`] accept a `;`-separated rule
+//! list: `point@nth=action`, where `action` is `err`, `panic`, `garbage`,
+//! `die` or `hang:<millis>`. `seed:<n>` is also accepted and expands to
+//! [`FaultPlan::seeded`].
+
+use std::fmt;
+
+/// What an armed fault point does on its scheduled hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The operation reports an I/O failure (the seam maps this to its
+    /// native error type: `io::Error`, a failed spawn, a dead process…).
+    ErrIo,
+    /// The operation panics, as a latent bug would.
+    Panic,
+    /// The operation stalls for the given number of milliseconds before
+    /// proceeding normally — exercises deadlines, not error paths.
+    Hang(u64),
+    /// The operation "succeeds" but yields corrupted data (the seam decides
+    /// what garbage means: a mangled cache record, an unparsable solver
+    /// reply…).
+    Garbage,
+    /// The whole process aborts, as `kill -9` or an OOM kill would.
+    Die,
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::ErrIo => write!(f, "err"),
+            FaultAction::Panic => write!(f, "panic"),
+            FaultAction::Hang(ms) => write!(f, "hang:{ms}"),
+            FaultAction::Garbage => write!(f, "garbage"),
+            FaultAction::Die => write!(f, "die"),
+        }
+    }
+}
+
+/// One scheduled fault: on the `nth` hit (1-based) of `point`, do `action`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultRule {
+    pub point: String,
+    pub nth: u64,
+    pub action: FaultAction,
+}
+
+impl fmt::Display for FaultRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}={}", self.point, self.nth, self.action)
+    }
+}
+
+/// A deterministic fault schedule: a finite set of [`FaultRule`]s.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub rules: Vec<FaultRule>,
+}
+
+/// The catalog of fault points woven through the pipeline. Kept in one
+/// place so seeded schedules, the README and the chaos tests agree on the
+/// namespace.
+pub const POINTS: &[&str] = &[
+    "cache.read",
+    "cache.write",
+    "smt.spawn",
+    "smt.write",
+    "smt.read",
+    "engine.step",
+    "daemon.request",
+];
+
+impl FaultPlan {
+    /// Parses the `point@nth=action;…` syntax (also accepted from the
+    /// `GILLIAN_FAULTS` environment variable). `seed:<n>` clauses expand to
+    /// [`FaultPlan::seeded`] schedules.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(seed) = clause.strip_prefix("seed:") {
+                let seed: u64 = seed
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad seed in fault clause `{clause}`"))?;
+                plan.rules.extend(FaultPlan::seeded(seed).rules);
+                continue;
+            }
+            let (point, rest) = clause
+                .split_once('@')
+                .ok_or_else(|| format!("fault clause `{clause}` lacks `@nth`"))?;
+            let (nth, action) = rest
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause `{clause}` lacks `=action`"))?;
+            let nth: u64 = nth
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad hit count in fault clause `{clause}`"))?;
+            let action = match action.trim() {
+                "err" => FaultAction::ErrIo,
+                "panic" => FaultAction::Panic,
+                "garbage" => FaultAction::Garbage,
+                "die" => FaultAction::Die,
+                other => match other.strip_prefix("hang:") {
+                    Some(ms) => FaultAction::Hang(
+                        ms.parse()
+                            .map_err(|_| format!("bad hang millis in fault clause `{clause}`"))?,
+                    ),
+                    None => return Err(format!("unknown fault action `{other}` in `{clause}`")),
+                },
+            };
+            plan.rules.push(FaultRule {
+                point: point.trim().to_string(),
+                nth,
+                action,
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Derives a deterministic schedule from a seed: one to three rules over
+    /// the [`POINTS`] catalog, with early hit counts and every non-lethal
+    /// action represented across the seed space. `Die` is never generated —
+    /// seeded schedules are meant to run inside a test process; lethal
+    /// faults are opted into explicitly via [`FaultPlan::parse`].
+    pub fn seeded(seed: u64) -> FaultPlan {
+        // xorshift64*: tiny, fixed, and good enough to spread a seed range
+        // over the (point × nth × action) space. Never changes, or old
+        // seeds would stop reproducing old schedules.
+        let mut state = seed.wrapping_mul(2685821657736338717).wrapping_add(1);
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state = state.wrapping_mul(2685821657736338717);
+            state
+        };
+        let n_rules = 1 + (next() % 3) as usize;
+        let mut rules = Vec::with_capacity(n_rules);
+        for _ in 0..n_rules {
+            let point = POINTS[(next() % POINTS.len() as u64) as usize].to_string();
+            // Engine steps are hit hundreds of thousands of times per
+            // target; everything else only a handful. Scale the hit count
+            // so the fault actually lands mid-flight.
+            let nth = if point == "engine.step" {
+                1 + next() % 5000
+            } else {
+                1 + next() % 4
+            };
+            let action = match next() % 4 {
+                0 => FaultAction::ErrIo,
+                1 => FaultAction::Panic,
+                2 => FaultAction::Hang(5 + next() % 40),
+                _ => FaultAction::Garbage,
+            };
+            rules.push(FaultRule { point, nth, action });
+        }
+        FaultPlan { rules }
+    }
+
+    /// The plan back in [`FaultPlan::parse`] syntax (round-trips).
+    pub fn render(&self) -> String {
+        self.rules
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+}
+
+/// The two actions a fault point hands back to its caller, which then
+/// materialises them in the seam's own vocabulary. (`Panic`, `Hang` and
+/// `Die` are executed centrally by [`hit`] itself.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Fail the operation as the seam's native I/O error.
+    ErrIo,
+    /// Complete the operation with corrupted data.
+    Garbage,
+}
+
+#[cfg(feature = "injection")]
+mod imp {
+    use super::{FaultAction, FaultPlan, InjectedFault};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock, RwLock};
+
+    struct Active {
+        plan: FaultPlan,
+        counts: Mutex<HashMap<String, u64>>,
+    }
+
+    fn state() -> &'static RwLock<Option<Active>> {
+        static STATE: OnceLock<RwLock<Option<Active>>> = OnceLock::new();
+        STATE.get_or_init(|| {
+            // Lazily adopt a plan from the environment, once per process.
+            // An explicit `install` simply overwrites it.
+            let env = std::env::var("GILLIAN_FAULTS")
+                .ok()
+                .filter(|v| !v.trim().is_empty())
+                .and_then(|v| match FaultPlan::parse(&v) {
+                    Ok(plan) => Some(plan),
+                    Err(e) => {
+                        eprintln!("gillian-faults: ignoring GILLIAN_FAULTS: {e}");
+                        None
+                    }
+                });
+            RwLock::new(env.map(|plan| Active {
+                plan,
+                counts: Mutex::new(HashMap::new()),
+            }))
+        })
+    }
+
+    fn fired_counter() -> &'static AtomicU64 {
+        static FIRED: AtomicU64 = AtomicU64::new(0);
+        &FIRED
+    }
+
+    pub fn install(plan: FaultPlan) {
+        *state().write().unwrap() = Some(Active {
+            plan,
+            counts: Mutex::new(HashMap::new()),
+        });
+        fired_counter().store(0, Ordering::SeqCst);
+    }
+
+    pub fn clear() {
+        *state().write().unwrap() = None;
+    }
+
+    pub fn active() -> bool {
+        state().read().unwrap().is_some()
+    }
+
+    pub fn fired() -> u64 {
+        fired_counter().load(Ordering::SeqCst)
+    }
+
+    pub fn hit(point: &str) -> Option<InjectedFault> {
+        let guard = state().read().unwrap();
+        let active = guard.as_ref()?;
+        let n = {
+            let mut counts = active.counts.lock().unwrap();
+            let n = counts.entry(point.to_string()).or_insert(0);
+            *n += 1;
+            *n
+        };
+        let rule = active
+            .plan
+            .rules
+            .iter()
+            .find(|r| r.point == point && r.nth == n)?;
+        let action = rule.action;
+        fired_counter().fetch_add(1, Ordering::SeqCst);
+        // Drop the lock before acting: a panic must not poison the plan
+        // (the batch keeps running other targets under the same schedule),
+        // and a hang must not block unrelated fault points.
+        drop(guard);
+        match action {
+            FaultAction::ErrIo => Some(InjectedFault::ErrIo),
+            FaultAction::Garbage => Some(InjectedFault::Garbage),
+            FaultAction::Panic => panic!("injected fault: {point} panicked (fault plan)"),
+            FaultAction::Hang(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                None
+            }
+            FaultAction::Die => {
+                eprintln!("injected fault: {point} dying (fault plan)");
+                std::process::abort()
+            }
+        }
+    }
+}
+
+/// Installs a fault plan process-wide, resetting every hit counter. No-op
+/// without the `injection` feature.
+pub fn install(plan: FaultPlan) {
+    #[cfg(feature = "injection")]
+    imp::install(plan);
+    #[cfg(not(feature = "injection"))]
+    let _ = plan;
+}
+
+/// Removes the active plan (if any). No-op without the `injection` feature.
+pub fn clear() {
+    #[cfg(feature = "injection")]
+    imp::clear();
+}
+
+/// Is a fault plan currently active? Always `false` without the
+/// `injection` feature.
+pub fn active() -> bool {
+    #[cfg(feature = "injection")]
+    return imp::active();
+    #[cfg(not(feature = "injection"))]
+    false
+}
+
+/// How many faults have fired since the last [`install`]. Lets tests assert
+/// that a schedule actually landed. Always `0` without the feature.
+pub fn fired() -> u64 {
+    #[cfg(feature = "injection")]
+    return imp::fired();
+    #[cfg(not(feature = "injection"))]
+    0
+}
+
+/// A named fault point. Call at the top of a fallible operation; `None`
+/// means proceed normally. `Some(ErrIo)` / `Some(Garbage)` are mapped by
+/// the caller to its native failure mode; `Panic`, `Hang` and `Die`
+/// actions are executed here. Compiles to nothing without the `injection`
+/// feature.
+#[inline(always)]
+pub fn hit(point: &str) -> Option<InjectedFault> {
+    #[cfg(feature = "injection")]
+    return imp::hit(point);
+    #[cfg(not(feature = "injection"))]
+    {
+        let _ = point;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        let plan = FaultPlan::parse("cache.write@2=err; smt.spawn@1=panic;engine.step@100=hang:50")
+            .unwrap();
+        assert_eq!(plan.rules.len(), 3);
+        assert_eq!(plan.rules[0].action, FaultAction::ErrIo);
+        assert_eq!(plan.rules[1].nth, 1);
+        assert_eq!(plan.rules[2].action, FaultAction::Hang(50));
+        assert_eq!(FaultPlan::parse(&plan.render()).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        assert!(FaultPlan::parse("cache.write=err").is_err());
+        assert!(FaultPlan::parse("cache.write@x=err").is_err());
+        assert!(FaultPlan::parse("cache.write@1=explode").is_err());
+        assert!(FaultPlan::parse("cache.write@1=hang:soon").is_err());
+    }
+
+    #[test]
+    fn seeded_is_deterministic_and_in_catalog() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::seeded(seed);
+            let b = FaultPlan::seeded(seed);
+            assert_eq!(a, b, "seed {seed} reproduces");
+            assert!(!a.rules.is_empty() && a.rules.len() <= 3);
+            for rule in &a.rules {
+                assert!(POINTS.contains(&rule.point.as_str()), "{rule}");
+                assert!(rule.nth >= 1);
+                assert_ne!(rule.action, FaultAction::Die, "seeded plans are non-lethal");
+            }
+        }
+        // The seed space actually varies.
+        assert_ne!(FaultPlan::seeded(1), FaultPlan::seeded(2));
+    }
+
+    #[test]
+    fn seed_clause_expands() {
+        let plan = FaultPlan::parse("seed:7").unwrap();
+        assert_eq!(plan, FaultPlan::seeded(7));
+    }
+
+    #[cfg(feature = "injection")]
+    #[test]
+    fn nth_hit_fires_exactly_once() {
+        install(FaultPlan::parse("t.point@2=err").unwrap());
+        assert_eq!(hit("t.point"), None);
+        assert_eq!(hit("t.point"), Some(InjectedFault::ErrIo));
+        assert_eq!(hit("t.point"), None);
+        assert_eq!(fired(), 1);
+        clear();
+        assert_eq!(hit("t.point"), None);
+    }
+}

@@ -186,6 +186,15 @@ pub struct EngineOptions {
     /// over-approximates every concrete execution, so pruning is
     /// verdict-preserving (it only removes paths with no concrete model).
     pub static_prune: bool,
+    /// Cooperative wall-clock deadline for each verification target
+    /// (`None` = unbounded, the default). The deadline is installed when
+    /// [`Engine::verify_proc_from`] / [`Engine::verify_lemma_from`] enter
+    /// and checked at every step of the serial and parallel drivers; a
+    /// target that overruns fails with [`VerErrorKind::Timeout`] carrying
+    /// the elapsed budget, and the rest of the batch is unaffected.
+    /// Timeouts are failures, so they are never written to the proof cache
+    /// — the option therefore does not participate in cache namespacing.
+    pub target_timeout: Option<Duration>,
 }
 
 impl Default for EngineOptions {
@@ -205,8 +214,52 @@ impl Default for EngineOptions {
             smt_per_worker: smt.per_worker,
             branch_parallelism: 1,
             static_prune: true,
+            target_timeout: None,
         }
     }
+}
+
+// The per-thread target deadline: `(deadline, budget)`. Installed by the
+// verification entry points from [`EngineOptions::target_timeout`] and
+// read by the execution drivers; a thread-local (rather than an `Engine`
+// field) so concurrent obligations on one shared engine each get their own
+// clock. Parallel branch workers inherit it through [`BranchShared`].
+thread_local! {
+    static TARGET_DEADLINE: std::cell::Cell<Option<(Instant, Duration)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Installs the target deadline for the current thread and restores the
+/// previous one on drop (verification entry points can nest — e.g. a test
+/// calling `verify_proc_from` from inside another obligation's worker).
+struct DeadlineGuard {
+    prev: Option<(Instant, Duration)>,
+}
+
+impl DeadlineGuard {
+    fn install(timeout: Option<Duration>) -> DeadlineGuard {
+        let prev = TARGET_DEADLINE.with(|d| d.get());
+        let next = timeout.map(|budget| (Instant::now() + budget, budget));
+        TARGET_DEADLINE.with(|d| d.set(next));
+        DeadlineGuard { prev }
+    }
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        TARGET_DEADLINE.with(|d| d.set(prev));
+    }
+}
+
+fn current_deadline() -> Option<(Instant, Duration)> {
+    TARGET_DEADLINE.with(|d| d.get())
+}
+
+fn deadline_error(budget: Duration, proc: Symbol) -> VerError {
+    VerError::timeout(format!(
+        "target deadline of {budget:?} exceeded while executing {proc}"
+    ))
 }
 
 impl EngineOptions {
@@ -372,6 +425,13 @@ struct BranchShared<'a, S> {
     has_err: AtomicBool,
     /// The shared step budget tripped; workers drain without executing.
     timed_out: AtomicBool,
+    /// The per-target wall-clock deadline tripped (see
+    /// [`EngineOptions::target_timeout`]); workers drain without executing.
+    deadline_hit: AtomicBool,
+    /// The target deadline, captured from the spawning thread's
+    /// thread-local before the scope starts (worker threads are fresh and
+    /// would otherwise see no deadline).
+    deadline: Option<(Instant, Duration)>,
     /// Commands executed across all workers (the shared step budget).
     steps: AtomicUsize,
 }
@@ -1959,11 +2019,23 @@ impl<S: StateModel> Engine<S> {
         let mut finished: Vec<(Config<S>, Expr)> = Vec::new();
         let mut steps = 0usize;
         let mut max_live = 1u64;
+        let deadline = current_deadline();
         while let Some((cfg, pc)) = work.pop() {
             steps += 1;
             if steps > self.opts.max_steps {
                 return Err(VerError::timeout(format!(
                     "step budget exhausted while executing {}",
+                    proc.name
+                )));
+            }
+            if let Some((dl, budget)) = deadline {
+                if Instant::now() >= dl {
+                    return Err(deadline_error(budget, proc.name));
+                }
+            }
+            if gillian_faults::hit("engine.step").is_some() {
+                return Err(VerError::new(format!(
+                    "injected fault: engine step failed while executing {}",
                     proc.name
                 )));
             }
@@ -2020,6 +2092,8 @@ impl<S: StateModel> Engine<S> {
             first_err: &first_err,
             has_err: AtomicBool::new(false),
             timed_out: AtomicBool::new(false),
+            deadline_hit: AtomicBool::new(false),
+            deadline: current_deadline(),
             steps: AtomicUsize::new(0),
         };
         std::thread::scope(|scope| {
@@ -2038,10 +2112,20 @@ impl<S: StateModel> Engine<S> {
             .max_live_branches
             .fetch_max(queue.max_live() as u64, Ordering::Relaxed);
         // Destructure to release the borrows of `finished`/`first_err`.
-        let BranchShared { timed_out, .. } = shared;
+        let BranchShared {
+            timed_out,
+            deadline_hit,
+            deadline,
+            ..
+        } = shared;
         let timed_out = timed_out.load(Ordering::Relaxed);
+        let deadline_hit = deadline_hit.load(Ordering::Relaxed);
         if let Some((_, e)) = first_err.into_inner().unwrap() {
             return Err(e);
+        }
+        if deadline_hit {
+            let (_, budget) = deadline.expect("deadline_hit implies a deadline");
+            return Err(deadline_error(budget, proc.name));
         }
         if timed_out {
             return Err(VerError::timeout(format!(
@@ -2085,11 +2169,32 @@ impl<S: StateModel> Engine<S> {
                     .unwrap()
                     .as_ref()
                     .is_some_and(|(p, _)| *p < path);
-            if doomed || shared.timed_out.load(Ordering::Relaxed) {
+            if doomed
+                || shared.timed_out.load(Ordering::Relaxed)
+                || shared.deadline_hit.load(Ordering::Relaxed)
+            {
                 continue;
             }
             if shared.steps.fetch_add(1, Ordering::Relaxed) + 1 > self.opts.max_steps {
                 shared.timed_out.store(true, Ordering::Relaxed);
+                continue;
+            }
+            if let Some((dl, _)) = shared.deadline {
+                if Instant::now() >= dl {
+                    shared.deadline_hit.store(true, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            if gillian_faults::hit("engine.step").is_some() {
+                let e = VerError::new(format!(
+                    "injected fault: engine step failed while executing {}",
+                    proc.name
+                ));
+                let mut best = shared.first_err.lock().unwrap();
+                if best.as_ref().is_none_or(|(p, _)| path < *p) {
+                    *best = Some((path.clone(), e));
+                }
+                shared.has_err.store(true, Ordering::Relaxed);
                 continue;
             }
             match self.step(cfg, pc, proc, 0) {
@@ -2219,6 +2324,7 @@ impl<S: StateModel> Engine<S> {
     pub fn verify_proc_from(&self, name: &str, initial: S) -> ProcReport {
         let start = Instant::now();
         let name_sym = Symbol::new(name);
+        let _deadline = DeadlineGuard::install(self.opts.target_timeout);
         let result = self.verify_proc_inner(name_sym, initial);
         ProcReport {
             name: name_sym,
@@ -2308,6 +2414,7 @@ impl<S: StateModel> Engine<S> {
     pub fn verify_lemma_from(&self, name: &str, initial: S) -> ProcReport {
         let start = Instant::now();
         let name_sym = Symbol::new(name);
+        let _deadline = DeadlineGuard::install(self.opts.target_timeout);
         let result = self.verify_lemma_inner(name_sym, initial);
         ProcReport {
             name: name_sym,

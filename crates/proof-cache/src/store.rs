@@ -305,9 +305,20 @@ impl CacheStore for MemStore {
 /// named `<target_key:016x>-<dep_set_hash:016x>.rec`. Writes go through a
 /// temp file and an atomic rename, so readers never observe a torn record;
 /// a crash at worst leaves a `.tmp` file that is ignored and swept by `gc`.
+///
+/// Write failures (read-only directory, ENOSPC, an injected fault) never
+/// error the run: the store *degrades* to in-memory-only operation — the
+/// record lands in an embedded [`MemStore`] overflow, a notice is printed
+/// once, and lookups keep consulting both tiers. The run keeps its warm
+/// results; only persistence across processes is lost.
 pub struct DirStore {
     root: PathBuf,
     tmp_counter: AtomicU64,
+    /// A disk write has failed; later records are expected to land in the
+    /// overflow too (flipped once, with a one-time notice).
+    degraded: std::sync::atomic::AtomicBool,
+    /// Records that could not be persisted, kept for the process lifetime.
+    overflow: MemStore,
 }
 
 impl DirStore {
@@ -317,6 +328,26 @@ impl DirStore {
         DirStore {
             root: root.into(),
             tmp_counter: AtomicU64::new(0),
+            degraded: std::sync::atomic::AtomicBool::new(false),
+            overflow: MemStore::new(),
+        }
+    }
+
+    /// Has this store fallen back to in-memory-only operation after a disk
+    /// write failure?
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Flips the degraded flag, printing the notice exactly once per store.
+    fn degrade(&self, what: &str) {
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "gillian-proof-cache: {what} under {} failed; continuing with an \
+                 in-memory cache only (results are kept for this run, but will \
+                 not persist across processes)",
+                self.root.display()
+            );
         }
     }
 
@@ -375,16 +406,24 @@ impl DirStore {
 
     /// Deletes least-recently-modified records until the store holds at
     /// most `max_bytes` of record files. Returns (files removed, bytes
-    /// freed). Also sweeps stray `.tmp` files from interrupted writes.
+    /// freed). Also sweeps *stale* `.tmp` files from interrupted writes —
+    /// a fresh `.tmp` belongs to an in-flight writer (possibly in another
+    /// process) whose atomic rename must not be yanked away mid-insert, so
+    /// only files older than a generous in-flight window are reaped.
     pub fn gc(&self, max_bytes: u64) -> (u64, u64) {
+        const TMP_SWEEP_AGE: std::time::Duration = std::time::Duration::from_secs(300);
         let mut removed = 0u64;
         let mut freed = 0u64;
         if let Ok(entries) = std::fs::read_dir(&self.root) {
             for entry in entries.flatten() {
                 let path = entry.path();
-                if path.extension().and_then(|e| e.to_str()) == Some("tmp")
-                    && std::fs::remove_file(&path).is_ok()
-                {
+                let stale_tmp = path.extension().and_then(|e| e.to_str()) == Some("tmp")
+                    && std::fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|mtime| mtime.elapsed().ok())
+                        .is_some_and(|age| age > TMP_SWEEP_AGE);
+                if stale_tmp && std::fs::remove_file(&path).is_ok() {
                     removed += 1;
                 }
             }
@@ -423,42 +462,59 @@ impl DirStore {
 
 impl CacheStore for DirStore {
     fn lookup(&self, target_key: u64) -> Vec<CacheRecord> {
-        let prefix = format!("{target_key:016x}-");
-        self.record_files()
-            .into_iter()
-            .filter(|p| {
-                p.file_name()
-                    .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with(&prefix))
-            })
-            .filter_map(|p| {
-                let text = std::fs::read_to_string(&p).ok()?;
-                let rec = CacheRecord::from_text(&text)?;
-                // A renamed or hand-crafted file whose contents do not match
-                // its key is stale: treat as a miss.
-                (rec.target_key() == target_key).then_some(rec)
-            })
-            .collect()
+        // An injected read fault degrades this lookup to misses — exactly
+        // like an unreadable directory. Records already in the in-memory
+        // overflow stay visible either way.
+        let mut out = if gillian_faults::hit("cache.read").is_some() {
+            Vec::new()
+        } else {
+            let prefix = format!("{target_key:016x}-");
+            self.record_files()
+                .into_iter()
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with(&prefix))
+                })
+                .filter_map(|p| {
+                    let text = std::fs::read_to_string(&p).ok()?;
+                    let rec = CacheRecord::from_text(&text)?;
+                    // A renamed or hand-crafted file whose contents do not
+                    // match its key is stale: treat as a miss.
+                    (rec.target_key() == target_key).then_some(rec)
+                })
+                .collect()
+        };
+        out.extend(self.overflow.lookup(target_key));
+        out
     }
 
     fn insert(&self, record: &CacheRecord) {
-        if std::fs::create_dir_all(&self.root).is_err() {
-            return;
-        }
-        let name = format!(
-            "{:016x}-{:016x}.rec",
-            record.target_key(),
-            record.dep_set_hash()
-        );
-        let tmp = self.tmp_path();
-        let write = std::fs::File::create(&tmp).and_then(|mut f| {
-            f.write_all(record.to_text().as_bytes())
-                .and_then(|()| f.sync_all())
-        });
-        if write.is_ok() {
-            let _ = std::fs::rename(&tmp, self.root.join(name));
-        } else {
-            let _ = std::fs::remove_file(&tmp);
+        let injected = gillian_faults::hit("cache.write").is_some();
+        let written = !injected && std::fs::create_dir_all(&self.root).is_ok() && {
+            let name = format!(
+                "{:016x}-{:016x}.rec",
+                record.target_key(),
+                record.dep_set_hash()
+            );
+            let tmp = self.tmp_path();
+            let write = std::fs::File::create(&tmp).and_then(|mut f| {
+                f.write_all(record.to_text().as_bytes())
+                    .and_then(|()| f.sync_all())
+            });
+            match write {
+                Ok(()) => std::fs::rename(&tmp, self.root.join(name)).is_ok(),
+                Err(_) => {
+                    let _ = std::fs::remove_file(&tmp);
+                    false
+                }
+            }
+        };
+        if !written {
+            // ENOSPC, a read-only directory, an injected fault: keep the
+            // record for this run and carry on.
+            self.degrade("writing a proof record");
+            self.overflow.insert(record);
         }
     }
 
@@ -467,6 +523,7 @@ impl CacheStore for DirStore {
             let _ = std::fs::remove_file(path);
         }
         let _ = std::fs::remove_file(self.root.join("last-run.txt"));
+        self.overflow.clear();
     }
 
     fn stats(&self) -> StoreStats {
@@ -483,6 +540,9 @@ impl CacheStore for DirStore {
                 stats.entries += 1;
             }
         }
+        let overflow = self.overflow.stats();
+        stats.entries += overflow.entries;
+        stats.bytes += overflow.bytes;
         stats
     }
 
@@ -686,5 +746,87 @@ mod tests {
         if std::env::var("GILLIAN_CACHE_DIR").is_err() {
             assert_eq!(resolve_cache_dir(), fallback);
         }
+    }
+
+    /// An unwritable cache location (read-only mount, permission problem)
+    /// must not error the run: inserts degrade to the in-memory overflow
+    /// (with the degraded flag set), lookups keep serving the overflowed
+    /// records for the rest of the process, and a fresh store over the same
+    /// location simply sees misses — the cold-identical-verdict contract.
+    /// The root is nested under a regular *file*, so `create_dir_all` fails
+    /// with `ENOTDIR` for every user — unlike permission bits, which root
+    /// (CI containers) ignores.
+    #[test]
+    fn unwritable_dir_degrades_to_in_memory() {
+        let dir = tempdir("readonly");
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, "not a directory").unwrap();
+
+        let store = DirStore::new(blocker.join("cache"));
+        let rec = record("push", 42);
+        assert!(!store.is_degraded());
+        store.insert(&rec);
+        assert!(store.is_degraded(), "a failed write flips the store");
+        assert_eq!(
+            store.lookup(rec.target_key()),
+            vec![rec.clone()],
+            "the record is served from the overflow"
+        );
+        assert_eq!(store.stats().entries, 1);
+        // A second insert stays quiet (the notice is one-time) and works.
+        store.insert(&record("pop", 43));
+        assert_eq!(store.stats().entries, 2);
+
+        // A fresh process over the same location: nothing persisted,
+        // everything is a miss — never a wrong answer.
+        let fresh = DirStore::new(blocker.join("cache"));
+        assert!(fresh.lookup(rec.target_key()).is_empty());
+        assert!(!fresh.is_degraded());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `gc` racing a concurrent writer: eviction and insertion interleave
+    /// freely; nothing panics, every surviving record still parses, and the
+    /// writer's records remain readable through the same store.
+    #[test]
+    fn gc_races_a_concurrent_writer() {
+        let dir = tempdir("gcrace");
+        let store = std::sync::Arc::new(DirStore::new(&dir));
+
+        let writer = {
+            let store = std::sync::Arc::clone(&store);
+            std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    store.insert(&record(&format!("w{i}"), i));
+                }
+            })
+        };
+        let collector = {
+            let store = std::sync::Arc::clone(&store);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    // A tight budget so eviction constantly chases the
+                    // writer's fresh records.
+                    store.gc(2048);
+                }
+            })
+        };
+        writer.join().unwrap();
+        collector.join().unwrap();
+
+        assert!(!store.is_degraded(), "races are not write failures");
+        for (path, rec) in store.all_records() {
+            assert_eq!(
+                CacheRecord::from_text(&std::fs::read_to_string(&path).unwrap()).as_ref(),
+                Some(&rec),
+                "surviving records parse cleanly"
+            );
+        }
+        // The store still works after the race.
+        let rec = record("after", 999);
+        store.insert(&rec);
+        assert!(store.lookup(rec.target_key()).contains(&rec));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

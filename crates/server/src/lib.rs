@@ -32,4 +32,6 @@ pub use fingerprint::{
 };
 pub use json::{parse, JsonError, Value};
 pub use protocol::{parse_request, Envelope, Request};
-pub use server::{serve_stdio, serve_stdio_with, DispatchError, ServerCore};
+pub use server::{
+    serve_stdio, serve_stdio_shared, serve_stdio_with, serve_unix, DispatchError, ServerCore,
+};

@@ -8,11 +8,10 @@
 //! ```
 
 use gillian_server::{
-    mode_label, parse_mode, serve_stdio_with, workload, ProgramDb, ServerCore, WORKLOADS,
+    mode_label, parse_mode, serve_stdio_shared, serve_unix, workload, ProgramDb, ServerCore,
+    WORKLOADS,
 };
 use proof_cache::{resolve_cache_dir, CacheStore, DirStore};
-use std::io::{BufRead, BufReader, Write};
-use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -91,9 +90,11 @@ fn main() {
                 None => ServerCore::new(),
                 Some(dir) => ServerCore::with_cache_dir(dir),
             };
+            let core = Arc::new(Mutex::new(core));
+            install_signal_flush(Arc::clone(&core));
             let result = match socket {
-                None => serve_stdio_with(core),
-                Some(path) => serve_unix(&path, core),
+                None => serve_stdio_shared(&core),
+                Some(path) => serve_unix(&path, &core),
             };
             if let Err(e) = result {
                 eprintln!("gillian serve: {e}");
@@ -113,6 +114,45 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("gillian: {msg}\n\n{USAGE}");
     std::process::exit(2);
+}
+
+/// Set by the async-signal handler; drained by the watcher thread.
+static SHUTDOWN_SIGNAL: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_sig: i32) {
+    // Async-signal context: flip a flag and nothing else.
+    SHUTDOWN_SIGNAL.store(true, Ordering::SeqCst);
+}
+
+/// Graceful shutdown on SIGTERM/SIGINT: a watcher thread waits for the
+/// signal flag, then flushes the proof cache exactly like a `shutdown`
+/// request — waiting out any in-flight request via the core mutex — and
+/// exits. Both serve loops block in reads the signal cannot interrupt
+/// portably (stdin `read_line`, the accept poll), so the watcher owns the
+/// exit. `std` already links libc on every supported target; the raw
+/// `signal(2)` declaration avoids growing the dependency tree.
+fn install_signal_flush(core: Arc<Mutex<ServerCore>>) {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_shutdown_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+    std::thread::spawn(move || loop {
+        if SHUTDOWN_SIGNAL.load(Ordering::SeqCst) {
+            {
+                let mut core = core.lock().unwrap();
+                core.flush_all();
+            }
+            eprintln!("gillian serve: signal received, proof cache flushed, exiting");
+            std::process::exit(0);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
 }
 
 /// `gillian lint` — the static-analysis gate over the in-repo workloads.
@@ -386,70 +426,4 @@ fn cache_command(args: &[String]) {
         }
         other => die(&format!("unknown cache action `{other}`")),
     }
-}
-
-/// Serves the daemon protocol on a Unix domain socket. Connections share
-/// one [`ServerCore`] (one loaded workload, one dependency tracker);
-/// requests are serialised through a mutex, so interleaved clients see a
-/// consistent warm state. A `shutdown` request stops the accept loop.
-fn serve_unix(path: &str, core: ServerCore) -> std::io::Result<()> {
-    // A stale socket file from a previous run would make bind fail.
-    let _ = std::fs::remove_file(path);
-    let listener = UnixListener::bind(path)?;
-    listener.set_nonblocking(true)?;
-    let core = Arc::new(Mutex::new(core));
-    let done = Arc::new(AtomicBool::new(false));
-    let mut handles = Vec::new();
-
-    while !done.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let core = Arc::clone(&core);
-                let done = Arc::clone(&done);
-                handles.push(std::thread::spawn(move || {
-                    let reader = BufReader::new(match stream.try_clone() {
-                        Ok(s) => s,
-                        Err(_) => return,
-                    });
-                    let mut writer = stream;
-                    for line in reader.lines() {
-                        let line = match line {
-                            Ok(l) => l,
-                            Err(_) => break,
-                        };
-                        if line.trim().is_empty() {
-                            continue;
-                        }
-                        let resp = {
-                            let mut core = core.lock().unwrap();
-                            let resp = core.handle_line(&line);
-                            if core.is_shutting_down() {
-                                done.store(true, Ordering::SeqCst);
-                            }
-                            resp
-                        };
-                        if writeln!(writer, "{resp}")
-                            .and_then(|()| writer.flush())
-                            .is_err()
-                        {
-                            break;
-                        }
-                        if done.load(Ordering::SeqCst) {
-                            break;
-                        }
-                    }
-                }));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(std::time::Duration::from_millis(25));
-            }
-            Err(e) => return Err(e),
-        }
-    }
-
-    for h in handles {
-        let _ = h.join();
-    }
-    let _ = std::fs::remove_file(path);
-    Ok(())
 }

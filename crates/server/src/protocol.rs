@@ -7,7 +7,7 @@
 //! ```json
 //! {"id":1,"cmd":"load","workload":"chain","mode":"fc"}
 //! {"id":2,"cmd":"verify"}
-//! {"id":3,"cmd":"verify","targets":["inc2"],"force":true}
+//! {"id":3,"cmd":"verify","targets":["inc2"],"force":true,"timeout_ms":5000}
 //! {"id":4,"cmd":"update_spec","fn":"inc","requires":["x@ < 500"],"ensures":["result@ == x@ + 1"]}
 //! {"id":5,"cmd":"update_fn","fn":"inc"}
 //! {"id":6,"cmd":"stats"}
@@ -28,6 +28,11 @@ pub enum Request {
     Verify {
         targets: Option<Vec<String>>,
         force: bool,
+        /// Optional per-target wall-clock budget for this request only, in
+        /// milliseconds. Applied around the run and restored afterwards, so
+        /// one slow client cannot change the daemon's configuration for the
+        /// next one.
+        timeout_ms: Option<u64>,
     },
     UpdateSpec {
         func: String,
@@ -105,7 +110,18 @@ fn decode(value: &Value) -> Result<Request, String> {
                 Some(Value::Bool(b)) => *b,
                 Some(_) => return Err("`force` must be a boolean".to_string()),
             };
-            Ok(Request::Verify { targets, force })
+            let timeout_ms = match value.get("timeout_ms") {
+                None | Some(Value::Null) => None,
+                Some(v) => match v.as_i64() {
+                    Some(n) if n > 0 => Some(n as u64),
+                    _ => return Err("`timeout_ms` must be a positive integer".to_string()),
+                },
+            };
+            Ok(Request::Verify {
+                targets,
+                force,
+                timeout_ms,
+            })
         }
         "update_spec" => Ok(Request::UpdateSpec {
             func: required_str(value, "fn")?,
@@ -196,17 +212,23 @@ mod tests {
             env.request.unwrap(),
             Request::Verify {
                 targets: None,
-                force: false
+                force: false,
+                timeout_ms: None,
             }
         );
-        let env = parse_request(r#"{"id":2,"cmd":"verify","targets":["inc"],"force":true}"#);
+        let env = parse_request(
+            r#"{"id":2,"cmd":"verify","targets":["inc"],"force":true,"timeout_ms":1500}"#,
+        );
         assert_eq!(
             env.request.unwrap(),
             Request::Verify {
                 targets: Some(vec!["inc".to_string()]),
-                force: true
+                force: true,
+                timeout_ms: Some(1500),
             }
         );
+        let env = parse_request(r#"{"cmd":"verify","timeout_ms":0}"#);
+        assert!(env.request.unwrap_err().contains("timeout_ms"));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use creusot_lite::{elaborate, parse_term};
 use driver::{CaseOutcome, SolverStats, Target, TargetKind};
 use gillian_engine::gil::DepKind;
 use gillian_lint::{LintDiagnostic, Severity};
-use gillian_rust::verifier::CaseReport;
+use gillian_rust::verifier::{CaseReport, VerifyDiagnostic};
 use gillian_solver::Symbol;
 use proof_cache::{
     record_matches, stable_fingerprint_key, stable_target_fingerprint, CacheRecord, CacheStore,
@@ -27,7 +27,7 @@ use proof_cache::{
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufRead, Write};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A failed request: the error message, plus the lint findings behind it
@@ -115,12 +115,36 @@ impl ServerCore {
     }
 
     /// Handles one request line and returns one response line.
+    ///
+    /// Request handling is panic-isolated: a panic anywhere inside dispatch
+    /// (an engine bug, or an injected `daemon.request` fault in the chaos
+    /// tests) is caught here and answered as a structured `ok:false` error
+    /// on the request's own id — the daemon and its warm sessions survive.
     pub fn handle_line(&mut self, line: &str) -> String {
         self.requests_served += 1;
         let envelope = parse_request(line);
         let result = match envelope.request {
             Err(e) => Err(DispatchError::from(e)),
-            Ok(req) => self.dispatch(req),
+            Ok(req) => {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if gillian_faults::hit("daemon.request").is_some() {
+                        Err(DispatchError::from(
+                            "injected fault: request handler failed".to_string(),
+                        ))
+                    } else {
+                        self.dispatch(req)
+                    }
+                })) {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        let diag = VerifyDiagnostic::from_panic(payload.as_ref());
+                        Err(DispatchError::from(format!(
+                            "request handler panicked (daemon still serving): {}",
+                            diag.message()
+                        )))
+                    }
+                }
+            }
         };
         let mut fields: Vec<(String, Value)> = Vec::new();
         match envelope.id {
@@ -151,7 +175,11 @@ impl ServerCore {
                 workers,
                 branch_parallelism,
             } => self.do_load(&workload, mode.as_deref(), workers, branch_parallelism),
-            Request::Verify { targets, force } => self.do_verify(targets, force),
+            Request::Verify {
+                targets,
+                force,
+                timeout_ms,
+            } => self.do_verify(targets, force, timeout_ms),
             Request::UpdateSpec {
                 func,
                 requires,
@@ -272,6 +300,7 @@ impl ServerCore {
         &mut self,
         targets: Option<Vec<String>>,
         force: bool,
+        timeout_ms: Option<u64>,
     ) -> Result<Vec<(String, Value)>, DispatchError> {
         let store = self.store.clone();
         let loaded = self.loaded()?;
@@ -291,6 +320,15 @@ impl ServerCore {
                 out
             }
         };
+
+        // Per-request deadline: applied for this run only and restored
+        // afterwards, so one client's budget never leaks into the session
+        // configuration the next request sees.
+        let saved_timeout = loaded.db.session.verifier().engine.opts.target_timeout;
+        if let Some(ms) = timeout_ms {
+            loaded.db.session.verifier_mut().engine.opts.target_timeout =
+                Some(Duration::from_millis(ms));
+        }
 
         let before = loaded.db.session.verifier().solver_stats();
         let disk_before = loaded.disk;
@@ -322,6 +360,10 @@ impl ServerCore {
                 cached.push(t.name.clone());
                 cases.push((outcome, true));
             }
+        }
+
+        if timeout_ms.is_some() {
+            loaded.db.session.verifier_mut().engine.opts.target_timeout = saved_timeout;
         }
 
         let wall_seconds = wall.elapsed().as_secs_f64();
@@ -613,8 +655,9 @@ impl ServerCore {
     /// resident session to the disk store. Eager write-back after each
     /// `verify` already covers freshly proved targets; this shutdown sweep
     /// additionally re-writes hydrated ones, refreshing their mtimes for
-    /// `cache gc`'s least-recently-used ordering.
-    fn flush_all(&mut self) {
+    /// `cache gc`'s least-recently-used ordering. Public so the binary's
+    /// SIGTERM/SIGINT handler can flush exactly like a `shutdown` request.
+    pub fn flush_all(&mut self) {
         let Some(store) = &self.store else { return };
         for loaded in self.sessions.values() {
             for t in loaded.db.session.targets() {
@@ -643,16 +686,38 @@ impl ServerCore {
 /// Runs one target with dependency recording and records the result.
 /// Returns the outcome plus the raw read-set, so a caller holding a disk
 /// store can persist a stable record without re-running anything.
+///
+/// The proof itself runs under `catch_unwind`: a panicking target (an
+/// engine bug, or an injected fault in the chaos tests) becomes a
+/// structured unverified outcome of category `panic`, and — crucially for
+/// the resident daemon — the dependency-recording window is closed either
+/// way, so the session's warm state stays consistent for the next request.
+///
+/// *Transient* outcomes (a panic, or a timeout under a wall-clock deadline)
+/// are returned but **not** recorded in the tracker: they describe this
+/// run's environment, not the program, so the target stays dirty and is
+/// re-proved on the next request instead of replaying a stale failure.
 fn run_target(
     db: &mut ProgramDb,
     tracker: &mut DepTracker,
     target: &Target,
 ) -> (CaseOutcome, Vec<(DepKind, Symbol)>) {
     let verifier = db.session.verifier();
+    let deadline_active = verifier.engine.opts.target_timeout.is_some();
     verifier.engine.prog.begin_dep_recording();
-    let report = match target.kind {
+    let start = Instant::now();
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match target.kind {
         TargetKind::Function => db.session.verify_fn(&target.name),
         TargetKind::Lemma => db.session.verify_lemma(&target.name),
+    }));
+    let report = match attempt {
+        Ok(report) => report,
+        Err(payload) => CaseReport {
+            name: target.name.clone(),
+            verified: false,
+            elapsed: start.elapsed(),
+            diagnostic: Some(VerifyDiagnostic::from_panic(payload.as_ref())),
+        },
     };
     let raw = verifier.engine.prog.end_dep_recording();
     let arena = verifier.engine.solver.arena();
@@ -667,7 +732,14 @@ fn run_target(
         kind: target.kind,
         report,
     };
-    tracker.record(&target.name, reads, outcome.clone());
+    let transient = match &outcome.report.diagnostic {
+        Some(VerifyDiagnostic::Panic { .. }) => true,
+        Some(VerifyDiagnostic::Timeout { .. }) => deadline_active,
+        _ => false,
+    };
+    if !transient {
+        tracker.record(&target.name, reads, outcome.clone());
+    }
     (outcome, raw)
 }
 
@@ -802,6 +874,10 @@ fn stats_value(s: SolverStats) -> Value {
             Value::Int(s.smt_failures as i64),
         ),
         (
+            "smt_reenabled".to_string(),
+            Value::Int(s.smt_reenabled as i64),
+        ),
+        (
             "kernel_nanos".to_string(),
             Value::Int(s.kernel_nanos as i64),
         ),
@@ -858,7 +934,14 @@ pub fn serve_stdio() -> std::io::Result<()> {
 
 /// [`serve_stdio`] over a caller-configured core (e.g. one holding a
 /// persistent proof-cache store).
-pub fn serve_stdio_with(mut core: ServerCore) -> std::io::Result<()> {
+pub fn serve_stdio_with(core: ServerCore) -> std::io::Result<()> {
+    serve_stdio_shared(&Arc::new(Mutex::new(core)))
+}
+
+/// [`serve_stdio`] over a *shared* core: the binary hands the same handle
+/// to its SIGTERM/SIGINT watcher, which flushes the proof cache and exits
+/// while this loop is blocked on `read_line`.
+pub fn serve_stdio_shared(core: &Arc<Mutex<ServerCore>>) -> std::io::Result<()> {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     for line in stdin.lock().lines() {
@@ -866,16 +949,99 @@ pub fn serve_stdio_with(mut core: ServerCore) -> std::io::Result<()> {
         if line.trim().is_empty() {
             continue;
         }
-        let resp = core.handle_line(&line);
+        let (resp, done) = {
+            let mut core = core.lock().unwrap();
+            let resp = core.handle_line(&line);
+            (resp, core.is_shutting_down())
+        };
         {
             let mut out = stdout.lock();
             writeln!(out, "{resp}")?;
             out.flush()?;
         }
-        if core.is_shutting_down() {
+        if done {
             break;
         }
     }
+    Ok(())
+}
+
+/// Serves the daemon protocol on a Unix domain socket. Connections share
+/// one [`ServerCore`] (one loaded workload, one dependency tracker);
+/// requests are serialised through a mutex, so interleaved clients see a
+/// consistent warm state. A `shutdown` request stops the accept loop.
+///
+/// Lives in the library (not the binary) so the integration tests can
+/// drive a real socket — in particular the client-disconnect tests. Each
+/// connection gets its own thread; finished threads (a client that
+/// disconnected, possibly mid-request) are reaped on every accept-loop
+/// iteration rather than accumulating until shutdown.
+pub fn serve_unix(path: &str, core: &Arc<Mutex<ServerCore>>) -> std::io::Result<()> {
+    use std::io::BufReader;
+    use std::os::unix::net::UnixListener;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let done = Arc::new(AtomicBool::new(false));
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+
+    while !done.load(Ordering::SeqCst) {
+        // Reap connection threads whose client went away — a disconnect
+        // (even mid-request) must release the thread, not park it until
+        // shutdown.
+        handles.retain(|h| !h.is_finished());
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let core = Arc::clone(core);
+                let done = Arc::clone(&done);
+                handles.push(std::thread::spawn(move || {
+                    let reader = BufReader::new(match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => return,
+                    });
+                    let mut writer = stream;
+                    for line in reader.lines() {
+                        let line = match line {
+                            Ok(l) => l,
+                            Err(_) => break,
+                        };
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        let resp = {
+                            let mut core = core.lock().unwrap();
+                            let resp = core.handle_line(&line);
+                            if core.is_shutting_down() {
+                                done.store(true, Ordering::SeqCst);
+                            }
+                            resp
+                        };
+                        if writeln!(writer, "{resp}")
+                            .and_then(|()| writer.flush())
+                            .is_err()
+                        {
+                            break;
+                        }
+                        if done.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    for h in handles {
+        let _ = h.join();
+    }
+    let _ = std::fs::remove_file(path);
     Ok(())
 }
 

@@ -62,6 +62,11 @@ pub struct SolverStats {
     /// External solves that timed out or whose process died (each one
     /// kills/respawns the process and abandons its in-flight cache entry).
     pub smt_failures: u64,
+    /// Times the SMT bridge came back after a backoff window: spawns had
+    /// failed repeatedly and the bridge was resting, then a re-probe
+    /// succeeded and external solving resumed (filled from the bridge's
+    /// shared spawn-health state, not the per-context counters).
+    pub smt_reenabled: u64,
     /// Wall-clock nanoseconds spent inside the refutation kernel (theory
     /// work at assert time plus query-time case splits), summed across
     /// contexts. The denominator for "is the solver the bottleneck?".
@@ -103,6 +108,7 @@ impl SolverStats {
             smt_queries: self.smt_queries.saturating_sub(earlier.smt_queries),
             smt_unsat: self.smt_unsat.saturating_sub(earlier.smt_unsat),
             smt_failures: self.smt_failures.saturating_sub(earlier.smt_failures),
+            smt_reenabled: self.smt_reenabled.saturating_sub(earlier.smt_reenabled),
             kernel_nanos: self.kernel_nanos.saturating_sub(earlier.kernel_nanos),
             incremental_hits: self
                 .incremental_hits
@@ -156,6 +162,9 @@ impl AtomicSolverStats {
             smt_queries: self.smt_queries.load(Ordering::Relaxed),
             smt_unsat: self.smt_unsat.load(Ordering::Relaxed),
             smt_failures: self.smt_failures.load(Ordering::Relaxed),
+            // Spawn-health lives in the shared SMT bridge, not the
+            // per-context counters; `Solver::stats` merges it in.
+            smt_reenabled: 0,
             kernel_nanos: self.kernel_nanos.load(Ordering::Relaxed),
             incremental_hits: self.incremental_hits.load(Ordering::Relaxed),
             // Disk-cache counters live at the driver/daemon layer, not in

@@ -560,6 +560,11 @@ impl SmtProcess {
     }
 
     fn send(&self, text: &str) -> Option<()> {
+        // Injected write failures surface exactly like a closed pipe: the
+        // caller kills the process and the solve degrades to the kernel.
+        if gillian_faults::hit("smt.write").is_some() {
+            return None;
+        }
         self.to_solver.send(text.to_owned()).ok()
     }
 
@@ -640,13 +645,76 @@ impl Drop for SmtProcess {
     }
 }
 
-/// Spawn bookkeeping shared by every process of one bridge: consecutive
-/// spawn failures; after a few the bridge disables itself instead of
-/// respawning in a loop.
+/// Consecutive spawn failures before the bridge rests instead of respawning
+/// in a tight loop.
+const SPAWN_FAILURE_THRESHOLD: u32 = 3;
+/// First rest window after the failure threshold trips; doubles per
+/// consecutive trip up to [`SPAWN_BACKOFF_CAP`].
+const SPAWN_BACKOFF_INITIAL: Duration = Duration::from_millis(250);
+/// Ceiling of the exponential backoff (~30 s).
+const SPAWN_BACKOFF_CAP: Duration = Duration::from_secs(30);
+
+/// Spawn bookkeeping shared by every process of one bridge. Repeated spawn
+/// failures used to disable the bridge for the rest of the process; now
+/// they put it to *rest*: spawning is suppressed until `resting_until`,
+/// then one caller re-probes. Failed re-probes double the window (capped
+/// around 30 s, with a small deterministic jitter so a fleet of workers
+/// does not re-probe in lockstep); a successful re-probe restores normal
+/// service and bumps `reenabled` — surfaced as the `smt_reenabled`
+/// telemetry counter.
 #[derive(Default)]
 struct SpawnHealth {
     spawn_failures: u32,
-    disabled: bool,
+    /// While `Some(t)` and `now < t`, the bridge is resting: no spawn is
+    /// attempted and solves degrade to the kernel.
+    resting_until: Option<Instant>,
+    /// The rest window to use on the *next* threshold trip (`None` = the
+    /// initial window).
+    next_backoff: Option<Duration>,
+    /// Times a successful spawn ended a rest regime.
+    reenabled: u64,
+    /// The bridge has rested since its last successful spawn (so the next
+    /// success counts as a re-enable).
+    was_resting: bool,
+}
+
+impl SpawnHealth {
+    fn resting(&self) -> bool {
+        self.resting_until.is_some_and(|t| Instant::now() < t)
+    }
+
+    fn note_success(&mut self) -> bool {
+        self.spawn_failures = 0;
+        self.resting_until = None;
+        self.next_backoff = None;
+        let recovered = self.was_resting;
+        if recovered {
+            self.reenabled += 1;
+            self.was_resting = false;
+        }
+        recovered
+    }
+
+    /// Records a failed spawn; returns the rest window just entered, if the
+    /// failure tripped the threshold.
+    fn note_failure(&mut self) -> Option<Duration> {
+        self.spawn_failures += 1;
+        if self.spawn_failures < SPAWN_FAILURE_THRESHOLD {
+            return None;
+        }
+        self.spawn_failures = 0;
+        let backoff = self.next_backoff.unwrap_or(SPAWN_BACKOFF_INITIAL);
+        self.next_backoff = Some((backoff * 2).min(SPAWN_BACKOFF_CAP));
+        // Deterministic jitter (up to ~25% of the window), derived from the
+        // process id so a fleet of runners sharing one broken solver does
+        // not re-probe in lockstep — while any single process stays exactly
+        // reproducible.
+        let jitter_ms = (backoff.as_millis() as u64 * (std::process::id() as u64 % 32)) / 128;
+        let window = backoff + Duration::from_millis(jitter_ms);
+        self.resting_until = Some(Instant::now() + window);
+        self.was_resting = true;
+        Some(window)
+    }
 }
 
 /// The shared SMT bridge of one [`crate::Solver`] hub. Cheap to clone via
@@ -752,9 +820,17 @@ impl SmtShared {
         }
     }
 
-    /// Is an external process configured (it may still die later)?
+    /// Is an external process configured and not resting after repeated
+    /// spawn failures? (A resting bridge becomes available again once its
+    /// backoff window expires and a re-probe succeeds.)
     pub fn is_available(&self) -> bool {
-        self.cmd.is_some() && !self.health.lock().unwrap().disabled
+        self.cmd.is_some() && !self.health.lock().unwrap().resting()
+    }
+
+    /// Times the bridge recovered from a spawn-failure rest window (the
+    /// `smt_reenabled` telemetry counter).
+    pub fn reenabled_count(&self) -> u64 {
+        self.health.lock().unwrap().reenabled
     }
 
     /// The provenance of the configured solver, for reports and notices.
@@ -838,26 +914,37 @@ impl SmtShared {
     }
 
     /// Spawns one process (prelude included), with the shared failure
-    /// bookkeeping: a few consecutive failures disable the bridge.
+    /// bookkeeping: a few consecutive failures put the bridge to rest with
+    /// exponential backoff; a successful spawn after a rest restores
+    /// service (see [`SpawnHealth`]).
     fn spawn_one(&self) -> Option<SmtProcess> {
         let cmd = self.cmd.as_ref()?;
         let mut health = self.health.lock().unwrap();
-        if health.disabled {
+        if health.resting() {
             return None;
         }
-        match SmtProcess::spawn(cmd, self.timeout) {
+        let spawned = if gillian_faults::hit("smt.spawn").is_some() {
+            None
+        } else {
+            SmtProcess::spawn(cmd, self.timeout)
+        };
+        match spawned {
             Some(p) => {
-                health.spawn_failures = 0;
+                if health.note_success() {
+                    eprintln!(
+                        "gillian-solver: smtlib bridge re-enabled, {:?} spawns again",
+                        cmd.argv
+                    );
+                }
                 self.spawned.fetch_add(1, Ordering::Relaxed);
                 Some(p)
             }
             None => {
-                health.spawn_failures += 1;
-                if health.spawn_failures >= 3 {
-                    health.disabled = true;
+                if let Some(window) = health.note_failure() {
                     eprintln!(
-                        "gillian-solver: disabling smtlib bridge after {} failed spawns of {:?}",
-                        health.spawn_failures, cmd.argv
+                        "gillian-solver: smtlib bridge resting for {window:?} after repeated \
+                         failed spawns of {:?} (will re-probe)",
+                        cmd.argv
                     );
                 }
                 None
@@ -888,6 +975,13 @@ impl SmtShared {
                 return SmtAnswer::Timeout;
             }
             match proc.from_solver.recv_timeout(deadline - now) {
+                // An injected read fault mangles the reply: unparsable
+                // output means the process state can no longer be trusted,
+                // identical to the `(error …)` path below.
+                Ok(_) if gillian_faults::hit("smt.read").is_some() => {
+                    proc.kill();
+                    return SmtAnswer::Died;
+                }
                 Ok(line) => match line.trim() {
                     "" => continue,
                     "unsat" => return SmtAnswer::Unsat,
@@ -1286,6 +1380,55 @@ mod tests {
             "a timed-out solve must be incomplete so cache entries are abandoned"
         );
         assert_eq!(stats.snapshot().smt_failures, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Repeated spawn failures no longer disable the bridge for the process
+    /// lifetime: it rests with backoff, re-probes after the window, and
+    /// recovers (bumping the `smt_reenabled` telemetry) once the solver
+    /// binary works again.
+    #[test]
+    #[cfg(unix)]
+    fn spawn_failures_back_off_and_recover() {
+        use std::os::unix::fs::PermissionsExt;
+        let dir = std::env::temp_dir().join(format!("gillian-smt-backoff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // The configured command does not exist yet: every spawn fails.
+        let script = dir.join("late-solver.sh");
+        let shared = SmtShared::new(&SmtOptions {
+            command: Some(vec![script.to_string_lossy().into_owned()]),
+            timeout: Duration::from_millis(200),
+            per_worker: true,
+        });
+        assert!(shared.is_available(), "configured bridges start available");
+        for _ in 0..SPAWN_FAILURE_THRESHOLD {
+            assert!(shared.spawn_one().is_none());
+        }
+        assert!(
+            !shared.is_available(),
+            "after {SPAWN_FAILURE_THRESHOLD} failed spawns the bridge rests"
+        );
+        assert!(
+            shared.spawn_one().is_none(),
+            "resting bridges refuse to spawn"
+        );
+        assert_eq!(shared.reenabled_count(), 0);
+
+        // The solver binary appears; once the rest window (initial backoff
+        // plus ≤25% jitter) expires, a re-probe succeeds and the bridge is
+        // back in service.
+        std::fs::write(
+            &script,
+            "#!/bin/sh\nwhile read line; do\n  case \"$line\" in\n    *check-sat*) echo unsat ;;\n  esac\ndone\n",
+        )
+        .unwrap();
+        std::fs::set_permissions(&script, std::fs::Permissions::from_mode(0o755)).unwrap();
+        std::thread::sleep(SPAWN_BACKOFF_INITIAL + SPAWN_BACKOFF_INITIAL / 2);
+        let proc = shared.spawn_one();
+        assert!(proc.is_some(), "the re-probe succeeds");
+        assert!(shared.is_available());
+        assert_eq!(shared.reenabled_count(), 1, "the recovery is counted");
+        drop(proc);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

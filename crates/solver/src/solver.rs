@@ -114,9 +114,16 @@ impl Solver {
         &self.arena
     }
 
-    /// A snapshot of the statistics aggregated across every context.
+    /// A snapshot of the statistics aggregated across every context. The
+    /// `smt_reenabled` counter is merged in from the shared bridge's
+    /// spawn-health state (it counts per bridge lifetime; request-level
+    /// deltas fall out of [`SolverStats::since`]).
     pub fn stats(&self) -> SolverStats {
-        self.stats.snapshot()
+        let mut stats = self.stats.snapshot();
+        if let Some(smt) = &self.smt {
+            stats.smt_reenabled = smt.reenabled_count();
+        }
+        stats
     }
 
     /// Records a branch arm skipped by the static value analysis: the guard

@@ -13,7 +13,11 @@
 #     warn-only edit is accepted with its findings attached, and a `lint`
 #     request reports the program's findings without proof search,
 #   * restart leg: a NEW daemon process over the same --cache-dir hydrates
-#     every target from disk and its first `verify` re-proves nothing.
+#     every target from disk and its first `verify` re-proves nothing,
+#   * SIGTERM leg: a daemon killed with SIGTERM (no `shutdown` request)
+#     flushes its proof cache on the way out, and a successor daemon over
+#     the same --cache-dir hydrates 100% of the targets and re-proves
+#     nothing.
 #
 # Usage: scripts/daemon_smoke.sh  (from the workspace root)
 # Env:   GILLIAN_BIN — path to the binary (default target/release/gillian).
@@ -143,4 +147,50 @@ sed -n 2p <<<"$OUT2" | grep -q '"cached":\["base","inc","inc2"\]' \
 "$BIN" cache stats --dir "$CACHE_DIR" \
     | grep -q '3 hit / 0 miss' || fail "restart leg: cache stats shows the warm run"
 
-echo "daemon_smoke: OK (including restart leg)"
+# ---- SIGTERM leg: an ungraceful death still persists the proofs. ------------
+# The daemon is fed through a FIFO so its stdin stays open while we kill it
+# from the outside: load + verify land, then SIGTERM — no `shutdown` request
+# ever arrives. The signal handler must flush the proof cache before exiting,
+# so a successor daemon over the same directory hydrates every target and its
+# first `verify` re-proves nothing.
+
+SIG_DIR="$(mktemp -d "${TMPDIR:-/tmp}/gillian-smoke-sigterm.XXXXXX")"
+trap 'rm -rf "$CACHE_DIR" "$SIG_DIR"' EXIT
+FIFO="$SIG_DIR/requests.fifo"
+mkfifo "$FIFO"
+
+"$BIN" serve --cache-dir "$SIG_DIR/cache" <"$FIFO" >"$SIG_DIR/out" &
+SERVE_PID=$!
+exec 3>"$FIFO"   # hold the write end open so the daemon keeps serving
+
+printf '%s\n' \
+    '{"id":1,"cmd":"load","workload":"chain","workers":1,"branch_parallelism":1}' \
+    '{"id":2,"cmd":"verify"}' >&3
+
+# Wait until both responses are on disk, then pull the rug.
+for _ in $(seq 1 300); do
+    [[ "$(wc -l <"$SIG_DIR/out")" -ge 2 ]] && break
+    sleep 0.1
+done
+[[ "$(wc -l <"$SIG_DIR/out")" -ge 2 ]] \
+    || fail "sigterm leg: daemon never answered load+verify"
+sed -n 2p "$SIG_DIR/out" | grep -q '"all_verified":true' \
+    || fail "sigterm leg: cold verify did not prove the chain"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || fail "sigterm leg: daemon did not exit cleanly on SIGTERM"
+exec 3>&-
+
+[[ -n "$(ls "$SIG_DIR/cache"/*.rec 2>/dev/null)" ]] \
+    || fail "sigterm leg: SIGTERM left no records in $SIG_DIR/cache"
+
+SIG_OUT="$("$BIN" serve --cache-dir "$SIG_DIR/cache" <<<"$REQS")"
+grep -q '"ok":false' <<<"$SIG_OUT" && fail "sigterm leg: a successor request errored"
+sed -n 1p <<<"$SIG_OUT" | grep -q '"hydrated":\["base","inc","inc2"\]' \
+    || fail "sigterm leg: successor daemon must hydrate 100% of the targets"
+sed -n 2p <<<"$SIG_OUT" | grep -q '"reverified":\[\]' \
+    || fail "sigterm leg: successor daemon re-proved something after SIGTERM flush"
+sed -n 2p <<<"$SIG_OUT" | grep -q '"cached":\["base","inc","inc2"\]' \
+    || fail "sigterm leg: successor daemon must answer everything from the flush"
+
+echo "daemon_smoke: OK (including restart and SIGTERM legs)"

@@ -174,8 +174,8 @@ fn identical_requests_report_identical_solver_deltas() {
     assert_eq!(first, second, "identical requests, identical solver work");
     assert_eq!(
         first.len(),
-        13,
-        "all non-timing counters are compared (incl. the disk-cache trio and the absint pair)"
+        14,
+        "all non-timing counters are compared (incl. the disk-cache trio, the absint pair and smt_reenabled)"
     );
 
     // A cache-served verify does no solver work at all.
@@ -236,6 +236,75 @@ fn interleaved_clients_get_deterministic_results() {
     };
     assert_eq!(a1[0], reference("chain"));
     assert_eq!(b1[0], reference("even_int"));
+}
+
+/// Satellite: client disconnects. A real Unix-socket daemon survives a
+/// client that vanishes mid-request (partial line, no newline, dropped
+/// stream) and one that vanishes right after a request: subsequent clients
+/// still get correct answers, and `shutdown` still stops the accept loop
+/// (which also proves the dead clients' threads were reaped, not wedged).
+#[test]
+fn unix_socket_daemon_survives_client_disconnects() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let path = std::env::temp_dir().join(format!("gillian-daemon-it-{}.sock", std::process::id()));
+    let path_str = path.to_str().unwrap().to_string();
+    let _ = std::fs::remove_file(&path);
+
+    let core = Arc::new(Mutex::new(ServerCore::new()));
+    let server = {
+        let path = path_str.clone();
+        let core = Arc::clone(&core);
+        std::thread::spawn(move || gillian_server::serve_unix(&path, &core))
+    };
+
+    // The listener binds asynchronously; retry until it accepts.
+    let connect = || -> UnixStream {
+        for _ in 0..200 {
+            if let Ok(s) = UnixStream::connect(&path_str) {
+                return s;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("daemon socket never came up at {path_str}");
+    };
+    let request = |stream: &mut UnixStream, line: &str| -> Value {
+        writeln!(stream, "{line}").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        ok(&resp)
+    };
+
+    // Client 1 dies mid-request: a partial JSON line with no newline, then
+    // the stream drops.
+    {
+        let mut c1 = connect();
+        c1.write_all(br#"{"cmd":"load","workl"#).unwrap();
+        c1.flush().unwrap();
+    }
+
+    // Client 2 dies right after receiving an answer.
+    {
+        let mut c2 = connect();
+        let v = request(&mut c2, &load_line("chain", "fc"));
+        assert!(v.get("targets").is_some() || v.get("ok").is_some());
+    }
+
+    // Client 3 gets full, correct service on the warm core.
+    let mut c3 = connect();
+    let v = request(&mut c3, r#"{"cmd":"verify"}"#);
+    assert_eq!(v.get("all_verified").and_then(Value::as_bool), Some(true));
+    let v = request(&mut c3, r#"{"cmd":"shutdown"}"#);
+    assert_eq!(v.get("bye").and_then(Value::as_bool), Some(true));
+
+    server
+        .join()
+        .expect("accept loop exits after shutdown")
+        .expect("serve_unix returns Ok");
+    assert!(!path.exists(), "socket file is removed on shutdown");
 }
 
 /// Satellite: the driver's hand-rolled `to_json` — session names, diagnostic
